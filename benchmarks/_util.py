@@ -1,0 +1,40 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each bench regenerates one experiment table from DESIGN.md / EXPERIMENTS.md.
+Tables are emitted to the real stdout (bypassing pytest capture, so they
+appear in ``pytest benchmarks/ --benchmark-only`` output) and appended to
+``benchmarks/results.txt`` for the record.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import sys
+from typing import Iterable, Sequence
+
+from repro.analysis import render_table
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+
+
+def emit(title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render, print (uncaptured), and persist one experiment table."""
+    table = render_table(headers, rows, title=title)
+    print("\n" + table + "\n", file=sys.__stdout__, flush=True)
+    with open(RESULTS_PATH, "a") as fh:
+        fh.write(table + "\n\n")
+    return table
+
+
+def log2(x: float) -> float:
+    return math.log2(max(2, x))
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The simulations are deterministic, so one round is representative,
+    and re-running a long sweep dozens of times would be wasteful.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,106 @@
+"""E11 — Ablations of the bucket scheduler's design choices.
+
+1. Offline-order ablation: topology-aware coloring orders (line sweep /
+   clique bands / ray bands) vs arbitrary arrival order — the quality gap
+   the Busch et al. [4] substrate buys.
+2. Activation alignment: global multiples of 2**i (paper) vs rate-limited
+   activation.
+3. Departure policy: eager forwarding (paper) vs lazy just-in-time
+   departure — how much the in-transit penalty costs later arrivals.
+"""
+
+import pytest
+
+from _util import emit, once
+from repro._types import DeparturePolicy
+from repro.analysis import run_experiment
+from repro.core import BucketScheduler, GreedyScheduler
+from repro.network import topologies
+from repro.offline import (
+    ClusterBatchScheduler,
+    ColoringBatchScheduler,
+    LineBatchScheduler,
+    StarBatchScheduler,
+)
+from repro.workloads import OnlineWorkload, hotspot_workload
+
+
+@pytest.mark.benchmark(group="E11-ablation")
+def test_e11_offline_order_ablation(benchmark):
+    rows = []
+    cases = [
+        ("line-48", topologies.line(48), LineBatchScheduler()),
+        ("cluster-4x6", topologies.cluster_graph(4, 6, gamma=8), ClusterBatchScheduler()),
+        ("star-6x6", topologies.star_graph(6, 6), StarBatchScheduler()),
+    ]
+    for name, g, aware in cases:
+        # shuffle: arrival order must not coincide with the aware order
+        wl = hotspot_workload(g, seed=0, shuffle=True)
+        res_aware = run_experiment(g, BucketScheduler(aware), wl)
+        wl = hotspot_workload(g, seed=0, shuffle=True)
+        res_naive = run_experiment(g, BucketScheduler(ColoringBatchScheduler("arrival")), wl)
+        gain = res_naive.makespan / max(1, res_aware.makespan)
+        rows.append([name, res_aware.makespan, res_naive.makespan, round(gain, 2)])
+        # topology-aware ordering must not be worse on its home topology
+        assert res_aware.makespan <= res_naive.makespan * 1.05
+    once(benchmark, lambda: run_experiment(
+        cases[0][1], BucketScheduler(LineBatchScheduler()), hotspot_workload(cases[0][1], seed=1)
+    ))
+    emit(
+        "E11a offline-order ablation — topology-aware vs arrival-order coloring (hotspot)",
+        ["topology", "aware-makespan", "naive-makespan", "gain"],
+        rows,
+    )
+
+
+@pytest.mark.benchmark(group="E11-ablation")
+def test_e11_alignment_ablation(benchmark):
+    rows = []
+    for n in (24, 48):
+        g = topologies.line(n)
+        mk = lambda: OnlineWorkload.bernoulli(
+            g, num_objects=6, k=2, rate=1.0 / n, horizon=3 * n, seed=5
+        )
+        aligned = run_experiment(g, BucketScheduler(LineBatchScheduler(), align=True), mk())
+        rate_ltd = run_experiment(g, BucketScheduler(LineBatchScheduler(), align=False), mk())
+        rows.append(
+            [n, aligned.makespan, rate_ltd.makespan,
+             round(aligned.metrics.mean_latency, 1), round(rate_ltd.metrics.mean_latency, 1)]
+        )
+    once(benchmark, lambda: run_experiment(
+        topologies.line(24),
+        BucketScheduler(LineBatchScheduler(), align=False),
+        OnlineWorkload.bernoulli(topologies.line(24), 6, 2, rate=1 / 24, horizon=72, seed=6),
+    ))
+    emit(
+        "E11b activation ablation — aligned (paper) vs rate-limited buckets",
+        ["n", "aligned-mk", "ratelim-mk", "aligned-meanlat", "ratelim-meanlat"],
+        rows,
+    )
+
+
+@pytest.mark.benchmark(group="E11-ablation")
+def test_e11_departure_policy_ablation(benchmark):
+    rows = []
+    for name, g in [("line-32", topologies.line(32)), ("grid-5x5", topologies.grid([5, 5]))]:
+        mk = lambda: OnlineWorkload.bernoulli(
+            g, num_objects=6, k=2, rate=1.0 / g.num_nodes, horizon=60, seed=7
+        )
+        eager = run_experiment(g, GreedyScheduler(), mk())
+        lazy = run_experiment(
+            g, GreedyScheduler(), mk(), departure_policy=DeparturePolicy.LAZY
+        )
+        rows.append(
+            [name, eager.makespan, lazy.makespan,
+             eager.metrics.total_object_travel, lazy.metrics.total_object_travel]
+        )
+    once(benchmark, lambda: run_experiment(
+        topologies.line(32), GreedyScheduler(),
+        OnlineWorkload.bernoulli(topologies.line(32), 6, 2, rate=1 / 32, horizon=60, seed=8),
+        departure_policy=DeparturePolicy.LAZY,
+    ))
+    emit(
+        "E11c departure ablation — eager (paper) vs lazy forwarding",
+        ["topology", "eager-mk", "lazy-mk", "eager-travel", "lazy-travel"],
+        rows,
+    )

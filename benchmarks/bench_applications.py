@@ -1,0 +1,67 @@
+"""E21 — Application benchmarks (the paper's Section VI future work).
+
+"It would also be interesting to evaluate our algorithm against different
+application benchmarks in a practical setting" — this bench does exactly
+that with three STAMP-style synthetic applications (bank transfers,
+travel bookings, warehouse inventory) across the main schedulers, on a
+datacenter-flavoured cluster topology.
+"""
+
+import pytest
+
+from _util import emit, once
+from repro.analysis import latency_fairness, run_experiment
+from repro.baselines import FifoSerialScheduler, TspTourScheduler
+from repro.core import BucketScheduler, GreedyScheduler
+from repro.network import topologies
+from repro.offline import ClusterBatchScheduler
+from repro.workloads import bank_workload, inventory_workload, vacation_workload
+
+
+def make_graph():
+    return topologies.cluster_graph(4, 6, gamma=8)
+
+
+APPS = [
+    ("bank", lambda g, seed: bank_workload(g, num_accounts=24, num_transfers=90, seed=seed)),
+    ("vacation", lambda g, seed: vacation_workload(g, num_bookings=80, seed=seed)),
+    ("inventory", lambda g, seed: inventory_workload(g, num_shards=8, num_orders=90, seed=seed)),
+]
+
+SCHEDULERS = [
+    ("greedy", lambda: GreedyScheduler()),
+    ("bucket", lambda: BucketScheduler(ClusterBatchScheduler())),
+    ("tsp", lambda: TspTourScheduler()),
+    ("fifo", lambda: FifoSerialScheduler()),
+]
+
+
+@pytest.mark.benchmark(group="E21-applications")
+def test_e21_application_mixes(benchmark):
+    rows = []
+    g = make_graph()
+    for app_name, make_wl in APPS:
+        results = {}
+        for sched_name, make_sched in SCHEDULERS:
+            res = run_experiment(g, make_sched(), make_wl(g, seed=11))
+            results[sched_name] = res
+            rows.append(
+                [
+                    app_name,
+                    sched_name,
+                    res.metrics.num_txns,
+                    res.makespan,
+                    round(res.metrics.mean_latency, 1),
+                    round(res.metrics.p99_latency, 1),
+                    round(latency_fairness(res.trace), 2),
+                ]
+            )
+        # schedulers must beat the serial anchor on every application
+        for sched_name in ("greedy", "bucket", "tsp"):
+            assert results[sched_name].makespan <= results["fifo"].makespan
+    once(benchmark, lambda: run_experiment(g, GreedyScheduler(), APPS[0][1](g, 12)))
+    emit(
+        "E21 application benchmarks — STAMP-style mixes on cluster(4x6,g=8)",
+        ["application", "scheduler", "txns", "makespan", "mean-lat", "p99-lat", "fairness"],
+        rows,
+    )

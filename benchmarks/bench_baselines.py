@@ -1,0 +1,88 @@
+"""E9 — Scheduler horse race across topologies.
+
+Who wins where: the greedy coloring dominates on low-diameter graphs; the
+bucket conversion keeps large-diameter graphs in check; both beat the FIFO
+serial anchor wherever there is exploitable parallelism; the TSP-tour
+baseline is competitive only when objects have one natural tour (k=1,
+hotspot-like instances).
+"""
+
+import pytest
+
+from _util import emit, once
+from repro.analysis import run_experiment
+from repro.baselines import FifoSerialScheduler, TspTourScheduler
+from repro.core import AdaptiveScheduler, BucketScheduler, GreedyScheduler
+from repro.network import topologies
+from repro.offline import (
+    ClusterBatchScheduler,
+    ColoringBatchScheduler,
+    LineBatchScheduler,
+    StarBatchScheduler,
+)
+from repro.workloads import OnlineWorkload
+
+
+TOPOS = [
+    ("clique-16", lambda: topologies.clique(16), ColoringBatchScheduler),
+    ("hypercube-4", lambda: topologies.hypercube(4), ColoringBatchScheduler),
+    ("grid-5x5", lambda: topologies.grid([5, 5]), ColoringBatchScheduler),
+    ("line-32", lambda: topologies.line(32), LineBatchScheduler),
+    ("cluster-4x4", lambda: topologies.cluster_graph(4, 4, gamma=8), ClusterBatchScheduler),
+    ("star-4x4", lambda: topologies.star_graph(4, 4), StarBatchScheduler),
+]
+
+
+def run_all(make_graph, batch_cls, seed=0):
+    g = make_graph()
+    mk = lambda: OnlineWorkload.bernoulli(
+        g, num_objects=8, k=2, rate=1.2 / g.num_nodes, horizon=3 * g.diameter() + 20, seed=seed
+    )
+    out = {}
+    out["greedy"] = run_experiment(g, GreedyScheduler(), mk())
+    out["bucket"] = run_experiment(g, BucketScheduler(batch_cls()), mk())
+    out["adaptive"] = run_experiment(g, AdaptiveScheduler(), mk())
+    out["fifo"] = run_experiment(g, FifoSerialScheduler(), mk())
+    out["tsp"] = run_experiment(g, TspTourScheduler(), mk())
+    return g, out
+
+
+@pytest.mark.benchmark(group="E9-baselines")
+def test_e9_horse_race(benchmark):
+    rows = []
+    fifo_wins = 0
+    for name, make_graph, batch_cls in TOPOS:
+        g, res = run_all(make_graph, batch_cls)
+        best = min(res, key=lambda s: res[s].makespan)
+        rows.append(
+            [name, res["greedy"].makespan, res["bucket"].makespan,
+             res["adaptive"].makespan, res["tsp"].makespan, res["fifo"].makespan, best]
+        )
+        if res["fifo"].makespan <= min(r.makespan for s, r in res.items() if s != "fifo"):
+            fifo_wins += 1
+    # FIFO must not be the overall winner anywhere interesting.
+    assert fifo_wins <= 1
+    once(benchmark, lambda: run_all(TOPOS[0][1], TOPOS[0][2], seed=1))
+    emit(
+        "E9  horse race — makespan by scheduler (lower is better)",
+        ["topology", "greedy", "bucket", "adaptive", "tsp", "fifo", "winner"],
+        rows,
+    )
+
+
+@pytest.mark.benchmark(group="E9-baselines")
+def test_e9_latency_view(benchmark):
+    rows = []
+    for name, make_graph, batch_cls in TOPOS[:4]:
+        g, res = run_all(make_graph, batch_cls, seed=3)
+        rows.append(
+            [name]
+            + [round(res[s].metrics.mean_latency, 1) for s in ("greedy", "bucket", "tsp", "fifo")]
+            + [max(res[s].metrics.max_latency for s in res)]
+        )
+    once(benchmark, lambda: run_all(TOPOS[1][1], TOPOS[1][2], seed=3))
+    emit(
+        "E9b horse race — mean latency by scheduler",
+        ["topology", "greedy", "bucket", "tsp", "fifo", "worst-max"],
+        rows,
+    )

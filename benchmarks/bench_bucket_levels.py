@@ -1,0 +1,59 @@
+"""E4 — Lemma 3 (bucket levels <= log2(nD)+1) and Lemma 4 (a transaction
+inserted into B_i executes by t + (i+1)*2**(i+2)).
+
+The table reports, per occupied level: how many transactions landed there,
+their worst observed latency from insertion, and Lemma 4's allowance —
+the slack column (observed / allowance) must stay <= 1.
+"""
+
+import math
+
+import pytest
+
+from _util import emit, once
+from repro.analysis import run_experiment
+from repro.core import BucketScheduler
+from repro.network import topologies
+from repro.offline import ColoringBatchScheduler, LineBatchScheduler
+from repro.workloads import OnlineWorkload
+
+
+def run_one(graph, batch, seed=0):
+    wl = OnlineWorkload.bernoulli(graph, num_objects=8, k=2, rate=0.05, horizon=80, seed=seed)
+    sched = BucketScheduler(batch)
+    res = run_experiment(graph, sched, wl)
+    return sched, res
+
+
+@pytest.mark.benchmark(group="E4-bucket-levels")
+def test_e4_lemma3_and_lemma4(benchmark):
+    rows = []
+    for name, graph, batch in [
+        ("line-32", topologies.line(32), LineBatchScheduler()),
+        ("cluster-4x4", topologies.cluster_graph(4, 4, gamma=6), ColoringBatchScheduler()),
+        ("grid-5x5", topologies.grid([5, 5]), ColoringBatchScheduler()),
+    ]:
+        sched, res = run_one(graph, batch)
+        lemma3 = math.ceil(math.log2(graph.num_nodes * graph.diameter())) + 1
+        assert sched.max_level <= lemma3 + 1
+        level_of = {tid: lvl for tid, lvl, _ in sched.insert_log}
+        t_ins = {tid: t for tid, _, t in sched.insert_log}
+        per_level = {}
+        for rec in res.trace.txns.values():
+            i = level_of[rec.tid]
+            obs = rec.exec_time - t_ins[rec.tid]
+            per_level.setdefault(i, []).append(obs)
+        for i in sorted(per_level):
+            allowance = (i + 1) * 2 ** (i + 2)
+            worst = max(per_level[i])
+            assert worst <= allowance, f"{name}: level {i} latency {worst} > {allowance}"
+            rows.append(
+                [name, i, len(per_level[i]), worst, allowance, round(worst / allowance, 2)]
+            )
+        assert max(per_level) <= lemma3
+    once(benchmark, lambda: run_one(topologies.line(32), LineBatchScheduler(), seed=1))
+    emit(
+        "E4  Lemmas 3-4 — bucket levels and per-level latency allowance",
+        ["topology", "level", "txns", "worst-latency", "lemma4-allow", "slack"],
+        rows,
+    )

@@ -1,0 +1,44 @@
+"""E2 — Theorem 3: the greedy schedule is O(k)-competitive on the clique.
+
+Sweep k at several clique sizes under the Section III-C closed-loop
+process.  The reproduced *shape*: measured ratio grows (sub)linearly with
+k and is flat in n — the ratio/k column stays bounded by a small constant
+across the whole sweep.
+"""
+
+import pytest
+
+from _util import emit, once
+from repro.analysis import run_experiment
+from repro.core import GreedyScheduler
+from repro.network import topologies
+from repro.workloads import ClosedLoopWorkload
+
+
+def run_one(n, k, seed=0):
+    g = topologies.clique(n)
+    wl = ClosedLoopWorkload(g, num_objects=max(4, n // 2), k=k, rounds=3, seed=seed)
+    return run_experiment(g, GreedyScheduler(uniform_beta=1), wl)
+
+
+@pytest.mark.benchmark(group="E2-clique")
+def test_e2_clique_ratio_linear_in_k_flat_in_n(benchmark):
+    rows = []
+    ratios_per_k = {}
+    for n in (16, 32, 64):
+        for k in (1, 2, 4, 8):
+            res = run_one(n, k)
+            r = res.competitive_ratio
+            rows.append([n, k, res.metrics.num_txns, res.makespan, round(r, 2), round(r / k, 2)])
+            ratios_per_k.setdefault(k, []).append(r)
+            # O(k) with a generous constant, independent of n:
+            assert r <= 8 * k + 4, f"ratio {r} too large for k={k}, n={n}"
+    # flat in n: max/min ratio across n for fixed k stays within a small factor
+    for k, rs in ratios_per_k.items():
+        assert max(rs) <= 4 * min(rs) + 4
+    once(benchmark, lambda: run_one(32, 4, seed=1))
+    emit(
+        "E2  Theorem 3 — clique closed-loop: ratio ~ O(k), flat in n",
+        ["n", "k", "txns", "makespan", "ratio", "ratio/k"],
+        rows,
+    )

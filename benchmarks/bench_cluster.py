@@ -1,0 +1,48 @@
+"""E6 — Theorem 4 on the cluster graph: bucket conversion of the
+clique-banded batch scheduler is O(min(k*beta, ...) * log^3(n*gamma))
+competitive.
+
+Shape check: the normalized ratio (by min(k*beta, n) * log^3(n*gamma))
+stays far below 1 and does not blow up with alpha, beta, gamma, or k.
+"""
+
+import pytest
+
+from _util import emit, log2, once
+from repro.analysis import run_experiment
+from repro.core import BucketScheduler
+from repro.network import topologies
+from repro.offline import ClusterBatchScheduler
+from repro.workloads import OnlineWorkload
+
+
+def run_cluster(alpha, beta, gamma, k, seed=0):
+    g = topologies.cluster_graph(alpha, beta, gamma)
+    n = g.num_nodes
+    wl = OnlineWorkload.bernoulli(
+        g, num_objects=max(4, n // 3), k=k, rate=1.0 / n, horizon=4 * gamma, seed=seed
+    )
+    res = run_experiment(g, BucketScheduler(ClusterBatchScheduler()), wl)
+    return g, res
+
+
+@pytest.mark.benchmark(group="E6-cluster")
+def test_e6_cluster_bound_shape(benchmark):
+    rows = []
+    for alpha, beta, gamma in [(3, 4, 6), (4, 4, 8), (4, 8, 12), (6, 4, 16)]:
+        for k in (1, 2, 4):
+            g, res = run_cluster(alpha, beta, gamma, k)
+            n = g.num_nodes
+            r = res.competitive_ratio
+            bound = min(k * beta, n) * log2(n * gamma) ** 3
+            rows.append(
+                [f"{alpha}x{beta},g={gamma}", n, k, res.metrics.num_txns,
+                 res.makespan, round(r, 2), round(r / bound, 4)]
+            )
+            assert r <= bound, f"cluster {alpha}x{beta} gamma={gamma} k={k}: {r} > {bound}"
+    once(benchmark, lambda: run_cluster(4, 4, 8, 2, seed=1))
+    emit(
+        "E6  Theorem 4 + cluster — ratio within O(min(k*beta,.)*log^3(n*gamma))",
+        ["cluster", "n", "k", "txns", "makespan", "ratio", "ratio/bound"],
+        rows,
+    )

@@ -1,0 +1,65 @@
+"""E10 — Algorithm 1 sequential cost scales as O(n' + m' log n').
+
+Times the pure scheduling computation (coloring one batch of n
+transactions against a Zipf-hot conflict graph) as n grows.  The paper's
+complexity is in the *size of the dependency graph* — with hot objects the
+edge count m' grows ~quadratically in n, so wall time per doubling may
+grow ~4x while time *per dependency edge* stays near-flat (up to the
+log n' factor).  The table reports both views.
+"""
+
+import time
+
+import pytest
+
+from _util import emit, once
+from repro.analysis import run_experiment
+from repro.core import GreedyScheduler
+from repro.network import topologies
+from repro.workloads import BatchWorkload, ZipfChooser
+
+
+def conflict_edges(workload):
+    """Count dependency-graph edges of the batch (conflicting txn pairs)."""
+    specs = workload.arrivals()
+    m = 0
+    for i, a in enumerate(specs):
+        for b in specs[i + 1 :]:
+            if set(a.objects) & set(b.objects):
+                m += 1
+    return m
+
+
+def run_batch(n, seed=0):
+    g = topologies.clique(n)
+    wl = BatchWorkload.uniform(
+        g, num_objects=max(4, n // 2), k=3, seed=seed, chooser=ZipfChooser(max(4, n // 2), 1.2)
+    )
+    m = conflict_edges(wl)
+    t0 = time.perf_counter()
+    res = run_experiment(g, GreedyScheduler(uniform_beta=1), wl, compute_ratios=False)
+    return time.perf_counter() - t0, m, res
+
+
+@pytest.mark.benchmark(group="E10-coloring-scaling")
+def test_e10_scheduling_cost_scaling(benchmark):
+    rows = []
+    per_edge = {}
+    for n in (32, 64, 128, 256):
+        # best of 3 to tame timer noise
+        elapsed, m, res = min((run_batch(n, seed=s) for s in range(3)), key=lambda x: x[0])
+        per_edge[n] = elapsed / max(1, m)
+        rows.append(
+            [n, m, res.makespan, round(elapsed * 1e3, 2), round(per_edge[n] * 1e6, 2)]
+        )
+    # O(n' + m' log n'): time per edge may grow by ~log factors, never by
+    # another factor of n.  Compare the ends of the sweep (8x in n).
+    assert per_edge[256] <= 16 * per_edge[32], (
+        f"per-edge cost grew {per_edge[256] / per_edge[32]:.1f}x over an 8x n sweep"
+    )
+    once(benchmark, lambda: run_batch(128, seed=9))
+    emit(
+        "E10 Algorithm 1 sequential cost — O(n' + m' log n') in dependency size",
+        ["n", "conflict-edges m'", "makespan", "total ms", "us per edge"],
+        rows,
+    )

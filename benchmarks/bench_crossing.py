@@ -1,0 +1,53 @@
+"""E17 — The grid crossing (interlock) instance family.
+
+Busch et al. [4] separate execution-time from communication-cost
+scheduling via a recursive grid construction; this bench runs the base
+interlock pattern across schedulers.  Honest finding (recorded in
+EXPERIMENTS.md): one interlock level does *not* separate — nearest-
+neighbour tour ordering degenerates to a row sweep and performs well;
+the value of the family is a structured stress test with a clean lower
+bound, plus the observation that the separation genuinely needs the
+paper's deep recursion, not just crossing contention.
+"""
+
+import pytest
+
+from _util import emit, once
+from repro.analysis import run_experiment
+from repro.baselines import FifoSerialScheduler, TspTourScheduler
+from repro.core import BucketScheduler, GreedyScheduler
+from repro.offline import ColoringBatchScheduler
+from repro.workloads import crossing_lower_bound, grid_crossing_workload
+
+
+SCHEDULERS = [
+    ("greedy", lambda: GreedyScheduler()),
+    ("greedy-degree", lambda: GreedyScheduler(order="degree")),
+    ("bucket", lambda: BucketScheduler(ColoringBatchScheduler("home"))),
+    ("tsp", lambda: TspTourScheduler()),
+    ("fifo", lambda: FifoSerialScheduler()),
+]
+
+
+@pytest.mark.benchmark(group="E17-crossing")
+def test_e17_crossing_instance(benchmark):
+    rows = []
+    for side in (4, 6, 8):
+        lb = crossing_lower_bound(side)
+        for name, mk in SCHEDULERS:
+            g, wl = grid_crossing_workload(side, shuffle_seed=3)
+            res = run_experiment(g, mk(), wl)
+            ratio = res.makespan / lb
+            rows.append([side, name, res.makespan, lb, round(ratio, 2)])
+            if name != "fifo":
+                assert ratio <= 3 * side, f"{name} side={side}: ratio {ratio}"
+    def timed():
+        g, wl = grid_crossing_workload(6, shuffle_seed=4)
+        return run_experiment(g, GreedyScheduler(), wl)
+
+    once(benchmark, timed)
+    emit(
+        "E17 crossing instance — makespan/LB by scheduler",
+        ["side", "scheduler", "makespan", "LB", "ratio"],
+        rows,
+    )

@@ -1,0 +1,68 @@
+"""E18 — Discovery ablation: idealized last-known probes vs the Arrow
+spanning-tree directory.
+
+The default Algorithm 3 discovery aims its first probe at the object's
+position read from ground truth (the documented idealization).  The Arrow
+mode drops the idealization: finds route along spanning-tree pointers
+maintained only by object-motion events, paying tree-path latencies and
+pointer-maintenance messages.  The table quantifies what that honesty
+costs.
+"""
+
+import pytest
+
+from _util import emit, once
+from repro.analysis import run_experiment
+from repro.core import DistributedBucketScheduler
+from repro.network import topologies
+from repro.offline import ColoringBatchScheduler, LineBatchScheduler
+from repro.workloads import OnlineWorkload
+
+
+CONFIGS = [
+    ("line-24", lambda: topologies.line(24), LineBatchScheduler),
+    ("grid-5x5", lambda: topologies.grid([5, 5]), ColoringBatchScheduler),
+    ("cluster-3x4", lambda: topologies.cluster_graph(3, 4, gamma=6), ColoringBatchScheduler),
+]
+
+
+def run_pair(make_graph, batch_cls, seed=0):
+    g = make_graph()
+    mk = lambda: OnlineWorkload.bernoulli(
+        g, num_objects=6, k=2, rate=0.8 / g.num_nodes, horizon=3 * g.diameter() + 20, seed=seed
+    )
+    probe = run_experiment(
+        g, DistributedBucketScheduler(batch_cls(), seed=1), mk(), object_speed_den=2
+    )
+    arrow_sched = DistributedBucketScheduler(batch_cls(), seed=1, discovery="arrow")
+    arrow = run_experiment(g, arrow_sched, mk(), object_speed_den=2)
+    return g, probe, arrow, arrow_sched
+
+
+@pytest.mark.benchmark(group="E18-directory")
+def test_e18_discovery_ablation(benchmark):
+    rows = []
+    for name, make_graph, batch_cls in CONFIGS:
+        g, probe, arrow, sched = run_pair(make_graph, batch_cls)
+        overhead = arrow.makespan / max(1, probe.makespan)
+        rows.append(
+            [
+                name,
+                probe.metrics.num_txns,
+                probe.makespan,
+                arrow.makespan,
+                round(overhead, 2),
+                probe.metrics.messages_sent,
+                arrow.metrics.messages_sent,
+                sched.directory.maintenance_messages,
+            ]
+        )
+        # honest discovery may cost, but stays within a small factor
+        assert overhead <= 4.0, f"{name}: arrow overhead {overhead}"
+    once(benchmark, lambda: run_pair(CONFIGS[0][1], CONFIGS[0][2], seed=2))
+    emit(
+        "E18 discovery ablation — idealized probe vs Arrow directory",
+        ["topology", "txns", "probe-mk", "arrow-mk", "overhead",
+         "probe-msgs", "arrow-msgs", "ptr-maint"],
+        rows,
+    )

@@ -1,0 +1,87 @@
+"""E23 — True competitive ratios on small instances (exact solver).
+
+Everywhere else, competitive ratios divide by a certified *lower bound*;
+here, on instances small enough for branch-and-bound, we divide by the
+*exact* offline optimum.  Two things are measured:
+
+1. the true competitive ratios of greedy on the clique (Theorem 3's
+   regime) — they should sit below the LB-based estimates;
+2. the looseness of the object-MST lower bound itself (optimal / LB).
+"""
+
+import pytest
+
+from _util import emit, once
+from repro.analysis import exact_ratio, replicate, run_experiment
+from repro.core import GreedyScheduler
+from repro.network import topologies
+from repro.sim.transactions import Transaction
+from repro.workloads import BatchWorkload
+
+
+def one_instance(graph, k, seed):
+    wl = BatchWorkload.uniform(
+        graph, num_objects=4, k=k, seed=seed, num_txns=min(8, graph.num_nodes)
+    )
+    txns = [
+        Transaction(i, s.home, frozenset(s.objects), s.gen_time)
+        for i, s in enumerate(wl.arrivals())
+    ]
+    res = run_experiment(graph, GreedyScheduler(uniform_beta=1), wl, compute_ratios=False)
+    return exact_ratio(graph, wl.initial_objects(), txns, res.makespan)
+
+
+@pytest.mark.benchmark(group="E23-exact")
+def test_e23_true_ratios_clique(benchmark):
+    rows = []
+    for k in (1, 2, 3):
+        g = topologies.clique(10)
+
+        def exp(seed, k=k, g=g):
+            true_r, lb_r, opt, lb = one_instance(g, k, seed)
+            return {"true": true_r, "lb_based": lb_r, "lb_gap": opt / max(1, lb)}
+
+        agg = replicate(exp, seeds=range(10))
+        rows.append(
+            [
+                k,
+                round(agg["true"].mean, 2),
+                round(agg["true"].max, 2),
+                round(agg["lb_based"].mean, 2),
+                round(agg["lb_gap"].mean, 2),
+            ]
+        )
+        # the LB-based estimate must never be below the true ratio
+        assert agg["lb_based"].mean >= agg["true"].mean - 1e-9
+        # Theorem 3: true ratio O(k) with a small constant on random batches
+        assert agg["true"].max <= 2 * k + 2
+    once(benchmark, lambda: one_instance(topologies.clique(10), 2, 99))
+    emit(
+        "E23 exact optimum (clique-10, 8 txns, 10 seeds) — true vs LB-based ratios",
+        ["k", "true-ratio mean", "true max", "LB-ratio mean", "opt/LB (looseness)"],
+        rows,
+    )
+
+
+@pytest.mark.benchmark(group="E23-exact")
+def test_e23_lb_looseness_by_topology(benchmark):
+    rows = []
+    for name, g in [
+        ("clique-8", topologies.clique(8)),
+        ("line-8", topologies.line(8)),
+        ("grid-2x4", topologies.grid([2, 4])),
+        ("star-2x3", topologies.star_graph(2, 3)),
+    ]:
+        def exp(seed, g=g):
+            _, _, opt, lb = one_instance(g, 2, seed)
+            return {"gap": opt / max(1, lb)}
+
+        agg = replicate(exp, seeds=range(10))
+        rows.append([name, round(agg["gap"].mean, 2), round(agg["gap"].max, 2)])
+        assert agg["gap"].mean >= 1.0 - 1e-9  # LB really is a lower bound
+    once(benchmark, lambda: one_instance(topologies.line(8), 2, 42))
+    emit(
+        "E23b object-MST lower-bound looseness (optimal / LB)",
+        ["topology", "mean", "max"],
+        rows,
+    )

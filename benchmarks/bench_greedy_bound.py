@@ -1,0 +1,60 @@
+"""E1 — Theorem 1/2: greedy executes within its dependency-degree bound.
+
+For every transaction the scheduler logs its color and the (floor-shifted)
+Lemma 1 / Lemma 2 bound; the table reports the worst observed color-to-
+bound slack per topology.  The assertion `color <= bound` *is* Theorem 1's
+statement instantiated per transaction.
+"""
+
+import pytest
+
+from _util import emit, once
+from repro.analysis import run_experiment
+from repro.core import GreedyScheduler
+from repro.network import topologies
+from repro.workloads import OnlineWorkload
+
+
+CONFIGS = [
+    ("clique", lambda: topologies.clique(32), None),
+    ("clique-beta1", lambda: topologies.clique(32), 1),
+    ("hypercube", lambda: topologies.hypercube(5), None),
+    ("hypercube-beta", lambda: topologies.hypercube(5), 5),
+    ("grid-4x8", lambda: topologies.grid([4, 8]), None),
+    ("butterfly-3", lambda: topologies.butterfly(3), None),
+]
+
+
+def run_config(make_graph, beta, seed=0):
+    g = make_graph()
+    wl = OnlineWorkload.bernoulli(g, num_objects=12, k=3, rate=0.05, horizon=60, seed=seed)
+    sched = GreedyScheduler(uniform_beta=beta)
+    res = run_experiment(g, sched, wl)
+    return g, sched, res
+
+
+@pytest.mark.benchmark(group="E1-greedy-bound")
+def test_e1_greedy_latency_within_theorem_bound(benchmark):
+    rows = []
+    for name, make_graph, beta in CONFIGS:
+        g, sched, res = run_config(make_graph, beta)
+        assert sched.color_log, "no transactions scheduled"
+        worst_slack = 0.0
+        violations = 0
+        for tid, color, bound in sched.color_log:
+            if color > bound:
+                violations += 1
+            worst_slack = max(worst_slack, color / max(1, bound))
+        assert violations == 0
+        rows.append(
+            [name, g.num_nodes, res.metrics.num_txns, res.metrics.max_latency,
+             max(c for _, c, _ in sched.color_log),
+             max(b for _, _, b in sched.color_log),
+             round(worst_slack, 3)]
+        )
+    once(benchmark, lambda: run_config(CONFIGS[0][1], CONFIGS[0][2], seed=1))
+    emit(
+        "E1  Theorem 1/2 — greedy color vs dependency bound (color<=bound always)",
+        ["topology", "n", "txns", "max-lat", "max-color", "max-bound", "worst c/b"],
+        rows,
+    )

@@ -1,0 +1,48 @@
+"""E3 — Section III-D: O(k log n) competitiveness on hypercube, butterfly,
+and log n-dimensional grids.
+
+The reproduced shape: ratio / (k * log2 n) stays bounded by a small
+constant across sizes and k, for all three diameter-log(n) families.
+"""
+
+import pytest
+
+from _util import emit, log2, once
+from repro.analysis import run_experiment
+from repro.core import GreedyScheduler
+from repro.network import topologies
+from repro.workloads import ClosedLoopWorkload
+
+
+FAMILIES = [
+    ("hypercube", lambda d: topologies.hypercube(d), (3, 4, 5)),
+    ("butterfly", lambda d: topologies.butterfly(d), (2, 3)),
+    ("grid-2^d", lambda d: topologies.grid([2] * d), (3, 4, 5)),
+]
+
+
+def run_one(make_graph, d, k, seed=0):
+    g = make_graph(d)
+    wl = ClosedLoopWorkload(g, num_objects=max(4, g.num_nodes // 2), k=k, rounds=2, seed=seed)
+    return g, run_experiment(g, GreedyScheduler(), wl)
+
+
+@pytest.mark.benchmark(group="E3-hypercube")
+def test_e3_ratio_within_k_logn(benchmark):
+    rows = []
+    for family, make_graph, dims in FAMILIES:
+        for d in dims:
+            for k in (1, 2, 4):
+                g, res = run_one(make_graph, d, k)
+                r = res.competitive_ratio
+                norm = r / (k * log2(g.num_nodes))
+                rows.append(
+                    [family, d, g.num_nodes, k, res.makespan, round(r, 2), round(norm, 2)]
+                )
+                assert norm <= 8, f"{family} d={d} k={k}: ratio {r} beyond O(k log n)"
+    once(benchmark, lambda: run_one(FAMILIES[0][1], 4, 2, seed=1))
+    emit(
+        "E3  hypercube/butterfly/grid — ratio ~ O(k log n)",
+        ["family", "d", "n", "k", "makespan", "ratio", "ratio/(k*log n)"],
+        rows,
+    )

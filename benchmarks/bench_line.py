@@ -1,0 +1,67 @@
+"""E5 — Theorem 4 on the line: the bucket conversion of the O(1)-approx
+line batch scheduler is O(log^3 n)-competitive; competitiveness does not
+depend on k (the paper's headline for the line topology).
+
+Shape check: ratio / log^3(n) decreasing-or-flat in n; ratio roughly flat
+across k.
+"""
+
+import pytest
+
+from _util import emit, log2, once
+from repro.analysis import run_experiment
+from repro.core import BucketScheduler, GreedyScheduler
+from repro.network import topologies
+from repro.offline import LineBatchScheduler
+from repro.workloads import OnlineWorkload
+
+
+def run_line(n, k, seed=0):
+    g = topologies.line(n)
+    wl = OnlineWorkload.bernoulli(
+        g, num_objects=max(4, n // 4), k=k, rate=1.5 / n, horizon=3 * n, seed=seed
+    )
+    res = run_experiment(g, BucketScheduler(LineBatchScheduler()), wl)
+    return g, res
+
+
+@pytest.mark.benchmark(group="E5-line")
+def test_e5_line_log3_competitive(benchmark):
+    rows = []
+    for n in (16, 32, 64, 128):
+        for k in (1, 2, 4):
+            g, res = run_line(n, k)
+            r = res.competitive_ratio
+            norm = r / (log2(n) ** 3)
+            rows.append([n, k, res.metrics.num_txns, res.makespan, round(r, 2), round(norm, 3)])
+            assert norm <= 1.0, f"line n={n} k={k}: ratio {r} beyond O(log^3 n)"
+    once(benchmark, lambda: run_line(64, 2, seed=1))
+    emit(
+        "E5  Theorem 4 + line — bucket(line-sweep) ratio ~ O(log^3 n), k-independent",
+        ["n", "k", "txns", "makespan", "ratio", "ratio/log^3(n)"],
+        rows,
+    )
+
+
+@pytest.mark.benchmark(group="E5-line")
+def test_e5_line_bucket_vs_greedy(benchmark):
+    """Contrast: greedy has no guarantee on large-diameter graphs; the
+    bucket schedule keeps the worst-case ratio in check as n grows."""
+    rows = []
+    for n in (32, 64, 128):
+        g = topologies.line(n)
+        mk = lambda: OnlineWorkload.bernoulli(
+            g, num_objects=max(4, n // 4), k=2, rate=1.5 / n, horizon=3 * n, seed=7
+        )
+        bucket = run_experiment(g, BucketScheduler(LineBatchScheduler()), mk())
+        greedy = run_experiment(g, GreedyScheduler(), mk())
+        rows.append(
+            [n, round(bucket.competitive_ratio, 2), round(greedy.competitive_ratio, 2),
+             bucket.makespan, greedy.makespan]
+        )
+    once(benchmark, lambda: run_line(64, 2, seed=8))
+    emit(
+        "E5b line — bucket vs greedy worst-case ratio",
+        ["n", "bucket-ratio", "greedy-ratio", "bucket-makespan", "greedy-makespan"],
+        rows,
+    )

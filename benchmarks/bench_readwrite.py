@@ -1,0 +1,88 @@
+"""E14 — Read/write extension: read sharing buys throughput.
+
+The base model treats every access as exclusive (the master object visits
+every transaction).  With read-only accesses served by copies, read-read
+pairs stop conflicting and master travel collapses.  Sweep the read
+fraction and report latency / travel / makespan; the expected shape is
+monotone improvement with the read fraction, approaching the
+communication cost of pure fan-out copies at read_fraction -> 1.
+"""
+
+import pytest
+
+from _util import emit, once
+from repro.analysis import run_experiment
+from repro.core import BucketScheduler, GreedyScheduler
+from repro.network import topologies
+from repro.offline import ColoringBatchScheduler
+from repro.workloads import OnlineWorkload, ZipfChooser
+
+
+def run_rw(graph, read_fraction, seed=0):
+    wl = OnlineWorkload.bernoulli(
+        graph,
+        num_objects=8,
+        k=3,
+        rate=1.2 / graph.num_nodes,
+        horizon=60,
+        seed=seed,
+        chooser=ZipfChooser(8, 0.9),
+        read_fraction=read_fraction,
+    )
+    return run_experiment(graph, GreedyScheduler(), wl)
+
+
+@pytest.mark.benchmark(group="E14-readwrite")
+def test_e14_read_fraction_sweep(benchmark):
+    rows = []
+    for name, graph in [("grid-5x5", topologies.grid([5, 5])), ("clique-16", topologies.clique(16))]:
+        travel_at = {}
+        for rf in (0.0, 0.25, 0.5, 0.75, 0.95):
+            res = run_rw(graph, rf)
+            travel_at[rf] = res.trace.total_object_travel()
+            rows.append(
+                [
+                    name,
+                    rf,
+                    res.metrics.num_txns,
+                    res.makespan,
+                    round(res.metrics.mean_latency, 1),
+                    res.trace.total_object_travel(),
+                    res.trace.total_copy_travel(),
+                    len(res.trace.copy_legs),
+                ]
+            )
+        # master travel must fall monotonically-ish with the read share
+        assert travel_at[0.95] < travel_at[0.0]
+    once(benchmark, lambda: run_rw(topologies.grid([5, 5]), 0.5, seed=1))
+    emit(
+        "E14 read/write extension — read share vs master travel & latency",
+        ["topology", "read-frac", "txns", "makespan", "mean-lat",
+         "master-travel", "copy-travel", "copies"],
+        rows,
+    )
+
+
+@pytest.mark.benchmark(group="E14-readwrite")
+def test_e14_bucket_with_reads(benchmark):
+    rows = []
+    g = topologies.line(32)
+    for rf in (0.0, 0.5, 0.9):
+        wl = OnlineWorkload.bernoulli(
+            g, num_objects=8, k=2, rate=0.04, horizon=80, seed=3, read_fraction=rf
+        )
+        res = run_experiment(g, BucketScheduler(ColoringBatchScheduler()), wl)
+        rows.append(
+            [rf, res.metrics.num_txns, res.makespan, round(res.metrics.mean_latency, 1),
+             round(res.competitive_ratio, 2)]
+        )
+    once(benchmark, lambda: run_experiment(
+        g,
+        BucketScheduler(ColoringBatchScheduler()),
+        OnlineWorkload.bernoulli(g, num_objects=8, k=2, rate=0.04, horizon=80, seed=4, read_fraction=0.5),
+    ))
+    emit(
+        "E14b bucket scheduler under read sharing (line-32)",
+        ["read-frac", "txns", "makespan", "mean-lat", "ratio"],
+        rows,
+    )

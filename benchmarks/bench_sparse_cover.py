@@ -1,0 +1,81 @@
+"""E12 — Sparse cover quality (the Section V substrate).
+
+Per topology: number of layers H1, max sub-layers per layer H2 (must be
+O(log n)), and per layer the worst cluster weak diameter against the
+f(l) = O(2**l log n) guarantee.  `verify()` re-checks every structural
+property (partitions, padding, leader membership).
+"""
+
+import math
+
+import pytest
+
+from _util import emit, once
+from repro.cover import build_sparse_cover
+from repro.network import topologies
+
+
+GRAPHS = [
+    lambda: topologies.line(48),
+    lambda: topologies.grid([6, 6]),
+    lambda: topologies.clique(24),
+    lambda: topologies.cluster_graph(4, 4, gamma=8),
+    lambda: topologies.star_graph(5, 5),
+    lambda: topologies.hypercube(5),
+]
+
+
+@pytest.mark.benchmark(group="E12-sparse-cover")
+def test_e12_cover_quality(benchmark):
+    rows = []
+    for make in GRAPHS:
+        g = make()
+        cover = build_sparse_cover(g, seed=0)
+        assert cover.verify() == []
+        logn = max(1, math.ceil(math.log2(g.num_nodes + 1)))
+        worst_norm = 0.0
+        for layer in range(1, cover.num_layers):
+            bound = 2 * (1 << layer) * logn  # weak diameter <= 2*radius
+            worst = 0
+            for part in cover.layers[layer]:
+                for c in part:
+                    if len(c.nodes) > 1:
+                        worst = max(worst, cover.cluster_diameter(c))
+            assert worst <= bound, f"{g.name} layer {layer}: diameter {worst} > {bound}"
+            worst_norm = max(worst_norm, worst / bound)
+        rows.append(
+            [g.name, g.num_nodes, g.diameter(), cover.num_layers,
+             cover.max_sublayers, round(worst_norm, 2)]
+        )
+        assert cover.max_sublayers <= 4 * logn + 8
+    once(benchmark, lambda: build_sparse_cover(GRAPHS[0](), seed=1))
+    emit(
+        "E12 sparse cover — layers, sub-layers (H2=O(log n)), diameter vs f(l)",
+        ["graph", "n", "D", "H1", "H2", "worst diam/f(l)"],
+        rows,
+    )
+
+
+@pytest.mark.benchmark(group="E12-sparse-cover")
+def test_e12b_construction_comparison(benchmark):
+    """MPX exponential shifts (weak diameter) vs greedy ball carving
+    (strong diameter): sub-layer counts and worst diameters."""
+    rows = []
+    for make in GRAPHS[:4]:
+        g = make()
+        for name in ("mpx", "greedy"):
+            cover = build_sparse_cover(g, seed=0, construction=name)
+            assert cover.verify() == []
+            worst = 0
+            for layer in range(1, cover.num_layers):
+                for part in cover.layers[layer]:
+                    for c in part:
+                        if len(c.nodes) > 1:
+                            worst = max(worst, cover.cluster_diameter(c))
+            rows.append([g.name, name, cover.num_layers, cover.max_sublayers, worst])
+    once(benchmark, lambda: build_sparse_cover(GRAPHS[1](), seed=2, construction="greedy"))
+    emit(
+        "E12b cover construction — MPX (weak diam) vs greedy carving (strong diam)",
+        ["graph", "construction", "H1", "H2", "worst-diameter"],
+        rows,
+    )

@@ -1,0 +1,44 @@
+"""E7 — Theorem 4 on the star graph: bucket conversion of the ray-banded
+batch scheduler is O(log beta * min(k*beta, ...) * log^3 n) competitive.
+"""
+
+import pytest
+
+from _util import emit, log2, once
+from repro.analysis import run_experiment
+from repro.core import BucketScheduler
+from repro.network import topologies
+from repro.offline import StarBatchScheduler
+from repro.workloads import OnlineWorkload
+
+
+def run_star(alpha, beta, k, seed=0):
+    g = topologies.star_graph(alpha, beta)
+    n = g.num_nodes
+    wl = OnlineWorkload.bernoulli(
+        g, num_objects=max(4, n // 3), k=k, rate=1.0 / n, horizon=6 * beta, seed=seed
+    )
+    res = run_experiment(g, BucketScheduler(StarBatchScheduler()), wl)
+    return g, res
+
+
+@pytest.mark.benchmark(group="E7-star")
+def test_e7_star_bound_shape(benchmark):
+    rows = []
+    for alpha, beta in [(4, 4), (4, 8), (8, 4), (8, 8)]:
+        for k in (1, 2, 4):
+            g, res = run_star(alpha, beta, k)
+            n = g.num_nodes
+            r = res.competitive_ratio
+            bound = log2(beta) * min(k * beta, n) * log2(n) ** 3
+            rows.append(
+                [f"a={alpha},b={beta}", n, k, res.metrics.num_txns,
+                 res.makespan, round(r, 2), round(r / bound, 4)]
+            )
+            assert r <= bound, f"star {alpha}x{beta} k={k}: {r} > {bound}"
+    once(benchmark, lambda: run_star(4, 8, 2, seed=1))
+    emit(
+        "E7  Theorem 4 + star — ratio within O(log b * min(k*b,.) * log^3 n)",
+        ["star", "n", "k", "txns", "makespan", "ratio", "ratio/bound"],
+        rows,
+    )

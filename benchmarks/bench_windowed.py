@@ -1,0 +1,91 @@
+"""E25 — Why exponential buckets: Algorithm 2 vs fixed-window rebatching.
+
+Fixed-window batching is the practitioner's default; the paper's bucket
+levels are its principled replacement.  Two measurements:
+
+1. latency of *lightly-conflicting* transactions — windows make everyone
+   wait ~window/2; buckets let low-level transactions go immediately;
+2. steady-state throughput under closed-loop load — comparable, so the
+   bucket design's latency win is not bought with throughput.
+"""
+
+import pytest
+
+from _util import emit, once
+from repro.analysis import run_experiment, throughput
+from repro.core import BucketScheduler, WindowedBatchScheduler
+from repro.network import topologies
+from repro.offline import ColoringBatchScheduler, LineBatchScheduler
+from repro.workloads import ClosedLoopWorkload, OnlineWorkload
+
+
+@pytest.mark.benchmark(group="E25-windowed")
+def test_e25_bucket_vs_windows(benchmark):
+    rows = []
+    for name, g, batch_cls in [
+        ("line-32", topologies.line(32), LineBatchScheduler),
+        ("grid-5x5", topologies.grid([5, 5]), ColoringBatchScheduler),
+    ]:
+        mk = lambda: OnlineWorkload.bernoulli(
+            g, num_objects=10, k=2, rate=1.0 / g.num_nodes, horizon=80, seed=6
+        )
+        bucket = run_experiment(g, BucketScheduler(batch_cls()), mk())
+        for window in (4, 16, 64):
+            windowed = run_experiment(
+                g, WindowedBatchScheduler(batch_cls(), window=window), mk()
+            )
+            rows.append(
+                [
+                    name,
+                    f"window-{window}",
+                    windowed.makespan,
+                    round(windowed.metrics.mean_latency, 1),
+                    round(windowed.metrics.p99_latency, 1),
+                ]
+            )
+        rows.append(
+            [
+                name,
+                "bucket (Alg.2)",
+                bucket.makespan,
+                round(bucket.metrics.mean_latency, 1),
+                round(bucket.metrics.p99_latency, 1),
+            ]
+        )
+    once(benchmark, lambda: run_experiment(
+        topologies.line(32),
+        WindowedBatchScheduler(LineBatchScheduler(), window=16),
+        OnlineWorkload.bernoulli(topologies.line(32), 10, 2, rate=1 / 32, horizon=80, seed=7),
+    ))
+    emit(
+        "E25 Algorithm 2 vs fixed-window rebatching",
+        ["topology", "scheduler", "makespan", "mean-lat", "p99-lat"],
+        rows,
+    )
+
+
+@pytest.mark.benchmark(group="E25-windowed")
+def test_e25_throughput_not_sacrificed(benchmark):
+    g = topologies.clique(12)
+    rows = []
+    tps = {}
+    for name, sched_fn in [
+        ("bucket", lambda: BucketScheduler(ColoringBatchScheduler())),
+        ("window-16", lambda: WindowedBatchScheduler(ColoringBatchScheduler(), window=16)),
+    ]:
+        wl = ClosedLoopWorkload(g, num_objects=8, k=2, rounds=6, seed=8)
+        res = run_experiment(g, sched_fn(), wl)
+        tps[name] = throughput(res.trace)
+        rows.append([name, res.metrics.num_txns, res.makespan,
+                     round(tps[name], 3), round(res.metrics.mean_latency, 1)])
+    # the bucket design must not cost steady-state throughput
+    assert tps["bucket"] >= 0.8 * tps["window-16"]
+    once(benchmark, lambda: run_experiment(
+        g, BucketScheduler(ColoringBatchScheduler()),
+        ClosedLoopWorkload(g, num_objects=8, k=2, rounds=4, seed=9),
+    ))
+    emit(
+        "E25b closed-loop throughput — bucket vs windows (clique-12)",
+        ["scheduler", "txns", "makespan", "throughput", "mean-lat"],
+        rows,
+    )

@@ -1,0 +1,12 @@
+"""Benchmark session setup: start each session with a fresh results file."""
+
+import os
+
+import pytest
+
+from _util import RESULTS_PATH
+
+
+def pytest_sessionstart(session):
+    if os.path.exists(RESULTS_PATH):
+        os.remove(RESULTS_PATH)

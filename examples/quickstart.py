@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Quickstart: schedule transactions on a clique with the online greedy
+scheduler (Algorithm 1 of the paper).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import GreedyScheduler, Simulator, certify_trace, topologies
+from repro.analysis import competitive_ratio, summarize
+from repro.workloads import BatchWorkload
+
+
+def main() -> None:
+    # A 16-node complete graph: every pair of nodes one hop apart.
+    graph = topologies.clique(16)
+
+    # One transaction per node, each requesting 2 of 8 shared objects
+    # placed uniformly at random (the batch problem of Busch et al.).
+    workload = BatchWorkload.uniform(graph, num_objects=8, k=2, seed=42)
+
+    # Algorithm 1: each arriving transaction is immediately assigned an
+    # execution time by greedy coloring of the extended dependency graph.
+    sim = Simulator(graph, GreedyScheduler(uniform_beta=1), workload)
+    trace = sim.run()
+
+    # The engine already enforces feasibility; certify independently too.
+    certify_trace(graph, trace)
+
+    metrics = summarize(trace)
+    ratio, _ = competitive_ratio(graph, trace)
+    print(f"graph          : {graph.name}")
+    print(f"transactions   : {metrics.num_txns}")
+    print(f"makespan       : {metrics.makespan} steps")
+    print(f"max latency    : {metrics.max_latency} steps")
+    print(f"mean latency   : {metrics.mean_latency:.1f} steps")
+    print(f"object travel  : {metrics.total_object_travel} step-units")
+    print(f"ratio vs LB    : {ratio:.2f}  (Theorem 3 promises O(k) = O(2))")
+
+    print("\nexecution order:")
+    for rec in trace.executions_in_order():
+        objs = ",".join(f"o{o}" for o in rec.objects)
+        print(f"  t={rec.exec_time:>3}  txn {rec.tid:>2} @ node {rec.home:>2}  [{objs}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim: enables legacy editable installs (`pip install -e .`) in
+offline environments whose setuptools lacks the `wheel` package required
+by PEP 660 editable builds.  All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""repro — Dynamic Scheduling in Distributed Transactional Memory.
+
+A production-quality reproduction of Busch, Herlihy, Popovic & Sharma,
+*Dynamic Scheduling in Distributed Transactional Memory* (IPDPS 2020):
+online schedulers for the data-flow DTM model (greedy coloring, bucket
+conversion of offline schedulers, and a decentralised bucket scheduler on a
+sparse-cover hierarchy), together with the synchronous simulator, topology
+library, offline batch schedulers, baselines, workload generators and
+lower-bound machinery needed to evaluate them.
+
+Quickstart::
+
+    from repro import GreedyScheduler, Simulator, topologies, workloads
+
+    g = topologies.clique(16)
+    wl = workloads.BatchWorkload.uniform(g, num_objects=8, k=2, seed=0)
+    sim = Simulator(g, GreedyScheduler(), wl)
+    trace = sim.run()
+    print(trace.makespan(), trace.max_latency())
+"""
+
+from repro._types import DeparturePolicy, NodeId, ObjectId, Time, TxnId, TxnState
+from repro.core import (
+    BucketScheduler,
+    CoordinatedGreedyScheduler,
+    DistributedBucketScheduler,
+    GreedyScheduler,
+    OnlineScheduler,
+)
+from repro.network import Graph, topologies
+from repro.sim import ExecutionTrace, SharedObject, Simulator, Transaction, certify_trace
+from repro.sim.transactions import TxnSpec
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Graph",
+    "topologies",
+    "Simulator",
+    "Transaction",
+    "TxnSpec",
+    "SharedObject",
+    "ExecutionTrace",
+    "certify_trace",
+    "OnlineScheduler",
+    "GreedyScheduler",
+    "CoordinatedGreedyScheduler",
+    "BucketScheduler",
+    "DistributedBucketScheduler",
+    "NodeId",
+    "ObjectId",
+    "TxnId",
+    "Time",
+    "TxnState",
+    "DeparturePolicy",
+    "__version__",
+]

@@ -1,0 +1,62 @@
+"""Shared type aliases and small enums used across the library.
+
+The paper's model (Section II) is discrete and synchronous, so time is an
+``int``.  Nodes, objects and transactions are identified by small integers;
+aliases make signatures self-documenting without runtime cost.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+#: Identifier of a node of the communication graph ``G``.
+NodeId = int
+
+#: Identifier of a shared, mobile object.
+ObjectId = int
+
+#: Identifier of a transaction.
+TxnId = int
+
+#: A discrete, synchronous time step (Section II of the paper).
+Time = int
+
+#: Edge weights are positive integers in the paper; we also accept floats for
+#: generality (e.g. random geometric graphs), everything downstream works on
+#: the induced metric.
+Weight = Union[int, float]
+
+
+class TxnState(enum.Enum):
+    """Lifecycle of a transaction in the simulator.
+
+    ``PENDING``    generated but not yet assigned an execution time
+                   (possible under the bucket schedulers which defer
+                   scheduling until a bucket activates).
+    ``SCHEDULED``  assigned a definitive execution time, waiting for its
+                   objects to be assembled.
+    ``EXECUTED``   committed; per the model this happens instantly at the
+                   scheduled step once all objects are local.
+    """
+
+    PENDING = "pending"
+    SCHEDULED = "scheduled"
+    EXECUTED = "executed"
+
+
+class DeparturePolicy(enum.Enum):
+    """When a released object starts moving to its next requester.
+
+    ``EAGER`` follows the paper: "when the transaction commits, it releases
+    its objects, possibly forwarding them to other waiting transactions" —
+    the object departs as soon as its next requester is known.
+
+    ``LAZY`` departs as late as possible while still arriving by the
+    requester's scheduled execution time.  Used by the ablation experiment
+    E11 to quantify how much eager forwarding inflates the in-transit
+    penalty paid by later arrivals.
+    """
+
+    EAGER = "eager"
+    LAZY = "lazy"

@@ -1,0 +1,90 @@
+"""Multi-seed replication and aggregation.
+
+One seeded run is an anecdote; the experiment tables report distributions.
+:func:`replicate` runs a seeded experiment factory across seeds and
+collects any numeric metrics; :class:`Aggregate` summarizes them with
+mean, min/max, and a seeded-bootstrap confidence interval (no scipy
+dependence on normality assumptions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Summary of one metric across replications."""
+
+    name: str
+    values: Tuple[float, ...]
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values)) if self.values else 0.0
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.values, ddof=1)) if len(self.values) > 1 else 0.0
+
+    @property
+    def min(self) -> float:
+        return float(np.min(self.values)) if self.values else 0.0
+
+    @property
+    def max(self) -> float:
+        return float(np.max(self.values)) if self.values else 0.0
+
+    def ci(self, level: float = 0.95, resamples: int = 2000, seed: int = 0) -> Tuple[float, float]:
+        """Seeded-bootstrap percentile confidence interval for the mean."""
+        if not self.values:
+            return (0.0, 0.0)
+        if len(self.values) == 1:
+            v = self.values[0]
+            return (v, v)
+        rng = np.random.default_rng(seed)
+        arr = np.asarray(self.values)
+        idx = rng.integers(0, len(arr), size=(resamples, len(arr)))
+        means = arr[idx].mean(axis=1)
+        lo = float(np.percentile(means, 100 * (1 - level) / 2))
+        hi = float(np.percentile(means, 100 * (1 + level) / 2))
+        return (lo, hi)
+
+    def summary_row(self) -> List[object]:
+        lo, hi = self.ci()
+        return [self.name, self.n, round(self.mean, 2), round(self.std, 2),
+                round(self.min, 2), round(self.max, 2), f"[{lo:.2f},{hi:.2f}]"]
+
+
+def replicate(
+    experiment: Callable[[int], Mapping[str, float]],
+    seeds: Sequence[int],
+) -> Dict[str, Aggregate]:
+    """Run ``experiment(seed)`` for each seed; aggregate each metric key.
+
+    The experiment returns a flat ``{metric: value}`` mapping; all runs
+    must return the same keys.
+    """
+    collected: Dict[str, List[float]] = {}
+    keys = None
+    for seed in seeds:
+        out = experiment(seed)
+        if keys is None:
+            keys = set(out)
+            for k in keys:
+                collected[k] = []
+        elif set(out) != keys:
+            raise ValueError(
+                f"experiment returned inconsistent metric keys for seed {seed}: "
+                f"{sorted(set(out) ^ keys)}"
+            )
+        for k, v in out.items():
+            collected[k].append(float(v))
+    return {k: Aggregate(k, tuple(v)) for k, v in collected.items()}

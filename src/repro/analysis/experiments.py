@@ -1,0 +1,77 @@
+"""Reusable experiment runner.
+
+One call = build a simulator, run it to quiescence, certify the trace
+independently, and compute metrics/ratios.  Every benchmark and example
+funnels through :func:`run_experiment`, so every number in EXPERIMENTS.md
+comes from a *certified feasible* schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro._types import DeparturePolicy
+from repro.analysis.metrics import RunMetrics, summarize
+from repro.analysis.ratios import RatioPoint, competitive_ratio, makespan_ratio
+from repro.network.graph import Graph
+from repro.sim.engine import Simulator
+from repro.sim.trace import ExecutionTrace
+from repro.sim.validate import certify_trace
+
+
+@dataclass
+class RunResult:
+    """Everything a bench needs to print one table row."""
+
+    trace: ExecutionTrace
+    metrics: RunMetrics
+    competitive_ratio: float
+    ratio_points: List[RatioPoint]
+    makespan_ratio: Optional[float]
+
+    @property
+    def makespan(self) -> int:
+        return self.metrics.makespan
+
+    @property
+    def max_latency(self) -> int:
+        return self.metrics.max_latency
+
+
+def run_experiment(
+    graph: Graph,
+    scheduler,
+    workload,
+    *,
+    object_speed_den: int = 1,
+    departure_policy: DeparturePolicy = DeparturePolicy.EAGER,
+    certify: bool = True,
+    compute_ratios: bool = True,
+    max_steps: Optional[int] = None,
+) -> RunResult:
+    """Run one scheduler/workload pair to quiescence and analyse it."""
+    sim = Simulator(
+        graph,
+        scheduler,
+        workload,
+        object_speed_den=object_speed_den,
+        departure_policy=departure_policy,
+    )
+    trace = sim.run(max_steps=max_steps)
+    if certify:
+        certify_trace(graph, trace)
+    ratio, points = (0.0, [])
+    mk_ratio: Optional[float] = None
+    if compute_ratios and trace.txns:
+        ratio, points = competitive_ratio(graph, trace)
+        gen_times = {r.gen_time for r in trace.txns.values()}
+        if len(gen_times) == 1:
+            mk_ratio = makespan_ratio(graph, trace)
+    return RunResult(
+        trace=trace,
+        metrics=summarize(trace),
+        competitive_ratio=ratio,
+        ratio_points=points,
+        makespan_ratio=mk_ratio,
+    )

@@ -1,0 +1,75 @@
+"""Summary metrics of a run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro._types import Time
+from repro.sim.trace import ExecutionTrace
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Aggregate statistics the experiment tables report."""
+
+    num_txns: int
+    makespan: Time
+    max_latency: Time
+    mean_latency: float
+    p50_latency: float
+    p99_latency: float
+    total_object_travel: Time
+    messages_sent: int
+    end_time: Time
+
+    def row(self) -> List[object]:
+        return [
+            self.num_txns,
+            self.makespan,
+            self.max_latency,
+            round(self.mean_latency, 1),
+            round(self.p99_latency, 1),
+            self.total_object_travel,
+            self.messages_sent,
+        ]
+
+
+def jain_fairness(values) -> float:
+    """Jain's fairness index of a collection of non-negative values:
+    ``(sum x)^2 / (n * sum x^2)`` — 1.0 is perfectly fair, ``1/n`` is a
+    single-winner allocation.  Used to compare how evenly schedulers
+    spread latency across nodes (E9's fairness view)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return 1.0
+    denom = arr.size * float((arr**2).sum())
+    if denom == 0:
+        return 1.0
+    return float(arr.sum()) ** 2 / denom
+
+
+def latency_fairness(trace: ExecutionTrace) -> float:
+    """Jain index over per-node mean latencies."""
+    by_node = {}
+    for rec in trace.txns.values():
+        by_node.setdefault(rec.home, []).append(rec.latency)
+    return jain_fairness([sum(v) / len(v) for v in by_node.values()])
+
+
+def summarize(trace: ExecutionTrace) -> RunMetrics:
+    """Collapse a trace into :class:`RunMetrics`."""
+    lats = np.array(trace.latencies(), dtype=float) if trace.txns else np.zeros(0)
+    return RunMetrics(
+        num_txns=trace.num_txns,
+        makespan=trace.makespan(),
+        max_latency=int(lats.max()) if lats.size else 0,
+        mean_latency=float(lats.mean()) if lats.size else 0.0,
+        p50_latency=float(np.percentile(lats, 50)) if lats.size else 0.0,
+        p99_latency=float(np.percentile(lats, 99)) if lats.size else 0.0,
+        total_object_travel=trace.total_object_travel(),
+        messages_sent=trace.messages_sent,
+        end_time=trace.end_time,
+    )

@@ -1,0 +1,76 @@
+"""Initial object placement optimization.
+
+The paper takes object placements as given; operators get to choose them.
+For a known (or forecast) workload, placing each object at a *weighted
+1-median* of its accessors' homes minimizes the total first-approach
+distance and, empirically, most of the schedule's travel (bench E22).
+
+This is deliberately per-object (no joint optimization): objects interact
+only through transaction assembly times, and the per-object median is
+already within 2x of the optimal single-object placement by the classic
+median argument — good enough to quantify the knob.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro._types import NodeId, ObjectId
+from repro.network.graph import Graph
+from repro.sim.transactions import TxnSpec
+from repro.workloads.arrivals import ManualWorkload
+
+
+def weighted_one_median(
+    graph: Graph, homes: Sequence[NodeId], weights: Optional[Sequence[float]] = None
+) -> NodeId:
+    """Node minimizing the (weighted) sum of distances to ``homes``."""
+    if not homes:
+        return 0
+    if weights is None:
+        weights = [1.0] * len(homes)
+    best, best_cost = 0, float("inf")
+    rows = [graph.distances_from(h) for h in homes]
+    for v in graph.nodes():
+        cost = sum(w * row[v] for w, row in zip(weights, rows))
+        if cost < best_cost:
+            best, best_cost = v, cost
+    return best
+
+
+def optimize_placement(
+    graph: Graph,
+    specs: Sequence[TxnSpec],
+    *,
+    discount: float = 0.0,
+) -> Dict[ObjectId, NodeId]:
+    """Per-object weighted 1-median placement for a known spec list.
+
+    ``discount`` in [0, 1) geometrically down-weights later accesses
+    (early requesters matter more for the first approach; later ones are
+    reached from wherever the object already is).  ``discount=0`` treats
+    all accesses equally.
+    """
+    accessors: Dict[ObjectId, List[NodeId]] = {}
+    for spec in sorted(specs, key=lambda s: s.gen_time):
+        for oid in (*spec.objects, *spec.reads):
+            accessors.setdefault(oid, []).append(spec.home)
+    placement: Dict[ObjectId, NodeId] = {}
+    for oid, homes in accessors.items():
+        if discount > 0:
+            weights = [(1.0 - discount) ** i for i in range(len(homes))]
+        else:
+            weights = None
+        placement[oid] = weighted_one_median(graph, homes, weights)
+    return placement
+
+
+def replace_placement(workload: ManualWorkload, placement: Mapping[ObjectId, NodeId]) -> ManualWorkload:
+    """A copy of ``workload`` with a new initial placement.
+
+    Objects absent from ``placement`` keep their original node (the
+    optimizer only sees accessed objects).
+    """
+    merged = dict(workload.initial_objects())
+    merged.update(placement)
+    return ManualWorkload(merged, workload.arrivals())

@@ -1,0 +1,113 @@
+"""Markdown report generation for runs and comparisons.
+
+``python -m repro`` prints tables; this module produces durable markdown
+artifacts (suitable for EXPERIMENTS.md-style records or CI artifacts):
+a single-run report with metrics, ratio samples, hotspots, and the ASCII
+gantt; and a comparison report across schedulers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.experiments import RunResult
+from repro.analysis.gantt import render_gantt
+from repro.analysis.tables import render_table
+from repro.analysis.timeline import hottest_nodes, peak_concurrency, waiting_time_breakdown
+from repro.network.graph import Graph
+
+
+def _metrics_rows(res: RunResult) -> List[List[object]]:
+    m = res.metrics
+    return [
+        ["transactions", m.num_txns],
+        ["makespan", m.makespan],
+        ["max latency", m.max_latency],
+        ["mean latency", round(m.mean_latency, 2)],
+        ["p50 latency", round(m.p50_latency, 2)],
+        ["p99 latency", round(m.p99_latency, 2)],
+        ["object travel", m.total_object_travel],
+        ["control messages", m.messages_sent],
+        ["competitive ratio (vs LB)", round(res.competitive_ratio, 3)],
+    ]
+
+
+def run_report(
+    graph: Graph,
+    res: RunResult,
+    *,
+    title: str = "Run report",
+    include_gantt: bool = True,
+    gantt_width: int = 72,
+) -> str:
+    """Markdown report for one run."""
+    lines: List[str] = [f"# {title}", ""]
+    lines.append(f"Graph: `{graph.name}` (n={graph.num_nodes}, D={graph.diameter()})")
+    lines.append("")
+    lines.append("## Metrics")
+    lines.append("")
+    lines.append("```")
+    lines.append(render_table(["metric", "value"], _metrics_rows(res)))
+    lines.append("```")
+    parts = waiting_time_breakdown(res.trace)
+    lines.append("")
+    lines.append(
+        f"Mean latency splits into {parts['scheduling_delay']:.1f} scheduling delay "
+        f"+ {parts['execution_wait']:.1f} execution wait; peak concurrency "
+        f"{peak_concurrency(res.trace)}."
+    )
+    hot = hottest_nodes(res.trace, top=5)
+    if hot:
+        lines.append("")
+        lines.append("## Hottest nodes")
+        lines.append("")
+        lines.append("```")
+        lines.append(render_table(
+            ["node", "txns", "mean-lat", "out", "in"],
+            [[s.node, s.txns_executed, round(s.mean_latency, 1),
+              s.objects_departed, s.objects_arrived] for s in hot],
+        ))
+        lines.append("```")
+    if res.ratio_points:
+        worst = max(res.ratio_points, key=lambda p: p.ratio)
+        lines.append("")
+        lines.append(
+            f"Worst competitive-ratio sample: t={worst.time}, {worst.live} live, "
+            f"duration {worst.worst_duration} vs lower bound {worst.lower_bound} "
+            f"(ratio {worst.ratio:.2f})."
+        )
+    if include_gantt and res.trace.txns:
+        lines.append("")
+        lines.append("## Schedule")
+        lines.append("")
+        lines.append("```")
+        lines.append(render_gantt(res.trace, width=gantt_width))
+        lines.append("```")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def comparison_report(
+    graph: Graph,
+    results: Sequence[Tuple[str, RunResult]],
+    *,
+    title: str = "Scheduler comparison",
+) -> str:
+    """Markdown report comparing named results on the same workload."""
+    lines = [f"# {title}", "", f"Graph: `{graph.name}`", "", "```"]
+    rows = []
+    for name, res in results:
+        m = res.metrics
+        rows.append([
+            name, m.num_txns, m.makespan, round(m.mean_latency, 1),
+            round(m.p99_latency, 1), round(res.competitive_ratio, 2), m.messages_sent,
+        ])
+    lines.append(render_table(
+        ["scheduler", "txns", "makespan", "mean-lat", "p99-lat", "ratio", "msgs"], rows
+    ))
+    lines.append("```")
+    best = min(results, key=lambda nr: nr[1].metrics.makespan)
+    lines.append("")
+    lines.append(f"Best makespan: **{best[0]}** ({best[1].metrics.makespan}).")
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Steady-state throughput and response-time analysis.
+
+Closed-loop workloads reach a steady state after a warmup; comparing
+schedulers by raw makespan then conflates ramp-up with sustained
+behaviour.  These helpers trim warmup and compute the throughput and
+response-time series that long-running-system evaluations report
+(bench E25).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._types import Time
+from repro.sim.trace import ExecutionTrace
+
+
+def throughput(trace: ExecutionTrace, *, warmup_fraction: float = 0.2) -> float:
+    """Committed transactions per step after the warmup prefix."""
+    if not trace.txns:
+        return 0.0
+    horizon = max(trace.makespan(), 1)
+    cutoff = int(horizon * warmup_fraction)
+    committed = [r for r in trace.txns.values() if r.exec_time > cutoff]
+    span = horizon - cutoff
+    return len(committed) / span if span > 0 else 0.0
+
+
+def sliding_window_throughput(
+    trace: ExecutionTrace, window: Time
+) -> List[Tuple[Time, float]]:
+    """``(window_end, commits/step)`` for consecutive windows."""
+    if not trace.txns or window <= 0:
+        return []
+    horizon = trace.makespan()
+    execs = sorted(r.exec_time for r in trace.txns.values())
+    out = []
+    start = 0
+    for end in range(window, horizon + window, window):
+        count = sum(1 for t in execs if end - window < t <= end)
+        out.append((min(end, horizon), count / window))
+        start = end
+    return out
+
+
+def response_time_series(
+    trace: ExecutionTrace, *, buckets: int = 10
+) -> List[Tuple[Time, float]]:
+    """Mean latency of transactions generated in each time bucket.
+
+    Rising values over time indicate the system is not keeping up with
+    the arrival rate (queueing up), a signal raw means hide.
+    """
+    if not trace.txns:
+        return []
+    recs = sorted(trace.txns.values(), key=lambda r: r.gen_time)
+    last_gen = max(r.gen_time for r in recs)
+    width = max(1, (last_gen + 1) // buckets)
+    out: List[Tuple[Time, float]] = []
+    for b in range(0, last_gen + 1, width):
+        lats = [r.latency for r in recs if b <= r.gen_time < b + width]
+        if lats:
+            out.append((b + width, float(np.mean(lats))))
+    return out
+
+
+def saturation_point(
+    series: Sequence[Tuple[Time, float]], *, factor: float = 2.0
+) -> Optional[Time]:
+    """First time the response series exceeds ``factor`` times its first
+    bucket's value — a crude but robust 'stopped keeping up' marker."""
+    if not series:
+        return None
+    base = max(series[0][1], 1e-9)
+    for t, v in series:
+        if v > factor * base:
+            return t
+    return None

@@ -1,0 +1,113 @@
+"""Timeline analytics over execution traces.
+
+Answers the questions a systems operator asks of a run: how many
+transactions were live over time, how busy was the network with object
+traffic, which nodes did the work, and where the waiting happened.
+All series are step functions sampled at event times (generation,
+execution, leg endpoints), so no resolution is lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro._types import NodeId, Time, TxnId
+from repro.sim.trace import ExecutionTrace
+
+
+def live_count_series(trace: ExecutionTrace) -> List[Tuple[Time, int]]:
+    """``(t, live transactions)`` at every change point."""
+    deltas: Dict[Time, int] = {}
+    for rec in trace.txns.values():
+        deltas[rec.gen_time] = deltas.get(rec.gen_time, 0) + 1
+        deltas[rec.exec_time] = deltas.get(rec.exec_time, 0) - 1
+    series = []
+    level = 0
+    for t in sorted(deltas):
+        level += deltas[t]
+        series.append((t, level))
+    return series
+
+
+def transit_series(trace: ExecutionTrace) -> List[Tuple[Time, int]]:
+    """``(t, objects in transit)`` at every change point (masters only)."""
+    deltas: Dict[Time, int] = {}
+    for leg in trace.legs:
+        deltas[leg.depart_time] = deltas.get(leg.depart_time, 0) + 1
+        deltas[leg.arrive_time] = deltas.get(leg.arrive_time, 0) - 1
+    series = []
+    level = 0
+    for t in sorted(deltas):
+        level += deltas[t]
+        series.append((t, level))
+    return series
+
+
+def peak_concurrency(trace: ExecutionTrace) -> int:
+    """Maximum number of simultaneously live transactions."""
+    return max((lvl for _, lvl in live_count_series(trace)), default=0)
+
+
+@dataclass(frozen=True)
+class NodeStats:
+    """Per-node activity summary."""
+
+    node: NodeId
+    txns_executed: int
+    total_latency: Time
+    objects_departed: int
+    objects_arrived: int
+
+    @property
+    def mean_latency(self) -> float:
+        return self.total_latency / self.txns_executed if self.txns_executed else 0.0
+
+
+def node_utilization(trace: ExecutionTrace) -> Dict[NodeId, NodeStats]:
+    """Work and traffic per node."""
+    executed: Dict[NodeId, int] = {}
+    latency: Dict[NodeId, Time] = {}
+    departed: Dict[NodeId, int] = {}
+    arrived: Dict[NodeId, int] = {}
+    for rec in trace.txns.values():
+        executed[rec.home] = executed.get(rec.home, 0) + 1
+        latency[rec.home] = latency.get(rec.home, 0) + rec.latency
+    for leg in trace.legs:
+        departed[leg.src] = departed.get(leg.src, 0) + 1
+        arrived[leg.dst] = arrived.get(leg.dst, 0) + 1
+    nodes = set(executed) | set(departed) | set(arrived)
+    return {
+        n: NodeStats(
+            node=n,
+            txns_executed=executed.get(n, 0),
+            total_latency=latency.get(n, 0),
+            objects_departed=departed.get(n, 0),
+            objects_arrived=arrived.get(n, 0),
+        )
+        for n in sorted(nodes)
+    }
+
+
+def hottest_nodes(trace: ExecutionTrace, top: int = 5) -> List[NodeStats]:
+    """Nodes ranked by executed transactions (ties by traffic)."""
+    stats = node_utilization(trace).values()
+    ranked = sorted(
+        stats,
+        key=lambda s: (-s.txns_executed, -(s.objects_departed + s.objects_arrived), s.node),
+    )
+    return ranked[:top]
+
+
+def waiting_time_breakdown(trace: ExecutionTrace) -> Dict[str, float]:
+    """Split mean latency into scheduling delay (generation -> schedule)
+    and execution wait (schedule -> commit).
+
+    Greedy schedules instantly (zero scheduling delay); bucket and
+    distributed schedulers accumulate it in buckets and discovery."""
+    if not trace.txns:
+        return {"scheduling_delay": 0.0, "execution_wait": 0.0}
+    n = len(trace.txns)
+    sched = sum(r.schedule_time - r.gen_time for r in trace.txns.values()) / n
+    wait = sum(r.exec_time - r.schedule_time for r in trace.txns.values()) / n
+    return {"scheduling_delay": sched, "execution_wait": wait}

@@ -1,0 +1,7 @@
+"""Baseline schedulers and execution styles (experiments E9, E24)."""
+
+from repro.baselines.fifo import FifoSerialScheduler
+from repro.baselines.optimistic import OptimisticDTMSimulator
+from repro.baselines.tsp import TspTourScheduler
+
+__all__ = ["FifoSerialScheduler", "TspTourScheduler", "OptimisticDTMSimulator"]

@@ -1,0 +1,227 @@
+"""Optimistic DTM baseline: acquire-on-demand with aborts and backoff.
+
+The paper's schedulers are *pessimistic*: execution times are planned so
+no conflict ever materializes.  Classic distributed TM implementations
+(the systems the introduction cites) are *optimistic*: a transaction
+simply requests its objects, holds what it gets, and aborts (releasing
+everything, retrying after randomized backoff) when it appears
+deadlocked.  This module implements that execution style so experiments
+can measure what the paper's scheduling buys (bench E24).
+
+Semantics:
+
+* each object keeps a FCFS queue of requesting transactions; a free
+  object is granted to the queue head and shipped to its node;
+* a transaction commits the step it holds *all* of its objects locally;
+* a transaction that has made no acquisition progress for
+  ``hold_timeout`` steps aborts: held objects are released (and re-granted
+  to the next waiters), and it re-requests everything after a randomized
+  exponential backoff;
+* committed work produces a standard :class:`ExecutionTrace` (object legs
+  are real movements, so the independent certifier accepts it); abort
+  statistics land in ``trace.meta``.
+
+This is deliberately a *separate* miniature engine: the main simulator's
+contract (execution times committed once, in advance) is exactly what an
+optimistic system does not have.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro._types import NodeId, ObjectId, Time, TxnId
+from repro.errors import SchedulingError
+from repro.network.graph import Graph
+from repro.sim.trace import ExecutionTrace, ObjectLeg, TxnRecord
+
+
+class _Txn:
+    __slots__ = ("tid", "home", "objects", "gen_time", "held", "state",
+                 "retry_at", "attempts", "last_progress")
+
+    def __init__(self, tid, home, objects, gen_time):
+        self.tid = tid
+        self.home = home
+        self.objects = frozenset(objects)
+        self.gen_time = gen_time
+        self.held: Set[ObjectId] = set()
+        self.state = "pending"  # pending | waiting | backoff | done
+        self.retry_at: Time = 0
+        self.attempts = 0
+        self.last_progress: Time = gen_time
+
+
+class _Obj:
+    __slots__ = ("oid", "location", "in_transit", "dest", "arrive", "owner", "queue")
+
+    def __init__(self, oid, location):
+        self.oid = oid
+        self.location = location
+        self.in_transit = False
+        self.dest: Optional[NodeId] = None
+        self.arrive: Time = 0
+        self.owner: Optional[TxnId] = None
+        self.queue: List[TxnId] = []
+
+
+class OptimisticDTMSimulator:
+    """Run a workload under optimistic acquire-abort-retry execution."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        workload,
+        *,
+        hold_timeout: Optional[Time] = None,
+        backoff_base: int = 4,
+        backoff_cap: int = 256,
+        seed: int = 0,
+        max_steps: int = 200_000,
+    ) -> None:
+        self.graph = graph
+        self.hold_timeout = hold_timeout if hold_timeout is not None else 4 * max(1, graph.diameter())
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.rng = np.random.default_rng(seed)
+        self.max_steps = max_steps
+        self.trace = ExecutionTrace(graph_name=graph.name, initial_placement={})
+        self.objects: Dict[ObjectId, _Obj] = {}
+        for oid, node in workload.initial_objects().items():
+            self.objects[oid] = _Obj(oid, node)
+            self.trace.initial_placement[oid] = node
+        self.txns: Dict[TxnId, _Txn] = {}
+        self._arrivals: List[Tuple[Time, int, _Txn]] = []
+        for i, spec in enumerate(sorted(workload.arrivals(), key=lambda s: s.gen_time)):
+            if spec.reads:
+                raise SchedulingError("optimistic baseline covers write-only workloads")
+            txn = _Txn(i, spec.home, spec.objects, spec.gen_time)
+            self.txns[i] = txn
+            heapq.heappush(self._arrivals, (spec.gen_time, i, txn))
+        self.aborts = 0
+        self.wasted_travel: Time = 0
+
+    # ------------------------------------------------------------------
+    def run(self) -> ExecutionTrace:
+        t: Time = 0
+        live = 0
+        steps = 0
+        while True:
+            steps += 1
+            if steps > self.max_steps:
+                raise SchedulingError(
+                    f"optimistic execution livelocked ({self.max_steps} steps, "
+                    f"{self.aborts} aborts)"
+                )
+            # arrivals
+            while self._arrivals and self._arrivals[0][0] <= t:
+                _, _, txn = heapq.heappop(self._arrivals)
+                live += 1
+                txn.state = "waiting"
+                txn.last_progress = t
+                self._request_all(txn, t)
+            # deliveries
+            for obj in self.objects.values():
+                if obj.in_transit and obj.arrive <= t:
+                    obj.in_transit = False
+                    obj.location = obj.dest
+                    obj.dest = None
+                    if obj.owner is not None:
+                        holder = self.txns[obj.owner]
+                        holder.held.add(obj.oid)
+                        holder.last_progress = t
+            # commits
+            for txn in self.txns.values():
+                if txn.state == "waiting" and txn.held == txn.objects and txn.objects:
+                    self._commit(txn, t)
+                    live -= 1
+                elif txn.state == "waiting" and not txn.objects:
+                    self._commit(txn, t)
+                    live -= 1
+            # timeouts -> aborts
+            for txn in self.txns.values():
+                if txn.state == "waiting" and t - txn.last_progress > self.hold_timeout:
+                    self._abort(txn, t)
+            # retries
+            for txn in self.txns.values():
+                if txn.state == "backoff" and txn.retry_at <= t:
+                    txn.state = "waiting"
+                    txn.last_progress = t
+                    self._request_all(txn, t)
+            # grants / shipping
+            for obj in self.objects.values():
+                self._maybe_grant(obj, t)
+            if live == 0 and not self._arrivals:
+                break
+            t += 1
+        self.trace.end_time = t
+        self.trace.meta["aborts"] = self.aborts
+        self.trace.meta["wasted_travel"] = self.wasted_travel
+        return self.trace
+
+    # ------------------------------------------------------------------
+    def _request_all(self, txn: _Txn, t: Time) -> None:
+        for oid in sorted(txn.objects):
+            obj = self.objects[oid]
+            if txn.tid not in obj.queue and obj.owner != txn.tid:
+                obj.queue.append(txn.tid)
+
+    def _maybe_grant(self, obj: _Obj, t: Time) -> None:
+        if obj.in_transit:
+            return
+        if obj.owner is None:
+            # grant to the first still-waiting requester
+            while obj.queue:
+                head = obj.queue.pop(0)
+                if self.txns[head].state == "waiting":
+                    obj.owner = head
+                    break
+            if obj.owner is None:
+                return
+        holder = self.txns[obj.owner]
+        if obj.location == holder.home:
+            if obj.oid not in holder.held:
+                holder.held.add(obj.oid)
+                holder.last_progress = t
+            return
+        # ship to the owner
+        dist = self.graph.distance(obj.location, holder.home)
+        obj.in_transit = True
+        obj.dest = holder.home
+        obj.arrive = t + dist
+        self.trace.legs.append(ObjectLeg(obj.oid, t, obj.location, holder.home, obj.arrive))
+
+    def _commit(self, txn: _Txn, t: Time) -> None:
+        txn.state = "done"
+        for oid in txn.objects:
+            obj = self.objects[oid]
+            obj.owner = None  # remains at txn.home until re-granted
+        self.trace.txns[txn.tid] = TxnRecord(
+            tid=txn.tid,
+            home=txn.home,
+            objects=tuple(sorted(txn.objects)),
+            gen_time=txn.gen_time,
+            schedule_time=t,
+            exec_time=t,
+        )
+
+    def _abort(self, txn: _Txn, t: Time) -> None:
+        self.aborts += 1
+        txn.attempts += 1
+        # release held objects and leave every queue
+        for oid in txn.objects:
+            obj = self.objects[oid]
+            if obj.owner == txn.tid:
+                if obj.in_transit:
+                    # the shipment completes, then the object is free
+                    self.wasted_travel += max(0, obj.arrive - t)
+                obj.owner = None
+            if txn.tid in obj.queue:
+                obj.queue.remove(txn.tid)
+        txn.held.clear()
+        txn.state = "backoff"
+        window = min(self.backoff_cap, self.backoff_base ** min(8, txn.attempts))
+        txn.retry_at = t + 1 + int(self.rng.integers(0, max(1, window)))

@@ -1,0 +1,67 @@
+"""TSP-tour baseline (after Zhang et al. [30]).
+
+[30] routes each object along a travelling-salesman tour of its
+requesters, which minimizes *communication cost* but — per the lower bound
+of Busch et al. [4] discussed in the paper's related work — can be far
+from optimal in *execution time*.  We reproduce the approach as an online
+scheduler: each step's new transactions are ordered by their position on a
+nearest-neighbour tour of their hottest object (computed from the object's
+current position) and then colored in that order, so objects do follow
+NN-tours while the schedule remains feasible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro._types import ObjectId, Time
+from repro.core.base import OnlineScheduler
+from repro.core.coloring import min_valid_color
+from repro.core.dependency import constraints_for
+from repro.sim.transactions import Transaction
+
+
+def nearest_neighbor_order(graph, start, txns: Sequence[Transaction]) -> List[Transaction]:
+    """Order ``txns`` by a nearest-neighbour walk of their homes from
+    ``start`` — the classical 2-approximation-flavoured TSP heuristic."""
+    remaining = list(txns)
+    order: List[Transaction] = []
+    pos = start
+    while remaining:
+        nxt = min(remaining, key=lambda x: (graph.distance(pos, x.home), x.tid))
+        order.append(nxt)
+        remaining.remove(nxt)
+        pos = nxt.home
+    return order
+
+
+class TspTourScheduler(OnlineScheduler):
+    """Per-object nearest-neighbour tour scheduler."""
+
+    def on_step(self, t: Time, new_txns: List[Transaction]) -> None:
+        assert self.sim is not None
+        if not new_txns:
+            return
+        # Group the step's transactions by their hottest object (the one
+        # most requested in this step) and order each group along a
+        # nearest-neighbour tour from the object's current position.
+        counts: Dict[ObjectId, int] = {}
+        for txn in new_txns:
+            for oid in txn.all_objects:
+                counts[oid] = counts.get(oid, 0) + 1
+        groups: Dict[ObjectId, List[Transaction]] = {}
+        no_obj: List[Transaction] = []
+        for txn in new_txns:
+            if not txn.all_objects:
+                no_obj.append(txn)
+                continue
+            hot = max(txn.all_objects, key=lambda o: (counts[o], -o))
+            groups.setdefault(hot, []).append(txn)
+        ordered: List[Transaction] = list(no_obj)
+        for oid in sorted(groups):
+            obj = self.sim.objects[oid]
+            start = obj.dest if obj.in_transit else obj.location
+            ordered.extend(nearest_neighbor_order(self.sim.graph, start, groups[oid]))
+        for txn in ordered:
+            cons = constraints_for(self.sim, txn, now=t)
+            self.sim.commit_schedule(txn, t + min_valid_color(cons))

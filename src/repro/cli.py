@@ -1,0 +1,468 @@
+"""Command-line interface: run, compare, and inspect DTM schedules.
+
+Examples::
+
+    python -m repro run --topology grid:5x5 --scheduler greedy \
+        --workload bernoulli --objects 8 --k 2 --rate 0.05 --horizon 60
+
+    python -m repro compare --topology line:32 --workload bernoulli \
+        --objects 8 --k 2 --rate 0.04 --horizon 80
+
+    python -m repro cover --topology cluster:4x4:8 --seed 0
+
+Topology specs: ``clique:N``, ``line:N``, ``ring:N``, ``grid:AxB[xC...]``,
+``torus:AxB``, ``hypercube:D``, ``butterfly:D``, ``cluster:AxB:GAMMA``,
+``star:AxB``, ``tree:BxDEPTH``, ``rgg:N:RADIUS``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Tuple
+
+from repro._types import DeparturePolicy
+from repro.analysis import competitive_ratio, render_table, run_experiment, summarize
+from repro.baselines import FifoSerialScheduler, TspTourScheduler
+from repro.core import (
+    AdaptiveScheduler,
+    BucketScheduler,
+    CoordinatedGreedyScheduler,
+    DistributedBucketScheduler,
+    GreedyScheduler,
+)
+from repro.cover import build_sparse_cover
+from repro.errors import ReproError
+from repro.network import Graph, topologies
+from repro.offline import (
+    ClusterBatchScheduler,
+    ColoringBatchScheduler,
+    LineBatchScheduler,
+    StarBatchScheduler,
+)
+from repro.sim.serialize import save_trace
+from repro.workloads import (
+    BatchWorkload,
+    ClosedLoopWorkload,
+    OnlineWorkload,
+    ZipfChooser,
+    chain_workload,
+    hotspot_workload,
+)
+
+SCHEDULER_NAMES = [
+    "greedy",
+    "greedy-uniform",
+    "greedy-degree",
+    "adaptive",
+    "coordinated",
+    "bucket",
+    "bucket-line",
+    "bucket-cluster",
+    "bucket-star",
+    "windowed",
+    "distributed",
+    "distributed-arrow",
+    "fifo",
+    "tsp",
+]
+
+
+def parse_topology(spec: str) -> Graph:
+    """Build a graph from a compact ``kind:params`` spec (see module doc)."""
+    parts = spec.split(":")
+    kind = parts[0]
+    try:
+        if kind == "clique":
+            return topologies.clique(int(parts[1]))
+        if kind == "line":
+            return topologies.line(int(parts[1]))
+        if kind == "ring":
+            return topologies.ring(int(parts[1]))
+        if kind in ("grid", "torus"):
+            dims = [int(d) for d in parts[1].split("x")]
+            return topologies.grid(dims) if kind == "grid" else topologies.torus(dims)
+        if kind == "hypercube":
+            return topologies.hypercube(int(parts[1]))
+        if kind == "butterfly":
+            return topologies.butterfly(int(parts[1]))
+        if kind == "cluster":
+            alpha, beta = (int(x) for x in parts[1].split("x"))
+            return topologies.cluster_graph(alpha, beta, int(parts[2]))
+        if kind == "star":
+            alpha, beta = (int(x) for x in parts[1].split("x"))
+            return topologies.star_graph(alpha, beta)
+        if kind == "tree":
+            b, d = (int(x) for x in parts[1].split("x"))
+            return topologies.tree(b, d)
+        if kind == "rgg":
+            seed = int(parts[3]) if len(parts) > 3 else 0
+            return topologies.random_geometric(int(parts[1]), float(parts[2]), seed=seed)
+    except (IndexError, ValueError) as exc:
+        raise SystemExit(f"bad topology spec {spec!r}: {exc}")
+    raise SystemExit(f"unknown topology kind {kind!r} (spec {spec!r})")
+
+
+def make_scheduler(name: str, graph: Graph) -> Tuple[object, int]:
+    """Scheduler instance plus the object speed it requires."""
+    if name == "greedy":
+        return GreedyScheduler(), 1
+    if name == "greedy-degree":
+        return GreedyScheduler(order="degree"), 1
+    if name == "greedy-uniform":
+        beta = max(1, int(graph.diameter()))
+        return GreedyScheduler(uniform_beta=beta), 1
+    if name == "adaptive":
+        return AdaptiveScheduler(), 1
+    if name == "coordinated":
+        return CoordinatedGreedyScheduler(), 1
+    if name == "bucket":
+        return BucketScheduler(ColoringBatchScheduler()), 1
+    if name == "bucket-line":
+        return BucketScheduler(LineBatchScheduler()), 1
+    if name == "bucket-cluster":
+        return BucketScheduler(ClusterBatchScheduler()), 1
+    if name == "bucket-star":
+        return BucketScheduler(StarBatchScheduler()), 1
+    if name == "windowed":
+        from repro.core import WindowedBatchScheduler
+
+        return WindowedBatchScheduler(ColoringBatchScheduler(), window=16), 1
+    if name == "distributed":
+        return DistributedBucketScheduler(ColoringBatchScheduler(), seed=0), 2
+    if name == "distributed-arrow":
+        return (
+            DistributedBucketScheduler(ColoringBatchScheduler(), seed=0, discovery="arrow"),
+            2,
+        )
+    if name == "fifo":
+        return FifoSerialScheduler(), 1
+    if name == "tsp":
+        return TspTourScheduler(), 1
+    raise SystemExit(f"unknown scheduler {name!r} (choose from {SCHEDULER_NAMES})")
+
+
+def make_workload(args, graph: Graph):
+    chooser = None
+    if args.zipf > 0:
+        chooser = ZipfChooser(args.objects, args.zipf)
+    if args.workload == "batch":
+        return BatchWorkload.uniform(
+            graph, args.objects, args.k, seed=args.seed, chooser=chooser,
+            read_fraction=args.read_fraction,
+        )
+    if args.workload == "bernoulli":
+        return OnlineWorkload.bernoulli(
+            graph, args.objects, args.k, rate=args.rate, horizon=args.horizon,
+            seed=args.seed, chooser=chooser, read_fraction=args.read_fraction,
+        )
+    if args.workload == "poisson":
+        return OnlineWorkload.poisson_bulk(
+            graph, args.objects, args.k, lam=args.rate, horizon=args.horizon,
+            seed=args.seed, chooser=chooser,
+        )
+    if args.workload == "closed-loop":
+        return ClosedLoopWorkload(
+            graph, args.objects, args.k, rounds=args.rounds, seed=args.seed,
+            chooser=chooser, read_fraction=args.read_fraction,
+        )
+    if args.workload == "hotspot":
+        return hotspot_workload(graph, seed=args.seed)
+    if args.workload == "chain":
+        return chain_workload(graph)
+    raise SystemExit(f"unknown workload {args.workload!r}")
+
+
+def _result_dict(name: str, res) -> dict:
+    m = res.metrics
+    return {
+        "scheduler": name,
+        "txns": m.num_txns,
+        "makespan": m.makespan,
+        "max_latency": m.max_latency,
+        "mean_latency": round(m.mean_latency, 2),
+        "p99_latency": round(m.p99_latency, 2),
+        "object_travel": m.total_object_travel,
+        "messages": m.messages_sent,
+        "competitive_ratio": round(res.competitive_ratio, 3),
+    }
+
+
+def cmd_run(args) -> int:
+    graph = parse_topology(args.topology)
+    scheduler, speed = make_scheduler(args.scheduler, graph)
+    workload = make_workload(args, graph)
+    if args.link_capacity or args.node_capacity:
+        # Congestion studies need the deferral engine, not hard errors.
+        from repro.analysis.metrics import summarize
+        from repro.analysis.ratios import competitive_ratio
+        from repro.analysis.experiments import RunResult
+        from repro.sim.engine import Simulator
+
+        sim = Simulator(
+            graph,
+            scheduler,
+            workload,
+            object_speed_den=max(speed, args.object_speed),
+            departure_policy=DeparturePolicy.LAZY if args.lazy else DeparturePolicy.EAGER,
+            hop_motion=args.hop_motion or bool(args.link_capacity),
+            link_capacity=args.link_capacity,
+            node_egress_capacity=args.node_capacity,
+            strict=False,
+        )
+        trace = sim.run()
+        ratio, points = competitive_ratio(graph, trace)
+        res = RunResult(trace, summarize(trace), ratio, points, None)
+    else:
+        res = run_experiment(
+            graph,
+            scheduler,
+            workload,
+            object_speed_den=max(speed, args.object_speed),
+            departure_policy=DeparturePolicy.LAZY if args.lazy else DeparturePolicy.EAGER,
+        )
+    out = _result_dict(args.scheduler, res)
+    out["topology"] = graph.name
+    out["deadline_misses"] = len(res.trace.violations)
+    if args.trace:
+        save_trace(res.trace, args.trace)
+        out["trace_file"] = args.trace
+    if args.report:
+        from repro.analysis.report import run_report
+
+        with open(args.report, "w") as fh:
+            fh.write(run_report(graph, res, title=f"{graph.name} / {args.scheduler}"))
+        out["report_file"] = args.report
+    if args.json:
+        print(json.dumps(out, indent=2))
+    else:
+        rows = [[k, v] for k, v in out.items()]
+        print(render_table(["metric", "value"], rows, title=f"{graph.name} / {args.scheduler}"))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    graph = parse_topology(args.topology)
+    names = args.schedulers.split(",") if args.schedulers else [
+        "greedy", "bucket", "fifo", "tsp"
+    ]
+    rows = []
+    results = []
+    for name in names:
+        scheduler, speed = make_scheduler(name, graph)
+        workload = make_workload(args, graph)
+        res = run_experiment(
+            graph, scheduler, workload, object_speed_den=max(speed, args.object_speed)
+        )
+        d = _result_dict(name, res)
+        results.append(d)
+        rows.append([d["scheduler"], d["txns"], d["makespan"], d["mean_latency"],
+                     d["p99_latency"], d["competitive_ratio"], d["messages"]])
+    if args.json:
+        print(json.dumps(results, indent=2))
+    else:
+        print(render_table(
+            ["scheduler", "txns", "makespan", "mean-lat", "p99-lat", "ratio", "msgs"],
+            rows, title=graph.name,
+        ))
+    return 0
+
+
+def cmd_suite(args) -> int:
+    """Run a JSON-defined list of experiments and print one combined table.
+
+    The suite file is a JSON array of objects, each with the keys the
+    ``run`` command takes (topology, scheduler, workload, objects, k,
+    rate, horizon, rounds, read_fraction, zipf, seed) plus an optional
+    ``name``.  Unknown keys are rejected to catch typos.
+    """
+    allowed = {
+        "name", "topology", "scheduler", "workload", "objects", "k",
+        "rate", "horizon", "rounds", "read_fraction", "zipf", "seed",
+        "object_speed",
+    }
+    with open(args.file) as fh:
+        entries = json.load(fh)
+    if not isinstance(entries, list) or not entries:
+        print("suite file must be a non-empty JSON array", file=sys.stderr)
+        return 2
+    rows = []
+    results = []
+    for i, entry in enumerate(entries):
+        unknown = set(entry) - allowed
+        if unknown:
+            print(f"suite entry {i}: unknown keys {sorted(unknown)}", file=sys.stderr)
+            return 2
+        ns = argparse.Namespace(
+            topology=entry["topology"],
+            workload=entry.get("workload", "bernoulli"),
+            objects=entry.get("objects", 8),
+            k=entry.get("k", 2),
+            rate=entry.get("rate", 0.05),
+            horizon=entry.get("horizon", 60),
+            rounds=entry.get("rounds", 3),
+            read_fraction=entry.get("read_fraction", 0.0),
+            zipf=entry.get("zipf", 0.0),
+            seed=entry.get("seed", 0),
+            object_speed=entry.get("object_speed", 1),
+        )
+        graph = parse_topology(ns.topology)
+        scheduler, speed = make_scheduler(entry.get("scheduler", "greedy"), graph)
+        res = run_experiment(
+            graph, scheduler, make_workload(ns, graph),
+            object_speed_den=max(speed, ns.object_speed),
+        )
+        d = _result_dict(entry.get("scheduler", "greedy"), res)
+        d["name"] = entry.get("name", f"entry-{i}")
+        d["topology"] = graph.name
+        results.append(d)
+        rows.append([d["name"], d["topology"], d["scheduler"], d["txns"],
+                     d["makespan"], d["mean_latency"], d["competitive_ratio"]])
+    if args.json:
+        print(json.dumps(results, indent=2))
+    else:
+        print(render_table(
+            ["name", "topology", "scheduler", "txns", "makespan", "mean-lat", "ratio"],
+            rows, title=f"suite: {args.file}",
+        ))
+    return 0
+
+
+def cmd_replay(args) -> int:
+    """Re-run an archived trace: re-certify, regenerate its workload, and
+    replay the recorded schedule (optionally under congestion knobs)."""
+    from repro.core import ReplayScheduler
+    from repro.sim.engine import Simulator
+    from repro.sim.serialize import load_trace
+    from repro.sim.validate import certify_trace
+    from repro.workloads import workload_from_trace
+
+    graph = parse_topology(args.topology)
+    trace = load_trace(args.trace)
+    issues = certify_trace(graph, trace, raise_on_failure=False)
+    if issues:
+        print(f"archive FAILED certification ({len(issues)} issues):", file=sys.stderr)
+        for i in issues[:10]:
+            print(f"  {i}", file=sys.stderr)
+        return 1
+    sim = Simulator(
+        graph,
+        ReplayScheduler(trace),
+        workload_from_trace(trace),
+        object_speed_den=trace.object_speed_den,
+        hop_motion=args.hop_motion or bool(args.link_capacity),
+        link_capacity=args.link_capacity,
+        node_egress_capacity=args.node_capacity,
+        strict=False,
+    )
+    replayed = sim.run()
+    out = {
+        "archived_makespan": trace.makespan(),
+        "replayed_makespan": replayed.makespan(),
+        "deadline_misses": len(replayed.violations),
+        "txns": replayed.num_txns,
+    }
+    if args.json:
+        print(json.dumps(out, indent=2))
+    else:
+        print(render_table(["metric", "value"], [[k, v] for k, v in out.items()],
+                           title=f"replay of {args.trace} on {graph.name}"))
+    return 0
+
+
+def cmd_cover(args) -> int:
+    graph = parse_topology(args.topology)
+    cover = build_sparse_cover(graph, seed=args.seed)
+    problems = cover.verify()
+    rows = []
+    for layer in range(cover.num_layers):
+        clusters = [c for part in cover.layers[layer] for c in part]
+        biggest = max(len(c.nodes) for c in clusters)
+        rows.append([layer, cover.pad_of_layer(layer), len(cover.layers[layer]),
+                     len(clusters), biggest])
+    print(render_table(
+        ["layer", "pad", "sublayers", "clusters", "max-size"],
+        rows,
+        title=f"sparse cover of {graph.name} (D={graph.diameter()})",
+    ))
+    if problems:
+        print("\nPROBLEMS:")
+        for p in problems:
+            print(" ", p)
+        return 1
+    print("\nall sparse-cover properties verified")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Distributed TM dynamic scheduling toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--topology", required=True, help="e.g. clique:16, grid:4x4, cluster:3x4:6")
+        p.add_argument("--workload", default="bernoulli",
+                       choices=["batch", "bernoulli", "poisson", "closed-loop", "hotspot", "chain"])
+        p.add_argument("--objects", type=int, default=8)
+        p.add_argument("--k", type=int, default=2)
+        p.add_argument("--rate", type=float, default=0.05)
+        p.add_argument("--horizon", type=int, default=60)
+        p.add_argument("--rounds", type=int, default=3)
+        p.add_argument("--read-fraction", type=float, default=0.0)
+        p.add_argument("--zipf", type=float, default=0.0, help="Zipf skew s (0 = uniform)")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--object-speed", type=int, default=1)
+        p.add_argument("--json", action="store_true")
+
+    p_run = sub.add_parser("run", help="run one scheduler and print metrics")
+    common(p_run)
+    p_run.add_argument("--scheduler", default="greedy", choices=SCHEDULER_NAMES)
+    p_run.add_argument("--lazy", action="store_true", help="lazy object departure")
+    p_run.add_argument("--trace", help="write the execution trace to this JSON file")
+    p_run.add_argument("--report", help="write a markdown run report to this file")
+    p_run.add_argument("--hop-motion", action="store_true", help="edge-by-edge object motion")
+    p_run.add_argument("--link-capacity", type=int, default=None,
+                       help="max concurrent traversals per edge (implies hop motion)")
+    p_run.add_argument("--node-capacity", type=int, default=None,
+                       help="max object departures per node per step")
+    p_run.set_defaults(func=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="run several schedulers on one workload")
+    common(p_cmp)
+    p_cmp.add_argument("--schedulers", help="comma-separated (default greedy,bucket,fifo,tsp)")
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_cov = sub.add_parser("cover", help="build and verify a sparse cover")
+    p_cov.add_argument("--topology", required=True)
+    p_cov.add_argument("--seed", type=int, default=0)
+    p_cov.set_defaults(func=cmd_cover)
+
+    p_rep = sub.add_parser("replay", help="re-certify and replay an archived trace")
+    p_rep.add_argument("--topology", required=True)
+    p_rep.add_argument("--trace", required=True, help="trace JSON written by `run --trace`")
+    p_rep.add_argument("--hop-motion", action="store_true")
+    p_rep.add_argument("--link-capacity", type=int, default=None)
+    p_rep.add_argument("--node-capacity", type=int, default=None)
+    p_rep.add_argument("--json", action="store_true")
+    p_rep.set_defaults(func=cmd_replay)
+
+    p_suite = sub.add_parser("suite", help="run a JSON-defined experiment suite")
+    p_suite.add_argument("--file", required=True, help="JSON array of run configs")
+    p_suite.add_argument("--json", action="store_true")
+    p_suite.set_defaults(func=cmd_suite)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

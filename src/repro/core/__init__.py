@@ -1,0 +1,22 @@
+"""The paper's contribution: online DTM schedulers."""
+
+from repro.core.adaptive import AdaptiveScheduler, pick_batch_scheduler
+from repro.core.base import OnlineScheduler
+from repro.core.bucket import BucketScheduler
+from repro.core.coordinated import CoordinatedGreedyScheduler
+from repro.core.distributed import DistributedBucketScheduler
+from repro.core.greedy import GreedyScheduler
+from repro.core.replay import ReplayScheduler
+from repro.core.windowed import WindowedBatchScheduler
+
+__all__ = [
+    "OnlineScheduler",
+    "GreedyScheduler",
+    "CoordinatedGreedyScheduler",
+    "BucketScheduler",
+    "DistributedBucketScheduler",
+    "ReplayScheduler",
+    "AdaptiveScheduler",
+    "pick_batch_scheduler",
+    "WindowedBatchScheduler",
+]

@@ -1,0 +1,47 @@
+"""Online scheduler interface.
+
+A scheduler never moves objects and never executes transactions — it only
+assigns execution times through :meth:`Simulator.commit_schedule`, and a
+committed time is never revised (the no-revision property the paper calls
+out at the end of Section II).  The engine is the ground truth for
+feasibility.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional
+
+from repro._types import Time
+from repro.sim.engine import Simulator
+from repro.sim.transactions import Transaction
+
+
+class OnlineScheduler(abc.ABC):
+    """Base class for all online schedulers."""
+
+    def __init__(self) -> None:
+        self.sim: Optional[Simulator] = None
+
+    def bind(self, sim: Simulator) -> None:
+        """Attach to a simulator; called once by the engine."""
+        self.sim = sim
+
+    @abc.abstractmethod
+    def on_step(self, t: Time, new_txns: List[Transaction]) -> None:
+        """Handle one active time step.
+
+        ``new_txns`` are the transactions generated at ``t`` (the paper's
+        ``T_t^g``); they are live and unscheduled.  Implementations may
+        schedule them now (greedy) or stash them for a later activation
+        (bucket schedulers).
+        """
+
+    def next_wake_after(self, t: Time) -> Optional[Time]:
+        """Earliest future step at which this scheduler must run even if no
+        other event occurs (e.g. a bucket activation), or ``None``."""
+        return None
+
+    def has_pending(self) -> bool:
+        """True while the scheduler holds generated-but-unscheduled work."""
+        return False

@@ -1,0 +1,117 @@
+"""Weighted graph coloring primitives (paper Section III-A).
+
+A *valid coloring* assigns integers to nodes so that adjacent nodes differ
+by at least their edge weight (Equation 1).  Colors translate directly to
+execution times: a color difference of ``w`` leaves enough steps for an
+object to travel distance ``w`` between the two transactions.
+
+:func:`min_valid_color` implements the constructive step of Lemma 1 — given
+an arbitrary partial coloring of the neighbors, find the smallest valid
+color — and :func:`min_valid_color_multiple` the uniform-weight refinement
+of Lemma 2 (colors restricted to multiples of the common weight ``beta``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+
+from repro._types import Weight
+
+#: One coloring constraint: a neighbor's ``(color, edge_weight)``.
+Constraint = Tuple[Weight, Weight]
+
+
+def min_valid_color(constraints: Iterable[Constraint], floor: Weight = 1) -> Weight:
+    """Smallest ``c >= floor`` with ``|c - color| >= weight`` for each
+    constraint.
+
+    Each constraint forbids the open interval
+    ``(color - weight, color + weight)``.  We sort intervals by their lower
+    end and sweep a candidate upward; the candidate only moves forward, so
+    the scan is a single pass after the ``O(k log k)`` sort — matching the
+    per-node cost analysis at the end of Section III-B.
+
+    Lemma 1 guarantees the result is at most ``2*Gamma - Delta`` where
+    ``Gamma`` is the weighted degree and ``Delta`` the plain degree of the
+    node being colored (tests assert this bound).
+    """
+    intervals: List[Tuple[Weight, Weight]] = []
+    for color, weight in constraints:
+        if weight > 0:
+            intervals.append((color - weight, color + weight))
+    intervals.sort()
+    candidate = floor
+    for lo, hi in intervals:
+        if lo < candidate < hi:
+            candidate = hi
+    return candidate
+
+
+def min_valid_color_multiple(
+    constraints: Iterable[Constraint], beta: Weight, floor_multiple: int = 1
+) -> Weight:
+    """Smallest valid color that is a positive multiple of ``beta``.
+
+    Lemma 2: if all edge weights equal ``beta`` and every existing color is
+    a multiple of ``beta``, then some multiple ``c <= Gamma`` is valid.  We
+    additionally accept *mixed* constraints (weights up to ``beta``), still
+    returning a multiple of ``beta`` — useful when holders sit closer than
+    the uniform distance.
+    """
+    intervals: List[Tuple[Weight, Weight]] = []
+    for color, weight in constraints:
+        if weight > 0:
+            intervals.append((color - weight, color + weight))
+    intervals.sort()
+
+    def round_up(x: Weight) -> Weight:
+        k = int(-(-x // beta))  # ceil division
+        return max(k, floor_multiple) * beta
+
+    candidate = round_up(floor_multiple * beta)
+    for lo, hi in intervals:
+        if lo < candidate < hi:
+            candidate = round_up(hi)
+    return candidate
+
+
+def coloring_violations(
+    colors: Dict[Hashable, Weight],
+    edges: Iterable[Tuple[Hashable, Hashable, Weight]],
+) -> List[Tuple[Hashable, Hashable, Weight]]:
+    """Edges ``(u, v, w)`` whose endpoints violate Equation 1.
+
+    Endpoints missing from ``colors`` are ignored (partial colorings are
+    valid as long as colored pairs satisfy the constraint).
+    """
+    bad = []
+    for u, v, w in edges:
+        if u in colors and v in colors and abs(colors[u] - colors[v]) < w:
+            bad.append((u, v, w))
+    return bad
+
+
+def greedy_color_sequence(
+    order: Sequence[Hashable],
+    neighbor_constraints,
+    *,
+    beta: Weight = 0,
+    existing: Dict[Hashable, Weight] = None,
+) -> Dict[Hashable, Weight]:
+    """Color ``order`` one by one against ``existing`` plus earlier picks.
+
+    ``neighbor_constraints(node, colors)`` must return the constraint list
+    of ``node`` against the currently colored set.  With ``beta > 0`` the
+    Lemma 2 multiple-of-beta rule is used.  Returns only the new colors.
+    """
+    colors: Dict[Hashable, Weight] = dict(existing or {})
+    out: Dict[Hashable, Weight] = {}
+    for node in order:
+        cons = neighbor_constraints(node, colors)
+        if beta > 0:
+            c = min_valid_color_multiple(cons, beta)
+        else:
+            c = min_valid_color(cons)
+        colors[node] = c
+        out[node] = c
+    return out

@@ -1,0 +1,183 @@
+"""Dependency graphs ``H_t`` and extended ``H'_t`` (paper Section III-B(a)).
+
+Nodes of ``H_t`` are the live transactions; edges join conflicting
+transactions (shared object) with weight equal to the distance between
+their home nodes in ``G``.  The *extended* graph ``H'_t`` adds the current
+holders ``Z_t``: for each object, either its latest transaction (at rest)
+or — if the object is in transit — a *temporary transaction* at the
+artificial in-transit position, which "executes at time t" (color 0).
+
+The scheduler hot path only needs, for one transaction, its constraint list
+(:func:`constraints_for`); the full graph object
+(:class:`ExtendedDependencyGraph`) exists for analysis: experiment E1
+checks measured latencies against the Theorem 1 bound ``2*Gamma' - Delta'``
+node by node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from repro._types import NodeId, ObjectId, Time, TxnId, TxnState, Weight
+from repro.core.coloring import Constraint
+from repro.sim.engine import Simulator
+from repro.sim.transactions import Transaction
+
+
+def holder_key(sim: Simulator, oid: ObjectId) -> Tuple[str, int]:
+    """Identity of ``Z_t(o)`` — the current transaction holding ``o``.
+
+    In transit -> a per-object temporary transaction (paper's artificial
+    node); at rest at the latest acquirer's node -> that transaction;
+    otherwise (never acquired, or already forwarded and waiting at its
+    next requester's node before that requester committed) -> a
+    per-object pseudo-transaction at the object's *position*.
+
+    The per-object keys matter: two objects last acquired by the same
+    transaction may rest at different nodes, so their holder constraints
+    must not be merged (a real scheduler bug caught by the end-to-end
+    property tests).
+    """
+    obj = sim.objects[oid]
+    if obj.in_transit:
+        return ("transit", oid)
+    if obj.holder_txn is not None and sim.txns[obj.holder_txn].home == obj.location:
+        return ("txn", obj.holder_txn)
+    return ("free", oid)
+
+
+def constraints_for(sim: Simulator, txn: Transaction, *, now: Time) -> List[Constraint]:
+    """Coloring constraints of ``txn`` in ``H'_t`` against everything
+    already colored.
+
+    Colors follow Algorithm 1 line 4: an already-scheduled live transaction
+    has color ``exec_time - t`` (its remaining time); a holder that has
+    executed — or a temporary in-transit transaction — has color 0.  Edge
+    weights are distances in ``G`` (travel-time bounds for holders, which
+    also covers the half-speed object mode).
+    """
+    cons: List[Constraint] = []
+    seen_txn: Set[TxnId] = set()
+    seen_holder: Set[Tuple[str, int]] = set()
+    speed = sim.object_speed_den
+    # One cached distance row for the whole constraint gathering.
+    drow = sim.graph.distances_from(txn.home)
+
+    def add_conflicts(oid: ObjectId, others) -> None:
+        for other in others:
+            if other.tid == txn.tid or other.tid in seen_txn:
+                continue
+            seen_txn.add(other.tid)
+            if other.exec_time is None:
+                continue  # pending txns are colored later (Lemma 1 is sequential)
+            color = other.exec_time - now
+            # Edge weights are object *travel times*: distance scaled by the
+            # object speed (2x under Algorithm 3's half-speed rule).
+            weight = speed * drow[other.home]
+            cons.append((color, weight))
+
+    # Read/write conflict rule: a write conflicts with every accessor; a
+    # read conflicts only with writers (read-read pairs share copies).
+    for oid in txn.objects:
+        add_conflicts(oid, sim.live_requesters(oid))
+        add_conflicts(oid, sim.live_readers(oid))
+    for oid in txn.reads:
+        add_conflicts(oid, sim.live_requesters(oid))
+    for oid in txn.all_objects:
+        # The current holder Z_t(o): color 0, weight = travel-time bound.
+        key = holder_key(sim, oid)
+        if key in seen_holder or key == ("txn", txn.tid):
+            continue
+        seen_holder.add(key)
+        if key[0] == "txn" and key[1] in seen_txn:
+            continue  # live holder already constrained above
+        if key[0] == "txn" and key[1] in sim.live:
+            holder = sim.txns[key[1]]
+            if holder.exec_time is not None:
+                color = max(0, holder.exec_time - now)
+                weight = speed * drow[holder.home]
+                cons.append((color, weight))
+                seen_txn.add(key[1])
+                continue
+        cons.append((0, sim.object_time_to_reach(oid, txn.home)))
+    return cons
+
+
+@dataclass
+class ExtendedDependencyGraph:
+    """A materialised ``H'_t`` snapshot for analysis.
+
+    Node keys: ``("txn", tid)`` for live transactions and executed holders,
+    ``("transit", oid)`` / ``("free", oid)`` for temporary and free-object
+    holders.  ``weighted_degree`` is the paper's ``Gamma'``; ``degree`` is
+    ``Delta'``.
+    """
+
+    now: Time
+    nodes: Set[Tuple[str, int]] = field(default_factory=set)
+    edges: Dict[Tuple[Tuple[str, int], Tuple[str, int]], Weight] = field(default_factory=dict)
+
+    def _add_edge(self, a: Tuple[str, int], b: Tuple[str, int], w: Weight) -> None:
+        if a == b:
+            return
+        key = (a, b) if a <= b else (b, a)
+        old = self.edges.get(key)
+        # Two transactions sharing several objects still form ONE edge in
+        # H'_t; the weight is their distance, identical for every shared
+        # object except holder edges where we keep the largest bound.
+        if old is None or w > old:
+            self.edges[key] = w
+        self.nodes.add(a)
+        self.nodes.add(b)
+
+    def degree(self, key: Tuple[str, int]) -> int:
+        return sum(1 for (a, b) in self.edges if a == key or b == key)
+
+    def weighted_degree(self, key: Tuple[str, int]) -> Weight:
+        return sum(w for (a, b), w in self.edges.items() if a == key or b == key)
+
+    def theorem1_bound(self, key: Tuple[str, int]) -> Weight:
+        """Latency bound of Theorem 1: ``2*Gamma' - Delta'``."""
+        return 2 * self.weighted_degree(key) - self.degree(key)
+
+
+def build_extended_dependency_graph(sim: Simulator, *, now: Time) -> ExtendedDependencyGraph:
+    """Materialise ``H'_t`` from current simulator state."""
+    h = ExtendedDependencyGraph(now=now)
+    live = list(sim.live.values())
+    for txn in live:
+        h.nodes.add(("txn", txn.tid))
+    # Conflict edges between live transactions: write-write and
+    # write-read pairs conflict; read-read pairs do not.
+    writers: Dict[ObjectId, List[Transaction]] = {}
+    readers: Dict[ObjectId, List[Transaction]] = {}
+    for txn in live:
+        for oid in txn.objects:
+            writers.setdefault(oid, []).append(txn)
+        for oid in txn.reads:
+            readers.setdefault(oid, []).append(txn)
+    speed = sim.object_speed_den
+    for oid in set(writers) | set(readers):
+        ws = writers.get(oid, [])
+        rs = readers.get(oid, [])
+        for i, a in enumerate(ws):
+            for b in ws[i + 1 :]:
+                h._add_edge(
+                    ("txn", a.tid), ("txn", b.tid), speed * sim.graph.distance(a.home, b.home)
+                )
+            for b in rs:
+                h._add_edge(
+                    ("txn", a.tid), ("txn", b.tid), speed * sim.graph.distance(a.home, b.home)
+                )
+        # Holder edges to each accessor.
+        key = holder_key(sim, oid)
+        for a in ws + rs:
+            if key == ("txn", a.tid):
+                continue
+            if key[0] == "txn" and key[1] in sim.live:
+                w = speed * sim.graph.distance(sim.txns[key[1]].home, a.home)
+            else:
+                w = sim.object_time_to_reach(oid, a.home)
+            h._add_edge(key, ("txn", a.tid), w)
+    return h

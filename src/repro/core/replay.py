@@ -1,0 +1,58 @@
+"""Replay scheduler: re-issue the execution times of an archived trace.
+
+Debugging and regression tool: load a trace (``repro.sim.serialize``),
+replay it against the same graph and workload, and the engine re-derives
+the identical object motion — or raises precisely where the recorded
+schedule no longer fits (e.g. after an engine semantics change).  Also
+useful to re-run a schedule under *different* engine settings (capacity
+limits, lazy departures) and observe the damage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro._types import NodeId, ObjectId, Time, TxnId
+from repro.core.base import OnlineScheduler
+from repro.errors import SchedulingError
+from repro.sim.trace import ExecutionTrace
+from repro.sim.transactions import Transaction
+
+
+class ReplayScheduler(OnlineScheduler):
+    """Assign each arriving transaction the execution time recorded for
+    its counterpart in ``trace``.
+
+    Transactions are matched by ``(gen_time, home, writes, reads)`` —
+    transaction ids need not coincide with the original run (workload
+    regeneration order may differ), but the multiset of transactions
+    must.  Unmatched arrivals raise :class:`SchedulingError`.
+    """
+
+    def __init__(self, trace: ExecutionTrace) -> None:
+        super().__init__()
+        self._pool: Dict[Tuple, List[Time]] = {}
+        for rec in trace.txns.values():
+            key = (rec.gen_time, rec.home, tuple(sorted(rec.objects)), tuple(sorted(rec.reads)))
+            self._pool.setdefault(key, []).append(rec.exec_time)
+        for times in self._pool.values():
+            times.sort()
+
+    def on_step(self, t: Time, new_txns: List[Transaction]) -> None:
+        assert self.sim is not None
+        for txn in sorted(new_txns, key=lambda x: x.tid):
+            key = (txn.gen_time, txn.home, tuple(sorted(txn.objects)), tuple(sorted(txn.reads)))
+            times = self._pool.get(key)
+            if not times:
+                raise SchedulingError(
+                    f"replay: no recorded schedule for transaction {key}"
+                )
+            self.sim.commit_schedule(txn, times.pop(0))
+
+    def has_pending(self) -> bool:
+        return False
+
+    @property
+    def unconsumed(self) -> int:
+        """Recorded schedules not yet matched by an arrival."""
+        return sum(len(v) for v in self._pool.values())

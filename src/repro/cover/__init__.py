@@ -1,0 +1,12 @@
+"""Hierarchical sparse covers (substrate for Algorithm 3, Section V)."""
+
+from repro.cover.decomposition import greedy_ball_partition, padded_decomposition
+from repro.cover.sparse_cover import Cluster, SparseCover, build_sparse_cover
+
+__all__ = [
+    "padded_decomposition",
+    "greedy_ball_partition",
+    "Cluster",
+    "SparseCover",
+    "build_sparse_cover",
+]

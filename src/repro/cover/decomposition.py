@@ -1,0 +1,145 @@
+"""Low-diameter padded decompositions (Miller–Peng–Xu style).
+
+A *(radius, pad)-padded decomposition* partitions the nodes into clusters
+of weak diameter at most ``2 * radius`` such that each node's ``pad``-ball
+lands inside a single cluster with constant probability.  Repeating the
+decomposition a logarithmic number of times pads every node — which is how
+:mod:`repro.cover.sparse_cover` builds the sub-layers the paper's
+Algorithm 3 requires (each sub-layer is a partition of ``G``; every node
+has a *home cluster* containing its ``(2**l - 1)``-neighborhood).
+
+The construction: every node draws an exponential shift
+``delta_u ~ Exp(lambda)`` truncated at ``radius``; node ``v`` joins the
+cluster of the node ``u`` maximising ``delta_u - d(u, v)`` (ties broken by
+id).  Shifted distances differ by more than ``2 * pad`` from the runner-up
+iff the whole pad-ball joins the same cluster.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro._types import NodeId, Weight
+from repro.network.graph import Graph
+
+
+def padded_decomposition(
+    graph: Graph,
+    radius: Weight,
+    pad: Weight,
+    rng: np.random.Generator,
+) -> Tuple[List[Set[NodeId]], Set[NodeId], Dict[int, NodeId]]:
+    """One randomized partition of ``graph``.
+
+    Returns ``(clusters, padded_nodes, centers)`` where ``clusters`` is a
+    partition of the nodes, ``padded_nodes`` are the nodes whose
+    ``pad``-ball is entirely inside their own cluster, and ``centers`` maps
+    cluster index to its carving center (used as leader seed).
+
+    Cluster *weak* radius is at most ``radius`` by construction (a node
+    only joins a center within shifted distance, and shifts are truncated
+    at ``radius``).
+    """
+    n = graph.num_nodes
+    lam = max(1e-9, math.log(n + 1) / max(1, radius))
+    shifts = np.minimum(rng.exponential(1.0 / lam, size=n), float(radius))
+    # For each node, find the best and second-best shifted center.
+    best_center = [-1] * n
+    best_val = [-math.inf] * n
+    second_val = [-math.inf] * n
+    for c in range(n):
+        d = graph.distances_from(c)
+        sc = shifts[c]
+        for v in range(n):
+            val = sc - d[v]
+            if val < -1e-12:  # centers beyond their shift never capture v
+                continue
+            if val > best_val[v] or (val == best_val[v] and c < best_center[v]):
+                second_val[v] = best_val[v]
+                best_val[v] = val
+                best_center[v] = c
+            elif val > second_val[v]:
+                second_val[v] = val
+    # Every node captures itself with val = shifts[v] >= 0.
+    groups: Dict[NodeId, Set[NodeId]] = {}
+    for v in range(n):
+        groups.setdefault(best_center[v], set()).add(v)
+    clusters = [groups[c] for c in sorted(groups)]
+    centers = {i: c for i, (c, _) in enumerate(sorted(groups.items()))}
+    index_of: Dict[NodeId, int] = {}
+    for i, cl in enumerate(clusters):
+        for v in cl:
+            index_of[v] = i
+    padded: Set[NodeId] = set()
+    for v in range(n):
+        if second_val[v] == -math.inf or best_val[v] - second_val[v] > 2 * pad:
+            # Margin criterion is sufficient; verify exactly for safety.
+            if _ball_inside(graph, v, pad, clusters[index_of[v]]):
+                padded.add(v)
+        elif _ball_inside(graph, v, pad, clusters[index_of[v]]):
+            padded.add(v)
+    return clusters, padded, centers
+
+
+def _ball_inside(graph: Graph, v: NodeId, pad: Weight, cluster: Set[NodeId]) -> bool:
+    if pad <= 0:
+        return True
+    return all(u in cluster for u in graph.ball(v, pad))
+
+
+def greedy_ball_partition(
+    graph: Graph,
+    radius: Weight,
+    pad: Weight,
+    rng: np.random.Generator,
+) -> Tuple[List[Set[NodeId]], Set[NodeId], Dict[int, NodeId]]:
+    """Strong-diameter alternative to :func:`padded_decomposition`.
+
+    Repeatedly pick a random unassigned center and carve the ball of
+    ``radius`` *within the remaining induced subgraph* (so every cluster
+    is connected and its strong diameter is at most ``2 * radius``).
+    Padding is evaluated against balls in the full graph, exactly as the
+    sparse-cover consumer requires.
+
+    Compared to the exponential-shift construction this gives strong
+    (induced-subgraph) diameters — the property the [14]/[28]
+    constructions actually provide — at the cost of a weaker padding
+    probability for late-carved nodes (measured in bench E12b).
+    """
+    import heapq as _heapq
+
+    n = graph.num_nodes
+    unassigned: Set[NodeId] = set(graph.nodes())
+    order = [int(v) for v in rng.permutation(n)]
+    clusters: List[Set[NodeId]] = []
+    centers: Dict[int, NodeId] = {}
+    for center in order:
+        if center not in unassigned:
+            continue
+        # Dijkstra restricted to unassigned nodes.
+        dist: Dict[NodeId, Weight] = {center: 0}
+        heap: List[Tuple[Weight, NodeId]] = [(0, center)]
+        members: Set[NodeId] = set()
+        while heap:
+            d, u = _heapq.heappop(heap)
+            if d > dist.get(u, float("inf")) or d > radius:
+                continue
+            members.add(u)
+            for v, w in graph.neighbors(u).items():
+                if v in unassigned and d + w < dist.get(v, float("inf")) and d + w <= radius:
+                    dist[v] = d + w
+                    _heapq.heappush(heap, (d + w, v))
+        centers[len(clusters)] = center
+        clusters.append(members)
+        unassigned -= members
+    index_of: Dict[NodeId, int] = {}
+    for i, cl in enumerate(clusters):
+        for v in cl:
+            index_of[v] = i
+    padded = {
+        v for v in graph.nodes() if _ball_inside(graph, v, pad, clusters[index_of[v]])
+    }
+    return clusters, padded, centers

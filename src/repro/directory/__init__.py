@@ -1,0 +1,5 @@
+"""Distributed object directories (tracking mobile objects honestly)."""
+
+from repro.directory.arrow import ArrowDirectory, SpanningTree
+
+__all__ = ["ArrowDirectory", "SpanningTree"]

@@ -1,0 +1,171 @@
+"""Arrow-style spanning-tree directory for mobile objects.
+
+The distributed bucket scheduler must *discover* where each object
+currently is.  Its default mechanism probes the object's last-known
+position — which the simulation reads from ground truth (an idealization
+documented in DESIGN.md).  This module provides the honest alternative in
+the tradition the paper builds on (Herlihy & Sun [17], Sharma & Busch
+[28], both rooted in the Arrow protocol of Demmer & Herlihy):
+
+* a spanning tree of ``G`` (a shortest-path tree from a chosen root);
+* per object, every node holds a *pointer* to the neighbouring tree edge
+  leading toward the object's tree position;
+* a **find** from any node follows pointers hop by hop and terminates at
+  the node the pointers converge on;
+* a **move** of the object from ``u`` to ``w`` re-aims the pointers along
+  the tree path between them (in deployments this piggybacks on the
+  object's own journey; we count those pointer updates as maintenance
+  messages).
+
+Invariant (tested, including under hypothesis-generated move sequences):
+after any sequence of moves, a find from any source terminates at the
+object's current tree home in at most ``diameter_T`` hops.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro._types import NodeId, ObjectId, Weight
+from repro.errors import GraphError
+from repro.network.graph import Graph
+
+
+class SpanningTree:
+    """A shortest-path spanning tree of ``G`` rooted at ``root``.
+
+    Tree paths are what directory messages travel; their total weight
+    (the *stretch* relative to shortest paths in ``G``) is the structural
+    price of the directory.
+    """
+
+    def __init__(self, graph: Graph, root: NodeId = 0) -> None:
+        graph.distances_from(root)  # force SSSP, fills predecessors
+        self.graph = graph
+        self.root = root
+        self.parent: List[Optional[NodeId]] = list(graph._pred[root])
+        self.parent[root] = None
+        self._depth: List[int] = [0] * graph.num_nodes
+        order = sorted(graph.nodes(), key=lambda v: graph.distances_from(root)[v])
+        self._children: List[List[NodeId]] = [[] for _ in graph.nodes()]
+        for v in order:
+            p = self.parent[v]
+            self._depth[v] = 0 if p is None else self._depth[p] + 1
+            if p is not None:
+                self._children[p].append(v)
+
+    def neighbors(self, v: NodeId) -> List[NodeId]:
+        """Tree neighbours of ``v`` (parent + children)."""
+        out = []
+        if self.parent[v] is not None:
+            out.append(self.parent[v])
+        out.extend(self._children[v])
+        return out
+
+    def path(self, u: NodeId, w: NodeId) -> List[NodeId]:
+        """The unique tree path from ``u`` to ``w`` (inclusive)."""
+        up_u: List[NodeId] = [u]
+        up_w: List[NodeId] = [w]
+        a, b = u, w
+        while a != b:
+            if self._depth[a] >= self._depth[b]:
+                a = self.parent[a]  # type: ignore[assignment]
+                up_u.append(a)
+            else:
+                b = self.parent[b]  # type: ignore[assignment]
+                up_w.append(b)
+        # up_u ends at the LCA; up_w ends at the LCA too.
+        return up_u + up_w[-2::-1]
+
+    def path_weight(self, u: NodeId, w: NodeId) -> Weight:
+        """Total edge weight of the tree path (message latency)."""
+        p = self.path(u, w)
+        return sum(self.graph.neighbors(a)[b] for a, b in zip(p, p[1:]))
+
+    def stretch(self, u: NodeId, w: NodeId) -> float:
+        """Tree-path weight over shortest-path distance."""
+        d = self.graph.distance(u, w)
+        return self.path_weight(u, w) / d if d else 1.0
+
+
+class ArrowDirectory:
+    """Per-object pointer machinery over one spanning tree.
+
+    ``find`` and ``move`` return the traversed paths so callers can charge
+    real latencies and message counts.
+    """
+
+    def __init__(self, graph: Graph, root: NodeId = 0) -> None:
+        self.tree = SpanningTree(graph, root)
+        self.graph = graph
+        #: pointers[oid][v] = next tree hop toward the object, or v itself
+        self._pointers: Dict[ObjectId, Dict[NodeId, NodeId]] = {}
+        self.maintenance_messages = 0
+        self.find_messages = 0
+
+    # ------------------------------------------------------------------
+    def register(self, oid: ObjectId, node: NodeId) -> None:
+        """Install pointers for a new object resting at ``node``."""
+        if oid in self._pointers:
+            raise GraphError(f"object {oid} already registered")
+        ptrs: Dict[NodeId, NodeId] = {}
+        # Aim every node's pointer along its tree path toward `node`:
+        # walking from `node` outward, each visited vertex points back the
+        # way we came.
+        ptrs[node] = node
+        stack = [(node, node)]
+        seen = {node}
+        while stack:
+            v, toward = stack.pop()
+            for u in self.tree.neighbors(v):
+                if u not in seen:
+                    seen.add(u)
+                    ptrs[u] = v
+                    stack.append((u, v))
+        self._pointers[oid] = ptrs
+
+    def home(self, oid: ObjectId) -> NodeId:
+        """The node the pointers currently converge on."""
+        ptrs = self._pointers[oid]
+        for v, nxt in ptrs.items():
+            if nxt == v:
+                return v
+        raise GraphError(f"object {oid}: no sink pointer (corrupt directory)")
+
+    def find(self, oid: ObjectId, source: NodeId) -> List[NodeId]:
+        """Follow pointers from ``source``; returns the traversed node
+        sequence ending at the directory home of the object."""
+        ptrs = self._pointers[oid]
+        path = [source]
+        v = source
+        for _ in range(self.graph.num_nodes + 1):
+            nxt = ptrs[v]
+            if nxt == v:
+                self.find_messages += max(0, len(path) - 1)
+                return path
+            path.append(nxt)
+            v = nxt
+        raise GraphError(f"object {oid}: pointer cycle detected")
+
+    def find_latency(self, oid: ObjectId, source: NodeId) -> Weight:
+        """Total edge weight a find from ``source`` traverses."""
+        path = self.find(oid, source)
+        return sum(self.graph.neighbors(a)[b] for a, b in zip(path, path[1:]))
+
+    def move(self, oid: ObjectId, new_node: NodeId) -> List[NodeId]:
+        """Re-aim pointers after the object settled at ``new_node``.
+
+        Flips pointers along the tree path from the old home to the new
+        one; every flip is one maintenance message (piggybacked on the
+        object's journey in a deployment).  Returns the updated path.
+        """
+        ptrs = self._pointers[oid]
+        old = self.home(oid)
+        if old == new_node:
+            return [old]
+        path = self.tree.path(old, new_node)
+        for a, b in zip(path, path[1:]):
+            ptrs[a] = b
+        ptrs[new_node] = new_node
+        self.maintenance_messages += len(path) - 1
+        return path

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the repro library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class GraphError(ReproError):
+    """Malformed graph or invalid graph query (unknown node, no path...)."""
+
+
+class SchedulingError(ReproError):
+    """A scheduler produced or was asked to produce an invalid schedule."""
+
+
+class InfeasibleScheduleError(SchedulingError):
+    """A schedule was certified infeasible by the validator.
+
+    Carries the list of violations so tests and benches can report exactly
+    which transaction missed which object.
+    """
+
+    def __init__(self, violations):
+        self.violations = list(violations)
+        preview = "; ".join(str(v) for v in self.violations[:5])
+        more = "" if len(self.violations) <= 5 else f" (+{len(self.violations) - 5} more)"
+        super().__init__(f"infeasible schedule: {preview}{more}")
+
+
+class WorkloadError(ReproError):
+    """Invalid workload specification (k larger than object pool, ...)."""
+
+
+class CoverError(ReproError):
+    """Sparse cover construction failed to satisfy a required property."""

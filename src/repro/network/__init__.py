@@ -1,0 +1,34 @@
+"""Communication-network substrate: weighted graphs and topology builders."""
+
+from repro.network.convert import from_networkx, to_networkx
+from repro.network.graph import Graph
+from repro.network.topologies import (
+    butterfly,
+    clique,
+    cluster_graph,
+    grid,
+    hypercube,
+    line,
+    random_geometric,
+    ring,
+    star_graph,
+    torus,
+    tree,
+)
+
+__all__ = [
+    "Graph",
+    "clique",
+    "line",
+    "ring",
+    "grid",
+    "torus",
+    "hypercube",
+    "butterfly",
+    "cluster_graph",
+    "star_graph",
+    "tree",
+    "random_geometric",
+    "from_networkx",
+    "to_networkx",
+]

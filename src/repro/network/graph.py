@@ -1,0 +1,207 @@
+"""Weighted communication graph ``G = (V, E, w)`` (paper Section II).
+
+The graph is immutable after construction.  Shortest-path distances are the
+only geometry the schedulers consume, so :class:`Graph` centralises a lazily
+cached single-source Dijkstra; repeated queries (the hot path of every
+scheduler) are dictionary lookups.  Following the HPC guides, we avoid
+recomputing anything inside scheduler loops: one Dijkstra per touched source,
+ever.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro._types import NodeId, Weight
+from repro.errors import GraphError
+
+_Edge = Tuple[NodeId, NodeId, Weight]
+
+
+class Graph:
+    """An undirected, connected, positively weighted graph.
+
+    Parameters
+    ----------
+    num_nodes:
+        Nodes are ``0 .. num_nodes-1``.
+    edges:
+        Iterable of ``(u, v, w)`` triples with ``w > 0``.  Parallel edges
+        keep the minimum weight; self-loops are rejected.
+    name:
+        Optional human-readable label (topology constructors set this).
+    """
+
+    def __init__(self, num_nodes: int, edges: Iterable[_Edge], name: str = "") -> None:
+        if num_nodes <= 0:
+            raise GraphError(f"graph needs at least one node, got {num_nodes}")
+        self._n = int(num_nodes)
+        self.name = name or f"graph(n={num_nodes})"
+        self._adj: List[Dict[NodeId, Weight]] = [dict() for _ in range(self._n)]
+        for u, v, w in edges:
+            self._check_node(u)
+            self._check_node(v)
+            if u == v:
+                raise GraphError(f"self-loop at node {u}")
+            if w <= 0:
+                raise GraphError(f"edge ({u},{v}) has non-positive weight {w}")
+            old = self._adj[u].get(v)
+            if old is None or w < old:
+                self._adj[u][v] = w
+                self._adj[v][u] = w
+        # Lazy caches.
+        self._dist: Dict[NodeId, List[Weight]] = {}
+        self._pred: Dict[NodeId, List[Optional[NodeId]]] = {}
+        self._diameter: Optional[Weight] = None
+        if self._n > 1 and all(not a for a in self._adj):
+            raise GraphError("graph with more than one node has no edges")
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``n``."""
+        return self._n
+
+    def __len__(self) -> int:
+        return self._n
+
+    def nodes(self) -> range:
+        """All node ids, ``0 .. n-1``."""
+        return range(self._n)
+
+    def edges(self) -> Iterator[_Edge]:
+        """Each undirected edge once, as ``(u, v, w)`` with ``u < v``."""
+        for u in range(self._n):
+            for v, w in self._adj[u].items():
+                if u < v:
+                    yield (u, v, w)
+
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return sum(len(a) for a in self._adj) // 2
+
+    def neighbors(self, u: NodeId) -> Dict[NodeId, Weight]:
+        """Adjacency map ``{v: w(u,v)}`` of ``u`` (do not mutate)."""
+        self._check_node(u)
+        return self._adj[u]
+
+    def degree(self, u: NodeId) -> int:
+        """Number of neighbours of ``u``."""
+        return len(self.neighbors(u))
+
+    def _check_node(self, u: NodeId) -> None:
+        if not 0 <= u < self._n:
+            raise GraphError(f"node {u} outside 0..{self._n - 1}")
+
+    # ------------------------------------------------------------------
+    # shortest paths
+    # ------------------------------------------------------------------
+    def _sssp(self, src: NodeId) -> List[Weight]:
+        """Single-source Dijkstra with predecessor recording, cached."""
+        cached = self._dist.get(src)
+        if cached is not None:
+            return cached
+        inf = float("inf")
+        dist: List[Weight] = [inf] * self._n
+        pred: List[Optional[NodeId]] = [None] * self._n
+        dist[src] = 0
+        heap: List[Tuple[Weight, NodeId]] = [(0, src)]
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > dist[u]:
+                continue
+            for v, w in self._adj[u].items():
+                nd = d + w
+                if nd < dist[v]:
+                    dist[v] = nd
+                    pred[v] = u
+                    heapq.heappush(heap, (nd, v))
+        if any(d == inf for d in dist):
+            raise GraphError(f"graph {self.name!r} is disconnected (from node {src})")
+        self._dist[src] = dist
+        self._pred[src] = pred
+        return dist
+
+    def distance(self, u: NodeId, v: NodeId) -> Weight:
+        """Shortest-path distance ``d_G(u, v)``."""
+        self._check_node(u)
+        self._check_node(v)
+        # Reuse whichever endpoint is already cached to keep the cache small.
+        if v in self._dist and u not in self._dist:
+            u, v = v, u
+        return self._sssp(u)[v]
+
+    def distances_from(self, src: NodeId) -> Sequence[Weight]:
+        """Distances from ``src`` to every node (cached; do not mutate)."""
+        self._check_node(src)
+        return self._sssp(src)
+
+    def shortest_path(self, u: NodeId, v: NodeId) -> List[NodeId]:
+        """One shortest path from ``u`` to ``v`` as a node list (inclusive)."""
+        self._check_node(u)
+        self._check_node(v)
+        self._sssp(u)
+        pred = self._pred[u]
+        path = [v]
+        while path[-1] != u:
+            p = pred[path[-1]]
+            assert p is not None
+            path.append(p)
+        path.reverse()
+        return path
+
+    def eccentricity(self, u: NodeId) -> Weight:
+        """Maximum distance from ``u`` to any node."""
+        return max(self.distances_from(u))
+
+    def diameter(self) -> Weight:
+        """Graph diameter ``D`` (maximum pairwise shortest-path distance)."""
+        if self._diameter is None:
+            self._diameter = max(self.eccentricity(u) for u in self.nodes())
+        return self._diameter
+
+    def ball(self, u: NodeId, radius: Weight) -> List[NodeId]:
+        """Nodes within distance ``radius`` of ``u`` (the *r-neighborhood*)."""
+        d = self.distances_from(u)
+        return [v for v in self.nodes() if d[v] <= radius]
+
+    # ------------------------------------------------------------------
+    # derived metrics used by lower bounds
+    # ------------------------------------------------------------------
+    def metric_mst_weight(self, subset: Sequence[NodeId]) -> Weight:
+        """Weight of the minimum spanning tree of ``subset`` in the metric
+        induced by shortest-path distances.
+
+        Any walk that visits all of ``subset`` has length at least this
+        weight, which makes it a valid lower bound on the travel time of a
+        single object that must reach every node of ``subset``
+        (cf. DESIGN.md S12, the object-MST lower bound).
+        Duplicates in ``subset`` are ignored.
+        """
+        pts = sorted(set(subset))
+        for p in pts:
+            self._check_node(p)
+        if len(pts) <= 1:
+            return 0
+        # Prim's algorithm on the metric closure; O(s^2) distance lookups.
+        in_tree = {pts[0]}
+        best: Dict[NodeId, Weight] = {}
+        d0 = self.distances_from(pts[0])
+        for p in pts[1:]:
+            best[p] = d0[p]
+        total: Weight = 0
+        while best:
+            nxt = min(best, key=lambda p: best[p])
+            total += best.pop(nxt)
+            in_tree.add(nxt)
+            dn = self.distances_from(nxt)
+            for p in list(best):
+                if dn[p] < best[p]:
+                    best[p] = dn[p]
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Graph({self.name!r}, n={self._n}, m={self.num_edges()})"

@@ -1,0 +1,278 @@
+"""Topology constructors for the architectures studied in the paper.
+
+Section I lists Clique, Hypercube, Butterfly, Grid, Line, Cluster, and Star;
+ring, torus and random geometric graphs are included as additional
+substrates for the experiment harness.  Constructors return :class:`Graph`
+instances; the structured topologies (cluster, star) also attach a
+``layout`` attribute describing their decomposition, which the
+topology-aware offline schedulers consume.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._types import NodeId, Weight
+from repro.errors import GraphError
+from repro.network.graph import Graph
+
+
+def clique(n: int, weight: Weight = 1) -> Graph:
+    """Complete graph on ``n`` nodes, every edge of weight ``weight``."""
+    edges = [(u, v, weight) for u in range(n) for v in range(u + 1, n)]
+    return Graph(n, edges, name=f"clique(n={n})")
+
+
+def line(n: int, weight: Weight = 1) -> Graph:
+    """Path of ``n`` nodes ``0-1-...-(n-1)``, unit weights by default."""
+    edges = [(i, i + 1, weight) for i in range(n - 1)]
+    return Graph(n, edges, name=f"line(n={n})")
+
+
+def ring(n: int, weight: Weight = 1) -> Graph:
+    """Cycle of ``n`` nodes."""
+    if n < 3:
+        raise GraphError("ring needs at least 3 nodes")
+    edges = [(i, (i + 1) % n, weight) for i in range(n)]
+    return Graph(n, edges, name=f"ring(n={n})")
+
+
+def grid(dims: Sequence[int], weight: Weight = 1) -> Graph:
+    """``len(dims)``-dimensional grid with side lengths ``dims``.
+
+    Node ids enumerate coordinates in mixed-radix (row-major) order.  The
+    paper's ``log n``-dimensional grid is ``grid([2] * log2(n))``, i.e. the
+    hypercube.
+    """
+    dims = list(dims)
+    if not dims or any(d < 1 for d in dims):
+        raise GraphError(f"invalid grid dims {dims}")
+    n = math.prod(dims)
+    strides = [0] * len(dims)
+    s = 1
+    for i in reversed(range(len(dims))):
+        strides[i] = s
+        s *= dims[i]
+    edges: List[Tuple[NodeId, NodeId, Weight]] = []
+    for coord in itertools.product(*(range(d) for d in dims)):
+        u = sum(c * st for c, st in zip(coord, strides))
+        for axis, d in enumerate(dims):
+            if coord[axis] + 1 < d:
+                v = u + strides[axis]
+                edges.append((u, v, weight))
+    return Graph(n, edges, name=f"grid({'x'.join(map(str, dims))})")
+
+
+def torus(dims: Sequence[int], weight: Weight = 1) -> Graph:
+    """Grid with wraparound edges along every axis."""
+    dims = list(dims)
+    if any(d < 3 for d in dims):
+        raise GraphError("torus needs side length >= 3 on every axis")
+    n = math.prod(dims)
+    strides = [0] * len(dims)
+    s = 1
+    for i in reversed(range(len(dims))):
+        strides[i] = s
+        s *= dims[i]
+    edges = []
+    for coord in itertools.product(*(range(d) for d in dims)):
+        u = sum(c * st for c, st in zip(coord, strides))
+        for axis, d in enumerate(dims):
+            nxt = list(coord)
+            nxt[axis] = (coord[axis] + 1) % d
+            v = sum(c * st for c, st in zip(nxt, strides))
+            edges.append((min(u, v), max(u, v), weight))
+    return Graph(n, edges, name=f"torus({'x'.join(map(str, dims))})")
+
+
+def hypercube(dim: int, weight: Weight = 1) -> Graph:
+    """``dim``-dimensional hypercube on ``2**dim`` nodes.
+
+    Any two nodes are within ``dim = log2 n`` hops (Section III-D).
+    """
+    if dim < 1:
+        raise GraphError("hypercube dimension must be >= 1")
+    n = 1 << dim
+    edges = [(u, u ^ (1 << b), weight) for u in range(n) for b in range(dim) if u < u ^ (1 << b)]
+    return Graph(n, edges, name=f"hypercube(d={dim})")
+
+
+def butterfly(dim: int, weight: Weight = 1) -> Graph:
+    """``dim``-dimensional (unwrapped) butterfly: ``(dim+1) * 2**dim`` nodes.
+
+    Node ``(level, row)`` with ``0 <= level <= dim`` maps to id
+    ``level * 2**dim + row``.  Level ``l`` connects to level ``l+1`` by a
+    *straight* edge (same row) and a *cross* edge (row with bit ``l``
+    flipped).  Diameter is ``2 * dim = O(log n)``.
+    """
+    if dim < 1:
+        raise GraphError("butterfly dimension must be >= 1")
+    rows = 1 << dim
+    n = (dim + 1) * rows
+    edges = []
+    for level in range(dim):
+        for row in range(rows):
+            u = level * rows + row
+            edges.append((u, (level + 1) * rows + row, weight))
+            edges.append((u, (level + 1) * rows + (row ^ (1 << level)), weight))
+    return Graph(n, edges, name=f"butterfly(d={dim})")
+
+
+@dataclass(frozen=True)
+class ClusterLayout:
+    """Structure of a :func:`cluster_graph`: node partition into cliques."""
+
+    cliques: Tuple[Tuple[NodeId, ...], ...]
+    bridges: Tuple[NodeId, ...]
+    gamma: Weight
+
+    def clique_of(self, u: NodeId) -> int:
+        """Index of the clique containing node ``u``."""
+        for i, c in enumerate(self.cliques):
+            if u in c:
+                return i
+        raise GraphError(f"node {u} not in any clique")
+
+
+def cluster_graph(alpha: int, beta: int, gamma: Weight) -> Graph:
+    """Cluster graph of ``alpha`` cliques with ``beta`` nodes each.
+
+    Intra-clique edges have weight 1; the designated *bridge* node of each
+    clique (the clique's node 0) connects to every other bridge with an
+    edge of weight ``gamma >= beta`` (paper Section IV-D).
+    """
+    if alpha < 1 or beta < 1:
+        raise GraphError(f"cluster graph needs alpha,beta >= 1, got {alpha},{beta}")
+    if gamma < beta:
+        raise GraphError(f"cluster graph requires gamma >= beta, got gamma={gamma} beta={beta}")
+    n = alpha * beta
+    edges: List[Tuple[NodeId, NodeId, Weight]] = []
+    cliques = []
+    bridges = []
+    for a in range(alpha):
+        base = a * beta
+        members = tuple(range(base, base + beta))
+        cliques.append(members)
+        bridges.append(base)
+        edges.extend((u, v, 1) for u in members for v in members if u < v)
+    edges.extend((bridges[i], bridges[j], gamma) for i in range(alpha) for j in range(i + 1, alpha))
+    g = Graph(n, edges, name=f"cluster(alpha={alpha},beta={beta},gamma={gamma})")
+    g.layout = ClusterLayout(tuple(cliques), tuple(bridges), gamma)  # type: ignore[attr-defined]
+    return g
+
+
+@dataclass(frozen=True)
+class StarLayout:
+    """Structure of a :func:`star_graph`: a center and its rays."""
+
+    center: NodeId
+    rays: Tuple[Tuple[NodeId, ...], ...]
+
+    def ray_of(self, u: NodeId) -> Optional[int]:
+        """Index of the ray containing ``u``; ``None`` for the center."""
+        if u == self.center:
+            return None
+        for i, r in enumerate(self.rays):
+            if u in r:
+                return i
+        raise GraphError(f"node {u} not on any ray")
+
+
+def star_graph(alpha: int, beta: int, weight: Weight = 1) -> Graph:
+    """Star of ``alpha`` rays, each a path of ``beta`` nodes, from a center.
+
+    Node 0 is the central node; ray ``i`` consists of nodes
+    ``1 + i*beta .. 1 + (i+1)*beta - 1`` ordered outward (paper Section
+    IV-D).  All edges have weight ``weight``.
+    """
+    if alpha < 1 or beta < 1:
+        raise GraphError(f"star graph needs alpha,beta >= 1, got {alpha},{beta}")
+    n = 1 + alpha * beta
+    edges = []
+    rays = []
+    for a in range(alpha):
+        base = 1 + a * beta
+        members = tuple(range(base, base + beta))
+        rays.append(members)
+        edges.append((0, base, weight))
+        edges.extend((members[i], members[i + 1], weight) for i in range(beta - 1))
+    g = Graph(n, edges, name=f"star(alpha={alpha},beta={beta})")
+    g.layout = StarLayout(0, tuple(rays))  # type: ignore[attr-defined]
+    return g
+
+
+def tree(branching: int, depth: int, weight: Weight = 1) -> Graph:
+    """Complete ``branching``-ary tree of the given depth.
+
+    Node 0 is the root; children of node ``u`` are
+    ``u*branching + 1 .. u*branching + branching`` (heap layout).  Trees
+    matter here because the paper's lower-bound discussion (via Busch et
+    al. [4]) shows the ``Ω(n^{1/40}/log n)`` gap to TSP-optimal object
+    tours holds on trees too.
+    """
+    if branching < 1 or depth < 0:
+        raise GraphError(f"invalid tree parameters b={branching}, depth={depth}")
+    n = sum(branching**i for i in range(depth + 1))
+    edges = []
+    for u in range(n):
+        for c in range(1, branching + 1):
+            v = u * branching + c
+            if v < n:
+                edges.append((u, v, weight))
+    return Graph(n, edges, name=f"tree(b={branching},d={depth})")
+
+
+def random_geometric(
+    n: int,
+    radius: float,
+    seed: Optional[int] = None,
+    scale: int = 100,
+) -> Graph:
+    """Random geometric graph on the unit square with integer edge weights.
+
+    Nodes are uniform points; nodes within ``radius`` are connected with a
+    weight equal to their Euclidean distance scaled by ``scale`` and rounded
+    up to at least 1 (the model uses integer weights).  Components, if any,
+    are stitched together through their closest node pairs so the result is
+    always connected.
+    """
+    if n < 1:
+        raise GraphError("random_geometric needs n >= 1")
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 2))
+    diff = pts[:, None, :] - pts[None, :, :]
+    dist = np.sqrt((diff**2).sum(axis=2))
+    edges: List[Tuple[NodeId, NodeId, Weight]] = []
+    for u in range(n):
+        for v in range(u + 1, n):
+            if dist[u, v] <= radius:
+                edges.append((u, v, max(1, int(math.ceil(dist[u, v] * scale)))))
+    # Union-find to stitch disconnected components.
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for u, v, _ in edges:
+        parent[find(u)] = find(v)
+    roots = {find(u) for u in range(n)}
+    while len(roots) > 1:
+        comp = {}
+        for u in range(n):
+            comp.setdefault(find(u), []).append(u)
+        groups = list(comp.values())
+        a, b = groups[0], groups[1]
+        best = min(((u, v) for u in a for v in b), key=lambda uv: dist[uv[0], uv[1]])
+        u, v = best
+        edges.append((u, v, max(1, int(math.ceil(dist[u, v] * scale)))))
+        parent[find(u)] = find(v)
+        roots = {find(u) for u in range(n)}
+    return Graph(n, edges, name=f"rgg(n={n},r={radius})")

@@ -1,0 +1,50 @@
+"""Generic coloring batch scheduler for arbitrary graphs.
+
+Orders transactions by a simple heuristic and colors them greedily.  This
+is the fallback ``A`` for topologies without a specialised scheduler; its
+approximation ratio is measured, not proven (the paper's hardness result —
+reduction from vertex coloring, [5] — rules out good worst-case bounds on
+arbitrary graphs anyway).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.offline.base import BatchScheduler, StateView
+from repro.sim.transactions import Transaction
+
+
+class ColoringBatchScheduler(BatchScheduler):
+    """Greedy coloring in a configurable order.
+
+    ``order_by``:
+
+    * ``"arrival"`` — transaction id order (deterministic default);
+    * ``"degree"``  — most-conflicting first (classic largest-first
+      coloring heuristic: hot transactions grab small colors before the
+      schedule fills up);
+    * ``"home"``    — by home node id (matches a sweep on path-like
+      node numberings).
+    """
+
+    name = "coloring"
+
+    def __init__(self, order_by: str = "arrival") -> None:
+        if order_by not in ("arrival", "degree", "home"):
+            raise ValueError(f"unknown order {order_by!r}")
+        self.order_by = order_by
+
+    def order(self, view: StateView, txns: Sequence[Transaction]) -> List[Transaction]:
+        txns = list(txns)
+        if self.order_by == "arrival":
+            txns.sort(key=lambda x: x.tid)
+        elif self.order_by == "home":
+            txns.sort(key=lambda x: (x.home, x.tid))
+        else:
+            counts = {}
+            for txn in txns:
+                for oid in txn.objects:
+                    counts[oid] = counts.get(oid, 0) + 1
+            txns.sort(key=lambda x: (-sum(counts[o] for o in x.objects), x.tid))
+        return txns

@@ -1,0 +1,116 @@
+"""Local-search improvement of batch plans.
+
+Theorem 4 makes the offline approximation ratio ``b_A`` a multiplicative
+factor of the online competitive ratio, so any improvement to the batch
+scheduler propagates through the bucket conversion for free.  This module
+wraps any coloring-based :class:`BatchScheduler` with a seeded
+hill-climbing search over *coloring orders*: swap two transactions in the
+order, replan, keep the better makespan.  Every plan it returns is a plan
+of the base scheduler for *some* order, hence exactly as feasible.
+
+The search is deterministic given the seed, per the library-wide
+reproducibility rule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro._types import Time, TxnId
+from repro.offline.base import BatchScheduler, StateView
+from repro.sim.transactions import Transaction
+
+
+class ImprovedBatchScheduler(BatchScheduler):
+    """Hill-climbing order search around a base batch scheduler.
+
+    Parameters
+    ----------
+    base:
+        The batch scheduler providing the initial order and the planner.
+    iterations:
+        Number of candidate swaps to try per plan (default 60).  Each
+        costs one replan; keep modest inside bucket insertion loops.
+    seed:
+        Seed for the swap proposals.
+    restarts:
+        Additional random-order starting points (default 1: also try one
+        shuffled order — cheap insurance against pathological base
+        orders).
+    """
+
+    name = "improved"
+
+    def __init__(
+        self,
+        base: BatchScheduler,
+        iterations: int = 60,
+        seed: Optional[int] = 0,
+        restarts: int = 1,
+    ) -> None:
+        if iterations < 0 or restarts < 0:
+            raise ValueError("iterations and restarts must be non-negative")
+        self.base = base
+        self.iterations = iterations
+        self.seed = seed
+        self.restarts = restarts
+
+    def order(self, view: StateView, txns: Sequence[Transaction]) -> List[Transaction]:
+        return self.base.order(view, txns)
+
+    def _makespan(self, plan: Dict[TxnId, Time]) -> Time:
+        return max(plan.values()) if plan else 0
+
+    def _plan_order(self, view, order_list, floor):
+        # Re-plan with an explicit order by temporarily monkey-free
+        # delegation: BatchScheduler.plan consults self.order(), so we use
+        # a tiny adapter around the base planner.
+        return _FixedOrder(self.base, order_list).plan(view, order_list, floor=floor)
+
+    def plan(self, view: StateView, txns: Sequence[Transaction], *, floor: Time = 1) -> Dict[TxnId, Time]:
+        txns = list(txns)
+        if len(txns) <= 2 or self.iterations == 0:
+            return self.base.plan(view, txns, floor=floor)
+        rng = np.random.default_rng(self.seed)
+        best_order = self.base.order(view, txns)
+        best_plan = self._plan_order(view, best_order, floor)
+        best = self._makespan(best_plan)
+        starts = [list(best_order)]
+        for _ in range(self.restarts):
+            shuffled = list(best_order)
+            rng.shuffle(shuffled)
+            starts.append(shuffled)
+        for start in starts:
+            order_list = list(start)
+            plan = self._plan_order(view, order_list, floor)
+            score = self._makespan(plan)
+            if score < best:
+                best, best_plan, best_order = score, plan, list(order_list)
+            for _ in range(self.iterations):
+                i, j = rng.integers(0, len(order_list), size=2)
+                if i == j:
+                    continue
+                order_list[i], order_list[j] = order_list[j], order_list[i]
+                plan = self._plan_order(view, order_list, floor)
+                score = self._makespan(plan)
+                if score < best:
+                    best, best_plan, best_order = score, plan, list(order_list)
+                else:
+                    order_list[i], order_list[j] = order_list[j], order_list[i]
+        return best_plan
+
+
+class _FixedOrder(BatchScheduler):
+    """Plan with the base scheduler's machinery but a pinned order."""
+
+    name = "fixed-order"
+
+    def __init__(self, base: BatchScheduler, order_list: Sequence[Transaction]) -> None:
+        self.base = base
+        self._order = list(order_list)
+
+    def order(self, view: StateView, txns: Sequence[Transaction]) -> List[Transaction]:
+        wanted = {t.tid for t in txns}
+        return [t for t in self._order if t.tid in wanted]

@@ -1,0 +1,34 @@
+"""Star-graph batch scheduler (stand-in for Busch et al. [4]).
+
+A star has a central node and alpha rays of beta nodes (Section IV-D).
+Objects travelling between rays must pass the center, so good schedules
+serve rays one at a time, sweeping each ray outward-in or inward-out;
+coloring in (ray, depth) order produces these ray-banded pipelines.  The
+center node (ray ``None``) is served first — it is on every route.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.network.topologies import StarLayout
+from repro.offline.base import BatchScheduler, StateView
+from repro.sim.transactions import Transaction
+
+
+class StarBatchScheduler(BatchScheduler):
+    """Ray-banded coloring scheduler for star graphs."""
+
+    name = "star-banded"
+
+    def order(self, view: StateView, txns: Sequence[Transaction]) -> List[Transaction]:
+        layout = getattr(view.graph, "layout", None)
+        if not isinstance(layout, StarLayout):
+            return sorted(txns, key=lambda x: (x.home, x.tid))
+
+        def key(txn: Transaction):
+            ray = layout.ray_of(txn.home)
+            # center first (ray None -> -1), then ray by ray, inner nodes first
+            return (-1 if ray is None else ray, txn.home, txn.tid)
+
+        return sorted(txns, key=key)

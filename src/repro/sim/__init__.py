@@ -1,0 +1,17 @@
+"""Synchronous data-flow DTM simulator (paper Section II model)."""
+
+from repro.sim.engine import Simulator
+from repro.sim.objects import SharedObject
+from repro.sim.trace import ExecutionTrace, ObjectLeg, TxnRecord
+from repro.sim.transactions import Transaction
+from repro.sim.validate import certify_trace
+
+__all__ = [
+    "Simulator",
+    "SharedObject",
+    "Transaction",
+    "ExecutionTrace",
+    "ObjectLeg",
+    "TxnRecord",
+    "certify_trace",
+]

@@ -1,0 +1,552 @@
+"""The synchronous discrete-event engine (paper Section II).
+
+Per time step a node may (1) receive objects, (2) execute a transaction
+whose objects have all assembled, (3) forward objects — in that order.  The
+engine reproduces exactly this phase structure, but *skips* inactive time
+steps: it maintains alarms for every future event (object arrivals, message
+deliveries, transaction generations, scheduled executions, scheduler
+wake-ups) and jumps between them, so simulating a sparse schedule over a
+huge horizon is cheap.
+
+Responsibility split (DESIGN.md §5): schedulers only assign execution
+times via :meth:`Simulator.commit_schedule`; the engine independently moves
+objects and fires transactions.  In strict mode (the default) a transaction
+whose objects are missing at its execution step raises
+:class:`InfeasibleScheduleError` — the engine is the ground-truth referee.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro._types import DeparturePolicy, NodeId, ObjectId, Time, TxnId, TxnState
+from repro.errors import InfeasibleScheduleError, SchedulingError, WorkloadError
+from repro.network.graph import Graph
+from repro.sim.messages import MessageRouter
+from repro.sim.objects import QueueEntry, SharedObject
+from repro.sim.trace import CopyLeg, ExecutionTrace, ObjectLeg, TxnRecord, Violation
+from repro.sim.transactions import Transaction, TxnSpec
+
+
+class Simulator:
+    """Synchronous data-flow DTM simulator.
+
+    Parameters
+    ----------
+    graph:
+        The communication graph ``G``.
+    scheduler:
+        An object implementing the :class:`repro.core.base.OnlineScheduler`
+        protocol.  It is bound to this simulator on construction.
+    workload:
+        Optional workload providing ``initial_objects()`` and
+        ``arrivals()`` (a finite iterable of :class:`TxnSpec`), and
+        optionally ``on_commit(txn, t)`` for closed-loop generation.
+        Tests may instead drive the engine manually with :meth:`submit`.
+    departure_policy:
+        ``EAGER`` (paper default: forward on commit) or ``LAZY``
+        (just-in-time departure; ablation E11).
+    object_speed_den:
+        Time steps per unit distance for *objects*; 2 enables the
+        half-speed rule of Algorithm 3.
+    strict:
+        If True, a transaction missing objects at its execution step is a
+        hard error.  If False the execution is deferred step by step and a
+        :class:`Violation` is recorded.
+    one_txn_per_node:
+        Enforce the paper's scheduling-problem constraint that each node
+        holds at most one live transaction at a time.
+    node_egress_capacity:
+        Optional congestion model (the paper's Section VI open question):
+        at most this many objects may *depart* any single node per time
+        step; excess departures wait for the next step.  Schedules
+        computed for the congestion-free model may then miss deadlines,
+        so congestion studies run with ``strict=False`` and measure the
+        violation-induced delay (bench E13).
+    hop_motion:
+        If True, objects move edge by edge (one trace leg per hop, route
+        re-evaluated at every node) instead of covering whole
+        shortest-path legs at once.  Motion physics are identical in the
+        uncongested model, but schedulers observe finer-grained positions
+        (the in-transit artificial node is the next hop, not the final
+        target), so committed times may differ — usually slightly better.
+        Required for per-link capacity.
+    link_capacity:
+        Section VI's *bounded link capacity*: at most this many objects
+        may traverse any single edge concurrently (both directions
+        combined).  Requires ``hop_motion=True``.  Excess traversals wait
+        at the upstream node; run with ``strict=False`` to study the
+        deferral cost (bench E20).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        scheduler,
+        workload=None,
+        *,
+        departure_policy: DeparturePolicy = DeparturePolicy.EAGER,
+        object_speed_den: int = 1,
+        strict: bool = True,
+        one_txn_per_node: bool = False,
+        node_egress_capacity: Optional[int] = None,
+        hop_motion: bool = False,
+        link_capacity: Optional[int] = None,
+        max_time: Optional[Time] = None,
+    ) -> None:
+        self.graph = graph
+        self.scheduler = scheduler
+        self.workload = workload
+        self.departure_policy = departure_policy
+        self.object_speed_den = int(object_speed_den)
+        self.strict = strict
+        self.one_txn_per_node = one_txn_per_node
+        self.node_egress_capacity = node_egress_capacity
+        if link_capacity is not None and not hop_motion:
+            raise WorkloadError("link_capacity requires hop_motion=True")
+        if link_capacity is not None and link_capacity < 1:
+            raise WorkloadError("link_capacity must be >= 1")
+        self.hop_motion = hop_motion
+        self.link_capacity = link_capacity
+        #: per-edge traversal end times (hop mode with link capacity)
+        self._link_busy: Dict[Tuple[NodeId, NodeId], List[Time]] = {}
+        self.max_time = max_time
+
+        self.now: Time = 0
+        self.objects: Dict[ObjectId, SharedObject] = {}
+        self.txns: Dict[TxnId, Transaction] = {}
+        self.live: Dict[TxnId, Transaction] = {}
+        self.router = MessageRouter(graph)
+
+        self._tid_counter = itertools.count()
+        self._exec_heap: List[Tuple[Time, TxnId]] = []
+        self._obj_arrivals: List[Tuple[Time, ObjectId]] = []
+        self._departure_alarms: List[Tuple[Time, ObjectId]] = []
+        self._pending_specs: List[Tuple[Time, int, TxnSpec]] = []
+        self._spec_seq = itertools.count()
+        self._started = False
+        self._needs_departure_check: Set[ObjectId] = set()
+        #: observers called as fn(event, obj, t) for "register"/"arrive"
+        #: events; used by distributed directories to track object motion
+        self._object_observers: List = []
+        self._live_requesters: Dict[ObjectId, Set[TxnId]] = {}
+        self._live_readers_idx: Dict[ObjectId, Set[TxnId]] = {}
+        self._copy_arrivals: List[Tuple[Time, ObjectId, TxnId, int]] = []
+        self._schedule_times: Dict[TxnId, Time] = {}
+        self._extra_alarms: List[Time] = []
+
+        self.trace = ExecutionTrace(
+            graph_name=graph.name,
+            initial_placement={},
+            object_speed_den=self.object_speed_den,
+        )
+        if workload is not None:
+            for oid, node in workload.initial_objects().items():
+                self.add_object(oid, node)
+            for spec in workload.arrivals():
+                self.submit(spec)
+        scheduler.bind(self)
+
+    # ------------------------------------------------------------------
+    # public driving / scheduler API
+    # ------------------------------------------------------------------
+    def add_object(self, oid: ObjectId, node: NodeId) -> SharedObject:
+        """Place a new shared object at ``node`` (at rest, no holder)."""
+        if oid in self.objects:
+            raise WorkloadError(f"duplicate object id {oid}")
+        obj = SharedObject(oid, node, speed_den=self.object_speed_den)
+        self.objects[oid] = obj
+        self.trace.initial_placement.setdefault(oid, node)
+        for fn in self._object_observers:
+            fn("register", obj, self.now)
+        return obj
+
+    def add_object_observer(self, fn) -> None:
+        """Register ``fn(event, obj, t)`` for object lifecycle events
+        ("register" on creation, "arrive" when a master object settles at
+        a node).  Used by distributed directories (DESIGN.md S20)."""
+        self._object_observers.append(fn)
+
+    def submit(self, spec: TxnSpec) -> None:
+        """Queue a transaction for generation at ``spec.gen_time``."""
+        if spec.gen_time < self.now:
+            raise WorkloadError(f"spec gen_time {spec.gen_time} is in the past (now={self.now})")
+        heapq.heappush(self._pending_specs, (spec.gen_time, next(self._spec_seq), spec))
+
+    def commit_schedule(self, txn: Transaction, exec_time: Time) -> None:
+        """Scheduler callback: fix ``txn``'s execution time, once, forever."""
+        if txn.exec_time is not None:
+            raise SchedulingError(f"transaction {txn.tid} already scheduled at {txn.exec_time}")
+        if exec_time < self.now:
+            raise SchedulingError(
+                f"transaction {txn.tid}: execution time {exec_time} before now ({self.now})"
+            )
+        txn.exec_time = exec_time
+        txn.state = TxnState.SCHEDULED
+        self._schedule_times[txn.tid] = self.now
+        heapq.heappush(self._exec_heap, (exec_time, txn.tid))
+        for oid in txn.objects:
+            obj = self._get_object(oid)
+            obj.enqueue(txn.tid, exec_time)
+            # Copies already shipped to readers that execute after this
+            # writer are now stale — invalidate; they re-ship on commit.
+            obj.invalidate_reads_after(QueueEntry(exec_time, txn.tid))
+            self._needs_departure_check.add(oid)
+        for oid in txn.reads:
+            obj = self._get_object(oid)
+            obj.enqueue_reader(txn.tid, exec_time)
+            self._service_reads(obj, self.now)
+
+    def add_alarm(self, t: Time) -> None:
+        """Ask the engine to visit time step ``t`` (used by schedulers)."""
+        if t >= self.now:
+            heapq.heappush(self._extra_alarms, t)
+
+    def _get_object(self, oid: ObjectId) -> SharedObject:
+        try:
+            return self.objects[oid]
+        except KeyError:
+            raise SchedulingError(f"unknown object id {oid}") from None
+
+    # ------------------------------------------------------------------
+    # state queries used by schedulers
+    # ------------------------------------------------------------------
+    def live_requesters(self, oid: ObjectId) -> List[Transaction]:
+        """Live transactions that *write* ``oid``."""
+        return [self.txns[tid] for tid in self._live_requesters.get(oid, ())]
+
+    def live_readers(self, oid: ObjectId) -> List[Transaction]:
+        """Live transactions that *read* ``oid`` (read/write extension)."""
+        return [self.txns[tid] for tid in self._live_readers_idx.get(oid, ())]
+
+    def object_time_to_reach(self, oid: ObjectId, node: NodeId) -> Time:
+        """Upper bound on when ``oid`` could be brought to ``node``."""
+        return self._get_object(oid).time_to_reach(self.graph, node, self.now)
+
+    def holder_of(self, oid: ObjectId) -> Optional[Transaction]:
+        """Latest transaction that acquired ``oid`` (``L_t(o_i)``)."""
+        tid = self._get_object(oid).holder_txn
+        return self.txns[tid] if tid is not None else None
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def _next_active_time(self) -> Optional[Time]:
+        candidates: List[Time] = []
+        for heap in (
+            self._exec_heap,
+            self._obj_arrivals,
+            self._copy_arrivals,
+            self._departure_alarms,
+            self._pending_specs,
+        ):
+            if heap:
+                candidates.append(heap[0][0])
+        if self._extra_alarms:
+            candidates.append(self._extra_alarms[0])
+        nd = self.router.next_delivery_time()
+        if nd is not None:
+            candidates.append(nd)
+        wake = self.scheduler.next_wake_after(self.now)
+        if wake is not None:
+            candidates.append(wake)
+        if not candidates:
+            return None
+        return min(candidates)
+
+    def run(self, max_steps: Optional[int] = None) -> ExecutionTrace:
+        """Run until quiescence (or ``max_steps`` active steps).
+
+        Quiescence: no pending generations, no live transactions, no
+        in-flight objects/messages, and the scheduler reports no pending
+        work.
+        """
+        return self._run_loop(max_steps=max_steps, until=None)
+
+    def run_until(self, until: Time, max_steps: Optional[int] = None) -> ExecutionTrace:
+        """Advance the simulation to time ``until`` (inclusive) and return.
+
+        Useful for interactive inspection: call repeatedly with growing
+        horizons, peeking at ``sim.live`` / ``sim.objects`` between calls;
+        a final :meth:`run` drains the remainder.  The returned trace is
+        the (shared, still-growing) run trace.
+        """
+        if until < self.now:
+            raise SchedulingError(f"run_until({until}) is in the past (now={self.now})")
+        return self._run_loop(max_steps=max_steps, until=until)
+
+    def _run_loop(self, *, max_steps: Optional[int], until: Optional[Time]) -> ExecutionTrace:
+        steps = 0
+        if not self._started:
+            # Time 0 may already carry generations.
+            self._started = True
+            self._step(self.now)
+        while True:
+            nxt = self._next_active_time()
+            if nxt is None and not self.live and not self._scheduler_pending():
+                break
+            if nxt is None:
+                # Live txns but nothing will ever happen again: deadlock.
+                stuck = sorted(self.live)
+                raise SchedulingError(f"deadlock: live transactions {stuck} will never execute")
+            if until is not None and nxt > until:
+                self.now = until
+                break
+            if self.max_time is not None and nxt > self.max_time:
+                break
+            self.now = max(self.now + 1, nxt)
+            self._step(self.now)
+            steps += 1
+            if max_steps is not None and steps > max_steps:
+                raise SchedulingError(f"exceeded max_steps={max_steps} at t={self.now}")
+        if until is not None and self.now < until:
+            self.now = until  # quiescent early: the clock still advances
+        self.trace.end_time = self.now
+        self.trace.messages_sent = self.router.sent_count
+        self.trace.message_hops = self.router.total_distance
+        return self.trace
+
+    def _scheduler_pending(self) -> bool:
+        has = getattr(self.scheduler, "has_pending", None)
+        return bool(has()) if has is not None else False
+
+    def _step(self, t: Time) -> None:
+        # Phase 1: receive objects (masters, then read copies).
+        while self._obj_arrivals and self._obj_arrivals[0][0] <= t:
+            _, oid = heapq.heappop(self._obj_arrivals)
+            obj = self.objects[oid]
+            assert obj.in_transit and obj.dest is not None
+            obj.location = obj.dest
+            obj.in_transit = False
+            obj.dest = None
+            obj.arrive_time = None
+            self._needs_departure_check.add(oid)
+            self._service_reads(obj, t)
+            for fn in self._object_observers:
+                fn("arrive", obj, t)
+        while self._copy_arrivals and self._copy_arrivals[0][0] <= t:
+            _, oid, tid, epoch = heapq.heappop(self._copy_arrivals)
+            obj = self.objects[oid]
+            if obj.read_epoch.get(tid, 0) == epoch:
+                obj.reads_delivered.add(tid)
+            # else: stale copy, invalidated by a later-scheduled writer
+        # Phase 1b: deliver control messages.
+        self.router.deliver_due(t)
+        # Phase 2: generate new transactions.
+        new_txns: List[Transaction] = []
+        while self._pending_specs and self._pending_specs[0][0] <= t:
+            _, _, spec = heapq.heappop(self._pending_specs)
+            new_txns.append(self._generate(spec, t))
+        # Phase 3: let the scheduler act (schedule new txns / activate buckets).
+        self.scheduler.on_step(t, new_txns)
+        # Phase 4: execute due transactions in (time, tid) order.
+        self._execute_due(t)
+        # Phase 5: forward objects.
+        self._process_departures(t)
+        # Clear stale extra alarms.
+        while self._extra_alarms and self._extra_alarms[0] <= t:
+            heapq.heappop(self._extra_alarms)
+
+    def _generate(self, spec: TxnSpec, t: Time) -> Transaction:
+        for oid in (*spec.objects, *spec.reads):
+            if oid not in self.objects:
+                raise WorkloadError(
+                    f"transaction generated at t={t} requests unknown object {oid}"
+                )
+        if self.one_txn_per_node and any(x.home == spec.home for x in self.live.values()):
+            raise WorkloadError(f"node {spec.home} already has a live transaction at t={t}")
+        txn = Transaction(
+            tid=next(self._tid_counter),
+            home=spec.home,
+            objects=frozenset(spec.objects),
+            gen_time=t,
+            creates=tuple(spec.creates),
+            reads=frozenset(spec.reads),
+        )
+        self.txns[txn.tid] = txn
+        self.live[txn.tid] = txn
+        for oid in txn.objects:
+            self._live_requesters.setdefault(oid, set()).add(txn.tid)
+        for oid in txn.reads:
+            self._live_readers_idx.setdefault(oid, set()).add(txn.tid)
+        return txn
+
+    def _execute_due(self, t: Time) -> None:
+        due: List[Tuple[Time, TxnId]] = []
+        while self._exec_heap and self._exec_heap[0][0] <= t:
+            due.append(heapq.heappop(self._exec_heap))
+        for exec_time, tid in sorted(due):
+            txn = self.txns[tid]
+            if txn.state is TxnState.EXECUTED:
+                continue
+            missing = self._missing_objects(txn)
+            if missing:
+                if self.strict:
+                    raise InfeasibleScheduleError([Violation(tid, t, tuple(sorted(missing)))])
+                self.trace.violations.append(Violation(tid, t, tuple(sorted(missing))))
+                heapq.heappush(self._exec_heap, (t + 1, tid))
+                continue
+            self._commit(txn, t)
+
+    def _missing_objects(self, txn: Transaction) -> List[ObjectId]:
+        missing = []
+        for oid in txn.objects:
+            obj = self.objects[oid]
+            ok = (
+                not obj.in_transit
+                and obj.location == txn.home
+                and obj.queue
+                and obj.queue[0].tid == txn.tid
+                and (obj.holder_txn is None or self.txns[obj.holder_txn].state is TxnState.EXECUTED)
+            )
+            if not ok:
+                missing.append(oid)
+        for oid in txn.reads:
+            if txn.tid not in self.objects[oid].reads_delivered:
+                missing.append(oid)
+        return missing
+
+    def _commit(self, txn: Transaction, t: Time) -> None:
+        txn.state = TxnState.EXECUTED
+        del self.live[txn.tid]
+        for oid in txn.objects:
+            self._live_requesters[oid].discard(txn.tid)
+        for oid in txn.reads:
+            self._live_readers_idx[oid].discard(txn.tid)
+            self.objects[oid].finish_read(txn.tid)
+        for oid in txn.objects:
+            obj = self.objects[oid]
+            obj.pop_head(txn.tid)
+            obj.holder_txn = txn.tid
+            obj.version += 1
+            # Cut copies for readers of the fresh version before the
+            # master departs (departures run after executions).
+            self._service_reads(obj, t)
+            self._needs_departure_check.add(oid)
+        for oid in txn.creates:
+            obj = self.add_object(oid, txn.home)
+            obj.holder_txn = txn.tid
+        self.trace.txns[txn.tid] = TxnRecord(
+            tid=txn.tid,
+            home=txn.home,
+            objects=tuple(sorted(txn.objects)),
+            gen_time=txn.gen_time,
+            schedule_time=self._schedule_times.get(txn.tid, txn.gen_time),
+            exec_time=t,
+            reads=tuple(sorted(txn.reads)),
+        )
+        hook = getattr(self.scheduler, "on_commit", None)
+        if hook is not None:
+            hook(txn, t)
+        if self.workload is not None:
+            wl_hook = getattr(self.workload, "on_commit", None)
+            if wl_hook is not None:
+                for spec in wl_hook(txn, t):
+                    self.submit(spec)
+
+    def _service_reads(self, obj: SharedObject, t: Time) -> None:
+        """Dispatch copies to serviceable readers (read/write extension).
+
+        A reader is serviceable once every preceding writer (by execution
+        key) has committed; its copy is cut from the master's resting
+        position.  If the master is in transit, servicing re-triggers on
+        arrival (the coloring's artificial-node accounting guarantees the
+        copy still arrives in time).
+        """
+        if obj.in_transit or not obj.read_waiters:
+            return
+        for entry in list(obj.read_waiters):
+            if entry.tid in obj.reads_served or not obj.reader_serviceable(entry):
+                continue
+            obj.reads_served.add(entry.tid)
+            reader_home = self.txns[entry.tid].home
+            if reader_home == obj.location:
+                # Co-located: a zero-length copy, recorded so the certifier
+                # can verify where and at which version it was cut.
+                obj.reads_delivered.add(entry.tid)
+                self.trace.copy_legs.append(
+                    CopyLeg(obj.oid, entry.tid, t, obj.location, reader_home, t, obj.version)
+                )
+                continue
+            travel = obj.travel_time(self.graph.distance(obj.location, reader_home))
+            arrive = t + travel
+            self.trace.copy_legs.append(
+                CopyLeg(obj.oid, entry.tid, t, obj.location, reader_home, arrive, obj.version)
+            )
+            heapq.heappush(
+                self._copy_arrivals,
+                (arrive, obj.oid, entry.tid, obj.read_epoch.get(entry.tid, 0)),
+            )
+
+    def _process_departures(self, t: Time) -> None:
+        while self._departure_alarms and self._departure_alarms[0][0] <= t:
+            _, oid = heapq.heappop(self._departure_alarms)
+            self._needs_departure_check.add(oid)
+        pending = self._needs_departure_check
+        self._needs_departure_check = set()
+        egress_used: Dict[NodeId, int] = {}
+        for oid in sorted(pending):  # deterministic under capacity limits
+            self._maybe_depart(self.objects[oid], t, egress_used)
+
+    def _maybe_depart(self, obj: SharedObject, t: Time, egress_used: Dict[NodeId, int]) -> None:
+        if obj.in_transit or not obj.queue:
+            return
+        holder = obj.holder_txn
+        if holder is not None and self.txns[holder].state is not TxnState.EXECUTED:
+            return  # current holder still needs the object
+        nxt = obj.queue[0]
+        target = self.txns[nxt.tid].home
+        if target == obj.location:
+            return  # already where it needs to be
+        travel = obj.travel_time(self.graph.distance(obj.location, target))
+        if self.departure_policy is DeparturePolicy.LAZY:
+            depart = max(t, nxt.exec_time - travel)
+            if depart > t:
+                heapq.heappush(self._departure_alarms, (depart, obj.oid))
+                return
+        if self.node_egress_capacity is not None:
+            used = egress_used.get(obj.location, 0)
+            if used >= self.node_egress_capacity:
+                # Congested: retry next step (Section VI open question).
+                heapq.heappush(self._departure_alarms, (t + 1, obj.oid))
+                return
+            egress_used[obj.location] = used + 1
+        if self.hop_motion:
+            # One edge at a time; the route re-evaluates at every node,
+            # which keeps redirects and link-capacity stalls graceful.
+            path = self.graph.shortest_path(obj.location, target)
+            hop = path[1]
+            hop_time = obj.travel_time(self.graph.neighbors(obj.location)[hop])
+            if self.link_capacity is not None and not self._acquire_link(
+                obj, obj.location, hop, t, hop_time
+            ):
+                return  # link full: a retry alarm has been scheduled
+            arrive = t + hop_time
+            target = hop
+        else:
+            arrive = t + travel
+        self.trace.legs.append(ObjectLeg(obj.oid, t, obj.location, target, arrive))
+        obj.in_transit = True
+        obj.dest = target
+        obj.arrive_time = arrive
+        heapq.heappush(self._obj_arrivals, (arrive, obj.oid))
+
+    def _acquire_link(
+        self, obj: SharedObject, u: NodeId, v: NodeId, t: Time, hop_time: Time
+    ) -> bool:
+        """Try to occupy edge ``(u, v)`` for ``hop_time`` steps from ``t``.
+
+        Returns False (and schedules a retry at the earliest release) when
+        ``link_capacity`` concurrent traversals are already in flight.
+        """
+        key = (u, v) if u < v else (v, u)
+        busy = self._link_busy.setdefault(key, [])
+        while busy and busy[0] <= t:
+            heapq.heappop(busy)
+        if len(busy) >= self.link_capacity:
+            heapq.heappush(self._departure_alarms, (busy[0], obj.oid))
+            return False
+        heapq.heappush(busy, t + hop_time)
+        return True

@@ -1,0 +1,87 @@
+"""Trace (de)serialization: archive runs, re-certify them later.
+
+A serialized trace is self-contained for certification *given the graph*:
+``certify_trace(graph, load_trace(path))`` re-checks an archived run.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.sim.trace import CopyLeg, ExecutionTrace, ObjectLeg, TxnRecord, Violation
+
+
+def trace_to_dict(trace: ExecutionTrace) -> Dict[str, Any]:
+    """Plain-JSON representation of a trace."""
+    return {
+        "graph_name": trace.graph_name,
+        "initial_placement": {str(k): v for k, v in trace.initial_placement.items()},
+        "object_speed_den": trace.object_speed_den,
+        "end_time": trace.end_time,
+        "messages_sent": trace.messages_sent,
+        "message_hops": trace.message_hops,
+        "txns": [
+            {
+                "tid": r.tid,
+                "home": r.home,
+                "objects": list(r.objects),
+                "gen_time": r.gen_time,
+                "schedule_time": r.schedule_time,
+                "exec_time": r.exec_time,
+                "reads": list(r.reads),
+            }
+            for r in trace.txns.values()
+        ],
+        "legs": [
+            [l.oid, l.depart_time, l.src, l.dst, l.arrive_time] for l in trace.legs
+        ],
+        "copy_legs": [
+            [c.oid, c.reader_tid, c.depart_time, c.src, c.dst, c.arrive_time, c.version]
+            for c in trace.copy_legs
+        ],
+        "violations": [[v.tid, v.time, list(v.missing)] for v in trace.violations],
+        "meta": dict(trace.meta),
+    }
+
+
+def trace_from_dict(data: Dict[str, Any]) -> ExecutionTrace:
+    """Inverse of :func:`trace_to_dict`."""
+    trace = ExecutionTrace(
+        graph_name=data["graph_name"],
+        initial_placement={int(k): v for k, v in data["initial_placement"].items()},
+        object_speed_den=data.get("object_speed_den", 1),
+    )
+    trace.end_time = data.get("end_time", 0)
+    trace.messages_sent = data.get("messages_sent", 0)
+    trace.message_hops = data.get("message_hops", 0.0)
+    for r in data.get("txns", []):
+        trace.txns[r["tid"]] = TxnRecord(
+            tid=r["tid"],
+            home=r["home"],
+            objects=tuple(r["objects"]),
+            gen_time=r["gen_time"],
+            schedule_time=r["schedule_time"],
+            exec_time=r["exec_time"],
+            reads=tuple(r.get("reads", ())),
+        )
+    for l in data.get("legs", []):
+        trace.legs.append(ObjectLeg(*l))
+    for c in data.get("copy_legs", []):
+        trace.copy_legs.append(CopyLeg(*c))
+    for v in data.get("violations", []):
+        trace.violations.append(Violation(v[0], v[1], tuple(v[2])))
+    trace.meta.update(data.get("meta", {}))
+    return trace
+
+
+def save_trace(trace: ExecutionTrace, path: str) -> None:
+    """Write a trace to ``path`` as JSON."""
+    with open(path, "w") as fh:
+        json.dump(trace_to_dict(trace), fh)
+
+
+def load_trace(path: str) -> ExecutionTrace:
+    """Read a trace previously written by :func:`save_trace`."""
+    with open(path) as fh:
+        return trace_from_dict(json.load(fh))

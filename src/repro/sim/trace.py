@@ -1,0 +1,133 @@
+"""Execution traces: the complete, certifiable record of a simulation run.
+
+The engine records every object movement (:class:`ObjectLeg`) and every
+transaction outcome (:class:`TxnRecord`).  :func:`repro.sim.validate.
+certify_trace` re-derives feasibility from these raw records alone, so a
+scheduler bug cannot silently produce an impossible "good" schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro._types import NodeId, ObjectId, Time, TxnId
+
+
+@dataclass(frozen=True)
+class ObjectLeg:
+    """One uninterrupted movement of an object between two nodes."""
+
+    oid: ObjectId
+    depart_time: Time
+    src: NodeId
+    dst: NodeId
+    arrive_time: Time
+
+
+@dataclass(frozen=True)
+class CopyLeg:
+    """One copy shipment to a reader (read/write extension).
+
+    Copies are cut from the master object's resting position and do not
+    move the master; ``version`` records how many writers had committed
+    when the copy was cut (for serializability checking).
+    """
+
+    oid: ObjectId
+    reader_tid: TxnId
+    depart_time: Time
+    src: NodeId
+    dst: NodeId
+    arrive_time: Time
+    version: int
+
+
+@dataclass(frozen=True)
+class TxnRecord:
+    """Immutable summary of one transaction's life."""
+
+    tid: TxnId
+    home: NodeId
+    objects: Tuple[ObjectId, ...]
+    gen_time: Time
+    schedule_time: Time
+    exec_time: Time
+    reads: Tuple[ObjectId, ...] = ()
+
+    @property
+    def latency(self) -> Time:
+        """The paper's execution duration ``t_T - t``."""
+        return self.exec_time - self.gen_time
+
+    @property
+    def all_objects(self) -> Tuple[ObjectId, ...]:
+        return tuple(sorted(set(self.objects) | set(self.reads)))
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A feasibility violation observed by the engine (non-strict mode)."""
+
+    tid: TxnId
+    time: Time
+    missing: Tuple[ObjectId, ...]
+
+    def __str__(self) -> str:
+        return f"txn {self.tid} at t={self.time} missing objects {list(self.missing)}"
+
+
+@dataclass
+class ExecutionTrace:
+    """Everything that happened in one simulation run."""
+
+    graph_name: str
+    initial_placement: Dict[ObjectId, NodeId]
+    object_speed_den: int = 1
+    txns: Dict[TxnId, TxnRecord] = field(default_factory=dict)
+    legs: List[ObjectLeg] = field(default_factory=list)
+    copy_legs: List[CopyLeg] = field(default_factory=list)
+    violations: List[Violation] = field(default_factory=list)
+    messages_sent: int = 0
+    message_hops: float = 0.0
+    end_time: Time = 0
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # summary statistics
+    # ------------------------------------------------------------------
+    @property
+    def num_txns(self) -> int:
+        return len(self.txns)
+
+    def makespan(self) -> Time:
+        """Last execution time (0 for an empty run)."""
+        if not self.txns:
+            return 0
+        return max(r.exec_time for r in self.txns.values())
+
+    def latencies(self) -> List[Time]:
+        """Per-transaction execution durations, in tid order."""
+        return [self.txns[t].latency for t in sorted(self.txns)]
+
+    def max_latency(self) -> Time:
+        lats = self.latencies()
+        return max(lats) if lats else 0
+
+    def mean_latency(self) -> float:
+        lats = self.latencies()
+        return sum(lats) / len(lats) if lats else 0.0
+
+    def total_object_travel(self) -> Time:
+        """Total communication cost: sum of all master-leg durations."""
+        return sum(l.arrive_time - l.depart_time for l in self.legs)
+
+    def total_copy_travel(self) -> Time:
+        """Communication cost of read copies (read/write extension)."""
+        return sum(l.arrive_time - l.depart_time for l in self.copy_legs)
+
+    def legs_of(self, oid: ObjectId) -> List[ObjectLeg]:
+        return [l for l in self.legs if l.oid == oid]
+
+    def executions_in_order(self) -> List[TxnRecord]:
+        return sorted(self.txns.values(), key=lambda r: (r.exec_time, r.tid))

@@ -1,0 +1,255 @@
+"""Independent certification of execution traces.
+
+Given only the raw trace (initial placement, object legs, transaction
+records) and the graph, :func:`certify_trace` re-derives whether the run was
+physically possible under the paper's model:
+
+1. every object leg takes exactly ``speed_den * d_G(src, dst)`` steps;
+2. legs of each object are contiguous in space and non-overlapping in time;
+3. every transaction had *all* of its objects at its home node at its
+   execution step;
+4. per object, transactions acquired it in non-decreasing execution-time
+   order, and never before the previous acquirer committed;
+5. (optional) at most one live transaction per node at any time.
+
+This is the library's correctness oracle: tests and every benchmark run it,
+so a scheduler cannot report an infeasible makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro._types import NodeId, ObjectId, Time, TxnId
+from repro.errors import InfeasibleScheduleError
+from repro.network.graph import Graph
+from repro.sim.trace import ExecutionTrace
+
+
+@dataclass(frozen=True)
+class CertificationIssue:
+    """One problem found by the certifier."""
+
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.detail}"
+
+
+def _object_position_intervals(
+    start: NodeId, legs
+) -> List[Tuple[Time, Optional[Time], NodeId]]:
+    """Rest intervals ``(from_t, until_t_exclusive_or_None, node)``."""
+    intervals: List[Tuple[Time, Optional[Time], NodeId]] = []
+    pos = start
+    t: Time = 0
+    for leg in legs:
+        intervals.append((t, leg.depart_time, pos))
+        pos = leg.dst
+        t = leg.arrive_time
+    intervals.append((t, None, pos))
+    return intervals
+
+
+def _at_node(intervals, t: Time, node: NodeId) -> bool:
+    """Was the object at rest at ``node`` at time ``t``?
+
+    An object departing at time ``t`` was still available at its source at
+    ``t`` (the model forwards *after* executing), so interval ends are
+    inclusive.
+    """
+    for lo, hi, pos in intervals:
+        if lo <= t and (hi is None or t <= hi):
+            if pos == node:
+                return True
+    return False
+
+
+def certify_trace(
+    graph: Graph,
+    trace: ExecutionTrace,
+    *,
+    one_txn_per_node: bool = False,
+    raise_on_failure: bool = True,
+) -> List[CertificationIssue]:
+    """Certify a trace; returns the list of issues (empty = feasible)."""
+    issues: List[CertificationIssue] = []
+    speed = trace.object_speed_den
+
+    legs_by_obj: Dict[ObjectId, list] = {oid: [] for oid in trace.initial_placement}
+    for leg in trace.legs:
+        legs_by_obj.setdefault(leg.oid, []).append(leg)
+
+    # 1 & 2: leg physics and contiguity.
+    positions: Dict[ObjectId, List[Tuple[Time, Optional[Time], NodeId]]] = {}
+    for oid, legs in legs_by_obj.items():
+        legs.sort(key=lambda l: l.depart_time)
+        start = trace.initial_placement.get(oid)
+        if start is None:
+            # Object created mid-run by a transaction; its creation node is
+            # the creator's home — find it from the first leg or records.
+            if legs:
+                start = legs[0].src
+            else:
+                creators = [r for r in trace.txns.values()]
+                start = creators[0].home if creators else 0
+        pos, t = start, 0
+        for leg in legs:
+            expected = speed * graph.distance(leg.src, leg.dst)
+            if leg.arrive_time - leg.depart_time != expected:
+                issues.append(
+                    CertificationIssue(
+                        "leg-speed",
+                        f"object {oid} leg {leg.src}->{leg.dst} took "
+                        f"{leg.arrive_time - leg.depart_time}, expected {expected}",
+                    )
+                )
+            if leg.src != pos:
+                issues.append(
+                    CertificationIssue(
+                        "leg-gap",
+                        f"object {oid} departs from {leg.src} but was at {pos}",
+                    )
+                )
+            if leg.depart_time < t:
+                issues.append(
+                    CertificationIssue(
+                        "leg-overlap",
+                        f"object {oid} departs at {leg.depart_time} before arriving at {t}",
+                    )
+                )
+            pos, t = leg.dst, leg.arrive_time
+        positions[oid] = _object_position_intervals(start, legs)
+
+    # 3: object presence at execution.
+    for rec in trace.txns.values():
+        for oid in rec.objects:
+            ivals = positions.get(oid)
+            if ivals is None:
+                issues.append(
+                    CertificationIssue(
+                        "unknown-object", f"txn {rec.tid} uses untracked object {oid}"
+                    )
+                )
+                continue
+            if not _at_node(ivals, rec.exec_time, rec.home):
+                issues.append(
+                    CertificationIssue(
+                        "absent-object",
+                        f"txn {rec.tid} executed at t={rec.exec_time} on node "
+                        f"{rec.home} without object {oid}",
+                    )
+                )
+
+    # 4: per-object serialization order.
+    for oid, ivals in positions.items():
+        users = sorted(
+            (r for r in trace.txns.values() if oid in r.objects),
+            key=lambda r: (r.exec_time, r.tid),
+        )
+        prev = None
+        for rec in users:
+            if prev is not None:
+                gap = speed * graph.distance(prev.home, rec.home)
+                if rec.exec_time < prev.exec_time:
+                    issues.append(
+                        CertificationIssue(
+                            "order", f"object {oid}: {rec.tid} before {prev.tid}"
+                        )
+                    )
+                if rec.home != prev.home and rec.exec_time - prev.exec_time < gap:
+                    issues.append(
+                        CertificationIssue(
+                            "too-fast",
+                            f"object {oid}: {prev.tid}@{prev.home}(t={prev.exec_time})"
+                            f" -> {rec.tid}@{rec.home}(t={rec.exec_time}) needs {gap}"
+                            " steps of travel",
+                        )
+                    )
+            prev = rec
+
+    # 4b: read/write extension — copies cut correctly and delivered in time.
+    copy_by_reader: Dict[Tuple[ObjectId, TxnId], list] = {}
+    for cl in trace.copy_legs:
+        copy_by_reader.setdefault((cl.oid, cl.reader_tid), []).append(cl)
+    writers_by_obj: Dict[ObjectId, list] = {}
+    for rec in trace.txns.values():
+        for oid in rec.objects:
+            writers_by_obj.setdefault(oid, []).append(rec)
+    for cl in trace.copy_legs:
+        expected = speed * graph.distance(cl.src, cl.dst)
+        if cl.arrive_time - cl.depart_time != expected:
+            issues.append(
+                CertificationIssue(
+                    "copy-speed",
+                    f"copy of {cl.oid} for reader {cl.reader_tid} took "
+                    f"{cl.arrive_time - cl.depart_time}, expected {expected}",
+                )
+            )
+        ivals = positions.get(cl.oid)
+        if ivals is not None and not _at_node(ivals, cl.depart_time, cl.src):
+            issues.append(
+                CertificationIssue(
+                    "copy-origin",
+                    f"copy of {cl.oid} cut at node {cl.src} at t={cl.depart_time}"
+                    " where the master was not at rest",
+                )
+            )
+    # Each reader must have received at least one *current* copy: right
+    # destination, in time, carrying exactly the version written by its
+    # preceding writers, cut no earlier than their last commit.  (Earlier
+    # copies may exist — they were invalidated by later-scheduled writers
+    # and only need to satisfy the physics checks above.)
+    for rec in trace.txns.values():
+        for oid in rec.reads:
+            preceding = [
+                w for w in writers_by_obj.get(oid, [])
+                if (w.exec_time, w.tid) < (rec.exec_time, rec.tid)
+            ]
+            expect_version = len(preceding)
+            last_commit = max((w.exec_time for w in preceding), default=0)
+            legs = copy_by_reader.get((oid, rec.tid), [])
+            ok = any(
+                cl.dst == rec.home
+                and cl.arrive_time <= rec.exec_time
+                and cl.version == expect_version
+                and cl.depart_time >= last_commit
+                for cl in legs
+            )
+            if not ok:
+                issues.append(
+                    CertificationIssue(
+                        "absent-copy",
+                        f"reader txn {rec.tid} executed at t={rec.exec_time} without"
+                        f" a current copy (version {expect_version}) of object {oid}",
+                    )
+                )
+
+    # 5: one live transaction per node.
+    if one_txn_per_node:
+        by_node: Dict[NodeId, List] = {}
+        for rec in trace.txns.values():
+            by_node.setdefault(rec.home, []).append(rec)
+        for node, recs in by_node.items():
+            recs.sort(key=lambda r: r.gen_time)
+            for a, b in zip(recs, recs[1:]):
+                if b.gen_time <= a.exec_time and b.tid != a.tid:
+                    # A node may generate its next txn at the commit step's
+                    # successor; simultaneous liveness is the violation.
+                    if b.gen_time < a.exec_time:
+                        issues.append(
+                            CertificationIssue(
+                                "node-overlap",
+                                f"node {node}: txns {a.tid} and {b.tid} live together",
+                            )
+                        )
+
+    # Engine-recorded violations are certification failures too.
+    for v in trace.violations:
+        issues.append(CertificationIssue("engine-violation", str(v)))
+
+    if issues and raise_on_failure:
+        raise InfeasibleScheduleError(issues)
+    return issues

@@ -1,0 +1,41 @@
+"""Workload generators: object placement, choice models, arrival processes."""
+
+from repro.workloads.arrivals import (
+    BatchWorkload,
+    ClosedLoopWorkload,
+    ManualWorkload,
+    OnlineWorkload,
+    workload_from_trace,
+)
+from repro.workloads.generators import (
+    LocalityChooser,
+    UniformChooser,
+    ZipfChooser,
+    place_objects_uniform,
+)
+from repro.workloads.adversarial import chain_workload, hotspot_workload
+from repro.workloads.applications import (
+    bank_workload,
+    inventory_workload,
+    vacation_workload,
+)
+from repro.workloads.gap_instances import crossing_lower_bound, grid_crossing_workload
+
+__all__ = [
+    "grid_crossing_workload",
+    "crossing_lower_bound",
+    "workload_from_trace",
+    "bank_workload",
+    "vacation_workload",
+    "inventory_workload",
+    "BatchWorkload",
+    "OnlineWorkload",
+    "ClosedLoopWorkload",
+    "ManualWorkload",
+    "UniformChooser",
+    "ZipfChooser",
+    "LocalityChooser",
+    "place_objects_uniform",
+    "chain_workload",
+    "hotspot_workload",
+]

@@ -1,0 +1,78 @@
+"""Adversarial stress workloads.
+
+These construct worst-case-flavoured instances used by tests and the
+ablation benches: hotspot contention (every transaction wants the same
+object — maximal ``l_max``) and dependency chains laid out across the
+graph (maximal serialization over distance).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro._types import Time
+from repro.errors import WorkloadError
+from repro.network.graph import Graph
+from repro.sim.transactions import TxnSpec
+from repro.workloads.arrivals import ManualWorkload
+
+
+def hotspot_workload(
+    graph: Graph,
+    num_cold_objects: int = 0,
+    k_cold: int = 0,
+    seed: Optional[int] = None,
+    *,
+    time: Time = 0,
+    shuffle: bool = False,
+) -> ManualWorkload:
+    """Every node requests hot object 0 (plus ``k_cold`` random cold ones).
+
+    The offline optimum must serialize all n transactions through the hot
+    object, so measured competitive ratios stay honest: the lower bound is
+    tight here.  ``shuffle=True`` randomizes the submission (and thus tid)
+    order — useful for ablations where an arrival-order scheduler must not
+    accidentally coincide with the topology-aware order.
+    """
+    rng = np.random.default_rng(seed)
+    placement = {0: int(rng.integers(0, graph.num_nodes))}
+    for o in range(1, num_cold_objects + 1):
+        placement[o] = int(rng.integers(0, graph.num_nodes))
+    if k_cold > num_cold_objects:
+        raise WorkloadError("k_cold exceeds number of cold objects")
+    specs = []
+    homes = list(graph.nodes())
+    if shuffle:
+        homes = [int(h) for h in rng.permutation(homes)]
+    for home in homes:
+        objs = [0]
+        if k_cold:
+            objs += [1 + int(i) for i in rng.choice(num_cold_objects, size=k_cold, replace=False)]
+        specs.append(TxnSpec(time, home, tuple(objs)))
+    return ManualWorkload(placement, specs)
+
+
+def chain_workload(graph: Graph, length: Optional[int] = None, *, time: Time = 0) -> ManualWorkload:
+    """A dependency chain: txn ``i`` shares object ``i`` with txn ``i+1``.
+
+    Placed on nodes ``0..length-1``, so on a line graph the objects must
+    zig-zag node to node and the optimum itself is ~length; on a clique the
+    chain costs ~length as well but each hop is distance 1.
+    """
+    n = graph.num_nodes if length is None else int(length)
+    if n > graph.num_nodes:
+        raise WorkloadError("chain longer than the node count")
+    if n < 2:
+        raise WorkloadError("chain needs at least 2 transactions")
+    placement = {i: i for i in range(n - 1)}
+    specs = []
+    for i in range(n):
+        objs: List[int] = []
+        if i > 0:
+            objs.append(i - 1)
+        if i < n - 1:
+            objs.append(i)
+        specs.append(TxnSpec(time, i, tuple(objs)))
+    return ManualWorkload(placement, specs)

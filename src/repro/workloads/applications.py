@@ -1,0 +1,144 @@
+"""Application-style workloads (the paper's Section VI future work:
+"evaluate our algorithm against different application benchmarks").
+
+Three synthetic applications in the STAMP tradition, expressed in the
+data-flow DTM model:
+
+* **bank** — classic transfer benchmark: accounts are objects; a transfer
+  writes two accounts (source, destination) drawn from a Zipf popularity
+  law; audits read a handful of accounts.
+* **vacation** — travel booking: three object families (flights, rooms,
+  cars); a booking writes one of each, biased toward popular items;
+  queries read availability.
+* **inventory** — warehouse order processing: an order writes one hot
+  catalog object (stock ledger shard by warehouse) plus reads the price
+  list; restocks write the price list.
+
+Each generator returns an online workload with seeded arrivals, so the
+application mixes drop straight into the experiment harness
+(bench E21).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro._types import NodeId, ObjectId, Time
+from repro.errors import WorkloadError
+from repro.network.graph import Graph
+from repro.sim.transactions import TxnSpec
+from repro.workloads.arrivals import ManualWorkload
+from repro.workloads.generators import place_objects_uniform
+
+
+def _zipf_probs(n: int, s: float) -> np.ndarray:
+    w = 1.0 / np.power(np.arange(1, n + 1, dtype=float), s)
+    return w / w.sum()
+
+
+def bank_workload(
+    graph: Graph,
+    *,
+    num_accounts: int = 32,
+    num_transfers: int = 100,
+    audit_fraction: float = 0.1,
+    audit_size: int = 4,
+    skew: float = 1.0,
+    horizon: Time = 100,
+    seed: Optional[int] = None,
+) -> ManualWorkload:
+    """Transfers write two distinct accounts; audits read several.
+
+    ``skew`` is the Zipf exponent of account popularity (hot accounts are
+    the contention driver, as in the classic STM bank benchmark).
+    """
+    if num_accounts < max(2, audit_size):
+        raise WorkloadError("bank needs at least max(2, audit_size) accounts")
+    rng = np.random.default_rng(seed)
+    placement = place_objects_uniform(graph, num_accounts, rng)
+    probs = _zipf_probs(num_accounts, skew)
+    specs: List[TxnSpec] = []
+    times = np.sort(rng.integers(0, horizon, size=num_transfers))
+    for t in times:
+        home = int(rng.integers(0, graph.num_nodes))
+        if rng.random() < audit_fraction:
+            accounts = rng.choice(num_accounts, size=audit_size, replace=False, p=probs)
+            specs.append(TxnSpec(int(t), home, (), reads=tuple(int(a) for a in accounts)))
+        else:
+            src, dst = rng.choice(num_accounts, size=2, replace=False, p=probs)
+            specs.append(TxnSpec(int(t), home, (int(src), int(dst))))
+    return ManualWorkload(placement, specs)
+
+
+def vacation_workload(
+    graph: Graph,
+    *,
+    num_flights: int = 12,
+    num_rooms: int = 12,
+    num_cars: int = 12,
+    num_bookings: int = 80,
+    query_fraction: float = 0.3,
+    skew: float = 0.8,
+    horizon: Time = 100,
+    seed: Optional[int] = None,
+) -> ManualWorkload:
+    """Bookings write one flight + one room + one car (k=3, the paper's
+    multi-object regime); queries read one item of each family."""
+    rng = np.random.default_rng(seed)
+    total = num_flights + num_rooms + num_cars
+    placement = place_objects_uniform(graph, total, rng)
+    fp = _zipf_probs(num_flights, skew)
+    rp = _zipf_probs(num_rooms, skew)
+    cp = _zipf_probs(num_cars, skew)
+    specs: List[TxnSpec] = []
+    times = np.sort(rng.integers(0, horizon, size=num_bookings))
+    for t in times:
+        home = int(rng.integers(0, graph.num_nodes))
+        f = int(rng.choice(num_flights, p=fp))
+        r = num_flights + int(rng.choice(num_rooms, p=rp))
+        c = num_flights + num_rooms + int(rng.choice(num_cars, p=cp))
+        if rng.random() < query_fraction:
+            specs.append(TxnSpec(int(t), home, (), reads=(f, r, c)))
+        else:
+            specs.append(TxnSpec(int(t), home, (f, r, c)))
+    return ManualWorkload(placement, specs)
+
+
+def inventory_workload(
+    graph: Graph,
+    *,
+    num_shards: int = 8,
+    num_orders: int = 100,
+    restock_fraction: float = 0.05,
+    locality: float = 0.7,
+    horizon: Time = 100,
+    seed: Optional[int] = None,
+) -> ManualWorkload:
+    """Orders write their warehouse's stock shard and read the price list
+    (object 0); restocks write the price list itself.
+
+    ``locality``: probability an order goes to the shard whose placement
+    node is nearest the ordering node (warehouse affinity), else uniform.
+    """
+    if not 0 <= locality <= 1:
+        raise WorkloadError("locality must be a probability")
+    rng = np.random.default_rng(seed)
+    # object 0 = price list; objects 1..num_shards = stock shards
+    placement = place_objects_uniform(graph, num_shards + 1, rng)
+    shard_nodes = {o: placement[o] for o in range(1, num_shards + 1)}
+    specs: List[TxnSpec] = []
+    times = np.sort(rng.integers(0, horizon, size=num_orders))
+    for t in times:
+        home = int(rng.integers(0, graph.num_nodes))
+        if rng.random() < restock_fraction:
+            specs.append(TxnSpec(int(t), home, (0,)))
+            continue
+        if rng.random() < locality:
+            d = graph.distances_from(home)
+            shard = min(shard_nodes, key=lambda o: (d[shard_nodes[o]], o))
+        else:
+            shard = 1 + int(rng.integers(0, num_shards))
+        specs.append(TxnSpec(int(t), home, (int(shard),), reads=(0,)))
+    return ManualWorkload(placement, specs)

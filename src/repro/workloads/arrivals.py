@@ -1,0 +1,268 @@
+"""Arrival processes: batch, online, and closed-loop workloads.
+
+A *workload* provides the engine with the initial object placement and a
+finite stream of :class:`TxnSpec`.  ``ClosedLoopWorkload`` additionally
+reacts to commits, reproducing the process of Section III-C: "once a
+transaction completes execution, the node of the transaction issues in the
+next step a new transaction requesting an arbitrary set of k objects".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro._types import NodeId, ObjectId, Time
+from repro.errors import WorkloadError
+from repro.network.graph import Graph
+from repro.sim.transactions import Transaction, TxnSpec
+from repro.workloads.generators import ObjectChooser, UniformChooser, place_objects_uniform
+
+
+def _split_reads(objs, read_fraction: float, rng: np.random.Generator):
+    """Partition chosen objects into (writes, reads) by ``read_fraction``.
+
+    With the read/write extension, each accessed object is independently a
+    read with probability ``read_fraction`` (0 = the paper's base model).
+    """
+    if read_fraction <= 0.0:
+        return tuple(objs), ()
+    writes, reads = [], []
+    for o in objs:
+        (reads if rng.random() < read_fraction else writes).append(o)
+    return tuple(writes), tuple(reads)
+
+
+class ManualWorkload:
+    """Explicit placement and specs; the building block of all others."""
+
+    def __init__(self, placement: Mapping[ObjectId, NodeId], specs: Iterable[TxnSpec]) -> None:
+        self._placement = dict(placement)
+        self._specs = sorted(specs, key=lambda s: s.gen_time)
+
+    def initial_objects(self) -> Dict[ObjectId, NodeId]:
+        """Initial object placement ``{oid: node}``."""
+        return dict(self._placement)
+
+    def arrivals(self) -> List[TxnSpec]:
+        """All transaction specs, sorted by generation time."""
+        return list(self._specs)
+
+    @property
+    def num_txns(self) -> int:
+        return len(self._specs)
+
+
+class BatchWorkload(ManualWorkload):
+    """All transactions generated at one time step (offline batch setting)."""
+
+    @classmethod
+    def uniform(
+        cls,
+        graph: Graph,
+        num_objects: int,
+        k: int,
+        seed: Optional[int] = None,
+        *,
+        num_txns: Optional[int] = None,
+        chooser: Optional[ObjectChooser] = None,
+        time: Time = 0,
+        read_fraction: float = 0.0,
+    ) -> "BatchWorkload":
+        """One transaction per node (or ``num_txns`` random distinct nodes),
+        each requesting ``k`` objects from a pool of ``num_objects`` placed
+        uniformly at random — the batch problem of Busch et al. [4].
+
+        ``read_fraction``: probability each accessed object is a read-only
+        access (read/write extension)."""
+        rng = np.random.default_rng(seed)
+        placement = place_objects_uniform(graph, num_objects, rng)
+        chooser = chooser or UniformChooser(num_objects)
+        if num_txns is None:
+            homes: Sequence[NodeId] = list(graph.nodes())
+        else:
+            if num_txns > graph.num_nodes:
+                raise WorkloadError("num_txns exceeds node count (one txn per node)")
+            homes = [int(h) for h in rng.choice(graph.num_nodes, size=num_txns, replace=False)]
+        specs = []
+        for home in homes:
+            writes, reads = _split_reads(chooser.choose(home, k, rng), read_fraction, rng)
+            specs.append(TxnSpec(time, home, writes, reads=reads))
+        return cls(placement, specs)
+
+
+class OnlineWorkload(ManualWorkload):
+    """Transactions arriving over time (the paper's dynamic setting)."""
+
+    @classmethod
+    def bernoulli(
+        cls,
+        graph: Graph,
+        num_objects: int,
+        k: int,
+        rate: float,
+        horizon: Time,
+        seed: Optional[int] = None,
+        *,
+        chooser: Optional[ObjectChooser] = None,
+        read_fraction: float = 0.0,
+    ) -> "OnlineWorkload":
+        """Each node independently generates a transaction with probability
+        ``rate`` at each step in ``[0, horizon)``.
+
+        Nodes do not wait for their previous transaction (use
+        :class:`ClosedLoopWorkload` for the one-live-txn-per-node regime).
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise WorkloadError(f"rate must be a probability, got {rate}")
+        rng = np.random.default_rng(seed)
+        placement = place_objects_uniform(graph, num_objects, rng)
+        chooser = chooser or UniformChooser(num_objects)
+        specs = []
+        draws = rng.random((int(horizon), graph.num_nodes))
+        for t in range(int(horizon)):
+            for home in graph.nodes():
+                if draws[t, home] < rate:
+                    writes, reads = _split_reads(
+                        chooser.choose(home, k, rng), read_fraction, rng
+                    )
+                    specs.append(TxnSpec(t, home, writes, reads=reads))
+        return cls(placement, specs)
+
+    @classmethod
+    def bursty(
+        cls,
+        graph: Graph,
+        num_objects: int,
+        k: int,
+        horizon: Time,
+        seed: Optional[int] = None,
+        *,
+        burst_rate: float = 0.3,
+        idle_rate: float = 0.01,
+        mean_burst: int = 8,
+        mean_idle: int = 24,
+        chooser: Optional[ObjectChooser] = None,
+        read_fraction: float = 0.0,
+    ) -> "OnlineWorkload":
+        """On/off (Markov-modulated) arrivals: alternating burst and idle
+        phases with geometric durations.
+
+        Bursts are where online schedulers earn their keep — batch-like
+        contention spikes arrive with no warning — while idle phases let
+        backlogs drain.  ``burst_rate``/``idle_rate`` are per-node
+        per-step generation probabilities within each phase.
+        """
+        for name, val in (("burst_rate", burst_rate), ("idle_rate", idle_rate)):
+            if not 0.0 <= val <= 1.0:
+                raise WorkloadError(f"{name} must be a probability, got {val}")
+        if mean_burst < 1 or mean_idle < 1:
+            raise WorkloadError("phase lengths must be >= 1")
+        rng = np.random.default_rng(seed)
+        placement = place_objects_uniform(graph, num_objects, rng)
+        chooser = chooser or UniformChooser(num_objects)
+        specs = []
+        t = 0
+        in_burst = False
+        while t < horizon:
+            mean = mean_burst if in_burst else mean_idle
+            length = 1 + int(rng.geometric(1.0 / mean))
+            rate = burst_rate if in_burst else idle_rate
+            for step in range(t, min(horizon, t + length)):
+                for home in graph.nodes():
+                    if rng.random() < rate:
+                        writes, reads = _split_reads(
+                            chooser.choose(home, k, rng), read_fraction, rng
+                        )
+                        specs.append(TxnSpec(step, home, writes, reads=reads))
+            t += length
+            in_burst = not in_burst
+        return cls(placement, specs)
+
+    @classmethod
+    def poisson_bulk(
+        cls,
+        graph: Graph,
+        num_objects: int,
+        k: int,
+        lam: float,
+        horizon: Time,
+        seed: Optional[int] = None,
+        *,
+        chooser: Optional[ObjectChooser] = None,
+    ) -> "OnlineWorkload":
+        """Poisson(lam) transactions per step at uniformly random nodes."""
+        rng = np.random.default_rng(seed)
+        placement = place_objects_uniform(graph, num_objects, rng)
+        chooser = chooser or UniformChooser(num_objects)
+        specs = []
+        counts = rng.poisson(lam, size=int(horizon))
+        for t in range(int(horizon)):
+            for _ in range(int(counts[t])):
+                home = int(rng.integers(0, graph.num_nodes))
+                specs.append(TxnSpec(t, home, tuple(chooser.choose(home, k, rng))))
+        return cls(placement, specs)
+
+
+def workload_from_trace(trace) -> ManualWorkload:
+    """Rebuild the workload a trace came from (placement + specs).
+
+    Pairs with :class:`repro.core.replay.ReplayScheduler` and the trace
+    archive: load a trace, regenerate its workload, and replay or
+    re-schedule it under different schedulers/engine settings.
+    """
+    specs = [
+        TxnSpec(rec.gen_time, rec.home, tuple(rec.objects), reads=tuple(rec.reads))
+        for rec in sorted(trace.txns.values(), key=lambda r: (r.gen_time, r.tid))
+    ]
+    return ManualWorkload(dict(trace.initial_placement), specs)
+
+
+class ClosedLoopWorkload:
+    """Section III-C's repeating process: every node keeps exactly one live
+    transaction; a commit at ``t`` triggers a fresh k-object transaction at
+    ``t + 1``, for ``rounds`` rounds per node."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        num_objects: int,
+        k: int,
+        rounds: int,
+        seed: Optional[int] = None,
+        *,
+        chooser: Optional[ObjectChooser] = None,
+        nodes: Optional[Sequence[NodeId]] = None,
+        read_fraction: float = 0.0,
+    ) -> None:
+        if rounds < 1:
+            raise WorkloadError("rounds must be >= 1")
+        self._rng = np.random.default_rng(seed)
+        self._graph = graph
+        self._k = k
+        self._rounds = rounds
+        self._placement = place_objects_uniform(graph, num_objects, self._rng)
+        self._chooser = chooser or UniformChooser(num_objects)
+        self._nodes = list(nodes) if nodes is not None else list(graph.nodes())
+        self._remaining = {home: rounds - 1 for home in self._nodes}
+        self._read_fraction = float(read_fraction)
+
+    def initial_objects(self) -> Dict[ObjectId, NodeId]:
+        return dict(self._placement)
+
+    def _spec(self, t: Time, home: NodeId) -> TxnSpec:
+        writes, reads = _split_reads(
+            self._chooser.choose(home, self._k, self._rng), self._read_fraction, self._rng
+        )
+        return TxnSpec(t, home, writes, reads=reads)
+
+    def arrivals(self) -> List[TxnSpec]:
+        return [self._spec(0, home) for home in self._nodes]
+
+    def on_commit(self, txn: Transaction, t: Time) -> List[TxnSpec]:
+        left = self._remaining.get(txn.home, 0)
+        if left <= 0:
+            return []
+        self._remaining[txn.home] = left - 1
+        return [self._spec(t + 1, txn.home)]

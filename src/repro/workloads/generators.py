@@ -1,0 +1,97 @@
+"""Object placement and object-choice models.
+
+The paper's scheduling problems (Sections III-C, IV-D) have ``w`` shared
+objects and transactions that each request "an arbitrary set of ``k``
+objects".  The choice models below instantiate "arbitrary": uniform
+k-subsets, Zipf-skewed hotspots (the contention knob used throughout the
+experiments), and locality-biased choices that prefer objects placed near
+the requesting node.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro._types import NodeId, ObjectId
+from repro.errors import WorkloadError
+from repro.network.graph import Graph
+
+
+def place_objects_uniform(
+    graph: Graph, num_objects: int, rng: np.random.Generator
+) -> Dict[ObjectId, NodeId]:
+    """Place ``num_objects`` objects on nodes chosen uniformly at random."""
+    nodes = rng.integers(0, graph.num_nodes, size=num_objects)
+    return {oid: int(nodes[oid]) for oid in range(num_objects)}
+
+
+class ObjectChooser(abc.ABC):
+    """Chooses the object set ``O(T)`` for a transaction."""
+
+    @abc.abstractmethod
+    def choose(self, home: NodeId, k: int, rng: np.random.Generator) -> List[ObjectId]:
+        """Return ``k`` distinct object ids for a transaction at ``home``."""
+
+    @staticmethod
+    def _check(k: int, pool: int) -> None:
+        if k > pool:
+            raise WorkloadError(f"k={k} exceeds object pool size {pool}")
+
+
+class UniformChooser(ObjectChooser):
+    """Uniform k-subset of the object pool."""
+
+    def __init__(self, num_objects: int) -> None:
+        self.num_objects = num_objects
+
+    def choose(self, home: NodeId, k: int, rng: np.random.Generator) -> List[ObjectId]:
+        self._check(k, self.num_objects)
+        return [int(o) for o in rng.choice(self.num_objects, size=k, replace=False)]
+
+
+class ZipfChooser(ObjectChooser):
+    """Zipf-skewed choice: object ``i`` drawn with probability ~ 1/(i+1)^s.
+
+    ``s = 0`` degenerates to uniform; larger ``s`` concentrates contention
+    on a few hot objects, driving up the per-object load ``l_max`` that
+    lower-bounds execution time (Theorem 3's denominator).
+    """
+
+    def __init__(self, num_objects: int, s: float = 1.0) -> None:
+        if num_objects < 1:
+            raise WorkloadError("ZipfChooser needs at least one object")
+        self.num_objects = num_objects
+        self.s = float(s)
+        weights = 1.0 / np.power(np.arange(1, num_objects + 1, dtype=float), self.s)
+        self._probs = weights / weights.sum()
+
+    def choose(self, home: NodeId, k: int, rng: np.random.Generator) -> List[ObjectId]:
+        self._check(k, self.num_objects)
+        return [int(o) for o in rng.choice(self.num_objects, size=k, replace=False, p=self._probs)]
+
+
+class LocalityChooser(ObjectChooser):
+    """Distance-biased choice: prefers objects initially placed near home.
+
+    Probability of object ``o`` ~ ``1 / (1 + d(home, place(o)))**bias``.
+    Models NUMA-style locality in rack-scale systems.
+    """
+
+    def __init__(self, graph: Graph, placement: Dict[ObjectId, NodeId], bias: float = 2.0) -> None:
+        self.graph = graph
+        self.placement = dict(placement)
+        self.bias = float(bias)
+        self._oids = sorted(self.placement)
+
+    def choose(self, home: NodeId, k: int, rng: np.random.Generator) -> List[ObjectId]:
+        self._check(k, len(self._oids))
+        d = self.graph.distances_from(home)
+        weights = np.array(
+            [1.0 / (1.0 + d[self.placement[o]]) ** self.bias for o in self._oids]
+        )
+        probs = weights / weights.sum()
+        picks = rng.choice(len(self._oids), size=k, replace=False, p=probs)
+        return [self._oids[int(i)] for i in picks]

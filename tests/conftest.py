@@ -1,0 +1,33 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network import topologies
+from repro.analysis.experiments import run_experiment
+
+
+@pytest.fixture
+def clique8():
+    return topologies.clique(8)
+
+
+@pytest.fixture
+def line16():
+    return topologies.line(16)
+
+
+@pytest.fixture
+def grid4x4():
+    return topologies.grid([4, 4])
+
+
+@pytest.fixture
+def cube3():
+    return topologies.hypercube(3)
+
+
+def run_certified(graph, scheduler, workload, **kw):
+    """Run and certify; the certifier raises on any infeasibility."""
+    return run_experiment(graph, scheduler, workload, certify=True, **kw)

@@ -1,0 +1,67 @@
+"""Tests for the adaptive scheduler and its topology dispatch."""
+
+import pytest
+
+from repro.analysis import run_experiment
+from repro.core import AdaptiveScheduler, pick_batch_scheduler
+from repro.network import topologies
+from repro.offline import (
+    ClusterBatchScheduler,
+    ColoringBatchScheduler,
+    LineBatchScheduler,
+    StarBatchScheduler,
+)
+from repro.workloads import OnlineWorkload
+
+
+class TestPickBatchScheduler:
+    def test_cluster_layout(self):
+        g = topologies.cluster_graph(3, 4, gamma=6)
+        assert isinstance(pick_batch_scheduler(g), ClusterBatchScheduler)
+
+    def test_star_layout(self):
+        g = topologies.star_graph(3, 4)
+        assert isinstance(pick_batch_scheduler(g), StarBatchScheduler)
+
+    def test_line_by_name(self):
+        assert isinstance(pick_batch_scheduler(topologies.line(8)), LineBatchScheduler)
+        assert isinstance(pick_batch_scheduler(topologies.ring(8)), LineBatchScheduler)
+
+    def test_generic_fallback(self):
+        assert isinstance(pick_batch_scheduler(topologies.hypercube(3)), ColoringBatchScheduler)
+
+
+class TestAdaptiveChoice:
+    @pytest.mark.parametrize(
+        "graph,expected",
+        [
+            (topologies.clique(16), "greedy"),
+            (topologies.hypercube(4), "greedy"),
+            (topologies.line(64), "bucket(line-sweep)"),
+            (topologies.star_graph(4, 8), "bucket(star-banded)"),
+            (topologies.cluster_graph(4, 4, gamma=16), "bucket(cluster-banded)"),
+        ],
+        ids=lambda x: x if isinstance(x, str) else x.name,
+    )
+    def test_regime_choice(self, graph, expected):
+        sched = AdaptiveScheduler()
+        wl = OnlineWorkload.bernoulli(graph, num_objects=4, k=2, rate=0.04, horizon=20, seed=0)
+        run_experiment(graph, sched, wl)
+        assert sched.choice == expected
+
+    def test_feasible_both_regimes(self):
+        for graph in (topologies.clique(12), topologies.line(48)):
+            wl = OnlineWorkload.bernoulli(graph, num_objects=6, k=2, rate=0.05, horizon=40, seed=1)
+            res = run_experiment(graph, AdaptiveScheduler(), wl)
+            assert res.trace.num_txns == wl.num_txns
+
+    def test_threshold_factor(self):
+        g = topologies.grid([4, 4])  # n=16, D=6, log2(16)=4
+        a = AdaptiveScheduler(threshold_factor=1.0)  # 6 > 4 -> bucket
+        wl = OnlineWorkload.bernoulli(g, num_objects=4, k=2, rate=0.05, horizon=20, seed=2)
+        run_experiment(g, a, wl)
+        assert a.choice.startswith("bucket")
+        b = AdaptiveScheduler(threshold_factor=2.0)  # 6 <= 8 -> greedy
+        wl = OnlineWorkload.bernoulli(g, num_objects=4, k=2, rate=0.05, horizon=20, seed=2)
+        run_experiment(g, b, wl)
+        assert b.choice == "greedy"

@@ -1,0 +1,71 @@
+"""Tests for multi-seed replication and aggregation."""
+
+import pytest
+
+from repro.analysis import Aggregate, replicate
+
+
+class TestAggregate:
+    def test_basic_stats(self):
+        a = Aggregate("x", (1.0, 2.0, 3.0))
+        assert a.n == 3
+        assert a.mean == 2.0
+        assert a.min == 1.0 and a.max == 3.0
+        assert a.std > 0
+
+    def test_single_value(self):
+        a = Aggregate("x", (5.0,))
+        assert a.std == 0.0
+        assert a.ci() == (5.0, 5.0)
+
+    def test_empty(self):
+        a = Aggregate("x", ())
+        assert a.mean == 0.0
+        assert a.ci() == (0.0, 0.0)
+
+    def test_ci_contains_mean(self):
+        a = Aggregate("x", tuple(float(i) for i in range(20)))
+        lo, hi = a.ci()
+        assert lo <= a.mean <= hi
+        assert lo < hi
+
+    def test_ci_deterministic(self):
+        a = Aggregate("x", (1.0, 4.0, 2.0, 8.0))
+        assert a.ci(seed=3) == a.ci(seed=3)
+
+    def test_summary_row_shape(self):
+        a = Aggregate("makespan", (10.0, 12.0))
+        row = a.summary_row()
+        assert row[0] == "makespan"
+        assert len(row) == 7
+
+
+class TestReplicate:
+    def test_collects_all_metrics(self):
+        out = replicate(lambda seed: {"a": seed, "b": seed * 2}, seeds=[1, 2, 3])
+        assert out["a"].values == (1.0, 2.0, 3.0)
+        assert out["b"].mean == 4.0
+
+    def test_inconsistent_keys_rejected(self):
+        def exp(seed):
+            return {"a": 1} if seed == 0 else {"b": 1}
+
+        with pytest.raises(ValueError):
+            replicate(exp, seeds=[0, 1])
+
+    def test_real_experiment(self):
+        from repro.analysis import run_experiment
+        from repro.core import GreedyScheduler
+        from repro.network import topologies
+        from repro.workloads import BatchWorkload
+
+        g = topologies.clique(8)
+
+        def exp(seed):
+            wl = BatchWorkload.uniform(g, num_objects=4, k=2, seed=seed)
+            res = run_experiment(g, GreedyScheduler(), wl)
+            return {"makespan": res.makespan, "ratio": res.competitive_ratio}
+
+        agg = replicate(exp, seeds=range(5))
+        assert agg["makespan"].n == 5
+        assert agg["ratio"].mean >= 1.0

@@ -1,0 +1,118 @@
+"""Tests for the application-style workloads (bank, vacation, inventory)."""
+
+import pytest
+
+from repro.analysis import run_experiment
+from repro.core import BucketScheduler, GreedyScheduler
+from repro.errors import WorkloadError
+from repro.network import topologies
+from repro.offline import ColoringBatchScheduler
+from repro.workloads import bank_workload, inventory_workload, vacation_workload
+
+
+class TestBank:
+    def test_structure(self):
+        g = topologies.grid([4, 4])
+        wl = bank_workload(g, num_accounts=10, num_transfers=50, seed=0)
+        specs = wl.arrivals()
+        assert len(specs) == 50
+        for s in specs:
+            if s.objects:  # transfer
+                assert len(s.objects) == 2
+                assert len(set(s.objects)) == 2
+                assert not s.reads
+            else:  # audit
+                assert len(s.reads) == 4
+
+    def test_audit_fraction(self):
+        g = topologies.clique(8)
+        wl = bank_workload(g, num_transfers=300, audit_fraction=0.5, seed=1)
+        audits = sum(1 for s in wl.arrivals() if s.reads)
+        assert 100 < audits < 200
+
+    def test_too_few_accounts(self):
+        with pytest.raises(WorkloadError):
+            bank_workload(topologies.clique(4), num_accounts=1)
+
+    def test_runs_feasibly(self):
+        g = topologies.grid([4, 4])
+        wl = bank_workload(g, num_accounts=12, num_transfers=60, seed=2)
+        res = run_experiment(g, GreedyScheduler(), wl)
+        assert res.trace.num_txns == 60
+
+    def test_skew_concentrates_contention(self):
+        g = topologies.clique(8)
+        hot = bank_workload(g, num_transfers=200, skew=2.0, seed=3)
+        cold = bank_workload(g, num_transfers=200, skew=0.0, seed=3)
+
+        def top_share(wl):
+            counts = {}
+            for s in wl.arrivals():
+                for o in (*s.objects, *s.reads):
+                    counts[o] = counts.get(o, 0) + 1
+            total = sum(counts.values())
+            return max(counts.values()) / total
+
+        assert top_share(hot) > top_share(cold)
+
+
+class TestVacation:
+    def test_bookings_touch_all_families(self):
+        g = topologies.grid([3, 4])
+        wl = vacation_workload(g, num_bookings=40, seed=0)
+        for s in wl.arrivals():
+            objs = (*s.objects, *s.reads)
+            assert len(objs) == 3
+            families = [o // 12 for o in sorted(objs)]
+            assert families == [0, 1, 2]
+
+    def test_query_fraction(self):
+        g = topologies.clique(6)
+        wl = vacation_workload(g, num_bookings=200, query_fraction=0.5, seed=4)
+        queries = sum(1 for s in wl.arrivals() if s.reads)
+        assert 60 < queries < 140
+
+    def test_runs_feasibly_with_bucket(self):
+        g = topologies.cluster_graph(3, 4, gamma=6)
+        wl = vacation_workload(g, num_bookings=50, seed=1)
+        res = run_experiment(g, BucketScheduler(ColoringBatchScheduler()), wl)
+        assert res.trace.num_txns == 50
+
+
+class TestInventory:
+    def test_orders_and_restocks(self):
+        g = topologies.grid([4, 4])
+        wl = inventory_workload(g, num_orders=120, restock_fraction=0.2, seed=0)
+        restocks = [s for s in wl.arrivals() if s.objects == (0,) and not s.reads]
+        orders = [s for s in wl.arrivals() if s.reads]
+        assert restocks and orders
+        assert len(restocks) + len(orders) == 120
+        for s in orders:
+            assert s.reads == (0,)  # price list read
+            assert 1 <= s.objects[0]  # stock shard write
+
+    def test_locality_prefers_near_shards(self):
+        g = topologies.line(24)
+        wl = inventory_workload(g, num_shards=6, num_orders=400, locality=1.0, seed=5)
+        placement = wl.initial_objects()
+        near = 0
+        total = 0
+        for s in wl.arrivals():
+            if not s.reads:
+                continue
+            total += 1
+            shard_pos = placement[s.objects[0]]
+            dists = sorted(g.distance(s.home, placement[o]) for o in range(1, 7))
+            if g.distance(s.home, shard_pos) == dists[0]:
+                near += 1
+        assert near == total  # full locality: always the nearest shard
+
+    def test_invalid_locality(self):
+        with pytest.raises(WorkloadError):
+            inventory_workload(topologies.clique(4), locality=1.5)
+
+    def test_runs_feasibly(self):
+        g = topologies.star_graph(4, 4)
+        wl = inventory_workload(g, num_orders=60, seed=6)
+        res = run_experiment(g, GreedyScheduler(), wl)
+        assert res.trace.num_txns == 60

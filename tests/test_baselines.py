@@ -1,0 +1,74 @@
+"""Tests for the baseline schedulers (FIFO serial, TSP tours)."""
+
+import pytest
+
+from repro.analysis import run_experiment
+from repro.baselines import FifoSerialScheduler, TspTourScheduler
+from repro.baselines.tsp import nearest_neighbor_order
+from repro.core import GreedyScheduler
+from repro.network import topologies
+from repro.sim.transactions import Transaction, TxnSpec
+from repro.workloads import BatchWorkload, ManualWorkload, OnlineWorkload, hotspot_workload
+
+
+class TestFifo:
+    def test_serializes_everything(self):
+        g = topologies.clique(6)
+        specs = [TxnSpec(0, i, (i,)) for i in range(6)]  # all independent!
+        wl = ManualWorkload({i: i for i in range(6)}, specs)
+        res = run_experiment(g, FifoSerialScheduler(), wl)
+        times = sorted(r.exec_time for r in res.trace.txns.values())
+        assert len(set(times)) == 6  # strictly serial despite independence
+
+    def test_feasible_online(self):
+        g = topologies.grid([3, 3])
+        wl = OnlineWorkload.bernoulli(g, num_objects=4, k=2, rate=0.08, horizon=25, seed=0)
+        res = run_experiment(g, FifoSerialScheduler(), wl)
+        assert res.trace.num_txns == wl.num_txns
+
+    def test_greedy_dominates_fifo_on_parallel_work(self):
+        g = topologies.clique(10)
+        mk = lambda: BatchWorkload.uniform(g, num_objects=10, k=1, seed=4)
+        fifo = run_experiment(g, FifoSerialScheduler(), mk())
+        greedy = run_experiment(g, GreedyScheduler(), mk())
+        assert greedy.makespan < fifo.makespan
+
+
+class TestNearestNeighbor:
+    def test_order_on_line(self):
+        g = topologies.line(10)
+        txns = [Transaction(i, h, frozenset({0}), 0) for i, h in enumerate([9, 1, 5])]
+        order = nearest_neighbor_order(g, 0, txns)
+        assert [t.home for t in order] == [1, 5, 9]
+
+    def test_ties_by_tid(self):
+        g = topologies.clique(5)
+        txns = [Transaction(i, i + 1, frozenset({0}), 0) for i in range(3)]
+        order = nearest_neighbor_order(g, 0, txns)
+        assert [t.tid for t in order] == [0, 1, 2]
+
+
+class TestTsp:
+    def test_feasible_on_hotspot(self):
+        g = topologies.line(12)
+        res = run_experiment(g, TspTourScheduler(), hotspot_workload(g, seed=0))
+        assert res.trace.num_txns == 12
+
+    def test_tour_behaviour_on_line(self):
+        # hot object at node 0, requesters everywhere: NN tour = sweep,
+        # so the TSP baseline matches the sweep makespan on this instance.
+        g = topologies.line(10)
+        res = run_experiment(g, TspTourScheduler(), hotspot_workload(g, seed=1))
+        assert res.makespan <= 2 * (g.num_nodes - 1) + 2
+
+    def test_feasible_online_multiobject(self):
+        g = topologies.grid([3, 3])
+        wl = OnlineWorkload.bernoulli(g, num_objects=4, k=2, rate=0.08, horizon=25, seed=1)
+        res = run_experiment(g, TspTourScheduler(), wl)
+        assert res.trace.num_txns == wl.num_txns
+
+    def test_zero_object_txn(self):
+        g = topologies.line(4)
+        wl = ManualWorkload({}, [TxnSpec(0, 2, ())])
+        res = run_experiment(g, TspTourScheduler(), wl)
+        assert res.trace.num_txns == 1

@@ -1,0 +1,114 @@
+"""Tests for Algorithm 2 (online bucket scheduler) and Lemmas 3-4."""
+
+import math
+
+import pytest
+
+from repro.analysis import run_experiment
+from repro.core import BucketScheduler
+from repro.network import topologies
+from repro.offline import ColoringBatchScheduler, LineBatchScheduler
+from repro.sim.transactions import TxnSpec
+from repro.workloads import BatchWorkload, ManualWorkload, OnlineWorkload
+
+
+def make(scheduler_cls=ColoringBatchScheduler, **kw):
+    return BucketScheduler(scheduler_cls(), **kw)
+
+
+class TestStructure:
+    def test_max_level_is_lemma3(self):
+        g = topologies.line(16)  # n=16, D=15
+        wl = BatchWorkload.uniform(g, num_objects=2, k=1, seed=0)
+        sched = make()
+        run_experiment(g, sched, wl)
+        assert sched.max_level == math.ceil(math.log2(16 * 15)) + 1
+
+    def test_override_max_level(self):
+        g = topologies.line(8)
+        wl = BatchWorkload.uniform(g, num_objects=2, k=1, seed=0)
+        sched = make(max_level=4)
+        run_experiment(g, sched, wl)
+        assert sched.max_level == 4
+
+    def test_insertions_logged_within_levels(self):
+        g = topologies.line(16)
+        wl = OnlineWorkload.bernoulli(g, num_objects=5, k=2, rate=0.05, horizon=40, seed=1)
+        sched = make()
+        run_experiment(g, sched, wl)
+        assert sched.insert_log
+        for tid, level, t in sched.insert_log:
+            assert 0 <= level <= sched.max_level
+
+    def test_lowest_levels_first_on_shared_activation(self):
+        g = topologies.line(16)
+        wl = OnlineWorkload.bernoulli(g, num_objects=5, k=2, rate=0.08, horizon=40, seed=5)
+        sched = make()
+        run_experiment(g, sched, wl)
+        by_time = {}
+        for level, t, size in sched.activation_log:
+            by_time.setdefault(t, []).append(level)
+        for t, levels in by_time.items():
+            assert levels == sorted(levels)
+
+
+class TestLemma4:
+    """A txn inserted into B_i at time t executes by t + (i+1)*2**(i+2)."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_latency_bound(self, seed):
+        g = topologies.line(16)
+        wl = OnlineWorkload.bernoulli(g, num_objects=5, k=2, rate=0.06, horizon=60, seed=seed)
+        sched = make()
+        res = run_experiment(g, sched, wl)
+        level_of = {tid: level for tid, level, _ in sched.insert_log}
+        insert_time = {tid: t for tid, _, t in sched.insert_log}
+        for rec in res.trace.txns.values():
+            i = level_of[rec.tid]
+            assert rec.exec_time <= insert_time[rec.tid] + (i + 1) * 2 ** (i + 2)
+
+
+class TestSchedulingBehavior:
+    def test_light_txn_lands_in_low_bucket(self):
+        # a single local-object txn: batch completes in 1 step -> B_0
+        g = topologies.line(8)
+        wl = ManualWorkload({0: 3}, [TxnSpec(0, 3, (0,))])
+        sched = make()
+        res = run_experiment(g, sched, wl)
+        assert sched.insert_log[0][1] == 0
+        assert res.trace.txns[0].exec_time <= 2
+
+    def test_heavy_txn_lands_in_higher_bucket(self):
+        g = topologies.line(16)
+        wl = ManualWorkload({0: 0}, [TxnSpec(0, 15, (0,))])  # needs 15 travel
+        sched = make()
+        run_experiment(g, sched, wl)
+        assert sched.insert_log[0][1] == 4  # 2**4 = 16 >= 15+
+
+    def test_batch_at_time_zero_schedules_immediately(self):
+        g = topologies.clique(8)
+        wl = BatchWorkload.uniform(g, num_objects=4, k=2, seed=2)
+        sched = make()
+        res = run_experiment(g, sched, wl)
+        # t=0 is divisible by every period: all buckets activate at once
+        assert all(r.schedule_time == 0 for r in res.trace.txns.values())
+
+    def test_feasible_online_line(self):
+        g = topologies.line(24)
+        wl = OnlineWorkload.bernoulli(g, num_objects=8, k=2, rate=0.04, horizon=60, seed=3)
+        res = run_experiment(g, BucketScheduler(LineBatchScheduler()), wl)
+        assert res.trace.num_txns == wl.num_txns  # certified by run_experiment
+
+    def test_unaligned_mode_feasible(self):
+        g = topologies.line(16)
+        wl = OnlineWorkload.bernoulli(g, num_objects=5, k=2, rate=0.05, horizon=40, seed=6)
+        res = run_experiment(g, make(align=False), wl)
+        assert res.trace.num_txns == wl.num_txns
+
+    def test_has_pending_drains(self):
+        g = topologies.line(8)
+        wl = OnlineWorkload.bernoulli(g, num_objects=3, k=1, rate=0.1, horizon=20, seed=7)
+        sched = make()
+        run_experiment(g, sched, wl)
+        assert not sched.has_pending()
+        assert sched.pending_count() == 0

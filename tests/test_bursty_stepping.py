@@ -1,0 +1,104 @@
+"""Tests for bursty arrivals and partial-run stepping."""
+
+import pytest
+
+from repro.analysis import run_experiment
+from repro.core import BucketScheduler, GreedyScheduler
+from repro.errors import SchedulingError, WorkloadError
+from repro.network import topologies
+from repro.offline import ColoringBatchScheduler
+from repro.sim.engine import Simulator
+from repro.sim.transactions import TxnSpec
+from repro.sim.validate import certify_trace
+from repro.workloads import ManualWorkload, OnlineWorkload
+
+
+class TestBursty:
+    def test_generates_and_runs(self):
+        g = topologies.grid([4, 4])
+        wl = OnlineWorkload.bursty(g, num_objects=6, k=2, horizon=120, seed=0)
+        assert wl.num_txns > 0
+        res = run_experiment(g, GreedyScheduler(), wl)
+        assert res.trace.num_txns == wl.num_txns
+
+    def test_burstiness_visible(self):
+        """Index of dispersion (variance/mean of per-step arrival counts)
+        far above 1: Poisson-like arrivals sit at ~1, bursts push it up."""
+        import numpy as np
+
+        g = topologies.clique(16)
+        horizon = 200
+        wl = OnlineWorkload.bursty(
+            g, num_objects=6, k=1, horizon=horizon, seed=1,
+            burst_rate=0.4, idle_rate=0.005,
+        )
+        counts = np.zeros(horizon)
+        for s in wl.arrivals():
+            counts[s.gen_time] += 1
+        dispersion = counts.var() / max(1e-9, counts.mean())
+        assert dispersion > 2.0, f"arrivals not bursty (dispersion={dispersion:.2f})"
+
+    def test_deterministic(self):
+        g = topologies.line(8)
+        a = OnlineWorkload.bursty(g, 4, 1, horizon=60, seed=5)
+        b = OnlineWorkload.bursty(g, 4, 1, horizon=60, seed=5)
+        assert a.arrivals() == b.arrivals()
+
+    def test_invalid_params(self):
+        g = topologies.line(4)
+        with pytest.raises(WorkloadError):
+            OnlineWorkload.bursty(g, 2, 1, horizon=10, burst_rate=2.0)
+        with pytest.raises(WorkloadError):
+            OnlineWorkload.bursty(g, 2, 1, horizon=10, mean_burst=0)
+
+    def test_bucket_handles_bursts(self):
+        g = topologies.line(16)
+        wl = OnlineWorkload.bursty(g, num_objects=6, k=2, horizon=100, seed=3)
+        res = run_experiment(g, BucketScheduler(ColoringBatchScheduler()), wl)
+        assert res.trace.num_txns == wl.num_txns
+
+
+class TestRunUntil:
+    def test_partial_then_drain(self):
+        g = topologies.line(10)
+        specs = [TxnSpec(0, 3, (0,)), TxnSpec(30, 7, (0,))]
+        wl = ManualWorkload({0: 0}, specs)
+        sim = Simulator(g, GreedyScheduler(), wl)
+        sim.run_until(10)
+        assert 0 in sim.trace.txns  # first txn committed
+        assert len(sim.trace.txns) == 1  # second not yet generated
+        trace = sim.run()
+        assert len(trace.txns) == 2
+        certify_trace(g, trace)
+
+    def test_inspection_between_calls(self):
+        g = topologies.line(10)
+        wl = ManualWorkload({0: 0}, [TxnSpec(5, 8, (0,))])
+        sim = Simulator(g, GreedyScheduler(), wl)
+        sim.run_until(4)
+        assert not sim.live  # not generated yet
+        sim.run_until(5)
+        # generated and scheduled at t=5; object now in flight
+        assert sim.objects[0].in_transit or sim.objects[0].location == 8
+        sim.run()
+        assert len(sim.trace.txns) == 1
+
+    def test_past_until_rejected(self):
+        g = topologies.line(4)
+        sim = Simulator(g, GreedyScheduler(), ManualWorkload({}, []))
+        sim.run_until(10)
+        with pytest.raises(SchedulingError):
+            sim.run_until(3)
+
+    def test_equivalent_to_single_run(self):
+        g = topologies.grid([3, 3])
+        mk = lambda: OnlineWorkload.bernoulli(g, num_objects=4, k=2, rate=0.08, horizon=25, seed=4)
+        whole = Simulator(g, GreedyScheduler(), mk()).run()
+        sim = Simulator(g, GreedyScheduler(), mk())
+        for t in (5, 10, 15, 20):
+            sim.run_until(t)
+        stepped = sim.run()
+        assert {t: r.exec_time for t, r in whole.txns.items()} == {
+            t: r.exec_time for t, r in stepped.txns.items()
+        }
+        assert whole.legs == stepped.legs

@@ -1,0 +1,223 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main, make_scheduler, parse_topology
+from repro.network import topologies
+
+
+class TestParseTopology:
+    @pytest.mark.parametrize(
+        "spec,n",
+        [
+            ("clique:8", 8),
+            ("line:12", 12),
+            ("ring:10", 10),
+            ("grid:3x4", 12),
+            ("torus:3x3", 9),
+            ("hypercube:3", 8),
+            ("butterfly:2", 12),
+            ("cluster:3x4:6", 12),
+            ("star:3x4", 13),
+            ("tree:2x3", 15),
+            ("rgg:15:0.4", 15),
+        ],
+    )
+    def test_specs(self, spec, n):
+        assert parse_topology(spec).num_nodes == n
+
+    def test_bad_kind(self):
+        with pytest.raises(SystemExit):
+            parse_topology("moebius:9")
+
+    def test_bad_params(self):
+        with pytest.raises(SystemExit):
+            parse_topology("grid:axb")
+
+
+class TestMakeScheduler:
+    def test_all_names_resolve(self):
+        from repro.cli import SCHEDULER_NAMES
+
+        g = topologies.line(8)
+        for name in SCHEDULER_NAMES:
+            sched, speed = make_scheduler(name, g)
+            assert sched is not None
+            assert speed in (1, 2)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(SystemExit):
+            make_scheduler("quantum", topologies.line(4))
+
+
+class TestCommands:
+    def test_run_json(self, capsys):
+        rc = main([
+            "run", "--topology", "clique:8", "--scheduler", "greedy",
+            "--workload", "batch", "--objects", "4", "--k", "2",
+            "--seed", "1", "--json",
+        ])
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["txns"] == 8
+        assert out["makespan"] >= 1
+
+    def test_run_table(self, capsys):
+        rc = main([
+            "run", "--topology", "line:10", "--scheduler", "bucket-line",
+            "--workload", "hotspot",
+        ])
+        assert rc == 0
+        assert "makespan" in capsys.readouterr().out
+
+    def test_run_trace_export(self, tmp_path, capsys):
+        path = tmp_path / "t.json"
+        rc = main([
+            "run", "--topology", "grid:3x3", "--workload", "bernoulli",
+            "--objects", "4", "--rate", "0.08", "--horizon", "20",
+            "--trace", str(path), "--json",
+        ])
+        assert rc == 0
+        from repro.sim.serialize import load_trace
+
+        assert load_trace(str(path)).num_txns > 0
+
+    def test_run_distributed_forces_half_speed(self, capsys):
+        rc = main([
+            "run", "--topology", "line:8", "--scheduler", "distributed",
+            "--workload", "batch", "--objects", "3", "--k", "1", "--json",
+        ])
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["messages"] > 0
+
+    def test_compare(self, capsys):
+        rc = main([
+            "compare", "--topology", "clique:8", "--workload", "batch",
+            "--objects", "4", "--schedulers", "greedy,fifo", "--json",
+        ])
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert [d["scheduler"] for d in out] == ["greedy", "fifo"]
+        greedy, fifo = out
+        assert greedy["makespan"] <= fifo["makespan"]
+
+    def test_cover(self, capsys):
+        rc = main(["cover", "--topology", "grid:3x3", "--seed", "0"])
+        assert rc == 0
+        assert "verified" in capsys.readouterr().out
+
+    def test_run_readwrite(self, capsys):
+        rc = main([
+            "run", "--topology", "grid:3x3", "--workload", "bernoulli",
+            "--objects", "4", "--rate", "0.08", "--horizon", "20",
+            "--read-fraction", "0.5", "--json",
+        ])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["txns"] > 0
+
+    def test_run_congested_reports_misses(self, capsys):
+        rc = main([
+            "run", "--topology", "line:10", "--workload", "hotspot",
+            "--link-capacity", "1", "--json",
+        ])
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert "deadline_misses" in out
+        assert out["txns"] == 10
+
+    def test_run_report_file(self, tmp_path, capsys):
+        path = tmp_path / "report.md"
+        rc = main([
+            "run", "--topology", "clique:6", "--workload", "batch",
+            "--objects", "3", "--k", "1", "--report", str(path), "--json",
+        ])
+        assert rc == 0
+        text = path.read_text()
+        assert text.startswith("# ")
+        assert "## Metrics" in text
+
+    def test_replay_round_trip(self, tmp_path, capsys):
+        trace_file = tmp_path / "t.json"
+        rc = main([
+            "run", "--topology", "grid:3x3", "--workload", "bernoulli",
+            "--objects", "4", "--rate", "0.08", "--horizon", "20",
+            "--seed", "2", "--trace", str(trace_file), "--json",
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main([
+            "replay", "--topology", "grid:3x3", "--trace", str(trace_file), "--json",
+        ])
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["archived_makespan"] == out["replayed_makespan"]
+        assert out["deadline_misses"] == 0
+
+    def test_replay_under_congestion(self, tmp_path, capsys):
+        trace_file = tmp_path / "t.json"
+        main([
+            "run", "--topology", "line:10", "--workload", "hotspot",
+            "--trace", str(trace_file), "--json",
+        ])
+        capsys.readouterr()
+        rc = main([
+            "replay", "--topology", "line:10", "--trace", str(trace_file),
+            "--link-capacity", "1", "--json",
+        ])
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["replayed_makespan"] >= out["archived_makespan"]
+
+    def test_replay_rejects_corrupt_archive(self, tmp_path, capsys):
+        import json as _json
+
+        trace_file = tmp_path / "t.json"
+        main([
+            "run", "--topology", "line:8", "--workload", "hotspot",
+            "--trace", str(trace_file), "--json",
+        ])
+        capsys.readouterr()
+        data = _json.loads(trace_file.read_text())
+        data["txns"][0]["exec_time"] = 0  # forge an impossible commit
+        trace_file.write_text(_json.dumps(data))
+        rc = main(["replay", "--topology", "line:8", "--trace", str(trace_file)])
+        assert rc == 1
+
+    def test_suite_runs_entries(self, tmp_path, capsys):
+        import json as _json
+
+        suite = [
+            {"name": "a", "topology": "clique:6", "workload": "batch", "objects": 3, "k": 1},
+            {"name": "b", "topology": "line:8", "scheduler": "bucket-line",
+             "workload": "hotspot"},
+        ]
+        path = tmp_path / "suite.json"
+        path.write_text(_json.dumps(suite))
+        rc = main(["suite", "--file", str(path), "--json"])
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert [d["name"] for d in out] == ["a", "b"]
+        assert all(d["txns"] > 0 for d in out)
+
+    def test_suite_rejects_unknown_keys(self, tmp_path, capsys):
+        import json as _json
+
+        path = tmp_path / "suite.json"
+        path.write_text(_json.dumps([{"topology": "clique:4", "typo_key": 1}]))
+        assert main(["suite", "--file", str(path)]) == 2
+
+    def test_suite_rejects_empty(self, tmp_path):
+        path = tmp_path / "suite.json"
+        path.write_text("[]")
+        assert main(["suite", "--file", str(path)]) == 2
+
+    def test_run_zipf_closed_loop(self, capsys):
+        rc = main([
+            "run", "--topology", "clique:6", "--workload", "closed-loop",
+            "--objects", "5", "--rounds", "2", "--zipf", "1.2", "--json",
+        ])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["txns"] == 12

@@ -1,0 +1,149 @@
+"""Unit and property tests for weighted coloring (Lemmas 1 and 2)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coloring import (
+    coloring_violations,
+    greedy_color_sequence,
+    min_valid_color,
+    min_valid_color_multiple,
+)
+
+
+class TestMinValidColor:
+    def test_no_constraints(self):
+        assert min_valid_color([]) == 1
+
+    def test_single_constraint(self):
+        # neighbor color 0 weight 3 forbids (-3, 3) -> smallest valid is 3
+        assert min_valid_color([(0, 3)]) == 3
+
+    def test_candidate_fits_below(self):
+        # neighbor color 10 weight 3 forbids (7, 13); 1 is fine
+        assert min_valid_color([(10, 3)]) == 1
+
+    def test_stacked_intervals(self):
+        cons = [(0, 2), (3, 2), (6, 2)]  # forbids (-2,2),(1,5),(4,8)
+        assert min_valid_color(cons) == 8
+
+    def test_gap_between_intervals(self):
+        cons = [(0, 2), (10, 3)]  # forbids (-2,2),(7,13): 2 fits
+        assert min_valid_color(cons) == 2
+
+    def test_zero_weight_ignored(self):
+        assert min_valid_color([(5, 0)]) == 1
+
+    def test_floor_respected(self):
+        assert min_valid_color([], floor=7) == 7
+        assert min_valid_color([(7, 2)], floor=7) == 9
+
+    def test_unsorted_input(self):
+        cons = [(6, 2), (0, 2), (3, 2)]
+        assert min_valid_color(cons) == 8
+
+
+class TestMinValidColorMultiple:
+    def test_multiples_only(self):
+        c = min_valid_color_multiple([(0, 4)], beta=4)
+        assert c == 4
+
+    def test_bumps_to_next_multiple(self):
+        # forbids (1, 9) around color 5 weight 4 -> 4 and 8 invalid, 12 valid
+        c = min_valid_color_multiple([(5, 4)], beta=4)
+        assert c == 12
+
+    def test_no_constraints(self):
+        assert min_valid_color_multiple([], beta=3) == 3
+
+    def test_mixed_weights(self):
+        c = min_valid_color_multiple([(0, 2), (6, 3)], beta=3)
+        # forbids (-2,2),(3,9): 3 is inside? 3<=3 boundary of (3,9) open -> 3 valid
+        assert c == 3
+        assert abs(c - 0) >= 2 and abs(c - 6) >= 3
+
+
+@st.composite
+def constraint_lists(draw):
+    n = draw(st.integers(0, 12))
+    return [
+        (draw(st.integers(0, 50)), draw(st.integers(0, 10)))
+        for _ in range(n)
+    ]
+
+
+class TestColoringProperties:
+    @given(constraint_lists())
+    @settings(max_examples=200)
+    def test_result_is_valid(self, cons):
+        c = min_valid_color(cons)
+        assert c >= 1
+        for color, w in cons:
+            assert abs(c - color) >= w
+
+    @given(constraint_lists())
+    @settings(max_examples=200)
+    def test_lemma1_bound(self, cons):
+        """Lemma 1 (floor-shifted): the sweep finds a valid color at most
+        ``floor + 2*Gamma - Delta``.  (The paper's bound 2*Gamma - Delta
+        allows color 0; our colors are positive, adding the floor.)"""
+        c = min_valid_color(cons)
+        gamma = sum(w for _, w in cons)
+        delta = sum(1 for _, w in cons if w > 0)
+        if delta:
+            assert c <= 1 + 2 * gamma - delta
+        else:
+            assert c == 1
+
+    @given(constraint_lists(), st.integers(1, 6))
+    @settings(max_examples=200)
+    def test_multiple_variant_valid_and_multiple(self, cons, beta):
+        c = min_valid_color_multiple(cons, beta)
+        assert c >= beta and c % beta == 0
+        for color, w in cons:
+            assert abs(c - color) >= w
+
+    @given(st.integers(2, 10), st.integers(1, 4))
+    @settings(max_examples=50)
+    def test_lemma2_bound_uniform(self, n_neighbors, beta):
+        """Lemma 2: with uniform weight beta and neighbor colors that are
+        multiples of beta, the chosen color is <= Gamma = n*beta."""
+        cons = [(i * beta, beta) for i in range(n_neighbors)]
+        c = min_valid_color_multiple(cons, beta)
+        gamma = n_neighbors * beta
+        assert c <= gamma
+        for color, w in cons:
+            assert abs(c - color) >= w
+
+
+class TestGreedySequence:
+    def test_sequence_produces_valid_coloring(self):
+        # Path graph a-b-c with weights 2: classic interval stacking.
+        edges = {("a", "b"): 2, ("b", "c"): 2}
+
+        def neigh(node, colors):
+            cons = []
+            for (u, v), w in edges.items():
+                if u == node and v in colors:
+                    cons.append((colors[v], w))
+                elif v == node and u in colors:
+                    cons.append((colors[u], w))
+            return cons
+
+        colors = greedy_color_sequence(["a", "b", "c"], neigh)
+        violations = coloring_violations(colors, [(u, v, w) for (u, v), w in edges.items()])
+        assert violations == []
+
+    def test_existing_colors_respected(self):
+        def neigh(node, colors):
+            return [(colors["x"], 5)] if "x" in colors else []
+
+        colors = greedy_color_sequence(["y"], neigh, existing={"x": 3})
+        assert abs(colors["y"] - 3) >= 5
+
+    def test_violations_detector(self):
+        colors = {"a": 1, "b": 2}
+        assert coloring_violations(colors, [("a", "b", 5)]) == [("a", "b", 5)]
+        assert coloring_violations(colors, [("a", "b", 1)]) == []
+        # uncolored endpoints ignored
+        assert coloring_violations(colors, [("a", "z", 9)]) == []

@@ -1,0 +1,62 @@
+"""Tests for the Section III-E coordinated greedy scheduler."""
+
+import pytest
+
+from repro.analysis import run_experiment
+from repro.core import CoordinatedGreedyScheduler, GreedyScheduler
+from repro.network import topologies
+from repro.sim.transactions import TxnSpec
+from repro.workloads import BatchWorkload, ManualWorkload, OnlineWorkload
+
+
+class TestCoordinator:
+    def test_defaults_to_graph_center(self):
+        g = topologies.line(9)
+        sched = CoordinatedGreedyScheduler()
+        wl = BatchWorkload.uniform(g, num_objects=2, k=1, seed=0)
+        run_experiment(g, sched, wl)
+        assert sched.coordinator == 4  # middle of the line
+
+    def test_explicit_coordinator(self):
+        g = topologies.line(9)
+        sched = CoordinatedGreedyScheduler(coordinator=0)
+        wl = BatchWorkload.uniform(g, num_objects=2, k=1, seed=0)
+        run_experiment(g, sched, wl)
+        assert sched.coordinator == 0
+
+    def test_latency_includes_round_trip(self):
+        # txn at the end of a line, coordinator at the center: the request
+        # pays dist to the coordinator and the decision pays it back.
+        g = topologies.line(9)
+        wl = ManualWorkload({0: 8}, [TxnSpec(0, 8, (0,))])
+        sched = CoordinatedGreedyScheduler(coordinator=0)
+        res = run_experiment(g, sched, wl)
+        rec = res.trace.txns[0]
+        # request 8 steps + decision floor >= 8 back
+        assert rec.exec_time >= 16
+
+    def test_messages_counted(self):
+        g = topologies.grid([3, 3])
+        wl = OnlineWorkload.bernoulli(g, num_objects=4, k=2, rate=0.08, horizon=20, seed=1)
+        res = run_experiment(g, CoordinatedGreedyScheduler(), wl)
+        assert res.metrics.messages_sent == res.trace.num_txns  # one request each
+
+    def test_overhead_vs_clairvoyant_greedy(self):
+        """Section III-E: the coordinated variant scales latencies by
+        roughly the information round-trip, never better than clairvoyant
+        greedy and bounded by ~2*ecc extra per transaction."""
+        g = topologies.hypercube(4)
+        mk = lambda: OnlineWorkload.bernoulli(g, num_objects=6, k=2, rate=0.05, horizon=30, seed=2)
+        base = run_experiment(g, GreedyScheduler(), mk())
+        coord = run_experiment(g, CoordinatedGreedyScheduler(), mk())
+        ecc = min(g.eccentricity(u) for u in g.nodes())
+        assert coord.metrics.mean_latency >= base.metrics.mean_latency
+        assert coord.metrics.max_latency <= base.metrics.max_latency + 4 * ecc + 4
+
+    def test_feasible_with_reads(self):
+        g = topologies.line(10)
+        wl = OnlineWorkload.bernoulli(
+            g, num_objects=4, k=2, rate=0.06, horizon=30, seed=3, read_fraction=0.5
+        )
+        res = run_experiment(g, CoordinatedGreedyScheduler(), wl)
+        assert res.trace.num_txns == wl.num_txns

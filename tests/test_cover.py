@@ -1,0 +1,191 @@
+"""Tests for padded decompositions and the hierarchical sparse cover."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cover import build_sparse_cover, greedy_ball_partition, padded_decomposition
+from repro.errors import CoverError
+from repro.network import topologies
+
+
+class TestPaddedDecomposition:
+    def test_is_partition(self):
+        g = topologies.grid([5, 5])
+        rng = np.random.default_rng(0)
+        clusters, padded, centers = padded_decomposition(g, radius=6, pad=1, rng=rng)
+        seen = set()
+        for cl in clusters:
+            assert not (seen & cl)
+            seen |= cl
+        assert seen == set(g.nodes())
+
+    def test_padded_nodes_really_padded(self):
+        g = topologies.grid([5, 5])
+        rng = np.random.default_rng(1)
+        clusters, padded, _ = padded_decomposition(g, radius=8, pad=2, rng=rng)
+        index = {}
+        for i, cl in enumerate(clusters):
+            for v in cl:
+                index[v] = i
+        for v in padded:
+            for u in g.ball(v, 2):
+                assert index[u] == index[v]
+
+    def test_cluster_radius_bounded(self):
+        g = topologies.line(32)
+        rng = np.random.default_rng(2)
+        radius = 8
+        clusters, _, centers = padded_decomposition(g, radius=radius, pad=1, rng=rng)
+        for i, cl in enumerate(clusters):
+            c = centers[i]
+            assert all(g.distance(c, v) <= radius for v in cl)
+
+    def test_zero_pad_everyone_padded(self):
+        g = topologies.clique(10)
+        rng = np.random.default_rng(3)
+        _, padded, _ = padded_decomposition(g, radius=4, pad=0, rng=rng)
+        assert padded == set(g.nodes())
+
+
+class TestGreedyBallPartition:
+    def test_is_partition(self):
+        g = topologies.grid([5, 5])
+        rng = np.random.default_rng(0)
+        clusters, padded, centers = greedy_ball_partition(g, radius=4, pad=1, rng=rng)
+        seen = set()
+        for cl in clusters:
+            assert not (seen & cl)
+            seen |= cl
+        assert seen == set(g.nodes())
+
+    def test_strong_diameter(self):
+        """Each cluster is connected and its induced-subgraph diameter is
+        at most 2 * radius."""
+        from repro.network.graph import Graph
+
+        g = topologies.grid([5, 5])
+        rng = np.random.default_rng(1)
+        radius = 3
+        clusters, _, centers = greedy_ball_partition(g, radius=radius, pad=1, rng=rng)
+        for i, cl in enumerate(clusters):
+            # distance from center within the induced subgraph <= radius
+            sub_nodes = sorted(cl)
+            remap = {v: j for j, v in enumerate(sub_nodes)}
+            edges = [
+                (remap[u], remap[v], w)
+                for u in sub_nodes
+                for v, w in g.neighbors(u).items()
+                if v in cl and u < v
+            ]
+            if len(sub_nodes) > 1:
+                sub = Graph(len(sub_nodes), edges)
+                c = remap[centers[i]]
+                assert max(sub.distances_from(c)) <= radius
+
+    def test_padded_nodes_have_contained_balls(self):
+        g = topologies.line(24)
+        rng = np.random.default_rng(2)
+        clusters, padded, _ = greedy_ball_partition(g, radius=6, pad=2, rng=rng)
+        index = {}
+        for i, cl in enumerate(clusters):
+            for v in cl:
+                index[v] = i
+        for v in padded:
+            for u in g.ball(v, 2):
+                assert index[u] == index[v]
+
+    def test_cover_with_greedy_construction(self):
+        g = topologies.grid([4, 5])
+        cover = build_sparse_cover(g, seed=3, construction="greedy")
+        assert cover.verify() == []
+
+    def test_unknown_construction(self):
+        with pytest.raises(CoverError):
+            build_sparse_cover(topologies.line(4), construction="magic")
+
+    def test_distributed_scheduler_on_greedy_cover(self):
+        from repro.analysis import run_experiment
+        from repro.core import DistributedBucketScheduler
+        from repro.offline import ColoringBatchScheduler
+        from repro.workloads import OnlineWorkload
+
+        g = topologies.grid([3, 4])
+        cover = build_sparse_cover(g, seed=1, construction="greedy")
+        wl = OnlineWorkload.bernoulli(g, num_objects=4, k=2, rate=0.06, horizon=25, seed=4)
+        sched = DistributedBucketScheduler(ColoringBatchScheduler(), cover=cover)
+        res = run_experiment(g, sched, wl, object_speed_den=2)
+        assert res.trace.num_txns == wl.num_txns
+
+
+class TestSparseCover:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            topologies.line(20),
+            topologies.grid([4, 5]),
+            topologies.clique(12),
+            topologies.star_graph(3, 4),
+            topologies.cluster_graph(3, 3, gamma=4),
+        ],
+        ids=lambda g: g.name,
+    )
+    def test_properties_verified(self, graph):
+        cover = build_sparse_cover(graph, seed=0)
+        assert cover.verify() == []
+
+    def test_layer_count(self):
+        g = topologies.line(20)  # D = 19
+        cover = build_sparse_cover(g, seed=0)
+        import math
+
+        assert cover.num_layers == math.floor(math.log2(19)) + 2
+        # top layer pad covers the diameter
+        assert cover.pad_of_layer(cover.num_layers - 1) >= g.diameter()
+
+    def test_layer0_singletons(self):
+        g = topologies.line(8)
+        cover = build_sparse_cover(g, seed=0)
+        for v in g.nodes():
+            home = cover.home_cluster(v, 0)
+            assert home.nodes == frozenset({v})
+            assert home.leader == v
+
+    def test_top_layer_whole_graph(self):
+        g = topologies.line(8)
+        cover = build_sparse_cover(g, seed=0)
+        top = cover.num_layers - 1
+        assert cover.home_cluster(3, top).nodes == frozenset(g.nodes())
+
+    def test_lowest_layer_covering(self):
+        g = topologies.line(32)
+        cover = build_sparse_cover(g, seed=1)
+        assert cover.lowest_layer_covering(5, 0) == 0
+        layer = cover.lowest_layer_covering(5, 6)
+        assert cover.pad_of_layer(layer) >= 6
+        assert layer == 3  # 2**3 - 1 = 7 >= 6
+
+    def test_deterministic_with_seed(self):
+        g = topologies.grid([4, 4])
+        c1 = build_sparse_cover(g, seed=9)
+        c2 = build_sparse_cover(g, seed=9)
+        for l in range(c1.num_layers):
+            for v in g.nodes():
+                assert c1.home_cluster(v, l).nodes == c2.home_cluster(v, l).nodes
+
+    def test_sublayer_count_logarithmic(self):
+        g = topologies.line(64)
+        cover = build_sparse_cover(g, seed=4)
+        import math
+
+        logn = math.ceil(math.log2(g.num_nodes + 1))
+        # H2 = O(log n): random rounds capped at 4 log n, forced rounds rare
+        assert cover.max_sublayers <= 4 * logn + 8
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_random_seeds_always_valid(self, seed):
+        g = topologies.grid([3, 4])
+        cover = build_sparse_cover(g, seed=seed)
+        assert cover.verify() == []

@@ -1,0 +1,145 @@
+"""Tests for the Arrow spanning-tree directory."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import run_experiment
+from repro.core import DistributedBucketScheduler
+from repro.directory import ArrowDirectory, SpanningTree
+from repro.errors import GraphError, SchedulingError
+from repro.network import topologies
+from repro.offline import ColoringBatchScheduler
+from repro.workloads import OnlineWorkload
+
+
+class TestSpanningTree:
+    def test_line_tree_paths(self):
+        g = topologies.line(8)
+        t = SpanningTree(g, root=0)
+        assert t.path(2, 6) == [2, 3, 4, 5, 6]
+        assert t.path_weight(2, 6) == 4
+        assert t.path(5, 5) == [5]
+
+    def test_grid_tree_is_spanning(self):
+        g = topologies.grid([4, 4])
+        t = SpanningTree(g, root=0)
+        roots = [v for v in g.nodes() if t.parent[v] is None]
+        assert roots == [0]
+        # every node reaches the root by parents
+        for v in g.nodes():
+            steps, u = 0, v
+            while t.parent[u] is not None:
+                u = t.parent[u]
+                steps += 1
+                assert steps <= g.num_nodes
+            assert u == 0
+
+    def test_tree_path_endpoints(self):
+        g = topologies.cluster_graph(3, 3, gamma=4)
+        t = SpanningTree(g, root=0)
+        for u in (1, 4, 8):
+            for w in (2, 6):
+                p = t.path(u, w)
+                assert p[0] == u and p[-1] == w
+                # consecutive hops are tree edges
+                for a, b in zip(p, p[1:]):
+                    assert t.parent[a] == b or t.parent[b] == a
+
+    def test_stretch_at_least_one(self):
+        g = topologies.ring(10)
+        t = SpanningTree(g, root=0)
+        for u in g.nodes():
+            for w in g.nodes():
+                if u != w:
+                    assert t.stretch(u, w) >= 1.0
+
+
+class TestArrowDirectory:
+    def test_register_and_find(self):
+        g = topologies.line(8)
+        d = ArrowDirectory(g)
+        d.register(0, 5)
+        assert d.home(0) == 5
+        path = d.find(0, 0)
+        assert path[0] == 0 and path[-1] == 5
+
+    def test_duplicate_register_rejected(self):
+        g = topologies.line(4)
+        d = ArrowDirectory(g)
+        d.register(0, 1)
+        with pytest.raises(GraphError):
+            d.register(0, 2)
+
+    def test_move_updates_home(self):
+        g = topologies.grid([3, 3])
+        d = ArrowDirectory(g)
+        d.register(0, 0)
+        d.move(0, 8)
+        assert d.home(0) == 8
+        assert d.find(0, 2)[-1] == 8
+
+    def test_move_counts_maintenance(self):
+        g = topologies.line(8)
+        d = ArrowDirectory(g)
+        d.register(0, 0)
+        d.move(0, 7)
+        assert d.maintenance_messages == 7
+        d.move(0, 7)  # no-op move
+        assert d.maintenance_messages == 7
+
+    def test_find_latency(self):
+        g = topologies.line(8)
+        d = ArrowDirectory(g)
+        d.register(0, 6)
+        assert d.find_latency(0, 1) == 5
+
+    @given(
+        st.lists(st.integers(0, 11), min_size=1, max_size=15),
+        st.integers(0, 11),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_invariant_under_random_moves(self, moves, probe_from):
+        """After any move sequence, finds from anywhere terminate at the
+        current home."""
+        g = topologies.grid([3, 4])
+        d = ArrowDirectory(g)
+        d.register(0, moves[0])
+        for m in moves[1:]:
+            d.move(0, m)
+        path = d.find(0, probe_from)
+        assert path[-1] == moves[-1]
+        assert path[0] == probe_from
+
+
+class TestArrowDiscovery:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(SchedulingError):
+            DistributedBucketScheduler(ColoringBatchScheduler(), discovery="dns")
+
+    @pytest.mark.parametrize(
+        "graph",
+        [topologies.line(10), topologies.grid([3, 4]), topologies.cluster_graph(2, 4, gamma=5)],
+        ids=lambda g: g.name,
+    )
+    def test_arrow_discovery_feasible(self, graph):
+        wl = OnlineWorkload.bernoulli(graph, num_objects=4, k=2, rate=0.05, horizon=25, seed=6)
+        sched = DistributedBucketScheduler(ColoringBatchScheduler(), seed=0, discovery="arrow")
+        res = run_experiment(graph, sched, wl, object_speed_den=2)
+        assert res.trace.num_txns == wl.num_txns
+        assert sched.directory is not None
+        assert sched.directory.find_messages + sched.directory.maintenance_messages > 0
+
+    def test_arrow_costs_more_messages_than_probe(self):
+        g = topologies.line(16)
+        mk = lambda: OnlineWorkload.bernoulli(g, num_objects=5, k=2, rate=0.05, horizon=40, seed=7)
+        probe = run_experiment(
+            g, DistributedBucketScheduler(ColoringBatchScheduler(), seed=0), mk(), object_speed_den=2
+        )
+        arrow = run_experiment(
+            g,
+            DistributedBucketScheduler(ColoringBatchScheduler(), seed=0, discovery="arrow"),
+            mk(),
+            object_speed_den=2,
+        )
+        assert arrow.metrics.messages_sent >= probe.metrics.messages_sent

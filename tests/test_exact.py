@@ -1,0 +1,130 @@
+"""Tests for the exact optimal solver."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    ExactSolverLimit,
+    batch_lower_bound,
+    earliest_schedule_for_order,
+    exact_optimal_makespan,
+    exact_ratio,
+    run_experiment,
+)
+from repro.core import GreedyScheduler
+from repro.network import topologies
+from repro.sim.transactions import Transaction, TxnSpec
+from repro.workloads import ManualWorkload
+
+
+def T(tid, home, objs, gen=0):
+    return Transaction(tid, home, frozenset(objs), gen)
+
+
+class TestEarliestSchedule:
+    def test_single_chain(self):
+        g = topologies.line(8)
+        txns = [T(0, 2, {0}), T(1, 6, {0})]
+        plan = earliest_schedule_for_order(g, {0: 0}, txns)
+        assert plan == {0: 2, 1: 6}
+
+    def test_reverse_order_costs_more(self):
+        g = topologies.line(8)
+        txns = [T(0, 2, {0}), T(1, 6, {0})]
+        fwd = earliest_schedule_for_order(g, {0: 0}, txns)
+        rev = earliest_schedule_for_order(g, {0: 0}, txns[::-1])
+        assert max(rev.values()) > max(fwd.values())  # 6 then back to 2
+
+    def test_generation_time_respected(self):
+        g = topologies.line(8)
+        txns = [T(0, 0, {0}, gen=10)]
+        plan = earliest_schedule_for_order(g, {0: 0}, txns)
+        assert plan[0] == 10
+
+
+class TestExactOptimal:
+    def test_empty_and_single(self):
+        g = topologies.line(6)
+        assert exact_optimal_makespan(g, {0: 0}, []) == 0
+        assert exact_optimal_makespan(g, {0: 0}, [T(0, 4, {0})]) == 4
+
+    def test_hot_object_on_line_is_sweep(self):
+        g = topologies.line(6)
+        txns = [T(i, i, {0}) for i in range(6)]
+        assert exact_optimal_makespan(g, {0: 0}, txns) == 5  # single sweep
+
+    def test_independent_txns_parallel(self):
+        g = topologies.clique(5)
+        txns = [T(i, i, {i}) for i in range(3)]
+        placement = {i: (i + 1) % 5 for i in range(3)}
+        assert exact_optimal_makespan(g, placement, txns) == 1
+
+    def test_beats_naive_order(self):
+        # object at the right end: naive id-order sweeps wrong way first
+        g = topologies.line(10)
+        txns = [T(0, 0, {0}), T(1, 9, {0})]
+        opt = exact_optimal_makespan(g, {0: 9}, txns)
+        # optimal order serves node 9 first (object already there, t=0)
+        # then ships to node 0 (t=9); id order would cost 9 + 9 = 18.
+        assert opt == 9
+        naive = max(earliest_schedule_for_order(g, {0: 9}, txns).values())
+        assert naive == 18
+
+    def test_size_cap(self):
+        g = topologies.clique(12)
+        txns = [T(i, i, {0}) for i in range(12)]
+        with pytest.raises(ExactSolverLimit):
+            exact_optimal_makespan(g, {0: 0}, txns)
+
+    def test_reads_rejected(self):
+        g = topologies.line(4)
+        txn = Transaction(0, 1, frozenset(), 0, reads=frozenset({0}))
+        with pytest.raises(ExactSolverLimit):
+            exact_optimal_makespan(g, {0: 0}, [txn])
+
+
+@st.composite
+def small_batches(draw):
+    g = draw(st.sampled_from([topologies.line(6), topologies.clique(5), topologies.grid([2, 3])]))
+    n = g.num_nodes
+    no = draw(st.integers(1, 3))
+    placement = {o: draw(st.integers(0, n - 1)) for o in range(no)}
+    txns = []
+    for i in range(draw(st.integers(1, 6))):
+        k = draw(st.integers(1, no))
+        objs = draw(st.lists(st.integers(0, no - 1), min_size=k, max_size=k, unique=True))
+        txns.append(T(i, draw(st.integers(0, n - 1)), set(objs)))
+    return g, placement, txns
+
+
+class TestExactProperties:
+    @given(small_batches())
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_optimum_between_lb_and_any_order(self, inst):
+        g, placement, txns = inst
+        opt = exact_optimal_makespan(g, placement, txns)
+        lb = batch_lower_bound(g, placement, txns)
+        naive = max(earliest_schedule_for_order(g, placement, txns).values())
+        assert lb <= max(1, opt) or opt == 0
+        assert opt <= naive
+
+    @given(small_batches())
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_measured_schedulers_never_beat_optimum(self, inst):
+        g, placement, txns = inst
+        specs = [TxnSpec(0, t.home, tuple(sorted(t.objects))) for t in txns]
+        wl = ManualWorkload(placement, specs)
+        res = run_experiment(g, GreedyScheduler(), wl, compute_ratios=False)
+        opt = exact_optimal_makespan(g, placement, txns)
+        assert res.makespan >= opt
+
+
+class TestExactRatio:
+    def test_ratio_components(self):
+        g = topologies.line(8)
+        txns = [T(0, 2, {0}), T(1, 6, {0})]
+        true_r, lb_r, opt, lb = exact_ratio(g, {0: 0}, txns, measured_makespan=8)
+        assert opt == 6 and lb == 6
+        assert true_r == pytest.approx(8 / 6)
+        assert lb_r >= true_r or lb >= opt  # LB-based never smaller than true

@@ -1,0 +1,102 @@
+"""Tests for gantt rendering, reports, and fairness metrics."""
+
+from repro.analysis import (
+    comparison_report,
+    jain_fairness,
+    latency_fairness,
+    object_lanes,
+    render_gantt,
+    run_experiment,
+    run_report,
+    txn_lanes,
+)
+from repro.baselines import FifoSerialScheduler
+from repro.core import GreedyScheduler
+from repro.network import topologies
+from repro.sim.transactions import TxnSpec
+from repro.workloads import BatchWorkload, ManualWorkload
+
+
+def small_run():
+    g = topologies.line(8)
+    specs = [TxnSpec(0, 2, (0,)), TxnSpec(0, 6, (0,)), TxnSpec(3, 4, (1,))]
+    wl = ManualWorkload({0: 0, 1: 4}, specs)
+    return g, run_experiment(g, GreedyScheduler(), wl)
+
+
+class TestGantt:
+    def test_object_lanes_shapes(self):
+        g, res = small_run()
+        lanes = object_lanes(res.trace, width=40)
+        assert len(lanes) == 2
+        for lane in lanes:
+            assert lane.startswith("o")
+            assert len(lane.split("|")[1]) == 40
+
+    def test_transit_marks_present(self):
+        g, res = small_run()
+        lanes = object_lanes(res.trace, width=60)
+        assert any(">" in lane for lane in lanes)  # object 0 travelled
+        assert all("*" in lane for lane in lanes)  # all objects consumed
+
+    def test_txn_lanes_sorted_by_latency(self):
+        g, res = small_run()
+        lanes = txn_lanes(res.trace, width=40)
+        lats = [int(l.rsplit("lat=", 1)[1]) for l in lanes]
+        assert lats == sorted(lats, reverse=True)
+
+    def test_render_gantt_complete(self):
+        g, res = small_run()
+        out = render_gantt(res.trace, width=50)
+        assert "objects" in out and "transactions" in out
+
+    def test_empty_trace(self):
+        from repro.sim.trace import ExecutionTrace
+
+        out = render_gantt(ExecutionTrace("t", {}))
+        assert "objects" in out
+
+
+class TestReports:
+    def test_run_report_sections(self):
+        g, res = small_run()
+        md = run_report(g, res, title="T")
+        assert md.startswith("# T")
+        assert "## Metrics" in md
+        assert "## Schedule" in md
+        assert "competitive ratio" in md
+
+    def test_run_report_no_gantt(self):
+        g, res = small_run()
+        md = run_report(g, res, include_gantt=False)
+        assert "## Schedule" not in md
+
+    def test_comparison_report(self):
+        g = topologies.clique(8)
+        mk = lambda: BatchWorkload.uniform(g, num_objects=4, k=2, seed=0)
+        a = run_experiment(g, GreedyScheduler(), mk())
+        b = run_experiment(g, FifoSerialScheduler(), mk())
+        md = comparison_report(g, [("greedy", a), ("fifo", b)])
+        assert "Best makespan: **greedy**" in md
+        assert "fifo" in md
+
+
+class TestFairness:
+    def test_jain_bounds(self):
+        assert jain_fairness([5, 5, 5]) == 1.0
+        single = jain_fairness([9, 0, 0])
+        assert abs(single - 1 / 3) < 1e-9
+        assert jain_fairness([]) == 1.0
+        assert jain_fairness([0, 0]) == 1.0
+
+    def test_latency_fairness_of_run(self):
+        g, res = small_run()
+        f = latency_fairness(res.trace)
+        assert 0 < f <= 1.0
+
+    def test_fifo_less_fair_than_greedy_under_load(self):
+        g = topologies.clique(12)
+        mk = lambda: BatchWorkload.uniform(g, num_objects=12, k=1, seed=5)
+        greedy = run_experiment(g, GreedyScheduler(), mk())
+        fifo = run_experiment(g, FifoSerialScheduler(), mk())
+        assert latency_fairness(greedy.trace) >= latency_fairness(fifo.trace) - 0.05

@@ -1,0 +1,124 @@
+"""Unit tests for the weighted graph substrate."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.network import Graph, topologies
+
+
+class TestConstruction:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(0, [])
+
+    def test_single_node(self):
+        g = Graph(1, [])
+        assert g.num_nodes == 1
+        assert g.distance(0, 0) == 0
+        assert g.diameter() == 0
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(2, [(0, 0, 1), (0, 1, 1)])
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(2, [(0, 1, 0)])
+        with pytest.raises(GraphError):
+            Graph(2, [(0, 1, -3)])
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(2, [(0, 2, 1)])
+
+    def test_isolated_graph_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(3, [])
+
+    def test_parallel_edges_keep_minimum(self):
+        g = Graph(2, [(0, 1, 5), (1, 0, 2), (0, 1, 9)])
+        assert g.distance(0, 1) == 2
+        assert g.num_edges() == 1
+
+    def test_disconnected_detected_on_query(self):
+        g = Graph(4, [(0, 1, 1), (2, 3, 1)])
+        with pytest.raises(GraphError):
+            g.distance(0, 3)
+
+
+class TestShortestPaths:
+    def test_line_distances(self):
+        g = topologies.line(10)
+        assert g.distance(0, 9) == 9
+        assert g.distance(3, 7) == 4
+        assert g.distance(5, 5) == 0
+
+    def test_distance_symmetric(self):
+        g = topologies.grid([3, 4])
+        for u in g.nodes():
+            for v in g.nodes():
+                assert g.distance(u, v) == g.distance(v, u)
+
+    def test_weighted_shortcut(self):
+        # 0-1-2 with weights 1,1 plus direct 0-2 weight 5: path wins.
+        g = Graph(3, [(0, 1, 1), (1, 2, 1), (0, 2, 5)])
+        assert g.distance(0, 2) == 2
+
+    def test_shortest_path_endpoints_and_length(self):
+        g = topologies.grid([4, 4])
+        path = g.shortest_path(0, 15)
+        assert path[0] == 0 and path[-1] == 15
+        total = sum(g.neighbors(a)[b] for a, b in zip(path, path[1:]))
+        assert total == g.distance(0, 15) == 6
+
+    def test_triangle_inequality(self):
+        g = topologies.cluster_graph(3, 4, 5)
+        nodes = list(g.nodes())
+        for u in nodes[::3]:
+            for v in nodes[::4]:
+                for w in nodes[::5]:
+                    assert g.distance(u, w) <= g.distance(u, v) + g.distance(v, w)
+
+    def test_distances_from_is_cached(self):
+        g = topologies.line(6)
+        a = g.distances_from(2)
+        b = g.distances_from(2)
+        assert a is b
+
+
+class TestDerived:
+    def test_diameter_line(self):
+        assert topologies.line(17).diameter() == 16
+
+    def test_diameter_clique(self):
+        assert topologies.clique(9).diameter() == 1
+
+    def test_eccentricity_center_of_line(self):
+        g = topologies.line(9)
+        assert g.eccentricity(4) == 4
+        assert g.eccentricity(0) == 8
+
+    def test_ball(self):
+        g = topologies.line(10)
+        assert sorted(g.ball(5, 2)) == [3, 4, 5, 6, 7]
+        assert g.ball(0, 0) == [0]
+
+    def test_metric_mst_single_and_empty(self):
+        g = topologies.line(5)
+        assert g.metric_mst_weight([]) == 0
+        assert g.metric_mst_weight([3]) == 0
+        assert g.metric_mst_weight([3, 3]) == 0
+
+    def test_metric_mst_on_line_is_span(self):
+        g = topologies.line(10)
+        # On a line the metric MST of any subset is the span of the subset.
+        assert g.metric_mst_weight([2, 7, 5]) == 5
+        assert g.metric_mst_weight([0, 9]) == 9
+
+    def test_metric_mst_on_clique(self):
+        g = topologies.clique(6)
+        assert g.metric_mst_weight([0, 1, 2, 3]) == 3  # 3 unit edges
+
+    def test_metric_mst_duplicates_ignored(self):
+        g = topologies.line(8)
+        assert g.metric_mst_weight([1, 1, 6, 6]) == 5

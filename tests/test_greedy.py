@@ -1,0 +1,128 @@
+"""Tests for Algorithm 1 (online greedy scheduler) and its theorems."""
+
+import pytest
+
+from repro.analysis import run_experiment
+from repro.core import GreedyScheduler
+from repro.network import topologies
+from repro.sim.transactions import TxnSpec
+from repro.workloads import (
+    BatchWorkload,
+    ClosedLoopWorkload,
+    ManualWorkload,
+    OnlineWorkload,
+    hotspot_workload,
+)
+
+
+class TestBasics:
+    def test_independent_txns_run_concurrently(self):
+        # disjoint objects, all local: every txn executes at t+1
+        g = topologies.clique(6)
+        specs = [TxnSpec(0, i, (i,)) for i in range(6)]
+        wl = ManualWorkload({i: i for i in range(6)}, specs)
+        res = run_experiment(g, GreedyScheduler(), wl)
+        assert res.makespan == 1
+        assert all(r.exec_time == 1 for r in res.trace.txns.values())
+
+    def test_conflicting_txns_serialize(self):
+        g = topologies.clique(4)
+        specs = [TxnSpec(0, i, (0,)) for i in range(4)]
+        wl = ManualWorkload({0: 0}, specs)
+        res = run_experiment(g, GreedyScheduler(), wl)
+        times = sorted(r.exec_time for r in res.trace.txns.values())
+        assert len(set(times)) == 4  # pairwise distinct (distance 1 apart)
+        assert res.makespan <= 4
+
+    def test_order_degree_option(self):
+        g = topologies.clique(8)
+        wl = BatchWorkload.uniform(g, num_objects=4, k=2, seed=3)
+        res = run_experiment(g, GreedyScheduler(order="degree"), wl)
+        assert res.trace.num_txns == 8
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            GreedyScheduler(order="nope")
+
+    def test_feasible_under_online_arrivals(self):
+        g = topologies.grid([4, 4])
+        wl = OnlineWorkload.bernoulli(g, num_objects=6, k=2, rate=0.08, horizon=30, seed=9)
+        res = run_experiment(g, GreedyScheduler(), wl)  # certify=True
+        assert res.trace.num_txns == wl.num_txns
+
+
+class TestTheorem1:
+    """Each transaction executes by gen + (floor-shifted) 2*Gamma' - Delta'."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_bound_holds_on_grid(self, seed):
+        g = topologies.grid([3, 3])
+        wl = OnlineWorkload.bernoulli(g, num_objects=5, k=2, rate=0.1, horizon=25, seed=seed)
+        sched = GreedyScheduler()
+        res = run_experiment(g, sched, wl)
+        recorded = {tid: (color, bound) for tid, color, bound in sched.color_log}
+        for rec in res.trace.txns.values():
+            color, bound = recorded[rec.tid]
+            assert rec.exec_time - rec.schedule_time == color
+            assert color <= bound
+
+    def test_colors_match_latency_when_scheduled_at_gen(self):
+        g = topologies.clique(8)
+        wl = BatchWorkload.uniform(g, num_objects=4, k=2, seed=5)
+        sched = GreedyScheduler()
+        res = run_experiment(g, sched, wl)
+        for rec in res.trace.txns.values():
+            assert rec.schedule_time == rec.gen_time  # greedy is immediate
+            assert rec.latency >= 1
+
+
+class TestTheorem2Uniform:
+    def test_colors_are_multiples_of_beta(self):
+        g = topologies.hypercube(3)
+        beta = 3  # log2(8)
+        wl = BatchWorkload.uniform(g, num_objects=4, k=2, seed=7)
+        sched = GreedyScheduler(uniform_beta=beta)
+        res = run_experiment(g, sched, wl)
+        for tid, color, bound in sched.color_log:
+            assert color % beta == 0
+            assert color <= bound
+
+    def test_uniform_beta_1_on_clique(self):
+        g = topologies.clique(8)
+        wl = hotspot_workload(g, seed=1)
+        sched = GreedyScheduler(uniform_beta=1)
+        res = run_experiment(g, sched, wl)
+        # hot object visits all 8 nodes at unit distance: makespan <= 8 + 1
+        assert res.makespan <= 9
+
+
+class TestTheorem3Clique:
+    """O(k) competitiveness on the clique."""
+
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_ratio_scales_with_k_not_n(self, k):
+        ratios = []
+        for n in (8, 16):
+            g = topologies.clique(n)
+            wl = ClosedLoopWorkload(g, num_objects=n, k=k, rounds=3, seed=42)
+            res = run_experiment(g, GreedyScheduler(uniform_beta=1), wl)
+            ratios.append(res.competitive_ratio)
+        # The constant behind O(k): generous cap, but independent of n.
+        for r in ratios:
+            assert r <= 6 * k + 3
+
+    def test_hotspot_ratio_near_one(self):
+        g = topologies.clique(16)
+        wl = hotspot_workload(g, seed=0)
+        res = run_experiment(g, GreedyScheduler(uniform_beta=1), wl)
+        # all txns need object 0; lower bound is n moves, greedy pays ~n.
+        assert res.makespan_ratio <= 2.0
+
+
+class TestHypercubeBound:
+    def test_ratio_within_klogn(self):
+        g = topologies.hypercube(4)  # n=16, beta=4
+        wl = ClosedLoopWorkload(g, num_objects=8, k=2, rounds=2, seed=11)
+        res = run_experiment(g, GreedyScheduler(uniform_beta=4), wl)
+        k, logn = 2, 4
+        assert res.competitive_ratio <= 6 * k * logn

@@ -1,0 +1,81 @@
+"""Tests for the batch-plan local-search improver."""
+
+import pytest
+
+from repro.analysis import run_experiment
+from repro.core import BucketScheduler
+from repro.network import topologies
+from repro.offline import (
+    ColoringBatchScheduler,
+    ImprovedBatchScheduler,
+    StandaloneView,
+)
+from repro.sim.transactions import Transaction
+from repro.workloads import BatchWorkload, OnlineWorkload
+from test_offline import batch_txns, plan_is_valid
+
+
+class TestImprover:
+    def test_never_worse_than_base(self):
+        g = topologies.line(16)
+        for seed in range(4):
+            wl = BatchWorkload.uniform(g, num_objects=6, k=2, seed=seed)
+            txns = batch_txns(wl)
+            view = StandaloneView(g, wl.initial_objects())
+            base = ColoringBatchScheduler("arrival")
+            improved = ImprovedBatchScheduler(base, iterations=40, seed=1)
+            b = max(base.plan(view, txns).values())
+            i = max(improved.plan(view, txns).values())
+            assert i <= b
+
+    def test_plans_stay_feasible(self):
+        g = topologies.cluster_graph(3, 4, gamma=6)
+        wl = BatchWorkload.uniform(g, num_objects=5, k=2, seed=7)
+        txns = batch_txns(wl)
+        view = StandaloneView(g, wl.initial_objects())
+        improved = ImprovedBatchScheduler(ColoringBatchScheduler(), iterations=60, seed=2)
+        plan = improved.plan(view, txns)
+        assert plan_is_valid(g, wl.initial_objects(), txns, plan)
+
+    def test_deterministic(self):
+        g = topologies.grid([3, 4])
+        wl = BatchWorkload.uniform(g, num_objects=5, k=2, seed=3)
+        txns = batch_txns(wl)
+        view = StandaloneView(g, wl.initial_objects())
+        a = ImprovedBatchScheduler(ColoringBatchScheduler(), seed=5).plan(view, txns)
+        b = ImprovedBatchScheduler(ColoringBatchScheduler(), seed=5).plan(view, txns)
+        assert a == b
+
+    def test_finds_improvement_on_shuffled_hotspot(self):
+        # arrival order deliberately bad on a line hotspot: improver should
+        # recover (most of) the sweep.
+        g = topologies.line(12)
+        placement = {0: 0}
+        scrambled = [7, 2, 11, 0, 9, 4, 1, 8, 3, 10, 5, 6]
+        txns = [Transaction(i, h, frozenset({0}), 0) for i, h in enumerate(scrambled)]
+        view = StandaloneView(g, placement)
+        base = ColoringBatchScheduler("arrival")
+        improved = ImprovedBatchScheduler(base, iterations=200, seed=0, restarts=2)
+        b = max(base.plan(view, txns).values())
+        i = max(improved.plan(view, txns).values())
+        assert i <= b
+
+    def test_small_batches_passthrough(self):
+        g = topologies.line(6)
+        wl = BatchWorkload.uniform(g, num_objects=2, k=1, seed=0, num_txns=2)
+        txns = batch_txns(wl)
+        view = StandaloneView(g, wl.initial_objects())
+        base = ColoringBatchScheduler()
+        improved = ImprovedBatchScheduler(base, seed=1)
+        assert improved.plan(view, txns) == base.plan(view, txns)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ImprovedBatchScheduler(ColoringBatchScheduler(), iterations=-1)
+
+    def test_inside_bucket_scheduler(self):
+        g = topologies.line(16)
+        wl = OnlineWorkload.bernoulli(g, num_objects=5, k=2, rate=0.05, horizon=30, seed=9)
+        improved = ImprovedBatchScheduler(ColoringBatchScheduler(), iterations=15, seed=3)
+        res = run_experiment(g, BucketScheduler(improved), wl)
+        assert res.trace.num_txns == wl.num_txns

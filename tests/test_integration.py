@@ -1,0 +1,116 @@
+"""Integration tests: every scheduler x every topology, certified."""
+
+import pytest
+
+from repro.analysis import run_experiment
+from repro.baselines import FifoSerialScheduler, TspTourScheduler
+from repro.core import BucketScheduler, DistributedBucketScheduler, GreedyScheduler
+from repro.network import topologies
+from repro.offline import (
+    ClusterBatchScheduler,
+    ColoringBatchScheduler,
+    LineBatchScheduler,
+    StarBatchScheduler,
+)
+from repro.workloads import BatchWorkload, ClosedLoopWorkload, OnlineWorkload
+
+TOPOLOGIES = [
+    lambda: topologies.clique(10),
+    lambda: topologies.line(14),
+    lambda: topologies.ring(12),
+    lambda: topologies.grid([3, 4]),
+    lambda: topologies.hypercube(3),
+    lambda: topologies.butterfly(2),
+    lambda: topologies.cluster_graph(3, 3, gamma=4),
+    lambda: topologies.star_graph(3, 3),
+    lambda: topologies.random_geometric(12, 0.4, seed=0),
+]
+
+
+def scheduler_matrix():
+    from repro.core import AdaptiveScheduler, CoordinatedGreedyScheduler, WindowedBatchScheduler
+
+    return [
+        ("greedy", lambda: GreedyScheduler(), 1),
+        ("greedy-degree", lambda: GreedyScheduler(order="degree"), 1),
+        ("bucket", lambda: BucketScheduler(ColoringBatchScheduler()), 1),
+        ("windowed", lambda: WindowedBatchScheduler(ColoringBatchScheduler(), window=8), 1),
+        ("adaptive", lambda: AdaptiveScheduler(), 1),
+        ("coordinated", lambda: CoordinatedGreedyScheduler(), 1),
+        ("fifo", lambda: FifoSerialScheduler(), 1),
+        ("tsp", lambda: TspTourScheduler(), 1),
+        ("distributed", lambda: DistributedBucketScheduler(ColoringBatchScheduler(), seed=0), 2),
+    ]
+
+
+class TestAllPairsBatch:
+    @pytest.mark.parametrize("topo", TOPOLOGIES, ids=lambda f: f().name)
+    @pytest.mark.parametrize("name,factory,speed", scheduler_matrix(), ids=lambda x: x if isinstance(x, str) else "")
+    def test_batch_certified(self, topo, name, factory, speed):
+        g = topo()
+        wl = BatchWorkload.uniform(g, num_objects=5, k=2, seed=13)
+        res = run_experiment(g, factory(), wl, object_speed_den=speed)
+        assert res.trace.num_txns == g.num_nodes
+        assert res.metrics.makespan >= 1
+
+
+class TestAllPairsOnline:
+    @pytest.mark.parametrize("name,factory,speed", scheduler_matrix(), ids=lambda x: x if isinstance(x, str) else "")
+    def test_online_grid_certified(self, name, factory, speed):
+        g = topologies.grid([3, 4])
+        wl = OnlineWorkload.bernoulli(g, num_objects=5, k=2, rate=0.06, horizon=30, seed=21)
+        res = run_experiment(g, factory(), wl, object_speed_den=speed)
+        assert res.trace.num_txns == wl.num_txns
+
+
+class TestTopologyAwareOffline:
+    def test_line_bucket(self):
+        g = topologies.line(20)
+        wl = OnlineWorkload.bernoulli(g, num_objects=6, k=2, rate=0.05, horizon=40, seed=3)
+        res = run_experiment(g, BucketScheduler(LineBatchScheduler()), wl)
+        assert res.trace.num_txns == wl.num_txns
+
+    def test_cluster_bucket(self):
+        g = topologies.cluster_graph(3, 4, gamma=6)
+        wl = OnlineWorkload.bernoulli(g, num_objects=6, k=2, rate=0.05, horizon=40, seed=4)
+        res = run_experiment(g, BucketScheduler(ClusterBatchScheduler()), wl)
+        assert res.trace.num_txns == wl.num_txns
+
+    def test_star_bucket(self):
+        g = topologies.star_graph(4, 3)
+        wl = OnlineWorkload.bernoulli(g, num_objects=6, k=2, rate=0.05, horizon=40, seed=5)
+        res = run_experiment(g, BucketScheduler(StarBatchScheduler()), wl)
+        assert res.trace.num_txns == wl.num_txns
+
+
+class TestClosedLoopAcrossSchedulers:
+    @pytest.mark.parametrize("name,factory,speed", scheduler_matrix(), ids=lambda x: x if isinstance(x, str) else "")
+    def test_closed_loop(self, name, factory, speed):
+        g = topologies.clique(6)
+        wl = ClosedLoopWorkload(g, num_objects=4, k=2, rounds=3, seed=8)
+        res = run_experiment(g, factory(), wl, object_speed_den=speed)
+        assert res.trace.num_txns == 18
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "factory,speed",
+        [
+            (lambda: GreedyScheduler(), 1),
+            (lambda: BucketScheduler(ColoringBatchScheduler()), 1),
+            (lambda: DistributedBucketScheduler(ColoringBatchScheduler(), seed=3), 2),
+        ],
+        ids=["greedy", "bucket", "distributed"],
+    )
+    def test_same_seed_same_trace(self, factory, speed):
+        g = topologies.grid([3, 3])
+
+        def one():
+            wl = OnlineWorkload.bernoulli(g, num_objects=4, k=2, rate=0.08, horizon=20, seed=17)
+            return run_experiment(g, factory(), wl, object_speed_den=speed)
+
+        a, b = one(), one()
+        assert {t: r.exec_time for t, r in a.trace.txns.items()} == {
+            t: r.exec_time for t, r in b.trace.txns.items()
+        }
+        assert a.trace.legs == b.trace.legs

@@ -1,0 +1,57 @@
+"""Unit tests for the message router."""
+
+from repro.network import topologies
+from repro.sim.messages import MessageRouter
+
+
+class TestRouter:
+    def test_latency_is_distance(self):
+        g = topologies.line(10)
+        r = MessageRouter(g)
+        got = []
+        r.send(0, 0, 7, "x", None, lambda now, m: got.append((now, m)))
+        assert r.next_delivery_time() == 7
+        r.deliver_due(7)
+        assert got[0][0] == 7
+        assert got[0][1].deliver_at == 7
+
+    def test_self_message_takes_one_step(self):
+        g = topologies.line(4)
+        r = MessageRouter(g)
+        r.send(5, 2, 2, "x", None, lambda now, m: None)
+        assert r.next_delivery_time() == 6
+
+    def test_extra_delay(self):
+        g = topologies.line(10)
+        r = MessageRouter(g)
+        r.send(0, 0, 3, "x", None, lambda now, m: None, extra_delay=4)
+        assert r.next_delivery_time() == 7
+
+    def test_delivery_order_and_stats(self):
+        g = topologies.line(10)
+        r = MessageRouter(g)
+        seen = []
+        r.send(0, 0, 5, "a", "A", lambda now, m: seen.append(m.payload))
+        r.send(0, 0, 2, "b", "B", lambda now, m: seen.append(m.payload))
+        r.deliver_due(10)
+        assert seen == ["B", "A"]
+        assert r.sent_count == 2
+        assert r.total_distance == 7
+        assert r.pending == 0
+
+    def test_callback_can_send_more(self):
+        g = topologies.line(10)
+        r = MessageRouter(g)
+        seen = []
+
+        def hop(now, msg):
+            seen.append((now, msg.dst))
+            if msg.dst < 6:
+                r.send(now, msg.dst, msg.dst + 2, "hop", None, hop)
+
+        r.send(0, 0, 2, "hop", None, hop)
+        t = 0
+        while r.pending:
+            t = r.next_delivery_time()
+            r.deliver_due(t)
+        assert seen == [(2, 2), (4, 4), (6, 6)]

@@ -1,0 +1,100 @@
+"""Additional end-to-end property tests across newer subsystems."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import run_experiment
+from repro.baselines import OptimisticDTMSimulator
+from repro.core import GreedyScheduler, WindowedBatchScheduler
+from repro.network import topologies
+from repro.offline import ColoringBatchScheduler
+from repro.sim.transactions import TxnSpec
+from repro.sim.validate import certify_trace
+from repro.workloads import ManualWorkload
+
+SETTINGS = settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def write_instances(draw):
+    kind = draw(st.sampled_from(["line", "clique", "grid"]))
+    if kind == "line":
+        g = topologies.line(draw(st.integers(3, 10)))
+    elif kind == "clique":
+        g = topologies.clique(draw(st.integers(3, 8)))
+    else:
+        g = topologies.grid([draw(st.integers(2, 3)), draw(st.integers(2, 4))])
+    n = g.num_nodes
+    no = draw(st.integers(1, 4))
+    placement = {o: draw(st.integers(0, n - 1)) for o in range(no)}
+    specs = []
+    t = 0
+    for _ in range(draw(st.integers(1, 10))):
+        t += draw(st.integers(0, 4))
+        k = draw(st.integers(1, no))
+        objs = draw(st.lists(st.integers(0, no - 1), min_size=k, max_size=k, unique=True))
+        specs.append(TxnSpec(t, draw(st.integers(0, n - 1)), tuple(objs)))
+    return g, placement, specs
+
+
+class TestOptimisticProperties:
+    @given(write_instances())
+    @SETTINGS
+    def test_all_commit_and_certify(self, inst):
+        g, placement, specs = inst
+        wl = ManualWorkload(placement, specs)
+        trace = OptimisticDTMSimulator(g, wl, seed=2).run()
+        assert len(trace.txns) == len(specs)
+        assert certify_trace(g, trace) == []
+
+    @given(write_instances())
+    @SETTINGS
+    def test_never_beats_exact_optimum_on_batches(self, inst):
+        from repro.analysis import exact_optimal_makespan
+        from repro.sim.transactions import Transaction
+
+        g, placement, specs = inst
+        batch = [TxnSpec(0, s.home, s.objects) for s in specs[:7]]
+        wl = ManualWorkload(placement, batch)
+        trace = OptimisticDTMSimulator(g, wl, seed=3).run()
+        txns = [Transaction(i, s.home, frozenset(s.objects), 0) for i, s in enumerate(batch)]
+        opt = exact_optimal_makespan(g, placement, txns)
+        assert trace.makespan() >= opt
+
+
+class TestWindowedProperties:
+    @given(write_instances(), st.integers(1, 20))
+    @SETTINGS
+    def test_windowed_always_feasible(self, inst, window):
+        g, placement, specs = inst
+        wl = ManualWorkload(placement, specs)
+        res = run_experiment(
+            g, WindowedBatchScheduler(ColoringBatchScheduler(), window=window), wl
+        )
+        assert res.trace.num_txns == len(specs)
+
+    @given(write_instances(), st.integers(2, 20))
+    @SETTINGS
+    def test_schedule_delay_bounded_by_window(self, inst, window):
+        g, placement, specs = inst
+        wl = ManualWorkload(placement, specs)
+        res = run_experiment(
+            g, WindowedBatchScheduler(ColoringBatchScheduler(), window=window), wl
+        )
+        for rec in res.trace.txns.values():
+            assert rec.schedule_time - rec.gen_time <= window
+
+
+class TestUniformBetaOnline:
+    @given(write_instances())
+    @SETTINGS
+    def test_absolute_multiples_online(self, inst):
+        """Lemma 2 online mode: execution times sit on absolute multiples
+        of beta even for arrivals at arbitrary times."""
+        g, placement, specs = inst
+        beta = max(1, int(g.diameter()))
+        wl = ManualWorkload(placement, specs)
+        res = run_experiment(g, GreedyScheduler(uniform_beta=beta), wl)
+        for rec in res.trace.txns.values():
+            assert rec.exec_time % beta == 0

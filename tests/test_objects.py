@@ -1,0 +1,61 @@
+"""Unit tests for mobile shared objects."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.network import topologies
+from repro.sim.objects import QueueEntry, SharedObject
+
+
+class TestTimeToReach:
+    def test_at_rest(self):
+        g = topologies.line(10)
+        obj = SharedObject(0, location=2)
+        assert obj.time_to_reach(g, 7, now=100) == 5
+        assert obj.time_to_reach(g, 2, now=100) == 0
+
+    def test_at_rest_half_speed(self):
+        g = topologies.line(10)
+        obj = SharedObject(0, location=2, speed_den=2)
+        assert obj.time_to_reach(g, 7, now=0) == 10
+
+    def test_in_transit_artificial_node(self):
+        g = topologies.line(10)
+        obj = SharedObject(0, location=0, in_transit=True, dest=5, arrive_time=12)
+        # at t=10: 2 steps left to node 5, then distance to 8 is 3
+        assert obj.time_to_reach(g, 8, now=10) == 2 + 3
+
+    def test_in_transit_back_toward_origin(self):
+        g = topologies.line(10)
+        obj = SharedObject(0, location=0, in_transit=True, dest=5, arrive_time=12)
+        # the artificial-node model charges going through the destination
+        assert obj.time_to_reach(g, 3, now=10) == 2 + 2
+
+
+class TestQueue:
+    def test_enqueue_sorted(self):
+        obj = SharedObject(0, location=0)
+        obj.enqueue(10, exec_time=30)
+        obj.enqueue(11, exec_time=10)
+        obj.enqueue(12, exec_time=20)
+        assert [e.tid for e in obj.queue] == [11, 12, 10]
+
+    def test_ties_broken_by_tid(self):
+        obj = SharedObject(0, location=0)
+        obj.enqueue(5, exec_time=10)
+        obj.enqueue(3, exec_time=10)
+        assert [e.tid for e in obj.queue] == [3, 5]
+
+    def test_pop_head_order_enforced(self):
+        obj = SharedObject(0, location=0)
+        obj.enqueue(1, exec_time=5)
+        obj.enqueue(2, exec_time=9)
+        with pytest.raises(SchedulingError):
+            obj.pop_head(2)
+        obj.pop_head(1)
+        assert obj.next_requester() == QueueEntry(9, 2)
+
+    def test_pop_empty_queue(self):
+        obj = SharedObject(0, location=0)
+        with pytest.raises(SchedulingError):
+            obj.pop_head(1)

@@ -1,0 +1,178 @@
+"""Tests for the read/write extension: copies, versions, invalidation."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import run_experiment
+from repro.core import BucketScheduler, GreedyScheduler
+from repro.core.base import OnlineScheduler
+from repro.network import topologies
+from repro.offline import ColoringBatchScheduler
+from repro.sim.engine import Simulator
+from repro.sim.trace import CopyLeg
+from repro.sim.transactions import TxnSpec
+from repro.sim.validate import certify_trace
+from repro.workloads import ManualWorkload, OnlineWorkload
+
+
+class TestSpecValidation:
+    def test_read_write_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            TxnSpec(0, 0, (1,), reads=(1,))
+
+    def test_all_objects_union(self):
+        from repro.sim.transactions import Transaction
+
+        t = Transaction(0, 0, frozenset({1}), 0, reads=frozenset({2}))
+        assert t.all_objects == frozenset({1, 2})
+
+
+class TestCopySemantics:
+    def test_reader_gets_copy_master_stays(self):
+        g = topologies.line(8)
+        wl = ManualWorkload({0: 0}, [TxnSpec(0, 5, (), reads=(0,))])
+        res = run_experiment(g, GreedyScheduler(), wl)
+        assert res.trace.legs == []  # master never moved
+        assert len(res.trace.copy_legs) == 1
+        cl = res.trace.copy_legs[0]
+        assert (cl.src, cl.dst, cl.version) == (0, 5, 0)
+
+    def test_concurrent_readers_share(self):
+        # three readers of the same object may execute simultaneously
+        g = topologies.clique(6)
+        specs = [TxnSpec(0, i, (), reads=(0,)) for i in range(1, 4)]
+        wl = ManualWorkload({0: 0}, specs)
+        res = run_experiment(g, GreedyScheduler(), wl)
+        times = {r.exec_time for r in res.trace.txns.values()}
+        assert len(times) == 1  # all at the same step: reads don't conflict
+        assert len(res.trace.copy_legs) == 3
+
+    def test_writers_still_serialize_with_readers(self):
+        g = topologies.clique(4)
+        specs = [TxnSpec(0, 1, (0,)), TxnSpec(0, 2, (), reads=(0,)), TxnSpec(0, 3, (0,))]
+        wl = ManualWorkload({0: 0}, specs)
+        res = run_experiment(g, GreedyScheduler(), wl)
+        recs = res.trace.txns
+        # w-r and w-w conflict: all three pairwise-distinct except reader
+        # may share with nothing here (weight 1 apart)
+        assert recs[0].exec_time != recs[1].exec_time
+        assert recs[2].exec_time != recs[1].exec_time
+
+    def test_reader_after_writer_gets_new_version(self):
+        g = topologies.line(8)
+        specs = [TxnSpec(0, 4, (0,)), TxnSpec(1, 6, (), reads=(0,))]
+        wl = ManualWorkload({0: 0}, specs)
+        res = run_experiment(g, GreedyScheduler(), wl)
+        writer = res.trace.txns[0]
+        reader = res.trace.txns[1]
+        assert reader.exec_time > writer.exec_time
+        current = [cl for cl in res.trace.copy_legs if cl.version == 1]
+        assert current and current[-1].depart_time >= writer.exec_time
+
+    def test_colocated_reader_zero_length_copy(self):
+        g = topologies.line(8)
+        wl = ManualWorkload({0: 3}, [TxnSpec(0, 3, (), reads=(0,))])
+        res = run_experiment(g, GreedyScheduler(), wl)
+        cl = res.trace.copy_legs[0]
+        assert cl.src == cl.dst == 3
+        assert cl.depart_time == cl.arrive_time
+
+
+class TestInvalidation:
+    def test_late_writer_invalidates_served_copy(self):
+        """Reader scheduled far in the future gets an early copy; a writer
+        arriving later is colored before the reader; the stale copy must
+        be replaced by the writer's version."""
+        g = topologies.line(16)
+
+        class Scripted(OnlineScheduler):
+            def on_step(self, t, new_txns):
+                for txn in new_txns:
+                    if txn.reads:
+                        self.sim.commit_schedule(txn, 40)  # far future
+                    else:
+                        self.sim.commit_schedule(txn, t + 10)
+
+            def has_pending(self):
+                return False
+
+        specs = [TxnSpec(0, 8, (), reads=(0,)), TxnSpec(2, 10, (0,))]
+        wl = ManualWorkload({0: 0}, specs)
+        sim = Simulator(g, Scripted(), wl)
+        trace = sim.run()
+        certify_trace(g, trace)
+        reader_legs = [cl for cl in trace.copy_legs if cl.reader_tid == 0]
+        assert len(reader_legs) == 2  # original + re-dispatch
+        assert reader_legs[0].version == 0
+        assert reader_legs[1].version == 1
+        assert reader_legs[1].depart_time >= trace.txns[1].exec_time
+
+    def test_validator_rejects_stale_only_copy(self):
+        """Forged trace: reader holds only a version-0 copy although a
+        preceding writer exists — certifier must flag it."""
+        from repro.sim.trace import ExecutionTrace, ObjectLeg, TxnRecord
+
+        g = topologies.line(8)
+        trace = ExecutionTrace("t", {0: 0})
+        trace.txns[0] = TxnRecord(0, 2, (0,), 0, 0, 2)  # writer at t=2
+        trace.txns[1] = TxnRecord(1, 5, (), 0, 0, 9, reads=(0,))
+        trace.legs.append(ObjectLeg(0, 0, 0, 2, 2))
+        trace.copy_legs.append(CopyLeg(0, 1, 0, 0, 5, 5, version=0))  # stale!
+        issues = certify_trace(g, trace, raise_on_failure=False)
+        assert any(i.kind == "absent-copy" for i in issues)
+
+
+class TestReadHeavyThroughput:
+    def test_reads_cut_master_travel(self):
+        g = topologies.grid([4, 4])
+        res = {}
+        for rf in (0.0, 0.8):
+            wl = OnlineWorkload.bernoulli(
+                g, num_objects=6, k=3, rate=0.06, horizon=40, seed=5, read_fraction=rf
+            )
+            res[rf] = run_experiment(g, GreedyScheduler(), wl)
+        assert res[0.8].trace.total_object_travel() < res[0.0].trace.total_object_travel()
+
+    def test_bucket_handles_reads(self):
+        g = topologies.line(16)
+        wl = OnlineWorkload.bernoulli(
+            g, num_objects=6, k=2, rate=0.05, horizon=40, seed=2, read_fraction=0.5
+        )
+        res = run_experiment(g, BucketScheduler(ColoringBatchScheduler()), wl)
+        assert res.trace.num_txns == wl.num_txns
+
+
+@st.composite
+def rw_instances(draw):
+    n = draw(st.integers(3, 8))
+    g = topologies.clique(n) if draw(st.booleans()) else topologies.line(n)
+    no = draw(st.integers(1, 4))
+    placement = {o: draw(st.integers(0, g.num_nodes - 1)) for o in range(no)}
+    specs = []
+    t = 0
+    for _ in range(draw(st.integers(1, 10))):
+        t += draw(st.integers(0, 5))
+        k = draw(st.integers(1, no))
+        objs = draw(st.lists(st.integers(0, no - 1), min_size=k, max_size=k, unique=True))
+        cut = draw(st.integers(0, len(objs)))
+        specs.append(
+            TxnSpec(t, draw(st.integers(0, g.num_nodes - 1)), tuple(objs[:cut]), reads=tuple(objs[cut:]))
+        )
+    return g, ManualWorkload(placement, specs)
+
+
+class TestReadWriteProperty:
+    @given(rw_instances())
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_greedy_rw_always_feasible_and_serializable(self, inst):
+        g, wl = inst
+        res = run_experiment(g, GreedyScheduler(), wl)  # certifier checks versions
+        assert res.trace.num_txns == wl.num_txns
+
+    @given(rw_instances())
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_bucket_rw_always_feasible(self, inst):
+        g, wl = inst
+        res = run_experiment(g, BucketScheduler(ColoringBatchScheduler()), wl)
+        assert res.trace.num_txns == wl.num_txns

@@ -1,0 +1,59 @@
+"""Tests for the replay scheduler."""
+
+import pytest
+
+from repro.analysis import run_experiment
+from repro.core import GreedyScheduler, ReplayScheduler
+from repro.errors import SchedulingError
+from repro.network import topologies
+from repro.sim.serialize import trace_from_dict, trace_to_dict
+from repro.workloads import BatchWorkload, OnlineWorkload
+
+
+def record(graph, workload_factory):
+    res = run_experiment(graph, GreedyScheduler(), workload_factory())
+    return res.trace
+
+
+class TestReplay:
+    def test_replay_reproduces_schedule(self):
+        g = topologies.grid([3, 3])
+        mk = lambda: OnlineWorkload.bernoulli(g, num_objects=4, k=2, rate=0.08, horizon=25, seed=8)
+        original = record(g, mk)
+        replayed = run_experiment(g, ReplayScheduler(original), mk()).trace
+        assert {t: r.exec_time for t, r in replayed.txns.items()} == {
+            t: r.exec_time for t, r in original.txns.items()
+        }
+        assert replayed.legs == original.legs
+
+    def test_replay_from_serialized(self):
+        g = topologies.clique(8)
+        mk = lambda: BatchWorkload.uniform(g, num_objects=4, k=2, seed=3)
+        original = record(g, mk)
+        revived = trace_from_dict(trace_to_dict(original))
+        replayed = run_experiment(g, ReplayScheduler(revived), mk()).trace
+        assert replayed.makespan() == original.makespan()
+
+    def test_replay_with_reads(self):
+        g = topologies.line(10)
+        mk = lambda: OnlineWorkload.bernoulli(
+            g, num_objects=4, k=2, rate=0.06, horizon=25, seed=9, read_fraction=0.5
+        )
+        original = record(g, mk)
+        replayed = run_experiment(g, ReplayScheduler(original), mk()).trace
+        assert len(replayed.copy_legs) == len(original.copy_legs)
+
+    def test_mismatched_workload_rejected(self):
+        g = topologies.clique(6)
+        original = record(g, lambda: BatchWorkload.uniform(g, num_objects=4, k=2, seed=1))
+        other = BatchWorkload.uniform(g, num_objects=4, k=2, seed=2)
+        with pytest.raises(SchedulingError, match="replay"):
+            run_experiment(g, ReplayScheduler(original), other)
+
+    def test_unconsumed_counter(self):
+        g = topologies.clique(6)
+        original = record(g, lambda: BatchWorkload.uniform(g, num_objects=4, k=2, seed=1))
+        sched = ReplayScheduler(original)
+        assert sched.unconsumed == len(original.txns)
+        run_experiment(g, sched, BatchWorkload.uniform(g, num_objects=4, k=2, seed=1))
+        assert sched.unconsumed == 0

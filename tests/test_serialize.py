@@ -1,0 +1,57 @@
+"""Tests for trace serialization."""
+
+import json
+
+from repro.analysis import run_experiment
+from repro.core import GreedyScheduler
+from repro.network import topologies
+from repro.sim.serialize import load_trace, save_trace, trace_from_dict, trace_to_dict
+from repro.sim.validate import certify_trace
+from repro.workloads import OnlineWorkload
+
+
+def make_trace(read_fraction=0.0, seed=3):
+    g = topologies.grid([3, 3])
+    wl = OnlineWorkload.bernoulli(
+        g, num_objects=4, k=2, rate=0.08, horizon=25, seed=seed, read_fraction=read_fraction
+    )
+    return g, run_experiment(g, GreedyScheduler(), wl).trace
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_equal(self):
+        g, trace = make_trace()
+        clone = trace_from_dict(trace_to_dict(trace))
+        assert clone.txns == trace.txns
+        assert clone.legs == trace.legs
+        assert clone.initial_placement == trace.initial_placement
+        assert clone.object_speed_den == trace.object_speed_den
+
+    def test_round_trip_with_reads(self):
+        g, trace = make_trace(read_fraction=0.6)
+        clone = trace_from_dict(trace_to_dict(trace))
+        assert clone.copy_legs == trace.copy_legs
+        assert all(clone.txns[t].reads == trace.txns[t].reads for t in trace.txns)
+
+    def test_file_round_trip_and_recertify(self, tmp_path):
+        g, trace = make_trace(read_fraction=0.4)
+        path = tmp_path / "trace.json"
+        save_trace(trace, str(path))
+        loaded = load_trace(str(path))
+        # an archived trace can be independently re-certified
+        assert certify_trace(g, loaded) == []
+
+    def test_json_is_plain(self):
+        g, trace = make_trace()
+        text = json.dumps(trace_to_dict(trace))
+        assert isinstance(json.loads(text), dict)
+
+    def test_tampered_trace_fails_certification(self, tmp_path):
+        g, trace = make_trace()
+        data = trace_to_dict(trace)
+        # move one execution earlier than its object allows
+        busiest = max(data["txns"], key=lambda r: r["exec_time"])
+        busiest["exec_time"] = 0
+        doctored = trace_from_dict(data)
+        issues = certify_trace(g, doctored, raise_on_failure=False)
+        assert issues

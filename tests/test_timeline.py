@@ -1,0 +1,101 @@
+"""Tests for timeline analytics."""
+
+from repro.analysis import (
+    hottest_nodes,
+    live_count_series,
+    node_utilization,
+    peak_concurrency,
+    run_experiment,
+    transit_series,
+    waiting_time_breakdown,
+)
+from repro.core import BucketScheduler, GreedyScheduler
+from repro.network import topologies
+from repro.offline import ColoringBatchScheduler
+from repro.sim.transactions import TxnSpec
+from repro.workloads import BatchWorkload, ManualWorkload, OnlineWorkload
+
+
+def simple_trace():
+    g = topologies.line(8)
+    specs = [TxnSpec(0, 2, (0,)), TxnSpec(0, 6, (0,)), TxnSpec(5, 4, (1,))]
+    wl = ManualWorkload({0: 0, 1: 4}, specs)
+    return run_experiment(g, GreedyScheduler(), wl).trace
+
+
+class TestSeries:
+    def test_live_series_starts_and_drains(self):
+        trace = simple_trace()
+        series = live_count_series(trace)
+        assert series[0][1] >= 1
+        assert series[-1][1] == 0
+
+    def test_live_series_levels_consistent(self):
+        trace = simple_trace()
+        for t, level in live_count_series(trace):
+            manual = sum(
+                1 for r in trace.txns.values() if r.gen_time <= t < r.exec_time
+            )
+            assert level == manual
+
+    def test_transit_series_bounded_by_objects(self):
+        trace = simple_trace()
+        for _, level in transit_series(trace):
+            assert 0 <= level <= len(trace.initial_placement)
+        if transit_series(trace):
+            assert transit_series(trace)[-1][1] == 0
+
+    def test_peak_concurrency(self):
+        g = topologies.clique(8)
+        wl = BatchWorkload.uniform(g, num_objects=8, k=1, seed=0)
+        trace = run_experiment(g, GreedyScheduler(), wl).trace
+        assert peak_concurrency(trace) == 8
+
+    def test_empty_trace(self):
+        from repro.sim.trace import ExecutionTrace
+
+        empty = ExecutionTrace("t", {})
+        assert live_count_series(empty) == []
+        assert peak_concurrency(empty) == 0
+        assert waiting_time_breakdown(empty)["scheduling_delay"] == 0.0
+
+
+class TestNodeStats:
+    def test_counts_match_trace(self):
+        trace = simple_trace()
+        stats = node_utilization(trace)
+        assert sum(s.txns_executed for s in stats.values()) == trace.num_txns
+        assert sum(s.objects_departed for s in stats.values()) == len(trace.legs)
+        assert sum(s.objects_arrived for s in stats.values()) == len(trace.legs)
+
+    def test_hottest_nodes_ordering(self):
+        g = topologies.grid([3, 3])
+        wl = OnlineWorkload.bernoulli(g, num_objects=4, k=2, rate=0.1, horizon=25, seed=2)
+        trace = run_experiment(g, GreedyScheduler(), wl).trace
+        top = hottest_nodes(trace, top=3)
+        assert len(top) <= 3
+        assert all(a.txns_executed >= b.txns_executed for a, b in zip(top, top[1:]))
+
+    def test_mean_latency(self):
+        trace = simple_trace()
+        stats = node_utilization(trace)
+        for s in stats.values():
+            if s.txns_executed:
+                assert s.mean_latency >= 1.0
+
+
+class TestWaitingBreakdown:
+    def test_greedy_has_zero_scheduling_delay(self):
+        g = topologies.grid([3, 3])
+        wl = OnlineWorkload.bernoulli(g, num_objects=4, k=2, rate=0.08, horizon=25, seed=1)
+        trace = run_experiment(g, GreedyScheduler(), wl).trace
+        parts = waiting_time_breakdown(trace)
+        assert parts["scheduling_delay"] == 0.0
+        assert parts["execution_wait"] > 0.0
+
+    def test_bucket_accumulates_scheduling_delay(self):
+        g = topologies.line(16)
+        wl = OnlineWorkload.bernoulli(g, num_objects=5, k=2, rate=0.05, horizon=40, seed=1)
+        trace = run_experiment(g, BucketScheduler(ColoringBatchScheduler()), wl).trace
+        parts = waiting_time_breakdown(trace)
+        assert parts["scheduling_delay"] > 0.0

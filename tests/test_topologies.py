@@ -1,0 +1,168 @@
+"""Unit tests for the topology constructors."""
+
+import math
+
+import pytest
+
+from repro.errors import GraphError
+from repro.network import topologies
+
+
+class TestClique:
+    def test_sizes(self):
+        g = topologies.clique(7)
+        assert g.num_nodes == 7
+        assert g.num_edges() == 21
+        assert g.diameter() == 1
+
+    def test_weighted(self):
+        g = topologies.clique(4, weight=3)
+        assert g.distance(0, 3) == 3
+
+
+class TestLineRing:
+    def test_line(self):
+        g = topologies.line(5)
+        assert g.num_edges() == 4
+        assert g.distance(0, 4) == 4
+
+    def test_ring_wraps(self):
+        g = topologies.ring(8)
+        assert g.distance(0, 7) == 1
+        assert g.distance(0, 4) == 4
+        assert g.diameter() == 4
+
+    def test_ring_too_small(self):
+        with pytest.raises(GraphError):
+            topologies.ring(2)
+
+
+class TestGrid:
+    def test_2d_grid(self):
+        g = topologies.grid([3, 5])
+        assert g.num_nodes == 15
+        assert g.diameter() == 2 + 4
+
+    def test_3d_grid(self):
+        g = topologies.grid([2, 3, 4])
+        assert g.num_nodes == 24
+        assert g.diameter() == 1 + 2 + 3
+
+    def test_logn_dim_grid_is_hypercube(self):
+        g = topologies.grid([2, 2, 2])
+        h = topologies.hypercube(3)
+        assert g.num_nodes == h.num_nodes
+        assert g.num_edges() == h.num_edges()
+        assert g.diameter() == h.diameter() == 3
+
+    def test_invalid_dims(self):
+        with pytest.raises(GraphError):
+            topologies.grid([])
+        with pytest.raises(GraphError):
+            topologies.grid([3, 0])
+
+    def test_torus_wraps(self):
+        g = topologies.torus([4, 4])
+        assert g.diameter() == 4  # 2 + 2 with wraparound
+
+
+class TestHypercube:
+    @pytest.mark.parametrize("d", [1, 2, 3, 4, 5])
+    def test_structure(self, d):
+        g = topologies.hypercube(d)
+        assert g.num_nodes == 2**d
+        assert g.num_edges() == d * 2 ** (d - 1)
+        assert g.diameter() == d
+
+    def test_distance_is_hamming(self):
+        g = topologies.hypercube(4)
+        assert g.distance(0b0000, 0b1111) == 4
+        assert g.distance(0b0101, 0b0110) == 2
+
+
+class TestButterfly:
+    def test_sizes(self):
+        g = topologies.butterfly(3)
+        assert g.num_nodes == 4 * 8
+        # each of dim levels contributes 2 edges per row
+        assert g.num_edges() == 3 * 8 * 2
+
+    def test_diameter_logarithmic(self):
+        for d in (2, 3, 4):
+            g = topologies.butterfly(d)
+            assert g.diameter() <= 2 * d
+
+
+class TestCluster:
+    def test_layout(self):
+        g = topologies.cluster_graph(3, 4, gamma=6)
+        assert g.num_nodes == 12
+        layout = g.layout
+        assert len(layout.cliques) == 3
+        assert layout.bridges == (0, 4, 8)
+        assert layout.clique_of(5) == 1
+
+    def test_distances(self):
+        g = topologies.cluster_graph(2, 3, gamma=5)
+        assert g.distance(1, 2) == 1  # intra-clique
+        assert g.distance(0, 3) == 5  # bridge to bridge
+        assert g.distance(1, 4) == 7  # 1 + gamma + 1
+
+    def test_gamma_constraint(self):
+        with pytest.raises(GraphError):
+            topologies.cluster_graph(2, 4, gamma=3)
+
+
+class TestStar:
+    def test_layout(self):
+        g = topologies.star_graph(3, 4)
+        assert g.num_nodes == 13
+        assert g.layout.center == 0
+        assert g.layout.ray_of(0) is None
+        assert g.layout.ray_of(5) == 1
+
+    def test_distances(self):
+        g = topologies.star_graph(2, 3)
+        assert g.distance(0, 1) == 1
+        assert g.distance(0, 3) == 3  # outer end of ray 0
+        assert g.distance(3, 6) == 6  # across the center
+
+    def test_diameter(self):
+        g = topologies.star_graph(4, 5)
+        assert g.diameter() == 10
+
+
+class TestTree:
+    def test_binary_tree_sizes(self):
+        g = topologies.tree(2, 3)
+        assert g.num_nodes == 15
+        assert g.num_edges() == 14
+        assert g.diameter() == 6
+
+    def test_ternary_tree(self):
+        g = topologies.tree(3, 2)
+        assert g.num_nodes == 13
+        assert g.distance(0, 12) == 2
+
+    def test_degenerate_path(self):
+        g = topologies.tree(1, 4)
+        assert g.num_nodes == 5
+        assert g.diameter() == 4
+
+    def test_invalid(self):
+        with pytest.raises(GraphError):
+            topologies.tree(0, 3)
+
+
+class TestRandomGeometric:
+    def test_connected_and_deterministic(self):
+        g1 = topologies.random_geometric(30, 0.3, seed=5)
+        g2 = topologies.random_geometric(30, 0.3, seed=5)
+        assert g1.num_nodes == 30
+        assert list(g1.edges()) == list(g2.edges())
+        # connectivity: any query succeeds
+        assert g1.distance(0, 29) > 0
+
+    def test_sparse_radius_still_connected(self):
+        g = topologies.random_geometric(25, 0.05, seed=1)
+        assert g.diameter() > 0

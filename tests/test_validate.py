@@ -1,0 +1,149 @@
+"""Unit tests for the independent trace certifier."""
+
+import pytest
+
+from repro.errors import InfeasibleScheduleError
+from repro.network import topologies
+from repro.sim.trace import ExecutionTrace, ObjectLeg, TxnRecord, Violation
+from repro.sim.validate import certify_trace
+
+
+def make_trace(placement, txns, legs, speed=1):
+    trace = ExecutionTrace("test", dict(placement), object_speed_den=speed)
+    for rec in txns:
+        trace.txns[rec.tid] = rec
+    trace.legs.extend(legs)
+    return trace
+
+
+class TestCleanTraces:
+    def test_empty_trace(self):
+        g = topologies.line(4)
+        assert certify_trace(g, make_trace({}, [], [])) == []
+
+    def test_stationary_object(self):
+        g = topologies.line(4)
+        trace = make_trace(
+            {0: 2}, [TxnRecord(0, 2, (0,), 0, 0, 1)], []
+        )
+        assert certify_trace(g, trace) == []
+
+    def test_moving_object(self):
+        g = topologies.line(8)
+        trace = make_trace(
+            {0: 0},
+            [TxnRecord(0, 5, (0,), 0, 0, 5)],
+            [ObjectLeg(0, 0, 0, 5, 5)],
+        )
+        assert certify_trace(g, trace) == []
+
+    def test_chain(self):
+        g = topologies.line(8)
+        trace = make_trace(
+            {0: 0},
+            [TxnRecord(0, 2, (0,), 0, 0, 2), TxnRecord(1, 6, (0,), 0, 0, 6)],
+            [ObjectLeg(0, 0, 0, 2, 2), ObjectLeg(0, 2, 2, 6, 6)],
+        )
+        assert certify_trace(g, trace) == []
+
+
+class TestDetection:
+    def test_wrong_leg_speed(self):
+        g = topologies.line(8)
+        trace = make_trace(
+            {0: 0},
+            [TxnRecord(0, 5, (0,), 0, 0, 3)],
+            [ObjectLeg(0, 0, 0, 5, 3)],  # 3 steps for distance 5
+        )
+        issues = certify_trace(g, trace, raise_on_failure=False)
+        assert any(i.kind == "leg-speed" for i in issues)
+
+    def test_teleporting_object(self):
+        g = topologies.line(8)
+        trace = make_trace(
+            {0: 0},
+            [TxnRecord(0, 5, (0,), 0, 0, 10)],
+            [ObjectLeg(0, 3, 2, 5, 6)],  # departs from node 2, was at 0
+        )
+        issues = certify_trace(g, trace, raise_on_failure=False)
+        assert any(i.kind == "leg-gap" for i in issues)
+
+    def test_overlapping_legs(self):
+        g = topologies.line(8)
+        trace = make_trace(
+            {0: 0},
+            [TxnRecord(0, 5, (0,), 0, 0, 20)],
+            [ObjectLeg(0, 0, 0, 4, 4), ObjectLeg(0, 2, 4, 5, 3)],
+        )
+        issues = certify_trace(g, trace, raise_on_failure=False)
+        assert issues  # both overlap and speed problems
+
+    def test_absent_object(self):
+        g = topologies.line(8)
+        trace = make_trace(
+            {0: 0},
+            [TxnRecord(0, 5, (0,), 0, 0, 2)],  # executed before arrival
+            [ObjectLeg(0, 0, 0, 5, 5)],
+        )
+        issues = certify_trace(g, trace, raise_on_failure=False)
+        assert any(i.kind == "absent-object" for i in issues)
+
+    def test_too_fast_serialization(self):
+        g = topologies.line(8)
+        # both executed with the object "present" per forged legs but the
+        # schedule-level gap is impossible
+        trace = make_trace(
+            {0: 0},
+            [TxnRecord(0, 0, (0,), 0, 0, 1), TxnRecord(1, 7, (0,), 0, 0, 2)],
+            [ObjectLeg(0, 1, 0, 7, 8)],
+        )
+        issues = certify_trace(g, trace, raise_on_failure=False)
+        assert any(i.kind in ("too-fast", "absent-object") for i in issues)
+
+    def test_engine_violations_propagate(self):
+        g = topologies.line(4)
+        trace = make_trace({0: 0}, [], [])
+        trace.violations.append(Violation(0, 5, (0,)))
+        issues = certify_trace(g, trace, raise_on_failure=False)
+        assert any(i.kind == "engine-violation" for i in issues)
+
+    def test_raise_on_failure(self):
+        g = topologies.line(8)
+        trace = make_trace(
+            {0: 0}, [TxnRecord(0, 5, (0,), 0, 0, 2)], [ObjectLeg(0, 0, 0, 5, 5)]
+        )
+        with pytest.raises(InfeasibleScheduleError):
+            certify_trace(g, trace)
+
+    def test_unknown_object(self):
+        g = topologies.line(8)
+        trace = make_trace({}, [TxnRecord(0, 5, (9,), 0, 0, 2)], [])
+        issues = certify_trace(g, trace, raise_on_failure=False)
+        assert any(i.kind == "unknown-object" for i in issues)
+
+
+class TestOneTxnPerNode:
+    def test_overlap_detected(self):
+        g = topologies.line(4)
+        trace = make_trace(
+            {0: 1},
+            [
+                TxnRecord(0, 1, (0,), 0, 0, 10),
+                TxnRecord(1, 1, (0,), 5, 5, 12),  # generated while tid 0 live
+            ],
+            [],
+        )
+        issues = certify_trace(g, trace, one_txn_per_node=True, raise_on_failure=False)
+        assert any(i.kind == "node-overlap" for i in issues)
+
+    def test_sequential_ok(self):
+        g = topologies.line(4)
+        trace = make_trace(
+            {0: 1},
+            [
+                TxnRecord(0, 1, (0,), 0, 0, 4),
+                TxnRecord(1, 1, (0,), 5, 5, 6),
+            ],
+            [],
+        )
+        assert certify_trace(g, trace, one_txn_per_node=True) == []

@@ -1,0 +1,169 @@
+"""Tests for workload generators and arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import run_experiment
+from repro.core import GreedyScheduler
+from repro.errors import WorkloadError
+from repro.network import topologies
+from repro.workloads import (
+    BatchWorkload,
+    ClosedLoopWorkload,
+    LocalityChooser,
+    OnlineWorkload,
+    UniformChooser,
+    ZipfChooser,
+    chain_workload,
+    hotspot_workload,
+)
+from repro.workloads.generators import place_objects_uniform
+
+
+class TestChoosers:
+    def test_uniform_distinct(self):
+        ch = UniformChooser(10)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            picks = ch.choose(0, 4, rng)
+            assert len(set(picks)) == 4
+            assert all(0 <= p < 10 for p in picks)
+
+    def test_k_too_large(self):
+        with pytest.raises(WorkloadError):
+            UniformChooser(3).choose(0, 4, np.random.default_rng(0))
+
+    def test_zipf_skews_to_low_ids(self):
+        ch = ZipfChooser(20, s=1.5)
+        rng = np.random.default_rng(1)
+        counts = np.zeros(20)
+        for _ in range(500):
+            for p in ch.choose(0, 2, rng):
+                counts[p] += 1
+        assert counts[0] > counts[10]
+        assert counts[:3].sum() > counts[10:].sum()
+
+    def test_zipf_s0_is_uniformish(self):
+        ch = ZipfChooser(10, s=0.0)
+        assert np.allclose(ch._probs, 0.1)
+
+    def test_locality_prefers_near_objects(self):
+        g = topologies.line(20)
+        placement = {0: 0, 1: 19}
+        ch = LocalityChooser(g, placement, bias=3.0)
+        rng = np.random.default_rng(2)
+        near = sum(ch.choose(0, 1, rng)[0] == 0 for _ in range(200))
+        assert near > 150
+
+
+class TestBatchWorkload:
+    def test_one_txn_per_node(self):
+        g = topologies.clique(9)
+        wl = BatchWorkload.uniform(g, num_objects=5, k=2, seed=0)
+        specs = wl.arrivals()
+        assert len(specs) == 9
+        assert sorted(s.home for s in specs) == list(range(9))
+        assert all(s.gen_time == 0 for s in specs)
+        assert all(len(s.objects) == 2 for s in specs)
+
+    def test_subset_of_nodes(self):
+        g = topologies.clique(9)
+        wl = BatchWorkload.uniform(g, num_objects=5, k=1, seed=0, num_txns=4)
+        assert len(wl.arrivals()) == 4
+
+    def test_num_txns_capped(self):
+        g = topologies.clique(4)
+        with pytest.raises(WorkloadError):
+            BatchWorkload.uniform(g, num_objects=3, k=1, num_txns=9)
+
+    def test_deterministic(self):
+        g = topologies.clique(9)
+        a = BatchWorkload.uniform(g, num_objects=5, k=2, seed=7)
+        b = BatchWorkload.uniform(g, num_objects=5, k=2, seed=7)
+        assert a.arrivals() == b.arrivals()
+        assert a.initial_objects() == b.initial_objects()
+
+
+class TestOnlineWorkload:
+    def test_bernoulli_rate_bounds(self):
+        g = topologies.line(10)
+        wl = OnlineWorkload.bernoulli(g, num_objects=4, k=1, rate=0.5, horizon=40, seed=0)
+        n = len(wl.arrivals())
+        assert 100 < n < 300  # ~200 expected
+
+    def test_invalid_rate(self):
+        g = topologies.line(4)
+        with pytest.raises(WorkloadError):
+            OnlineWorkload.bernoulli(g, 2, 1, rate=1.5, horizon=10)
+
+    def test_poisson_bulk(self):
+        g = topologies.line(10)
+        wl = OnlineWorkload.poisson_bulk(g, num_objects=4, k=1, lam=0.5, horizon=40, seed=0)
+        specs = wl.arrivals()
+        assert all(0 <= s.gen_time < 40 for s in specs)
+
+
+class TestClosedLoop:
+    def test_rounds_respected(self):
+        g = topologies.clique(6)
+        wl = ClosedLoopWorkload(g, num_objects=4, k=1, rounds=4, seed=0)
+        res = run_experiment(g, GreedyScheduler(), wl)
+        assert res.trace.num_txns == 6 * 4
+        # each node generated exactly `rounds` txns
+        homes = [r.home for r in res.trace.txns.values()]
+        assert all(homes.count(h) == 4 for h in range(6))
+
+    def test_one_live_txn_per_node(self):
+        g = topologies.clique(5)
+        wl = ClosedLoopWorkload(g, num_objects=3, k=1, rounds=3, seed=1)
+        res = run_experiment(g, GreedyScheduler(), wl)
+        from repro.sim.validate import certify_trace
+
+        assert certify_trace(g, res.trace, one_txn_per_node=True) == []
+
+    def test_next_txn_issued_next_step(self):
+        g = topologies.clique(4)
+        wl = ClosedLoopWorkload(g, num_objects=2, k=1, rounds=2, seed=2)
+        res = run_experiment(g, GreedyScheduler(), wl)
+        by_home = {}
+        for r in res.trace.txns.values():
+            by_home.setdefault(r.home, []).append(r)
+        for recs in by_home.values():
+            recs.sort(key=lambda r: r.gen_time)
+            assert recs[1].gen_time >= recs[0].exec_time + 1
+
+
+class TestAdversarial:
+    def test_hotspot_everyone_wants_object0(self):
+        g = topologies.line(8)
+        wl = hotspot_workload(g, seed=0)
+        assert all(0 in s.objects for s in wl.arrivals())
+
+    def test_hotspot_with_cold_objects(self):
+        g = topologies.line(8)
+        wl = hotspot_workload(g, num_cold_objects=5, k_cold=2, seed=0)
+        for s in wl.arrivals():
+            assert len(s.objects) == 3
+
+    def test_chain_adjacent_overlap(self):
+        g = topologies.line(10)
+        wl = chain_workload(g)
+        specs = wl.arrivals()
+        for a, b in zip(specs, specs[1:]):
+            assert set(a.objects) & set(b.objects)
+
+    def test_chain_runs_feasibly(self):
+        g = topologies.line(10)
+        res = run_experiment(g, GreedyScheduler(), chain_workload(g))
+        assert res.trace.num_txns == 10
+
+    def test_chain_too_short(self):
+        with pytest.raises(WorkloadError):
+            chain_workload(topologies.line(4), length=1)
+
+
+def test_place_objects_uniform_range():
+    g = topologies.line(7)
+    placement = place_objects_uniform(g, 30, np.random.default_rng(0))
+    assert set(placement) == set(range(30))
+    assert all(0 <= n < 7 for n in placement.values())
