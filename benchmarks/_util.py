@@ -4,26 +4,95 @@ Each bench regenerates one experiment table from DESIGN.md / EXPERIMENTS.md.
 Tables are emitted to the real stdout (bypassing pytest capture, so they
 appear in ``pytest benchmarks/ --benchmark-only`` output) and appended to
 ``benchmarks/results.txt`` for the record.
+
+Alongside the human-readable log, :func:`emit` writes a machine-readable
+``BENCH_<module>.json`` next to this file (schema ``repro.bench/1``) so the
+perf trajectory is trackable across PRs: each file maps the bench module to
+its tables (headers + rows) plus any observability counters passed via
+``obs=`` (typically ``CountersProbe.summary()`` from :mod:`repro.obs`).
+Re-running a bench replaces its table by title rather than appending, so
+the JSON stays a current snapshot while ``results.txt`` keeps the history.
 """
 
 from __future__ import annotations
 
+import json
 import math
 import os
 import sys
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Optional, Sequence
 
 from repro.analysis import render_table
 
 RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+BENCH_SCHEMA = "repro.bench/1"
 
 
-def emit(title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
-    """Render, print (uncaptured), and persist one experiment table."""
+def _caller_bench_name(depth: int = 2) -> str:
+    """Bench-module name of the caller (``bench_clique.py`` -> ``clique``)."""
+    frame = sys._getframe(depth)
+    path = frame.f_globals.get("__file__", "bench_unknown")
+    stem = os.path.splitext(os.path.basename(path))[0]
+    return stem[len("bench_"):] if stem.startswith("bench_") else stem
+
+
+def _json_path(name: str) -> str:
+    return os.path.join(os.path.dirname(__file__), f"BENCH_{name}.json")
+
+
+def _write_json(
+    name: str,
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    obs: Optional[Mapping[str, object]],
+    extra: Optional[Mapping[str, object]],
+) -> str:
+    path = _json_path(name)
+    doc = {"schema": BENCH_SCHEMA, "bench": name, "tables": []}
+    if os.path.exists(path):
+        try:
+            with open(path) as fh:
+                loaded = json.load(fh)
+            if loaded.get("schema") == BENCH_SCHEMA:
+                doc = loaded
+        except (OSError, ValueError):
+            pass  # corrupt or foreign file: start fresh
+    record = {"title": title, "headers": list(headers), "rows": [list(r) for r in rows]}
+    if obs:
+        record["obs"] = dict(obs)
+    if extra:
+        record["extra"] = dict(extra)
+    tables = [t for t in doc.get("tables", []) if t.get("title") != title]
+    tables.append(record)
+    doc["tables"] = tables
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def emit(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    obs: Optional[Mapping[str, object]] = None,
+    extra: Optional[Mapping[str, object]] = None,
+) -> str:
+    """Render, print (uncaptured), and persist one experiment table.
+
+    Appends the rendered table to ``results.txt`` and updates the calling
+    module's ``BENCH_<name>.json`` snapshot.  ``obs`` attaches probe
+    counters (e.g. ``CountersProbe.summary()``); ``extra`` attaches any
+    other JSON-serializable metadata (parameters, derived stats).
+    """
+    rows = [list(r) for r in rows]
     table = render_table(headers, rows, title=title)
     print("\n" + table + "\n", file=sys.__stdout__, flush=True)
     with open(RESULTS_PATH, "a") as fh:
         fh.write(table + "\n\n")
+    _write_json(_caller_bench_name(), title, headers, rows, obs, extra)
     return table
 
 

@@ -12,13 +12,14 @@ from _util import emit, once
 from repro.analysis import run_experiment
 from repro.core import GreedyScheduler
 from repro.network import topologies
+from repro.obs import CountersProbe
 from repro.workloads import ClosedLoopWorkload
 
 
-def run_one(n, k, seed=0):
+def run_one(n, k, seed=0, probe=None):
     g = topologies.clique(n)
     wl = ClosedLoopWorkload(g, num_objects=max(4, n // 2), k=k, rounds=3, seed=seed)
-    return run_experiment(g, GreedyScheduler(uniform_beta=1), wl)
+    return run_experiment(g, GreedyScheduler(uniform_beta=1), wl, probe=probe)
 
 
 @pytest.mark.benchmark(group="E2-clique")
@@ -36,9 +37,12 @@ def test_e2_clique_ratio_linear_in_k_flat_in_n(benchmark):
     # flat in n: max/min ratio across n for fixed k stays within a small factor
     for k, rs in ratios_per_k.items():
         assert max(rs) <= 4 * min(rs) + 4
-    once(benchmark, lambda: run_one(32, 4, seed=1))
+    probe = CountersProbe()
+    once(benchmark, lambda: run_one(32, 4, seed=1, probe=probe))
     emit(
         "E2  Theorem 3 — clique closed-loop: ratio ~ O(k), flat in n",
         ["n", "k", "txns", "makespan", "ratio", "ratio/k"],
         rows,
+        obs=probe.summary(),
+        extra={"timed_run": {"n": 32, "k": 4, "seed": 1}},
     )

@@ -28,7 +28,14 @@ from repro.core import (
     OnlineScheduler,
 )
 from repro.network import Graph, topologies
-from repro.sim import ExecutionTrace, SharedObject, Simulator, Transaction, certify_trace
+from repro.sim import (
+    ExecutionTrace,
+    SharedObject,
+    SimConfig,
+    Simulator,
+    Transaction,
+    certify_trace,
+)
 from repro.sim.transactions import TxnSpec
 
 __version__ = "0.1.0"
@@ -36,6 +43,7 @@ __version__ = "0.1.0"
 __all__ = [
     "Graph",
     "topologies",
+    "SimConfig",
     "Simulator",
     "Transaction",
     "TxnSpec",

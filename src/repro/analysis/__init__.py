@@ -9,6 +9,7 @@ from repro.analysis.lower_bounds import (
 from repro.analysis.gantt import object_lanes, render_gantt, txn_lanes
 from repro.analysis.placement import optimize_placement, replace_placement, weighted_one_median
 from repro.analysis.metrics import RunMetrics, jain_fairness, latency_fairness, summarize
+from repro.analysis.obs_report import obs_section
 from repro.analysis.report import comparison_report, run_report
 from repro.analysis.steady_state import (
     response_time_series,
@@ -64,6 +65,7 @@ __all__ = [
     "txn_lanes",
     "run_report",
     "comparison_report",
+    "obs_section",
     "optimize_placement",
     "replace_placement",
     "weighted_one_median",

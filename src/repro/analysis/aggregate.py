@@ -64,18 +64,24 @@ class Aggregate:
 
 
 def replicate(
-    experiment: Callable[[int], Mapping[str, float]],
+    experiment: Callable[..., Mapping[str, float]],
     seeds: Sequence[int],
+    *,
+    config=None,
 ) -> Dict[str, Aggregate]:
     """Run ``experiment(seed)`` for each seed; aggregate each metric key.
 
     The experiment returns a flat ``{metric: value}`` mapping; all runs
-    must return the same keys.
+    must return the same keys.  When ``config`` (a
+    :class:`~repro.sim.config.SimConfig`) is given, the factory is called
+    as ``experiment(seed, config)`` so one engine configuration threads
+    through every replication — typically forwarded to
+    ``run_experiment(..., config=config)``.
     """
     collected: Dict[str, List[float]] = {}
     keys = None
     for seed in seeds:
-        out = experiment(seed)
+        out = experiment(seed) if config is None else experiment(seed, config)
         if keys is None:
             keys = set(out)
             for k in keys:

@@ -4,6 +4,18 @@ One call = build a simulator, run it to quiescence, certify the trace
 independently, and compute metrics/ratios.  Every benchmark and example
 funnels through :func:`run_experiment`, so every number in EXPERIMENTS.md
 comes from a *certified feasible* schedule.
+
+Engine knobs are taken from a :class:`~repro.sim.config.SimConfig` —
+including the previously unreachable ``hop_motion`` / ``link_capacity`` /
+``strict`` combinations::
+
+    run_experiment(g, sched, wl, config=SimConfig(hop_motion=True,
+                                                  link_capacity=1,
+                                                  strict=False))
+
+Non-strict runs record deferrals instead of raising; their traces are not
+independently certifiable against the congestion-free model, so
+certification is skipped for them (the deferral count is the measurement).
 """
 
 from __future__ import annotations
@@ -15,6 +27,7 @@ from repro._types import DeparturePolicy
 from repro.analysis.metrics import RunMetrics, summarize
 from repro.analysis.ratios import RatioPoint, competitive_ratio, makespan_ratio
 from repro.network.graph import Graph
+from repro.sim.config import SimConfig
 from repro.sim.engine import Simulator
 from repro.sim.trace import ExecutionTrace
 from repro.sim.validate import certify_trace
@@ -29,6 +42,9 @@ class RunResult:
     competitive_ratio: float
     ratio_points: List[RatioPoint]
     makespan_ratio: Optional[float]
+    #: probe summary (e.g. CountersProbe counters/timers) when the run
+    #: carried a probe that provides ``summary()``; None otherwise
+    obs: Optional[dict] = None
 
     @property
     def makespan(self) -> int:
@@ -38,28 +54,39 @@ class RunResult:
     def max_latency(self) -> int:
         return self.metrics.max_latency
 
+    @property
+    def deadline_misses(self) -> int:
+        """Deferral events recorded by non-strict runs."""
+        return len(self.trace.violations)
+
 
 def run_experiment(
     graph: Graph,
     scheduler,
     workload,
     *,
-    object_speed_den: int = 1,
-    departure_policy: DeparturePolicy = DeparturePolicy.EAGER,
+    config: Optional[SimConfig] = None,
+    object_speed_den: Optional[int] = None,
+    departure_policy: Optional[DeparturePolicy] = None,
+    probe=None,
     certify: bool = True,
     compute_ratios: bool = True,
     max_steps: Optional[int] = None,
 ) -> RunResult:
-    """Run one scheduler/workload pair to quiescence and analyse it."""
-    sim = Simulator(
-        graph,
-        scheduler,
-        workload,
+    """Run one scheduler/workload pair to quiescence and analyse it.
+
+    ``config`` carries every engine knob; the ``object_speed_den`` /
+    ``departure_policy`` / ``probe`` keywords remain as the established
+    shorthand and override the corresponding ``config`` field when passed.
+    """
+    cfg = (config or SimConfig()).with_overrides(
         object_speed_den=object_speed_den,
         departure_policy=departure_policy,
+        probe=probe,
     )
+    sim = Simulator(graph, scheduler, workload, config=cfg)
     trace = sim.run(max_steps=max_steps)
-    if certify:
+    if certify and cfg.strict:
         certify_trace(graph, trace)
     ratio, points = (0.0, [])
     mk_ratio: Optional[float] = None
@@ -68,10 +95,15 @@ def run_experiment(
         gen_times = {r.gen_time for r in trace.txns.values()}
         if len(gen_times) == 1:
             mk_ratio = makespan_ratio(graph, trace)
+    obs = None
+    summarize_probe = getattr(cfg.probe, "summary", None)
+    if summarize_probe is not None:
+        obs = summarize_probe()
     return RunResult(
         trace=trace,
         metrics=summarize(trace),
         competitive_ratio=ratio,
         ratio_points=points,
         makespan_ratio=mk_ratio,
+        obs=obs,
     )

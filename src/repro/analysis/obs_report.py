@@ -1,0 +1,53 @@
+"""Markdown rendering of observability summaries (``repro.obs``).
+
+Turns the flat ``summary()`` mapping of a :class:`~repro.obs.CountersProbe`
+(or compatible probe) into a report section: event counters, scheduler
+decision counts, and the per-phase wall-clock breakdown.  Used by
+``run_report`` whenever a :class:`~repro.analysis.experiments.RunResult`
+carries an ``obs`` payload, and by ``python -m repro run --obs-counters
+--report FILE``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Tuple
+
+from repro.analysis.tables import render_table
+
+
+def _split(obs: Mapping[str, object]) -> Tuple[List, List, List]:
+    counters, sched, phases = [], [], []
+    for key in sorted(obs):
+        value = obs[key]
+        if key.startswith("sched."):
+            sched.append([key[len("sched."):], value])
+        elif key.startswith("phase_s."):
+            phases.append([key[len("phase_s."):], value])
+        elif key not in ("wall_s", "first_step", "last_step"):
+            counters.append([key, value])
+    return counters, sched, phases
+
+
+def obs_section(obs: Optional[Mapping[str, object]], *, heading: str = "## Observability") -> str:
+    """One markdown section for a probe summary ('' when ``obs`` is falsy)."""
+    if not obs:
+        return ""
+    counters, sched, phases = _split(obs)
+    lines: List[str] = [heading, ""]
+    if "wall_s" in obs:
+        span = ""
+        if "first_step" in obs:
+            span = f" over active steps {obs['first_step']}..{obs['last_step']}"
+        lines.append(f"Wall clock: {obs['wall_s']} s{span}.")
+        lines.append("")
+    if counters:
+        lines.extend(["```", render_table(["counter", "value"], counters), "```", ""])
+    if sched:
+        lines.extend(["Scheduler decisions:", "", "```",
+                      render_table(["event", "count"], sched), "```", ""])
+    if phases:
+        total = sum(float(v) for _, v in phases) or 1.0
+        rows = [[name, secs, f"{100 * float(secs) / total:.1f}%"] for name, secs in phases]
+        lines.extend(["Engine phase wall-clock breakdown:", "", "```",
+                      render_table(["phase", "seconds", "share"], rows), "```", ""])
+    return "\n".join(lines).rstrip() + "\n"

@@ -12,6 +12,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.experiments import RunResult
 from repro.analysis.gantt import render_gantt
+from repro.analysis.obs_report import obs_section
 from repro.analysis.tables import render_table
 from repro.analysis.timeline import hottest_nodes, peak_concurrency, waiting_time_breakdown
 from repro.network.graph import Graph
@@ -76,6 +77,9 @@ def run_report(
             f"duration {worst.worst_duration} vs lower bound {worst.lower_bound} "
             f"(ratio {worst.ratio:.2f})."
         )
+    if res.obs:
+        lines.append("")
+        lines.append(obs_section(res.obs).rstrip())
     if include_gantt and res.trace.txns:
         lines.append("")
         lines.append("## Schedule")

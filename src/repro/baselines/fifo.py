@@ -39,6 +39,7 @@ class FifoSerialScheduler(OnlineScheduler):
                     reach = speed * self.sim.graph.distance(pos, txn.home)
                 bound = max(bound, reach)
             exec_time = max(self._horizon, t) + bound
+            self.emit("fifo", t, tid=txn.tid, bound=bound)
             self.sim.commit_schedule(txn, exec_time)
             self._horizon = exec_time
             # Only writes move the master object; a read receives a copy

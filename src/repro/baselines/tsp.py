@@ -64,4 +64,6 @@ class TspTourScheduler(OnlineScheduler):
             ordered.extend(nearest_neighbor_order(self.sim.graph, start, groups[oid]))
         for txn in ordered:
             cons = constraints_for(self.sim, txn, now=t)
-            self.sim.commit_schedule(txn, t + min_valid_color(cons))
+            color = min_valid_color(cons)
+            self.emit("color", t, tid=txn.tid, color=color, constraints=len(cons))
+            self.sim.commit_schedule(txn, t + color)

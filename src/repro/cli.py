@@ -23,7 +23,7 @@ import sys
 from typing import Optional, Tuple
 
 from repro._types import DeparturePolicy
-from repro.analysis import competitive_ratio, render_table, run_experiment, summarize
+from repro.analysis import render_table, run_experiment
 from repro.baselines import FifoSerialScheduler, TspTourScheduler
 from repro.core import (
     AdaptiveScheduler,
@@ -35,12 +35,14 @@ from repro.core import (
 from repro.cover import build_sparse_cover
 from repro.errors import ReproError
 from repro.network import Graph, topologies
+from repro.obs import CountersProbe, JsonlProbe, MultiProbe
 from repro.offline import (
     ClusterBatchScheduler,
     ColoringBatchScheduler,
     LineBatchScheduler,
     StarBatchScheduler,
 )
+from repro.sim.config import SimConfig
 from repro.sim.serialize import save_trace
 from repro.workloads import (
     BatchWorkload,
@@ -189,42 +191,66 @@ def _result_dict(name: str, res) -> dict:
     }
 
 
+def make_probe(args, jsonl_path: Optional[str] = None):
+    """Build the probe requested by --obs-counters / --obs-jsonl (or None)."""
+    probes = []
+    if getattr(args, "obs_counters", False):
+        probes.append(CountersProbe())
+    path = jsonl_path if jsonl_path is not None else getattr(args, "obs_jsonl", None)
+    if path:
+        probes.append(JsonlProbe(path))
+    if not probes:
+        return None
+    return probes[0] if len(probes) == 1 else MultiProbe(*probes)
+
+
+def _close_probe(probe) -> None:
+    """Close any file-owning probes (JsonlProbe) after a run."""
+    if probe is None:
+        return
+    for p in getattr(probe, "probes", (probe,)):
+        close = getattr(p, "close", None)
+        if close is not None:
+            close()
+
+
+def make_config(args, speed: int, probe=None) -> SimConfig:
+    """Translate CLI knobs into one SimConfig.
+
+    Congestion studies (--link-capacity / --node-capacity) need the
+    deferral engine, not hard errors, so they switch to strict=False —
+    their schedules target the congestion-free model and the deferral
+    count is the measurement.
+    """
+    congested = bool(args.link_capacity or args.node_capacity)
+    return SimConfig(
+        departure_policy=DeparturePolicy.LAZY if getattr(args, "lazy", False)
+        else DeparturePolicy.EAGER,
+        object_speed_den=max(speed, args.object_speed),
+        strict=not congested,
+        node_egress_capacity=args.node_capacity,
+        hop_motion=getattr(args, "hop_motion", False) or bool(args.link_capacity),
+        link_capacity=args.link_capacity,
+        probe=probe,
+    )
+
+
 def cmd_run(args) -> int:
     graph = parse_topology(args.topology)
     scheduler, speed = make_scheduler(args.scheduler, graph)
     workload = make_workload(args, graph)
-    if args.link_capacity or args.node_capacity:
-        # Congestion studies need the deferral engine, not hard errors.
-        from repro.analysis.metrics import summarize
-        from repro.analysis.ratios import competitive_ratio
-        from repro.analysis.experiments import RunResult
-        from repro.sim.engine import Simulator
-
-        sim = Simulator(
-            graph,
-            scheduler,
-            workload,
-            object_speed_den=max(speed, args.object_speed),
-            departure_policy=DeparturePolicy.LAZY if args.lazy else DeparturePolicy.EAGER,
-            hop_motion=args.hop_motion or bool(args.link_capacity),
-            link_capacity=args.link_capacity,
-            node_egress_capacity=args.node_capacity,
-            strict=False,
-        )
-        trace = sim.run()
-        ratio, points = competitive_ratio(graph, trace)
-        res = RunResult(trace, summarize(trace), ratio, points, None)
-    else:
-        res = run_experiment(
-            graph,
-            scheduler,
-            workload,
-            object_speed_den=max(speed, args.object_speed),
-            departure_policy=DeparturePolicy.LAZY if args.lazy else DeparturePolicy.EAGER,
-        )
+    probe = make_probe(args)
+    res = run_experiment(
+        graph, scheduler, workload, config=make_config(args, speed, probe=probe)
+    )
+    _close_probe(probe)
     out = _result_dict(args.scheduler, res)
     out["topology"] = graph.name
     out["deadline_misses"] = len(res.trace.violations)
+    if res.obs is not None:
+        out["obs"] = res.obs
+    if args.obs_jsonl:
+        out["obs_jsonl"] = args.obs_jsonl
     if args.trace:
         save_trace(res.trace, args.trace)
         out["trace_file"] = args.trace
@@ -237,7 +263,10 @@ def cmd_run(args) -> int:
     if args.json:
         print(json.dumps(out, indent=2))
     else:
+        obs = out.pop("obs", None)
         rows = [[k, v] for k, v in out.items()]
+        if obs:
+            rows.extend([[f"obs.{k}", v] for k, v in obs.items()])
         print(render_table(["metric", "value"], rows, title=f"{graph.name} / {args.scheduler}"))
     return 0
 
@@ -252,10 +281,22 @@ def cmd_compare(args) -> int:
     for name in names:
         scheduler, speed = make_scheduler(name, graph)
         workload = make_workload(args, graph)
+        jsonl_path = None
+        if args.obs_jsonl:
+            # One stream per scheduler: results.jsonl -> results.greedy.jsonl
+            root, dot, ext = args.obs_jsonl.rpartition(".")
+            jsonl_path = f"{root}.{name}{dot}{ext}" if dot else f"{args.obs_jsonl}.{name}"
+        probe = make_probe(args, jsonl_path=jsonl_path)
         res = run_experiment(
-            graph, scheduler, workload, object_speed_den=max(speed, args.object_speed)
+            graph, scheduler, workload,
+            config=SimConfig(object_speed_den=max(speed, args.object_speed), probe=probe),
         )
+        _close_probe(probe)
         d = _result_dict(name, res)
+        if res.obs is not None:
+            d["obs"] = res.obs
+        if jsonl_path:
+            d["obs_jsonl"] = jsonl_path
         results.append(d)
         rows.append([d["scheduler"], d["txns"], d["makespan"], d["mean_latency"],
                      d["p99_latency"], d["competitive_ratio"], d["messages"]])
@@ -266,6 +307,12 @@ def cmd_compare(args) -> int:
             ["scheduler", "txns", "makespan", "mean-lat", "p99-lat", "ratio", "msgs"],
             rows, title=graph.name,
         ))
+        if args.obs_counters:
+            for d in results:
+                obs_rows = [[k, v] for k, v in d.get("obs", {}).items()]
+                if obs_rows:
+                    print(render_table(["counter", "value"], obs_rows,
+                                       title=f"obs: {d['scheduler']}"))
     return 0
 
 
@@ -350,11 +397,13 @@ def cmd_replay(args) -> int:
         graph,
         ReplayScheduler(trace),
         workload_from_trace(trace),
-        object_speed_den=trace.object_speed_den,
-        hop_motion=args.hop_motion or bool(args.link_capacity),
-        link_capacity=args.link_capacity,
-        node_egress_capacity=args.node_capacity,
-        strict=False,
+        config=SimConfig(
+            object_speed_den=trace.object_speed_den,
+            hop_motion=args.hop_motion or bool(args.link_capacity),
+            link_capacity=args.link_capacity,
+            node_egress_capacity=args.node_capacity,
+            strict=False,
+        ),
     )
     replayed = sim.run()
     out = {
@@ -415,6 +464,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--object-speed", type=int, default=1)
         p.add_argument("--json", action="store_true")
+        p.add_argument("--obs-counters", action="store_true",
+                       help="attach a CountersProbe; print/emit its summary")
+        p.add_argument("--obs-jsonl", metavar="FILE", default=None,
+                       help="stream probe events to FILE as JSONL (repro.obs schema)")
 
     p_run = sub.add_parser("run", help="run one scheduler and print metrics")
     common(p_run)
@@ -459,7 +512,7 @@ def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
-    except ReproError as exc:
+    except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -3,7 +3,9 @@
 from repro.core.adaptive import AdaptiveScheduler, pick_batch_scheduler
 from repro.core.base import OnlineScheduler
 from repro.core.bucket import BucketScheduler
+from repro.core.coloring import min_valid_color
 from repro.core.coordinated import CoordinatedGreedyScheduler
+from repro.core.dependency import constraints_for
 from repro.core.distributed import DistributedBucketScheduler
 from repro.core.greedy import GreedyScheduler
 from repro.core.replay import ReplayScheduler
@@ -19,4 +21,6 @@ __all__ = [
     "AdaptiveScheduler",
     "pick_batch_scheduler",
     "WindowedBatchScheduler",
+    "constraints_for",
+    "min_valid_color",
 ]

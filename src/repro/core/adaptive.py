@@ -66,6 +66,7 @@ class AdaptiveScheduler(OnlineScheduler):
             self.delegate = BucketScheduler(pick_batch_scheduler(sim.graph))
             self.choice = f"bucket({self.delegate.batch.name})"
         self.delegate.bind(sim)
+        self.emit("adaptive", 0, choice=self.choice)
 
     def on_step(self, t: Time, new_txns: List[Transaction]) -> None:
         self.delegate.on_step(t, new_txns)

@@ -22,10 +22,23 @@ class OnlineScheduler(abc.ABC):
 
     def __init__(self) -> None:
         self.sim: Optional[Simulator] = None
+        self._obs = None
 
     def bind(self, sim: Simulator) -> None:
         """Attach to a simulator; called once by the engine."""
         self.sim = sim
+        # Cached observability fast path (None when the probe is the
+        # default NullProbe) — see repro.obs.
+        self._obs = getattr(sim, "_obs", None)
+
+    def emit(self, event: str, t: Time, **fields) -> None:
+        """Report a scheduler decision to the run's probe (repro.obs).
+
+        No-op (one branch) when observability is disabled.  Event names
+        and fields are catalogued in :mod:`repro.obs.probe`.
+        """
+        if self._obs is not None:
+            self._obs.on_sched(event, t, **fields)
 
     @abc.abstractmethod
     def on_step(self, t: Time, new_txns: List[Transaction]) -> None:

@@ -115,10 +115,12 @@ class BucketScheduler(OnlineScheduler):
             if self.batch.completion_time(view, candidate) <= self._period(level):
                 self.buckets[level].append(txn)
                 self.insert_log.append((txn.tid, level, t))
+                self.emit("bucket-insert", t, tid=txn.tid, level=level)
                 return
         # Safety net: Lemma 3 says this cannot happen for feasible instances.
         self.buckets[self.max_level].append(txn)
         self.insert_log.append((txn.tid, self.max_level, t))
+        self.emit("bucket-insert", t, tid=txn.tid, level=self.max_level)
 
     def _activate(self, level: int, t: Time) -> None:
         self._last_activation[level] = t
@@ -130,6 +132,7 @@ class BucketScheduler(OnlineScheduler):
         for txn in bucket:
             self.sim.commit_schedule(txn, t + plan[txn.tid])
         self.activation_log.append((level, t, len(bucket)))
+        self.emit("activate", t, level=level, size=len(bucket))
         self.buckets[level] = []
 
     # ------------------------------------------------------------------

@@ -73,6 +73,7 @@ class CoordinatedGreedyScheduler(OnlineScheduler):
         cons = constraints_for(self.sim, txn, now=now)
         color = min_valid_color(cons, floor=back)
         self.decision_log.append((txn.tid, now - txn.gen_time, color))
+        self.emit("coord-color", now, tid=txn.tid, color=color, rtt=now - txn.gen_time + back)
         self.sim.commit_schedule(txn, now + color)
 
     def has_pending(self) -> bool:

@@ -190,6 +190,7 @@ class DistributedBucketScheduler(OnlineScheduler):
         for txn in live:
             self.sim.commit_schedule(txn, t + plan[txn.tid])
         self.activation_log.append((level, t, len(live)))
+        self.emit("activate", t, level=level, size=len(live), leader=cluster.leader)
 
     def _notify_floor(self, cluster: Cluster) -> Time:
         """Schedule-dissemination delay: leader -> furthest member and back."""
@@ -227,6 +228,7 @@ class DistributedBucketScheduler(OnlineScheduler):
     def _send_hop(self, t: Time, tid: TxnId, oid: ObjectId, route, index: int) -> None:
         """Forward a directory find one tree hop."""
         self.message_counts["probe"] += 1
+        self.emit("probe-msg", t, kind="probe-hop")
         self.sim.router.send(
             t,
             route[index],
@@ -248,6 +250,7 @@ class DistributedBucketScheduler(OnlineScheduler):
 
     def _send_probe(self, t: Time, src: NodeId, dst: NodeId, tid: TxnId, oid: ObjectId, hops: int) -> None:
         self.message_counts["probe"] += 1
+        self.emit("probe-msg", t, kind="probe")
         self.sim.router.send(
             t, src, dst, "probe", {"tid": tid, "oid": oid, "hops": hops}, self._on_probe
         )
@@ -268,6 +271,7 @@ class DistributedBucketScheduler(OnlineScheduler):
                 # (one self-message delayed until then), then re-check.
                 wait = max(0, (obj.arrive_time or now) - now)
                 self.message_counts["probe"] += 1
+                self.emit("probe-msg", now, kind="probe-wait")
                 self.sim.router.send(
                     now, here, here, "probe",
                     {"tid": tid, "oid": oid, "hops": hops + 1},
@@ -288,6 +292,7 @@ class DistributedBucketScheduler(OnlineScheduler):
             if other.tid != tid
         )
         self.message_counts["probe-resp"] += 1
+        self.emit("probe-msg", now, kind="probe-resp")
         self.sim.router.send(
             now,
             here,
@@ -323,6 +328,7 @@ class DistributedBucketScheduler(OnlineScheduler):
         cluster = self.cover.home_cluster(txn.home, layer)
         self.report_log.append((txn.tid, cluster, t))
         self.message_counts["report"] += 1
+        self.emit("probe-msg", t, kind="report")
         self.sim.router.send(
             t, txn.home, cluster.leader, "report", {"tid": txn.tid, "cluster": cluster}, self._on_report
         )
@@ -344,9 +350,11 @@ class DistributedBucketScheduler(OnlineScheduler):
             if self.batch.completion_time(view, candidate) <= (1 << level):
                 self.partial.setdefault((cluster, level), []).append(txn)
                 self.insert_log.append((txn.tid, level, cluster.height, now))
+                self.emit("bucket-insert", now, tid=txn.tid, level=level, height=cluster.height)
                 return
         self.partial.setdefault((cluster, self.max_level), []).append(txn)
         self.insert_log.append((txn.tid, self.max_level, cluster.height, now))
+        self.emit("bucket-insert", now, tid=txn.tid, level=self.max_level, height=cluster.height)
 
     # ------------------------------------------------------------------
     def next_wake_after(self, t: Time) -> Optional[Time]:

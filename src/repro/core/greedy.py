@@ -85,6 +85,7 @@ class GreedyScheduler(OnlineScheduler):
             else:
                 color = min_valid_color(cons)
             self.color_log.append((txn.tid, color, self._bound(cons)))
+            self.emit("color", t, tid=txn.tid, color=color, constraints=len(cons))
             self.sim.commit_schedule(txn, t + color)
 
     def _uniform_color(self, cons, t: Time) -> Weight:

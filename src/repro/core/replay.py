@@ -47,6 +47,7 @@ class ReplayScheduler(OnlineScheduler):
                 raise SchedulingError(
                     f"replay: no recorded schedule for transaction {key}"
                 )
+            self.emit("replay", t, tid=txn.tid)
             self.sim.commit_schedule(txn, times.pop(0))
 
     def has_pending(self) -> bool:

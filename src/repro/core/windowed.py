@@ -47,6 +47,7 @@ class WindowedBatchScheduler(OnlineScheduler):
             for txn in self.pending:
                 self.sim.commit_schedule(txn, t + plan[txn.tid])
             self.window_log.append((t, len(self.pending)))
+            self.emit("window-close", t, size=len(self.pending))
             self.pending = []
 
     def next_wake_after(self, t: Time) -> Optional[Time]:

@@ -1,0 +1,35 @@
+"""Structured observability for the simulator and schedulers.
+
+Attach a probe to any run::
+
+    from repro import Simulator, SimConfig
+    from repro.obs import CountersProbe
+
+    probe = CountersProbe()
+    sim = Simulator(g, scheduler, wl, config=SimConfig(probe=probe))
+    sim.run()
+    print(probe.summary())
+
+The default :class:`NullProbe` is never called and leaves traces
+byte-identical to an un-instrumented engine; see ``docs/observability.md``
+for the protocol, the JSONL event schema, and overhead notes.
+"""
+
+from repro.obs.counters import CountersProbe
+from repro.obs.gantt import GanttProbe
+from repro.obs.jsonl import SCHEMA_VERSION, JsonlProbe, iter_events, load_events
+from repro.obs.probe import NULL_PROBE, PHASES, MultiProbe, NullProbe, Probe
+
+__all__ = [
+    "Probe",
+    "NullProbe",
+    "NULL_PROBE",
+    "MultiProbe",
+    "CountersProbe",
+    "JsonlProbe",
+    "GanttProbe",
+    "iter_events",
+    "load_events",
+    "SCHEMA_VERSION",
+    "PHASES",
+]

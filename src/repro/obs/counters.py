@@ -1,0 +1,104 @@
+"""Monotonic counters and per-phase wall-clock timers.
+
+The cheapest useful probe: every callback bumps a dict entry; phase
+boundaries additionally sample ``time.perf_counter`` so the run's wall
+clock decomposes into the engine's six phases.  ``summary()`` flattens
+everything into one JSON-friendly mapping — the ``obs`` payload of
+``RunResult`` and of ``python -m repro run --obs-counters``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from repro._types import Time
+
+from repro.obs.probe import Probe
+
+
+class CountersProbe(Probe):
+    """Counters + timers; see module docstring.
+
+    Attributes
+    ----------
+    counters:
+        Monotonic event counts: ``steps``, ``generated``, ``scheduled``,
+        ``commits``, ``deferrals``, ``departures``, ``arrivals``,
+        ``copies``, ``alarms``, plus one ``sched.<event>`` entry per
+        scheduler decision kind.
+    phase_seconds:
+        Wall-clock seconds spent inside each engine phase.
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.phase_seconds: Dict[str, float] = {}
+        self.wall_seconds: float = 0.0
+        self.first_step: Optional[Time] = None
+        self.last_step: Optional[Time] = None
+        self._run_t0: float = 0.0
+        self._phase_t0: float = 0.0
+
+    def _bump(self, key: str, n: int = 1) -> None:
+        self.counters[key] = self.counters.get(key, 0) + n
+
+    # -- run / step ----------------------------------------------------
+    def on_run_begin(self, sim) -> None:
+        self._run_t0 = time.perf_counter()
+
+    def on_run_end(self, sim, trace) -> None:
+        self.wall_seconds += time.perf_counter() - self._run_t0
+
+    def on_step_begin(self, t: Time) -> None:
+        self._bump("steps")
+        if self.first_step is None:
+            self.first_step = t
+        self.last_step = t
+
+    def on_phase_begin(self, phase: str, t: Time) -> None:
+        self._phase_t0 = time.perf_counter()
+
+    def on_phase_end(self, phase: str, t: Time) -> None:
+        dt = time.perf_counter() - self._phase_t0
+        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + dt
+
+    def on_alarm(self, t: Time, count: int) -> None:
+        self._bump("alarms", count)
+
+    # -- lifecycle / motion --------------------------------------------
+    def on_generate(self, txn, t) -> None:
+        self._bump("generated")
+
+    def on_schedule(self, txn, exec_time, t) -> None:
+        self._bump("scheduled")
+
+    def on_commit(self, txn, t) -> None:
+        self._bump("commits")
+
+    def on_defer(self, tid, t, missing) -> None:
+        self._bump("deferrals")
+
+    def on_depart(self, oid, t, src, dst, arrive) -> None:
+        self._bump("departures")
+
+    def on_arrive(self, oid, t, node) -> None:
+        self._bump("arrivals")
+
+    def on_copy(self, oid, reader_tid, t, arrive) -> None:
+        self._bump("copies")
+
+    def on_sched(self, event, t, **fields) -> None:
+        self._bump(f"sched.{event}")
+
+    # -- reporting -----------------------------------------------------
+    def summary(self) -> dict:
+        """Flat mapping: counters + ``phase_s.<name>`` + ``wall_s``."""
+        out: Dict[str, object] = dict(sorted(self.counters.items()))
+        for phase, secs in sorted(self.phase_seconds.items()):
+            out[f"phase_s.{phase}"] = round(secs, 6)
+        out["wall_s"] = round(self.wall_seconds, 6)
+        if self.first_step is not None:
+            out["first_step"] = self.first_step
+            out["last_step"] = self.last_step
+        return out

@@ -1,0 +1,68 @@
+"""Live Gantt feeder: rebuild a renderable trace from probe events alone.
+
+Proof that the event stream is self-sufficient: :class:`GanttProbe`
+listens to generate/schedule/commit/depart/copy events and reconstructs an
+:class:`~repro.sim.trace.ExecutionTrace` good enough for
+:func:`repro.analysis.gantt.render_gantt` — without ever touching the
+engine's own trace.  Useful mid-run too: ``probe.render()`` between
+``run_until`` calls shows the schedule as the probe has seen it so far.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro._types import Time, TxnId
+from repro.obs.probe import Probe
+from repro.sim.trace import CopyLeg, ExecutionTrace, ObjectLeg, TxnRecord
+
+
+class GanttProbe(Probe):
+    """Accumulate an ExecutionTrace view from events; render on demand."""
+
+    def __init__(self) -> None:
+        self.trace = ExecutionTrace(graph_name="", initial_placement={})
+        self._gen: Dict[TxnId, tuple] = {}
+        self._sched_t: Dict[TxnId, Time] = {}
+
+    def on_run_begin(self, sim) -> None:
+        self.trace.graph_name = sim.graph.name
+        self.trace.object_speed_den = sim.object_speed_den
+        for oid, node in sim.trace.initial_placement.items():
+            self.trace.initial_placement.setdefault(oid, node)
+
+    def on_generate(self, txn, t) -> None:
+        self._gen[txn.tid] = (txn.home, tuple(sorted(txn.objects)), tuple(sorted(txn.reads)), t)
+
+    def on_schedule(self, txn, exec_time, t) -> None:
+        self._sched_t[txn.tid] = t
+
+    def on_commit(self, txn, t) -> None:
+        home, objects, reads, gen_time = self._gen.pop(
+            txn.tid, (txn.home, tuple(sorted(txn.objects)), tuple(sorted(txn.reads)), txn.gen_time)
+        )
+        self.trace.txns[txn.tid] = TxnRecord(
+            tid=txn.tid,
+            home=home,
+            objects=objects,
+            gen_time=gen_time,
+            schedule_time=self._sched_t.pop(txn.tid, gen_time),
+            exec_time=t,
+            reads=reads,
+        )
+        self.trace.end_time = max(self.trace.end_time, t)
+
+    def on_depart(self, oid, t, src, dst, arrive) -> None:
+        # New objects created mid-run first become visible when they move.
+        self.trace.initial_placement.setdefault(oid, src)
+        self.trace.legs.append(ObjectLeg(oid, t, src, dst, arrive))
+        self.trace.end_time = max(self.trace.end_time, arrive)
+
+    def on_copy(self, oid, reader_tid, t, arrive) -> None:
+        self.trace.copy_legs.append(CopyLeg(oid, reader_tid, t, -1, -1, arrive, -1))
+
+    def render(self, *, width: int = 72, top_txns: int = 8) -> str:
+        """ASCII Gantt of everything observed so far."""
+        from repro.analysis.gantt import render_gantt
+
+        return render_gantt(self.trace, width=width, top_txns=top_txns)

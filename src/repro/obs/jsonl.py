@@ -1,0 +1,168 @@
+"""Append-only JSONL event stream with a versioned schema.
+
+One line per event, first line a header record; reloadable with
+:func:`load_events` for offline analysis (latency breakdowns, scheduler
+decision audits, flame-style phase accounting).  The stream is append-only
+and flushed on run end, so a crashed run still leaves a usable prefix.
+
+Schema (version ``repro.obs/1``)
+--------------------------------
+Header line::
+
+    {"schema": "repro.obs/1", "kind": "header", "graph": "...", "scheduler": "..."}
+
+Event lines carry ``e`` (event name), ``t`` (simulation time), and
+event-specific fields::
+
+    {"e": "step", "t": 12}
+    {"e": "generate", "t": 12, "tid": 3, "home": 5, "writes": [1], "reads": []}
+    {"e": "schedule", "t": 12, "tid": 3, "exec": 17}
+    {"e": "commit", "t": 17, "tid": 3}
+    {"e": "defer", "t": 17, "tid": 3, "missing": [1]}
+    {"e": "depart", "t": 13, "oid": 1, "src": 5, "dst": 7, "arrive": 15}
+    {"e": "arrive", "t": 15, "oid": 1, "node": 7}
+    {"e": "copy", "t": 13, "oid": 1, "tid": 4, "arrive": 14}
+    {"e": "alarm", "t": 16, "count": 1}
+    {"e": "sched.color", "t": 12, "tid": 3, "color": 5, "constraints": 2}
+    {"e": "end", "t": 40, "txns": 10}
+
+Unknown fields must be preserved by readers; unknown event names must be
+skipped, not rejected — the version only bumps on incompatible changes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterator, List, Optional, Union
+
+from repro.obs.probe import Probe
+
+SCHEMA_VERSION = "repro.obs/1"
+
+
+class JsonlProbe(Probe):
+    """Stream every probe event to ``path`` (or a writable file object).
+
+    Parameters
+    ----------
+    path:
+        Target file path (truncated on construction) or an open text
+        stream.  Pass a stream to capture events in memory
+        (``io.StringIO``) for tests.
+    phases:
+        Also emit per-phase begin markers (``{"e": "phase", ...}``).
+        Off by default: six extra lines per step is usually noise.
+    """
+
+    def __init__(self, path: Union[str, IO[str]], *, phases: bool = False) -> None:
+        if isinstance(path, str):
+            self._fh: IO[str] = open(path, "w")
+            self._owns = True
+        else:
+            self._fh = path
+            self._owns = False
+        self.path = path if isinstance(path, str) else None
+        self.phases = phases
+        self._wrote_header = False
+
+    def _write(self, record: dict) -> None:
+        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+    # -- run lifecycle -------------------------------------------------
+    def on_run_begin(self, sim) -> None:
+        if not self._wrote_header:
+            self._wrote_header = True
+            self._write({
+                "schema": SCHEMA_VERSION,
+                "kind": "header",
+                "graph": sim.graph.name,
+                "scheduler": type(sim.scheduler).__name__,
+                "object_speed_den": sim.object_speed_den,
+            })
+
+    def on_run_end(self, sim, trace) -> None:
+        self._write({"e": "end", "t": trace.end_time, "txns": len(trace.txns)})
+        self._fh.flush()
+
+    def close(self) -> None:
+        """Flush and close an owned file (idempotent).  Each ``on_run_end``
+        already flushes, so forgetting this only leaks a descriptor."""
+        if self._owns and not self._fh.closed:
+            self._fh.close()
+
+    # -- events --------------------------------------------------------
+    def on_step_begin(self, t) -> None:
+        self._write({"e": "step", "t": t})
+
+    def on_phase_begin(self, phase, t) -> None:
+        if self.phases:
+            self._write({"e": "phase", "t": t, "name": phase})
+
+    def on_alarm(self, t, count) -> None:
+        self._write({"e": "alarm", "t": t, "count": count})
+
+    def on_generate(self, txn, t) -> None:
+        self._write({
+            "e": "generate", "t": t, "tid": txn.tid, "home": txn.home,
+            "writes": sorted(txn.objects), "reads": sorted(txn.reads),
+        })
+
+    def on_schedule(self, txn, exec_time, t) -> None:
+        self._write({"e": "schedule", "t": t, "tid": txn.tid, "exec": exec_time})
+
+    def on_commit(self, txn, t) -> None:
+        self._write({"e": "commit", "t": t, "tid": txn.tid})
+
+    def on_defer(self, tid, t, missing) -> None:
+        self._write({"e": "defer", "t": t, "tid": tid, "missing": list(missing)})
+
+    def on_depart(self, oid, t, src, dst, arrive) -> None:
+        self._write({"e": "depart", "t": t, "oid": oid, "src": src, "dst": dst, "arrive": arrive})
+
+    def on_arrive(self, oid, t, node) -> None:
+        self._write({"e": "arrive", "t": t, "oid": oid, "node": node})
+
+    def on_copy(self, oid, reader_tid, t, arrive) -> None:
+        self._write({"e": "copy", "t": t, "oid": oid, "tid": reader_tid, "arrive": arrive})
+
+    def on_sched(self, event, t, **fields) -> None:
+        rec = {"e": f"sched.{event}", "t": t}
+        rec.update(fields)
+        self._write(rec)
+
+
+def load_events(path: Union[str, IO[str]], *, require_schema: bool = True) -> List[dict]:
+    """Load a JSONL event stream written by :class:`JsonlProbe`.
+
+    Returns the event records (header excluded).  Raises ``ValueError``
+    when ``require_schema`` and the header is missing or carries an
+    unknown schema identifier.
+    """
+    return list(iter_events(path, require_schema=require_schema))
+
+
+def iter_events(path: Union[str, IO[str]], *, require_schema: bool = True) -> Iterator[dict]:
+    """Streaming variant of :func:`load_events`."""
+    fh: IO[str]
+    owns = isinstance(path, str)
+    fh = open(path) if owns else path
+    try:
+        header: Optional[dict] = None
+        for i, line in enumerate(fh):
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if i == 0 and rec.get("kind") == "header":
+                header = rec
+                if require_schema and rec.get("schema") != SCHEMA_VERSION:
+                    raise ValueError(f"unknown obs schema {rec.get('schema')!r}")
+                continue
+            if i == 0 and require_schema:
+                raise ValueError("obs stream has no header record")
+            yield rec
+        if header is None and require_schema:
+            raise ValueError("obs stream is empty")
+    finally:
+        if owns:
+            fh.close()

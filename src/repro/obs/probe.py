@@ -1,0 +1,196 @@
+"""The probe protocol: structured observability hooks for engine and schedulers.
+
+A :class:`Probe` receives a callback at every interesting point of a run —
+the engine's phase structure (receive / deliver / generate / schedule /
+execute / depart), transaction lifecycle events, object motion, and
+scheduler decisions (color chosen, bucket level assigned, wake-ups).  The
+default :class:`NullProbe` has ``enabled = False``; the engine and the
+scheduler base class cache that flag and skip every callback behind a
+single ``if``, so a probe-less run pays no observable overhead and
+produces byte-identical traces (certified by ``tests/test_obs.py`` against
+pre-instrumentation golden traces).
+
+Probes never influence the simulation: they have no return values the
+engine reads, and a correct probe must not mutate the objects it is shown.
+
+Event vocabulary
+----------------
+Engine-side callbacks are dedicated methods (``on_commit``, ``on_depart``,
+...) because they sit on hot paths; scheduler-side decisions funnel
+through the generic :meth:`Probe.on_sched` with a small, stable set of
+event names:
+
+=================  ==============================================  =========================
+event              emitted by                                      fields
+=================  ==============================================  =========================
+``color``          GreedyScheduler / TspTourScheduler              tid, color, constraints
+``coord-color``    CoordinatedGreedyScheduler                      tid, color, rtt
+``bucket-insert``  BucketScheduler / DistributedBucketScheduler    tid, level[, height]
+``activate``       BucketScheduler / DistributedBucketScheduler    level, size
+``window-close``   WindowedBatchScheduler                          size
+``adaptive``       AdaptiveScheduler                               choice
+``fifo``           FifoSerialScheduler                             tid, bound
+``replay``         ReplayScheduler                                 tid
+``wake``           engine, when a scheduler wake-up fires          (no fields)
+``probe-msg``      DistributedBucketScheduler discovery traffic    kind
+=================  ==============================================  =========================
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro._types import NodeId, ObjectId, Time, TxnId
+
+#: Engine phases, in per-step order, as reported to ``on_phase``.
+PHASES = ("receive", "deliver", "generate", "schedule", "execute", "depart")
+
+
+class Probe:
+    """Base probe: every callback is a no-op; subclass what you need.
+
+    ``enabled`` is read once by the engine (and by ``OnlineScheduler.bind``)
+    to decide whether to call the probe at all — :class:`NullProbe` sets it
+    to False, making the disabled path a single predictable branch.
+    """
+
+    enabled: bool = True
+
+    # -- run lifecycle -------------------------------------------------
+    def on_run_begin(self, sim) -> None:
+        """Called once, before the first step of ``Simulator.run``."""
+
+    def on_run_end(self, sim, trace) -> None:
+        """Called once when the run loop exits (quiescence or horizon)."""
+
+    # -- step / phase structure ----------------------------------------
+    def on_step_begin(self, t: Time) -> None:
+        """An active step starts (inactive steps are skipped entirely)."""
+
+    def on_step_end(self, t: Time) -> None:
+        """The active step's six phases are done."""
+
+    def on_phase_begin(self, phase: str, t: Time) -> None:
+        """One of :data:`PHASES` starts within the current step."""
+
+    def on_phase_end(self, phase: str, t: Time) -> None:
+        """The phase completed."""
+
+    def on_alarm(self, t: Time, count: int) -> None:
+        """``count`` scheduler-requested extra alarms popped at ``t``."""
+
+    # -- transaction lifecycle -----------------------------------------
+    def on_generate(self, txn, t: Time) -> None:
+        """Transaction generated (the paper's ``T_t^g`` membership)."""
+
+    def on_schedule(self, txn, exec_time: Time, t: Time) -> None:
+        """``commit_schedule`` fixed ``txn``'s execution time, forever."""
+
+    def on_commit(self, txn, t: Time) -> None:
+        """Transaction executed and committed at ``t``."""
+
+    def on_defer(self, tid: TxnId, t: Time, missing: Sequence[ObjectId]) -> None:
+        """Non-strict mode: execution deferred, objects still missing."""
+
+    # -- object motion -------------------------------------------------
+    def on_depart(self, oid: ObjectId, t: Time, src: NodeId, dst: NodeId, arrive: Time) -> None:
+        """Master object left ``src`` toward ``dst`` (one trace leg)."""
+
+    def on_arrive(self, oid: ObjectId, t: Time, node: NodeId) -> None:
+        """Master object settled at ``node``."""
+
+    def on_copy(self, oid: ObjectId, reader_tid: TxnId, t: Time, arrive: Time) -> None:
+        """A read-only copy was cut for ``reader_tid``."""
+
+    # -- scheduler decisions -------------------------------------------
+    def on_sched(self, event: str, t: Time, **fields) -> None:
+        """Generic scheduler decision (see the module table for names)."""
+
+
+class NullProbe(Probe):
+    """The default: disabled, never called, zero overhead."""
+
+    enabled = False
+
+
+#: Shared default instance — identity-comparable, never called.
+NULL_PROBE = NullProbe()
+
+
+class MultiProbe(Probe):
+    """Fan every callback out to several probes (e.g. counters + jsonl)."""
+
+    def __init__(self, *probes: Probe) -> None:
+        self.probes = tuple(p for p in probes if p.enabled)
+        self.enabled = bool(self.probes)
+
+    def on_run_begin(self, sim):
+        for p in self.probes:
+            p.on_run_begin(sim)
+
+    def on_run_end(self, sim, trace):
+        for p in self.probes:
+            p.on_run_end(sim, trace)
+
+    def on_step_begin(self, t):
+        for p in self.probes:
+            p.on_step_begin(t)
+
+    def on_step_end(self, t):
+        for p in self.probes:
+            p.on_step_end(t)
+
+    def on_phase_begin(self, phase, t):
+        for p in self.probes:
+            p.on_phase_begin(phase, t)
+
+    def on_phase_end(self, phase, t):
+        for p in self.probes:
+            p.on_phase_end(phase, t)
+
+    def on_alarm(self, t, count):
+        for p in self.probes:
+            p.on_alarm(t, count)
+
+    def on_generate(self, txn, t):
+        for p in self.probes:
+            p.on_generate(txn, t)
+
+    def on_schedule(self, txn, exec_time, t):
+        for p in self.probes:
+            p.on_schedule(txn, exec_time, t)
+
+    def on_commit(self, txn, t):
+        for p in self.probes:
+            p.on_commit(txn, t)
+
+    def on_defer(self, tid, t, missing):
+        for p in self.probes:
+            p.on_defer(tid, t, missing)
+
+    def on_depart(self, oid, t, src, dst, arrive):
+        for p in self.probes:
+            p.on_depart(oid, t, src, dst, arrive)
+
+    def on_arrive(self, oid, t, node):
+        for p in self.probes:
+            p.on_arrive(oid, t, node)
+
+    def on_copy(self, oid, reader_tid, t, arrive):
+        for p in self.probes:
+            p.on_copy(oid, reader_tid, t, arrive)
+
+    def on_sched(self, event, t, **fields):
+        for p in self.probes:
+            p.on_sched(event, t, **fields)
+
+    def summary(self) -> Optional[dict]:
+        """First sub-probe summary, merged left to right."""
+        out: dict = {}
+        for p in self.probes:
+            fn = getattr(p, "summary", None)
+            if fn is not None:
+                sub = fn()
+                if sub:
+                    out.update(sub)
+        return out or None

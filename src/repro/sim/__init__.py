@@ -1,5 +1,6 @@
 """Synchronous data-flow DTM simulator (paper Section II model)."""
 
+from repro.sim.config import SimConfig
 from repro.sim.engine import Simulator
 from repro.sim.objects import SharedObject
 from repro.sim.trace import ExecutionTrace, ObjectLeg, TxnRecord
@@ -7,6 +8,7 @@ from repro.sim.transactions import Transaction
 from repro.sim.validate import certify_trace
 
 __all__ = [
+    "SimConfig",
     "Simulator",
     "SharedObject",
     "Transaction",

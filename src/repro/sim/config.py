@@ -1,0 +1,90 @@
+"""SimConfig: one frozen value object for every engine knob.
+
+The :class:`~repro.sim.engine.Simulator` grew nine keyword parameters;
+call sites that need to thread them through layers (``run_experiment``,
+``replicate``, the CLI, suite files) ended up re-declaring each knob at
+every level — and drifting (``run_experiment`` could not express
+``hop_motion`` / ``link_capacity`` / ``strict`` runs at all).
+:class:`SimConfig` consolidates them:
+
+    Simulator(g, sched, wl, config=SimConfig(hop_motion=True, link_capacity=1))
+
+The old keyword arguments remain accepted everywhere; an explicitly
+passed keyword wins over the corresponding ``config`` field (and the
+combination is a deprecation-path convenience, not a recommended style —
+pass one ``SimConfig`` instead).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional
+
+from repro._types import DeparturePolicy, Time
+from repro.errors import WorkloadError
+from repro.obs.probe import Probe
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Engine configuration (see :class:`repro.sim.engine.Simulator` for
+    the semantics of each knob).
+
+    Attributes
+    ----------
+    departure_policy:
+        ``EAGER`` (paper default) or ``LAZY`` just-in-time departures.
+    object_speed_den:
+        Time steps per unit distance for objects (2 = half speed).
+    strict:
+        Missing objects at execution are a hard error (True) or recorded
+        deferrals (False).
+    one_txn_per_node:
+        Enforce at most one live transaction per node.
+    node_egress_capacity:
+        Max object departures per node per step (None = unbounded).
+    hop_motion:
+        Move objects edge by edge instead of whole shortest-path legs.
+    link_capacity:
+        Max concurrent traversals per edge; requires ``hop_motion``.
+    max_time:
+        Stop the run loop beyond this simulation time (None = run to
+        quiescence).
+    probe:
+        Observability probe (:mod:`repro.obs`); None means the zero
+        overhead :class:`~repro.obs.probe.NullProbe`.
+    """
+
+    departure_policy: DeparturePolicy = DeparturePolicy.EAGER
+    object_speed_den: int = 1
+    strict: bool = True
+    one_txn_per_node: bool = False
+    node_egress_capacity: Optional[int] = None
+    hop_motion: bool = False
+    link_capacity: Optional[int] = None
+    max_time: Optional[Time] = None
+    probe: Optional[Probe] = None
+
+    def __post_init__(self) -> None:
+        if self.link_capacity is not None and not self.hop_motion:
+            raise WorkloadError("link_capacity requires hop_motion=True")
+        if self.link_capacity is not None and self.link_capacity < 1:
+            raise WorkloadError("link_capacity must be >= 1")
+        if self.object_speed_den < 1:
+            raise WorkloadError("object_speed_den must be >= 1")
+
+    def replace(self, **changes) -> "SimConfig":
+        """A copy with ``changes`` applied (``dataclasses.replace``)."""
+        return dataclasses.replace(self, **changes)
+
+    def with_overrides(self, **overrides) -> "SimConfig":
+        """A copy where every non-``None`` override wins.
+
+        This is the kwargs-beat-config merge rule used by
+        :class:`~repro.sim.engine.Simulator` and
+        :func:`~repro.analysis.experiments.run_experiment` for backward
+        compatibility with the pre-``SimConfig`` keyword API.
+        """
+        changes = {k: v for k, v in overrides.items() if v is not None}
+        return dataclasses.replace(self, **changes) if changes else self

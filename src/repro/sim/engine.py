@@ -24,6 +24,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 from repro._types import DeparturePolicy, NodeId, ObjectId, Time, TxnId, TxnState
 from repro.errors import InfeasibleScheduleError, SchedulingError, WorkloadError
 from repro.network.graph import Graph
+from repro.obs.probe import NULL_PROBE
+from repro.sim.config import SimConfig
 from repro.sim.messages import MessageRouter
 from repro.sim.objects import QueueEntry, SharedObject
 from repro.sim.trace import CopyLeg, ExecutionTrace, ObjectLeg, TxnRecord, Violation
@@ -45,6 +47,17 @@ class Simulator:
         ``arrivals()`` (a finite iterable of :class:`TxnSpec`), and
         optionally ``on_commit(txn, t)`` for closed-loop generation.
         Tests may instead drive the engine manually with :meth:`submit`.
+    config:
+        A :class:`~repro.sim.config.SimConfig` bundling every knob below
+        (plus ``probe``).  Individual keyword arguments, when passed
+        explicitly, override the corresponding ``config`` field — they
+        are the backward-compatible spelling; new code should pass one
+        ``SimConfig``.
+    probe:
+        Observability probe (:mod:`repro.obs`).  ``None`` (the default)
+        is the zero-overhead :class:`~repro.obs.probe.NullProbe`: no
+        callback is ever invoked and traces are byte-identical to an
+        un-instrumented engine.
     departure_policy:
         ``EAGER`` (paper default: forward on commit) or ``LAZY``
         (just-in-time departure; ablation E11).
@@ -87,32 +100,48 @@ class Simulator:
         scheduler,
         workload=None,
         *,
-        departure_policy: DeparturePolicy = DeparturePolicy.EAGER,
-        object_speed_den: int = 1,
-        strict: bool = True,
-        one_txn_per_node: bool = False,
+        config: Optional[SimConfig] = None,
+        departure_policy: Optional[DeparturePolicy] = None,
+        object_speed_den: Optional[int] = None,
+        strict: Optional[bool] = None,
+        one_txn_per_node: Optional[bool] = None,
         node_egress_capacity: Optional[int] = None,
-        hop_motion: bool = False,
+        hop_motion: Optional[bool] = None,
         link_capacity: Optional[int] = None,
         max_time: Optional[Time] = None,
+        probe=None,
     ) -> None:
+        # Merge rule: start from config (or defaults); explicitly passed
+        # keywords win.  SimConfig.__post_init__ re-validates the result.
+        cfg = (config or SimConfig()).with_overrides(
+            departure_policy=departure_policy,
+            object_speed_den=object_speed_den,
+            strict=strict,
+            one_txn_per_node=one_txn_per_node,
+            node_egress_capacity=node_egress_capacity,
+            hop_motion=hop_motion,
+            link_capacity=link_capacity,
+            max_time=max_time,
+            probe=probe,
+        )
+        self.config = cfg
         self.graph = graph
         self.scheduler = scheduler
         self.workload = workload
-        self.departure_policy = departure_policy
-        self.object_speed_den = int(object_speed_den)
-        self.strict = strict
-        self.one_txn_per_node = one_txn_per_node
-        self.node_egress_capacity = node_egress_capacity
-        if link_capacity is not None and not hop_motion:
-            raise WorkloadError("link_capacity requires hop_motion=True")
-        if link_capacity is not None and link_capacity < 1:
-            raise WorkloadError("link_capacity must be >= 1")
-        self.hop_motion = hop_motion
-        self.link_capacity = link_capacity
+        self.departure_policy = cfg.departure_policy
+        self.object_speed_den = int(cfg.object_speed_den)
+        self.strict = cfg.strict
+        self.one_txn_per_node = cfg.one_txn_per_node
+        self.node_egress_capacity = cfg.node_egress_capacity
+        self.hop_motion = cfg.hop_motion
+        self.link_capacity = cfg.link_capacity
         #: per-edge traversal end times (hop mode with link capacity)
         self._link_busy: Dict[Tuple[NodeId, NodeId], List[Time]] = {}
-        self.max_time = max_time
+        self.max_time = cfg.max_time
+        self.probe = cfg.probe if cfg.probe is not None else NULL_PROBE
+        #: fast-path guard: None when disabled, so every probe call site
+        #: costs one predictable branch
+        self._obs = self.probe if self.probe.enabled else None
 
         self.now: Time = 0
         self.objects: Dict[ObjectId, SharedObject] = {}
@@ -136,6 +165,7 @@ class Simulator:
         self._copy_arrivals: List[Tuple[Time, ObjectId, TxnId, int]] = []
         self._schedule_times: Dict[TxnId, Time] = {}
         self._extra_alarms: List[Time] = []
+        self._last_wake: Optional[Time] = None
 
         self.trace = ExecutionTrace(
             graph_name=graph.name,
@@ -186,6 +216,8 @@ class Simulator:
         txn.exec_time = exec_time
         txn.state = TxnState.SCHEDULED
         self._schedule_times[txn.tid] = self.now
+        if self._obs is not None:
+            self._obs.on_schedule(txn, exec_time, self.now)
         heapq.heappush(self._exec_heap, (exec_time, txn.tid))
         for oid in txn.objects:
             obj = self._get_object(oid)
@@ -250,6 +282,7 @@ class Simulator:
         if nd is not None:
             candidates.append(nd)
         wake = self.scheduler.next_wake_after(self.now)
+        self._last_wake = wake
         if wake is not None:
             candidates.append(wake)
         if not candidates:
@@ -279,6 +312,9 @@ class Simulator:
 
     def _run_loop(self, *, max_steps: Optional[int], until: Optional[Time]) -> ExecutionTrace:
         steps = 0
+        obs = self._obs
+        if obs is not None:
+            obs.on_run_begin(self)
         if not self._started:
             # Time 0 may already carry generations.
             self._started = True
@@ -297,6 +333,8 @@ class Simulator:
             if self.max_time is not None and nxt > self.max_time:
                 break
             self.now = max(self.now + 1, nxt)
+            if obs is not None and self._last_wake == self.now:
+                obs.on_sched("wake", self.now)
             self._step(self.now)
             steps += 1
             if max_steps is not None and steps > max_steps:
@@ -306,6 +344,8 @@ class Simulator:
         self.trace.end_time = self.now
         self.trace.messages_sent = self.router.sent_count
         self.trace.message_hops = self.router.total_distance
+        if obs is not None:
+            obs.on_run_end(self, self.trace)
         return self.trace
 
     def _scheduler_pending(self) -> bool:
@@ -313,6 +353,10 @@ class Simulator:
         return bool(has()) if has is not None else False
 
     def _step(self, t: Time) -> None:
+        obs = self._obs
+        if obs is not None:
+            obs.on_step_begin(t)
+            obs.on_phase_begin("receive", t)
         # Phase 1: receive objects (masters, then read copies).
         while self._obj_arrivals and self._obj_arrivals[0][0] <= t:
             _, oid = heapq.heappop(self._obj_arrivals)
@@ -323,6 +367,8 @@ class Simulator:
             obj.dest = None
             obj.arrive_time = None
             self._needs_departure_check.add(oid)
+            if obs is not None:
+                obs.on_arrive(oid, t, obj.location)
             self._service_reads(obj, t)
             for fn in self._object_observers:
                 fn("arrive", obj, t)
@@ -332,22 +378,45 @@ class Simulator:
             if obj.read_epoch.get(tid, 0) == epoch:
                 obj.reads_delivered.add(tid)
             # else: stale copy, invalidated by a later-scheduled writer
+        if obs is not None:
+            obs.on_phase_end("receive", t)
+            obs.on_phase_begin("deliver", t)
         # Phase 1b: deliver control messages.
         self.router.deliver_due(t)
+        if obs is not None:
+            obs.on_phase_end("deliver", t)
+            obs.on_phase_begin("generate", t)
         # Phase 2: generate new transactions.
         new_txns: List[Transaction] = []
         while self._pending_specs and self._pending_specs[0][0] <= t:
             _, _, spec = heapq.heappop(self._pending_specs)
             new_txns.append(self._generate(spec, t))
+        if obs is not None:
+            obs.on_phase_end("generate", t)
+            obs.on_phase_begin("schedule", t)
         # Phase 3: let the scheduler act (schedule new txns / activate buckets).
         self.scheduler.on_step(t, new_txns)
+        if obs is not None:
+            obs.on_phase_end("schedule", t)
+            obs.on_phase_begin("execute", t)
         # Phase 4: execute due transactions in (time, tid) order.
         self._execute_due(t)
+        if obs is not None:
+            obs.on_phase_end("execute", t)
+            obs.on_phase_begin("depart", t)
         # Phase 5: forward objects.
         self._process_departures(t)
+        if obs is not None:
+            obs.on_phase_end("depart", t)
         # Clear stale extra alarms.
+        popped = 0
         while self._extra_alarms and self._extra_alarms[0] <= t:
             heapq.heappop(self._extra_alarms)
+            popped += 1
+        if obs is not None:
+            if popped:
+                obs.on_alarm(t, popped)
+            obs.on_step_end(t)
 
     def _generate(self, spec: TxnSpec, t: Time) -> Transaction:
         for oid in (*spec.objects, *spec.reads):
@@ -371,6 +440,8 @@ class Simulator:
             self._live_requesters.setdefault(oid, set()).add(txn.tid)
         for oid in txn.reads:
             self._live_readers_idx.setdefault(oid, set()).add(txn.tid)
+        if self._obs is not None:
+            self._obs.on_generate(txn, t)
         return txn
 
     def _execute_due(self, t: Time) -> None:
@@ -386,6 +457,8 @@ class Simulator:
                 if self.strict:
                     raise InfeasibleScheduleError([Violation(tid, t, tuple(sorted(missing)))])
                 self.trace.violations.append(Violation(tid, t, tuple(sorted(missing))))
+                if self._obs is not None:
+                    self._obs.on_defer(tid, t, missing)
                 heapq.heappush(self._exec_heap, (t + 1, tid))
                 continue
             self._commit(txn, t)
@@ -437,6 +510,8 @@ class Simulator:
             exec_time=t,
             reads=tuple(sorted(txn.reads)),
         )
+        if self._obs is not None:
+            self._obs.on_commit(txn, t)
         hook = getattr(self.scheduler, "on_commit", None)
         if hook is not None:
             hook(txn, t)
@@ -469,12 +544,16 @@ class Simulator:
                 self.trace.copy_legs.append(
                     CopyLeg(obj.oid, entry.tid, t, obj.location, reader_home, t, obj.version)
                 )
+                if self._obs is not None:
+                    self._obs.on_copy(obj.oid, entry.tid, t, t)
                 continue
             travel = obj.travel_time(self.graph.distance(obj.location, reader_home))
             arrive = t + travel
             self.trace.copy_legs.append(
                 CopyLeg(obj.oid, entry.tid, t, obj.location, reader_home, arrive, obj.version)
             )
+            if self._obs is not None:
+                self._obs.on_copy(obj.oid, entry.tid, t, arrive)
             heapq.heappush(
                 self._copy_arrivals,
                 (arrive, obj.oid, entry.tid, obj.read_epoch.get(entry.tid, 0)),
@@ -528,6 +607,8 @@ class Simulator:
         else:
             arrive = t + travel
         self.trace.legs.append(ObjectLeg(obj.oid, t, obj.location, target, arrive))
+        if self._obs is not None:
+            self._obs.on_depart(obj.oid, t, obj.location, target, arrive)
         obj.in_transit = True
         obj.dest = target
         obj.arrive_time = arrive

@@ -20,8 +20,10 @@ from repro.workloads.applications import (
     vacation_workload,
 )
 from repro.workloads.gap_instances import crossing_lower_bound, grid_crossing_workload
+from repro.sim.transactions import TxnSpec
 
 __all__ = [
+    "TxnSpec",
     "grid_crossing_workload",
     "crossing_lower_bound",
     "workload_from_trace",

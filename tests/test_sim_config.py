@@ -1,0 +1,173 @@
+"""SimConfig consolidation tests.
+
+The frozen :class:`~repro.sim.config.SimConfig` value object must (a)
+validate knob combinations, (b) merge with explicit keyword arguments
+under the kwargs-win rule, (c) keep every previously-valid ``Simulator``
+keyword call working unchanged, and (d) thread through
+``run_experiment`` / ``replicate`` so congested (hop-motion,
+link-capacity, non-strict) experiments work end-to-end — the gap that
+motivated the consolidation.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import DeparturePolicy, SimConfig, Simulator
+from repro.analysis import replicate, run_experiment
+from repro.core import GreedyScheduler
+from repro.errors import WorkloadError
+from repro.network import topologies
+from repro.obs import CountersProbe
+from repro.workloads import BatchWorkload, ClosedLoopWorkload
+
+
+def _setup(n=8, seed=0):
+    g = topologies.clique(n)
+    wl = ClosedLoopWorkload(g, num_objects=4, k=2, rounds=2, seed=seed)
+    return g, wl
+
+
+# -- the value object ----------------------------------------------------
+
+def test_defaults_match_simulator_defaults():
+    cfg = SimConfig()
+    assert cfg.departure_policy is DeparturePolicy.EAGER
+    assert cfg.object_speed_den == 1
+    assert cfg.strict is True
+    assert cfg.one_txn_per_node is False
+    assert cfg.node_egress_capacity is None
+    assert cfg.hop_motion is False
+    assert cfg.link_capacity is None
+    assert cfg.max_time is None
+    assert cfg.probe is None
+
+
+def test_frozen():
+    cfg = SimConfig()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        cfg.strict = False
+
+
+@pytest.mark.parametrize("bad", [
+    dict(link_capacity=1),                      # requires hop_motion
+    dict(hop_motion=True, link_capacity=0),     # capacity >= 1
+    dict(object_speed_den=0),
+])
+def test_validation(bad):
+    with pytest.raises(WorkloadError):
+        SimConfig(**bad)
+
+
+def test_with_overrides_kwargs_win_and_none_ignored():
+    cfg = SimConfig(object_speed_den=2, strict=False)
+    merged = cfg.with_overrides(object_speed_den=3, strict=None, max_time=None)
+    assert merged.object_speed_den == 3   # explicit value wins
+    assert merged.strict is False         # None override leaves config value
+    assert merged.max_time is None
+    assert cfg.object_speed_den == 2      # original untouched
+    assert cfg.with_overrides() is cfg    # no changes: same object
+
+
+def test_replace():
+    cfg = SimConfig().replace(hop_motion=True, link_capacity=2)
+    assert cfg.hop_motion and cfg.link_capacity == 2
+
+
+# -- Simulator integration ----------------------------------------------
+
+def test_simulator_accepts_config_object():
+    g, wl = _setup()
+    cfg = SimConfig(object_speed_den=2, strict=False)
+    sim = Simulator(g, GreedyScheduler(), wl, config=cfg)
+    assert sim.config.object_speed_den == 2
+    assert sim.object_speed_den == 2
+    assert sim.strict is False
+
+
+def test_simulator_kwargs_win_over_config():
+    g, wl = _setup()
+    cfg = SimConfig(object_speed_den=2, strict=False)
+    sim = Simulator(g, GreedyScheduler(), wl, config=cfg, object_speed_den=3)
+    assert sim.object_speed_den == 3      # kwarg beats config field
+    assert sim.strict is False            # untouched field survives
+    assert sim.config.object_speed_den == 3
+
+
+def test_all_legacy_simulator_kwargs_still_accepted():
+    """Every previously-valid keyword call passes unchanged (acceptance)."""
+    g, wl = _setup()
+    sim = Simulator(
+        g, GreedyScheduler(), wl,
+        departure_policy=DeparturePolicy.LAZY,
+        object_speed_den=2,
+        strict=False,
+        one_txn_per_node=False,
+        node_egress_capacity=4,
+        hop_motion=True,
+        link_capacity=3,
+        max_time=500,
+    )
+    cfg = sim.config
+    assert cfg.departure_policy is DeparturePolicy.LAZY
+    assert cfg.object_speed_den == 2
+    assert cfg.strict is False
+    assert cfg.node_egress_capacity == 4
+    assert cfg.hop_motion and cfg.link_capacity == 3
+    assert cfg.max_time == 500
+    sim.run()  # and it still runs
+
+
+def test_simulator_config_same_trace_as_kwargs():
+    g, wl1 = _setup(seed=3)
+    _, wl2 = _setup(seed=3)
+    t1 = Simulator(g, GreedyScheduler(), wl1, object_speed_den=2).run()
+    t2 = Simulator(g, GreedyScheduler(), wl2,
+                   config=SimConfig(object_speed_den=2)).run()
+    assert t1.end_time == t2.end_time
+    assert len(t1.txns) == len(t2.txns)
+
+
+def test_probe_threads_through_config():
+    g, wl = _setup()
+    probe = CountersProbe()
+    Simulator(g, GreedyScheduler(), wl, config=SimConfig(probe=probe)).run()
+    assert probe.counters["commits"] > 0
+
+
+# -- run_experiment / replicate threading --------------------------------
+
+def test_run_experiment_congested_config_end_to_end():
+    """The acceptance-criterion call: hop-motion + unit link capacity,
+    non-strict, through run_experiment (previously inexpressible)."""
+    g = topologies.grid([4, 4])
+    wl = BatchWorkload.uniform(g, num_objects=6, k=2, seed=0)
+    res = run_experiment(
+        g, GreedyScheduler(), wl,
+        config=SimConfig(hop_motion=True, link_capacity=1, strict=False),
+    )
+    assert res.makespan > 0
+    assert res.metrics.num_txns == len(res.trace.txns) > 0
+    assert res.deadline_misses >= 0  # deferral accounting exposed
+
+
+def test_run_experiment_kwargs_still_win_over_config():
+    g, wl = _setup()
+    res = run_experiment(
+        g, GreedyScheduler(), wl,
+        config=SimConfig(object_speed_den=3), object_speed_den=1,
+    )
+    assert res.trace.object_speed_den == 1
+
+
+def test_replicate_threads_config():
+    g = topologies.clique(6)
+
+    def experiment(seed, config=None):
+        wl = ClosedLoopWorkload(g, num_objects=3, k=2, rounds=2, seed=seed)
+        res = run_experiment(g, GreedyScheduler(), wl, config=config)
+        assert res.trace.object_speed_den == 2  # config actually arrived
+        return {"makespan": res.makespan}
+
+    aggs = replicate(experiment, [0, 1, 2], config=SimConfig(object_speed_den=2))
+    assert aggs["makespan"].n == 3
