@@ -1,0 +1,129 @@
+"""E-ENGINE — raw engine throughput (steps/sec) on a dense clique sweep.
+
+Not a paper experiment: a guard-rail for the simulator itself.  The
+layered-kernel refactor (event spine + transport strategies) must not pay
+for its structure with throughput, so this bench times probe-less runs of
+a dense Bernoulli clique workload (nearly every step active — the engine's
+worst case) and compares steps/sec against the committed
+``BENCH_engine.json`` snapshot, failing on a >30% regression.
+
+Steps are counted in a separate, untimed probed run (the workloads are
+deterministic, so the counts match); the timed runs carry no probe.
+
+Raw steps/sec is machine-dependent (CI runners, laptop thermal state),
+so the guard compares *calibrated* throughput: steps/sec divided by the
+ops/sec of a fixed pure-Python heap workload measured in the same
+session.  CPU-speed differences cancel; only engine-code regressions
+move the ratio.
+"""
+
+import heapq
+import json
+import os
+import time
+
+import pytest
+
+from _util import emit, once
+from repro.core import GreedyScheduler
+from repro.network import topologies
+from repro.obs import CountersProbe
+from repro.sim import Simulator
+from repro.workloads import OnlineWorkload
+
+#: (clique size, horizon): ~2000-2600 txns each, nearly every step active.
+SWEEP = [(16, 600), (32, 400), (64, 200)]
+#: fail when steps/sec drops below this fraction of the committed snapshot
+REGRESSION_FLOOR = 0.7
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "BENCH_engine.json")
+TITLE = "E-ENGINE  kernel throughput — dense bernoulli clique sweep"
+
+
+def _build(n, horizon):
+    g = topologies.clique(n)
+    wl = OnlineWorkload.bernoulli(
+        g, num_objects=max(4, n // 2), k=2, rate=0.2, horizon=horizon, seed=0
+    )
+    return g, wl
+
+
+def _run(n, horizon, probe=None):
+    g, wl = _build(n, horizon)
+    return Simulator(g, GreedyScheduler(uniform_beta=1), wl, probe=probe).run()
+
+
+def _measure(n, horizon, repeats=3):
+    """(steps, txns, best wall seconds) for one sweep point."""
+    probe = CountersProbe()
+    trace = _run(n, horizon, probe=probe)
+    steps = probe.counters["steps"]
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        _run(n, horizon)
+        best = min(best, time.perf_counter() - t0)
+    return steps, len(trace.txns), best
+
+
+def _calibrate(n=150_000, repeats=3):
+    """ops/sec of a fixed heap push/pop workload (machine speed proxy)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        h = []
+        for i in range(n):
+            heapq.heappush(h, (i * 2654435761) % 1000003)
+        while h:
+            heapq.heappop(h)
+        best = min(best, time.perf_counter() - t0)
+    return 2 * n / best
+
+
+def _committed_baseline():
+    """title -> {config: calibrated steps-per-heap-op} from the snapshot."""
+    try:
+        with open(BASELINE_PATH) as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    for table in doc.get("tables", []):
+        if table.get("title") == TITLE:
+            return (table.get("extra") or {}).get("calibrated")
+    return None
+
+
+@pytest.mark.benchmark(group="E-ENGINE-throughput")
+def test_engine_throughput_no_regression(benchmark):
+    baseline = _committed_baseline()
+    cal = _calibrate()
+    rows = []
+    steps_per_sec = {}
+    calibrated = {}
+    for n, horizon in SWEEP:
+        steps, txns, secs = _measure(n, horizon)
+        rate = steps / secs
+        key = f"clique:{n}"
+        steps_per_sec[key] = round(rate, 1)
+        calibrated[key] = round(rate / cal, 6)
+        base = (baseline or {}).get(key)
+        rows.append([
+            key, horizon, txns, steps, round(secs * 1e3, 1), round(rate, 1),
+            round(calibrated[key] / base, 2) if base else "-",
+        ])
+    # One representative timed point for the pytest-benchmark record.
+    once(benchmark, lambda: _run(32, 400))
+    emit(
+        TITLE,
+        ["graph", "horizon", "txns", "steps", "best_ms", "steps/s", "vs_base"],
+        rows,
+        extra={"steps_per_sec": steps_per_sec, "calibrated": calibrated,
+               "calibration_ops": round(cal, 1), "sweep": SWEEP,
+               "regression_floor": REGRESSION_FLOOR},
+    )
+    if baseline:
+        for key, rate in calibrated.items():
+            base = baseline.get(key)
+            assert base is None or rate >= REGRESSION_FLOOR * base, (
+                f"{key}: calibrated throughput {rate:.4f} < "
+                f"{REGRESSION_FLOOR:.0%} of committed baseline {base:.4f}"
+            )

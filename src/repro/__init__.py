@@ -29,11 +29,14 @@ from repro.core import (
 )
 from repro.network import Graph, topologies
 from repro.sim import (
+    DirectTransport,
     ExecutionTrace,
+    HopTransport,
     SharedObject,
     SimConfig,
     Simulator,
     Transaction,
+    Transport,
     certify_trace,
 )
 from repro.sim.transactions import TxnSpec
@@ -50,6 +53,9 @@ __all__ = [
     "SharedObject",
     "ExecutionTrace",
     "certify_trace",
+    "Transport",
+    "DirectTransport",
+    "HopTransport",
     "OnlineScheduler",
     "GreedyScheduler",
     "CoordinatedGreedyScheduler",

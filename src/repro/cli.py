@@ -221,17 +221,34 @@ def make_config(args, speed: int, probe=None) -> SimConfig:
     deferral engine, not hard errors, so they switch to strict=False —
     their schedules target the congestion-free model and the deferral
     count is the measurement.
+
+    ``--transport`` selects the motion model explicitly; without it the
+    legacy inference applies (``--hop-motion`` or ``--link-capacity``
+    imply the hop transport).
     """
-    congested = bool(args.link_capacity or args.node_capacity)
+    link_capacity = getattr(args, "link_capacity", None)
+    node_capacity = getattr(args, "node_capacity", None)
+    transport = getattr(args, "transport", None)
+    if transport == "direct":
+        if link_capacity:
+            raise SystemExit(
+                "--link-capacity requires a hop transport "
+                "(use --transport hop, or drop --transport direct)"
+            )
+        if getattr(args, "hop_motion", False):
+            raise SystemExit("--transport direct conflicts with --hop-motion")
+    congested = bool(link_capacity or node_capacity)
     return SimConfig(
         departure_policy=DeparturePolicy.LAZY if getattr(args, "lazy", False)
         else DeparturePolicy.EAGER,
         object_speed_den=max(speed, args.object_speed),
         strict=not congested,
-        node_egress_capacity=args.node_capacity,
-        hop_motion=getattr(args, "hop_motion", False) or bool(args.link_capacity),
-        link_capacity=args.link_capacity,
+        node_egress_capacity=node_capacity,
+        hop_motion=transport != "direct"
+        and (getattr(args, "hop_motion", False) or bool(link_capacity)),
+        link_capacity=link_capacity,
         probe=probe,
+        transport=transport,
     )
 
 
@@ -288,8 +305,7 @@ def cmd_compare(args) -> int:
             jsonl_path = f"{root}.{name}{dot}{ext}" if dot else f"{args.obs_jsonl}.{name}"
         probe = make_probe(args, jsonl_path=jsonl_path)
         res = run_experiment(
-            graph, scheduler, workload,
-            config=SimConfig(object_speed_den=max(speed, args.object_speed), probe=probe),
+            graph, scheduler, workload, config=make_config(args, speed, probe=probe)
         )
         _close_probe(probe)
         d = _result_dict(name, res)
@@ -463,6 +479,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--zipf", type=float, default=0.0, help="Zipf skew s (0 = uniform)")
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--object-speed", type=int, default=1)
+        p.add_argument("--transport", choices=["direct", "hop"], default=None,
+                       help="object motion model (default: direct, or hop when "
+                            "--hop-motion/--link-capacity are given)")
         p.add_argument("--json", action="store_true")
         p.add_argument("--obs-counters", action="store_true",
                        help="attach a CountersProbe; print/emit its summary")

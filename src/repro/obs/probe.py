@@ -77,7 +77,12 @@ class Probe:
         """The phase completed."""
 
     def on_alarm(self, t: Time, count: int) -> None:
-        """``count`` scheduler-requested extra alarms popped at ``t``."""
+        """``count`` scheduler-requested alarms popped at ``t``.
+
+        The event spine deduplicates pending alarm times, so ``count``
+        is the number of *distinct* due times retired (in practice 1),
+        not the number of ``add_alarm`` calls that requested them.
+        """
 
     # -- transaction lifecycle -----------------------------------------
     def on_generate(self, txn, t: Time) -> None:

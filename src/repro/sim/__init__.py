@@ -1,10 +1,25 @@
-"""Synchronous data-flow DTM simulator (paper Section II model)."""
+"""Synchronous data-flow DTM simulator (paper Section II model).
+
+Three layers (docs/architecture.md): the event spine
+(:mod:`repro.sim.events`), pluggable transport models
+(:mod:`repro.sim.transport`), and the phase-orchestrating engine
+(:mod:`repro.sim.engine`).
+"""
 
 from repro.sim.config import SimConfig
 from repro.sim.engine import Simulator
+from repro.sim.events import EventKind, EventQueue
 from repro.sim.objects import SharedObject
 from repro.sim.trace import ExecutionTrace, ObjectLeg, TxnRecord
 from repro.sim.transactions import Transaction
+from repro.sim.transport import (
+    DirectTransport,
+    EgressCapacity,
+    HopTransport,
+    LinkCapacity,
+    Transport,
+    build_transport,
+)
 from repro.sim.validate import certify_trace
 
 __all__ = [
@@ -16,4 +31,12 @@ __all__ = [
     "ObjectLeg",
     "TxnRecord",
     "certify_trace",
+    "EventKind",
+    "EventQueue",
+    "Transport",
+    "DirectTransport",
+    "HopTransport",
+    "EgressCapacity",
+    "LinkCapacity",
+    "build_transport",
 ]

@@ -43,17 +43,30 @@ class SimConfig:
     one_txn_per_node:
         Enforce at most one live transaction per node.
     node_egress_capacity:
-        Max object departures per node per step (None = unbounded).
+        Max object departures per node per step (None = unbounded);
+        applied as an :class:`~repro.sim.transport.EgressCapacity`
+        decorator around the selected transport.
     hop_motion:
-        Move objects edge by edge instead of whole shortest-path legs.
+        Legacy spelling of ``transport="hop"`` (move objects edge by
+        edge instead of whole shortest-path legs).
     link_capacity:
-        Max concurrent traversals per edge; requires ``hop_motion``.
+        Max concurrent traversals per edge; requires a hop transport.
+        Applied as a :class:`~repro.sim.transport.LinkCapacity`
+        decorator.
     max_time:
         Stop the run loop beyond this simulation time (None = run to
         quiescence).
     probe:
         Observability probe (:mod:`repro.obs`); None means the zero
         overhead :class:`~repro.obs.probe.NullProbe`.
+    transport:
+        Object-motion strategy (:mod:`repro.sim.transport`): ``"direct"``
+        (whole shortest-path legs, the paper default), ``"hop"``
+        (edge-by-edge), or a :class:`~repro.sim.transport.Transport`
+        instance.  ``None`` defers to the legacy ``hop_motion`` flag.
+        Custom instances are used as given (their ``kind`` attribute
+        participates in validation); the capacity knobs above always
+        wrap the selected base.
     """
 
     departure_policy: DeparturePolicy = DeparturePolicy.EAGER
@@ -65,14 +78,39 @@ class SimConfig:
     link_capacity: Optional[int] = None
     max_time: Optional[Time] = None
     probe: Optional[Probe] = None
+    transport: Optional[object] = None
 
     def __post_init__(self) -> None:
-        if self.link_capacity is not None and not self.hop_motion:
-            raise WorkloadError("link_capacity requires hop_motion=True")
+        if isinstance(self.transport, str) and self.transport not in ("direct", "hop"):
+            raise WorkloadError(
+                f"unknown transport {self.transport!r} (choose 'direct' or 'hop')"
+            )
+        if self.transport is not None and self.hop_motion and self.transport_kind == "direct":
+            raise WorkloadError("transport='direct' conflicts with hop_motion=True")
+        if self.link_capacity is not None and self.transport_kind == "direct":
+            raise WorkloadError(
+                "link_capacity requires a hop transport "
+                "(hop_motion=True or transport='hop')"
+            )
         if self.link_capacity is not None and self.link_capacity < 1:
             raise WorkloadError("link_capacity must be >= 1")
+        if self.node_egress_capacity is not None and self.node_egress_capacity < 1:
+            raise WorkloadError("node_egress_capacity must be >= 1")
         if self.object_speed_den < 1:
             raise WorkloadError("object_speed_den must be >= 1")
+
+    @property
+    def transport_kind(self) -> str:
+        """Resolved motion granularity: "direct", "hop", or "custom".
+
+        ``transport=None`` resolves through the legacy ``hop_motion``
+        flag; transport instances report their own ``kind``.
+        """
+        if self.transport is None:
+            return "hop" if self.hop_motion else "direct"
+        if isinstance(self.transport, str):
+            return self.transport
+        return getattr(self.transport, "kind", "custom")
 
     def replace(self, **changes) -> "SimConfig":
         """A copy with ``changes`` applied (``dataclasses.replace``)."""

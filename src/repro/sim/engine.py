@@ -3,10 +3,20 @@
 Per time step a node may (1) receive objects, (2) execute a transaction
 whose objects have all assembled, (3) forward objects — in that order.  The
 engine reproduces exactly this phase structure, but *skips* inactive time
-steps: it maintains alarms for every future event (object arrivals, message
-deliveries, transaction generations, scheduled executions, scheduler
-wake-ups) and jumps between them, so simulating a sparse schedule over a
-huge horizon is cheap.
+steps: every future event lives on one typed event spine
+(:class:`~repro.sim.events.EventQueue`), and the run loop jumps between
+event times, so simulating a sparse schedule over a huge horizon is cheap.
+
+The simulator is three explicit layers (docs/architecture.md):
+
+* **Event spine** (:mod:`repro.sim.events`) — the clock: a single heap of
+  typed events with per-kind deterministic tie-breaks, an O(1)
+  next-active-time peek, and deduplicated scheduler alarms.
+* **Transport** (:mod:`repro.sim.transport`) — object motion: direct
+  whole-path legs (paper default), hop-by-hop motion, and composable
+  egress/link capacity limits, selected via ``SimConfig.transport``.
+* **Engine** (this module) — phase orchestration, transaction lifecycle,
+  commit logic, and read-copy servicing.
 
 Responsibility split (DESIGN.md §5): schedulers only assign execution
 times via :meth:`Simulator.commit_schedule`; the engine independently moves
@@ -17,19 +27,20 @@ whose objects are missing at its execution step raises
 
 from __future__ import annotations
 
-import heapq
 import itertools
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from repro._types import DeparturePolicy, NodeId, ObjectId, Time, TxnId, TxnState
 from repro.errors import InfeasibleScheduleError, SchedulingError, WorkloadError
 from repro.network.graph import Graph
 from repro.obs.probe import NULL_PROBE
 from repro.sim.config import SimConfig
+from repro.sim.events import EventKind, EventQueue
 from repro.sim.messages import MessageRouter
 from repro.sim.objects import QueueEntry, SharedObject
 from repro.sim.trace import CopyLeg, ExecutionTrace, ObjectLeg, TxnRecord, Violation
 from repro.sim.transactions import Transaction, TxnSpec
+from repro.sim.transport import build_transport
 
 
 class Simulator:
@@ -49,10 +60,10 @@ class Simulator:
         Tests may instead drive the engine manually with :meth:`submit`.
     config:
         A :class:`~repro.sim.config.SimConfig` bundling every knob below
-        (plus ``probe``).  Individual keyword arguments, when passed
-        explicitly, override the corresponding ``config`` field — they
-        are the backward-compatible spelling; new code should pass one
-        ``SimConfig``.
+        (plus ``probe`` and ``transport``).  Individual keyword
+        arguments, when passed explicitly, override the corresponding
+        ``config`` field — they are the backward-compatible spelling;
+        new code should pass one ``SimConfig``.
     probe:
         Observability probe (:mod:`repro.obs`).  ``None`` (the default)
         is the zero-overhead :class:`~repro.obs.probe.NullProbe`: no
@@ -71,6 +82,10 @@ class Simulator:
     one_txn_per_node:
         Enforce the paper's scheduling-problem constraint that each node
         holds at most one live transaction at a time.
+    transport:
+        Object-motion strategy: ``"direct"``, ``"hop"``, or a
+        :class:`~repro.sim.transport.Transport` instance (see
+        :mod:`repro.sim.transport`).
     node_egress_capacity:
         Optional congestion model (the paper's Section VI open question):
         at most this many objects may *depart* any single node per time
@@ -79,17 +94,14 @@ class Simulator:
         so congestion studies run with ``strict=False`` and measure the
         violation-induced delay (bench E13).
     hop_motion:
-        If True, objects move edge by edge (one trace leg per hop, route
-        re-evaluated at every node) instead of covering whole
-        shortest-path legs at once.  Motion physics are identical in the
-        uncongested model, but schedulers observe finer-grained positions
-        (the in-transit artificial node is the next hop, not the final
-        target), so committed times may differ — usually slightly better.
-        Required for per-link capacity.
+        Legacy spelling of ``transport="hop"``: objects move edge by
+        edge (one trace leg per hop, route re-evaluated at every node)
+        instead of covering whole shortest-path legs at once.  Required
+        for per-link capacity.
     link_capacity:
         Section VI's *bounded link capacity*: at most this many objects
         may traverse any single edge concurrently (both directions
-        combined).  Requires ``hop_motion=True``.  Excess traversals wait
+        combined).  Requires a hop transport.  Excess traversals wait
         at the upstream node; run with ``strict=False`` to study the
         deferral cost (bench E20).
     """
@@ -110,6 +122,7 @@ class Simulator:
         link_capacity: Optional[int] = None,
         max_time: Optional[Time] = None,
         probe=None,
+        transport=None,
     ) -> None:
         # Merge rule: start from config (or defaults); explicitly passed
         # keywords win.  SimConfig.__post_init__ re-validates the result.
@@ -123,6 +136,7 @@ class Simulator:
             link_capacity=link_capacity,
             max_time=max_time,
             probe=probe,
+            transport=transport,
         )
         self.config = cfg
         self.graph = graph
@@ -133,10 +147,8 @@ class Simulator:
         self.strict = cfg.strict
         self.one_txn_per_node = cfg.one_txn_per_node
         self.node_egress_capacity = cfg.node_egress_capacity
-        self.hop_motion = cfg.hop_motion
+        self.hop_motion = cfg.transport_kind == "hop"
         self.link_capacity = cfg.link_capacity
-        #: per-edge traversal end times (hop mode with link capacity)
-        self._link_busy: Dict[Tuple[NodeId, NodeId], List[Time]] = {}
         self.max_time = cfg.max_time
         self.probe = cfg.probe if cfg.probe is not None else NULL_PROBE
         #: fast-path guard: None when disabled, so every probe call site
@@ -147,14 +159,14 @@ class Simulator:
         self.objects: Dict[ObjectId, SharedObject] = {}
         self.txns: Dict[TxnId, Transaction] = {}
         self.live: Dict[TxnId, Transaction] = {}
-        self.router = MessageRouter(graph)
+        #: the event spine — single source of future engine events
+        self.events = EventQueue()
+        self.router = MessageRouter(graph, spine=self.events)
+        #: the motion strategy (repro.sim.transport)
+        self.transport = build_transport(cfg)
+        self.transport.bind(self)
 
         self._tid_counter = itertools.count()
-        self._exec_heap: List[Tuple[Time, TxnId]] = []
-        self._obj_arrivals: List[Tuple[Time, ObjectId]] = []
-        self._departure_alarms: List[Tuple[Time, ObjectId]] = []
-        self._pending_specs: List[Tuple[Time, int, TxnSpec]] = []
-        self._spec_seq = itertools.count()
         self._started = False
         self._needs_departure_check: Set[ObjectId] = set()
         #: observers called as fn(event, obj, t) for "register"/"arrive"
@@ -162,9 +174,7 @@ class Simulator:
         self._object_observers: List = []
         self._live_requesters: Dict[ObjectId, Set[TxnId]] = {}
         self._live_readers_idx: Dict[ObjectId, Set[TxnId]] = {}
-        self._copy_arrivals: List[Tuple[Time, ObjectId, TxnId, int]] = []
         self._schedule_times: Dict[TxnId, Time] = {}
-        self._extra_alarms: List[Time] = []
         self._last_wake: Optional[Time] = None
 
         self.trace = ExecutionTrace(
@@ -203,7 +213,7 @@ class Simulator:
         """Queue a transaction for generation at ``spec.gen_time``."""
         if spec.gen_time < self.now:
             raise WorkloadError(f"spec gen_time {spec.gen_time} is in the past (now={self.now})")
-        heapq.heappush(self._pending_specs, (spec.gen_time, next(self._spec_seq), spec))
+        self.events.push_spec(spec.gen_time, spec)
 
     def commit_schedule(self, txn: Transaction, exec_time: Time) -> None:
         """Scheduler callback: fix ``txn``'s execution time, once, forever."""
@@ -218,7 +228,7 @@ class Simulator:
         self._schedule_times[txn.tid] = self.now
         if self._obs is not None:
             self._obs.on_schedule(txn, exec_time, self.now)
-        heapq.heappush(self._exec_heap, (exec_time, txn.tid))
+        self.events.push_exec(exec_time, txn.tid)
         for oid in txn.objects:
             obj = self._get_object(oid)
             obj.enqueue(txn.tid, exec_time)
@@ -232,9 +242,13 @@ class Simulator:
             self._service_reads(obj, self.now)
 
     def add_alarm(self, t: Time) -> None:
-        """Ask the engine to visit time step ``t`` (used by schedulers)."""
+        """Ask the engine to visit time step ``t`` (used by schedulers).
+
+        Duplicate pending alarm times are dropped by the event spine, so
+        schedulers may re-request their next wake-up every step for free.
+        """
         if t >= self.now:
-            heapq.heappush(self._extra_alarms, t)
+            self.events.push_alarm(t)
 
     def _get_object(self, oid: ObjectId) -> SharedObject:
         try:
@@ -266,35 +280,20 @@ class Simulator:
     # main loop
     # ------------------------------------------------------------------
     def _next_active_time(self) -> Optional[Time]:
-        candidates: List[Time] = []
-        for heap in (
-            self._exec_heap,
-            self._obj_arrivals,
-            self._copy_arrivals,
-            self._departure_alarms,
-            self._pending_specs,
-        ):
-            if heap:
-                candidates.append(heap[0][0])
-        if self._extra_alarms:
-            candidates.append(self._extra_alarms[0])
-        nd = self.router.next_delivery_time()
-        if nd is not None:
-            candidates.append(nd)
+        nxt = self.events.peek_time()
         wake = self.scheduler.next_wake_after(self.now)
         self._last_wake = wake
-        if wake is not None:
-            candidates.append(wake)
-        if not candidates:
-            return None
-        return min(candidates)
+        if wake is not None and (nxt is None or wake < nxt):
+            nxt = wake
+        return nxt
 
     def run(self, max_steps: Optional[int] = None) -> ExecutionTrace:
-        """Run until quiescence (or ``max_steps`` active steps).
+        """Run until quiescence (or at most ``max_steps`` active steps).
 
         Quiescence: no pending generations, no live transactions, no
         in-flight objects/messages, and the scheduler reports no pending
-        work.
+        work.  With ``max_steps=N``, exactly N active steps may execute;
+        needing an (N+1)-th raises :class:`SchedulingError`.
         """
         return self._run_loop(max_steps=max_steps, until=None)
 
@@ -332,13 +331,13 @@ class Simulator:
                 break
             if self.max_time is not None and nxt > self.max_time:
                 break
+            if max_steps is not None and steps >= max_steps:
+                raise SchedulingError(f"exceeded max_steps={max_steps} at t={self.now}")
             self.now = max(self.now + 1, nxt)
             if obs is not None and self._last_wake == self.now:
                 obs.on_sched("wake", self.now)
             self._step(self.now)
             steps += 1
-            if max_steps is not None and steps > max_steps:
-                raise SchedulingError(f"exceeded max_steps={max_steps} at t={self.now}")
         if until is not None and self.now < until:
             self.now = until  # quiescent early: the clock still advances
         self.trace.end_time = self.now
@@ -354,26 +353,21 @@ class Simulator:
 
     def _step(self, t: Time) -> None:
         obs = self._obs
+        events = self.events
         if obs is not None:
             obs.on_step_begin(t)
             obs.on_phase_begin("receive", t)
         # Phase 1: receive objects (masters, then read copies).
-        while self._obj_arrivals and self._obj_arrivals[0][0] <= t:
-            _, oid = heapq.heappop(self._obj_arrivals)
+        for _, _, oid, _ in events.pop_kind(EventKind.ARRIVAL, t):
             obj = self.objects[oid]
-            assert obj.in_transit and obj.dest is not None
-            obj.location = obj.dest
-            obj.in_transit = False
-            obj.dest = None
-            obj.arrive_time = None
+            obj.complete_leg()
             self._needs_departure_check.add(oid)
             if obs is not None:
                 obs.on_arrive(oid, t, obj.location)
             self._service_reads(obj, t)
             for fn in self._object_observers:
                 fn("arrive", obj, t)
-        while self._copy_arrivals and self._copy_arrivals[0][0] <= t:
-            _, oid, tid, epoch = heapq.heappop(self._copy_arrivals)
+        for _, _, (oid, tid, epoch), _ in events.pop_kind(EventKind.COPY, t):
             obj = self.objects[oid]
             if obj.read_epoch.get(tid, 0) == epoch:
                 obj.reads_delivered.add(tid)
@@ -381,15 +375,15 @@ class Simulator:
         if obs is not None:
             obs.on_phase_end("receive", t)
             obs.on_phase_begin("deliver", t)
-        # Phase 1b: deliver control messages.
+        # Phase 1b: deliver control messages (their due markers retire).
+        events.pop_kind(EventKind.MESSAGE, t)
         self.router.deliver_due(t)
         if obs is not None:
             obs.on_phase_end("deliver", t)
             obs.on_phase_begin("generate", t)
         # Phase 2: generate new transactions.
         new_txns: List[Transaction] = []
-        while self._pending_specs and self._pending_specs[0][0] <= t:
-            _, _, spec = heapq.heappop(self._pending_specs)
+        for _, _, _, spec in events.pop_kind(EventKind.SPEC, t):
             new_txns.append(self._generate(spec, t))
         if obs is not None:
             obs.on_phase_end("generate", t)
@@ -408,11 +402,8 @@ class Simulator:
         self._process_departures(t)
         if obs is not None:
             obs.on_phase_end("depart", t)
-        # Clear stale extra alarms.
-        popped = 0
-        while self._extra_alarms and self._extra_alarms[0] <= t:
-            heapq.heappop(self._extra_alarms)
-            popped += 1
+        # Clear stale scheduler alarms.
+        popped = len(events.pop_kind(EventKind.ALARM, t))
         if obs is not None:
             if popped:
                 obs.on_alarm(t, popped)
@@ -445,10 +436,8 @@ class Simulator:
         return txn
 
     def _execute_due(self, t: Time) -> None:
-        due: List[Tuple[Time, TxnId]] = []
-        while self._exec_heap and self._exec_heap[0][0] <= t:
-            due.append(heapq.heappop(self._exec_heap))
-        for exec_time, tid in sorted(due):
+        due = self.events.pop_kind(EventKind.EXEC, t)
+        for _, _, tid, _ in sorted(due):
             txn = self.txns[tid]
             if txn.state is TxnState.EXECUTED:
                 continue
@@ -459,7 +448,7 @@ class Simulator:
                 self.trace.violations.append(Violation(tid, t, tuple(sorted(missing))))
                 if self._obs is not None:
                     self._obs.on_defer(tid, t, missing)
-                heapq.heappush(self._exec_heap, (t + 1, tid))
+                self.events.push_exec(t + 1, tid)
                 continue
             self._commit(txn, t)
 
@@ -554,22 +543,18 @@ class Simulator:
             )
             if self._obs is not None:
                 self._obs.on_copy(obj.oid, entry.tid, t, arrive)
-            heapq.heappush(
-                self._copy_arrivals,
-                (arrive, obj.oid, entry.tid, obj.read_epoch.get(entry.tid, 0)),
-            )
+            self.events.push_copy(arrive, obj.oid, entry.tid, obj.read_epoch.get(entry.tid, 0))
 
     def _process_departures(self, t: Time) -> None:
-        while self._departure_alarms and self._departure_alarms[0][0] <= t:
-            _, oid = heapq.heappop(self._departure_alarms)
+        for _, _, oid, _ in self.events.pop_kind(EventKind.DEPART, t):
             self._needs_departure_check.add(oid)
         pending = self._needs_departure_check
         self._needs_departure_check = set()
-        egress_used: Dict[NodeId, int] = {}
+        self.transport.begin_step(t)
         for oid in sorted(pending):  # deterministic under capacity limits
-            self._maybe_depart(self.objects[oid], t, egress_used)
+            self._maybe_depart(self.objects[oid], t)
 
-    def _maybe_depart(self, obj: SharedObject, t: Time, egress_used: Dict[NodeId, int]) -> None:
+    def _maybe_depart(self, obj: SharedObject, t: Time) -> None:
         if obj.in_transit or not obj.queue:
             return
         holder = obj.holder_txn
@@ -579,55 +564,18 @@ class Simulator:
         target = self.txns[nxt.tid].home
         if target == obj.location:
             return  # already where it needs to be
-        travel = obj.travel_time(self.graph.distance(obj.location, target))
         if self.departure_policy is DeparturePolicy.LAZY:
+            travel = obj.travel_time(self.graph.distance(obj.location, target))
             depart = max(t, nxt.exec_time - travel)
             if depart > t:
-                heapq.heappush(self._departure_alarms, (depart, obj.oid))
+                self.events.push_depart(depart, obj.oid)
                 return
-        if self.node_egress_capacity is not None:
-            used = egress_used.get(obj.location, 0)
-            if used >= self.node_egress_capacity:
-                # Congested: retry next step (Section VI open question).
-                heapq.heappush(self._departure_alarms, (t + 1, obj.oid))
-                return
-            egress_used[obj.location] = used + 1
-        if self.hop_motion:
-            # One edge at a time; the route re-evaluates at every node,
-            # which keeps redirects and link-capacity stalls graceful.
-            path = self.graph.shortest_path(obj.location, target)
-            hop = path[1]
-            hop_time = obj.travel_time(self.graph.neighbors(obj.location)[hop])
-            if self.link_capacity is not None and not self._acquire_link(
-                obj, obj.location, hop, t, hop_time
-            ):
-                return  # link full: a retry alarm has been scheduled
-            arrive = t + hop_time
-            target = hop
-        else:
-            arrive = t + travel
-        self.trace.legs.append(ObjectLeg(obj.oid, t, obj.location, target, arrive))
+        leg = self.transport.plan_leg(obj, target, t)
+        if leg is None:
+            return  # blocked: the transport has scheduled a retry
+        dst, arrive = leg
+        self.trace.legs.append(ObjectLeg(obj.oid, t, obj.location, dst, arrive))
         if self._obs is not None:
-            self._obs.on_depart(obj.oid, t, obj.location, target, arrive)
-        obj.in_transit = True
-        obj.dest = target
-        obj.arrive_time = arrive
-        heapq.heappush(self._obj_arrivals, (arrive, obj.oid))
-
-    def _acquire_link(
-        self, obj: SharedObject, u: NodeId, v: NodeId, t: Time, hop_time: Time
-    ) -> bool:
-        """Try to occupy edge ``(u, v)`` for ``hop_time`` steps from ``t``.
-
-        Returns False (and schedules a retry at the earliest release) when
-        ``link_capacity`` concurrent traversals are already in flight.
-        """
-        key = (u, v) if u < v else (v, u)
-        busy = self._link_busy.setdefault(key, [])
-        while busy and busy[0] <= t:
-            heapq.heappop(busy)
-        if len(busy) >= self.link_capacity:
-            heapq.heappush(self._departure_alarms, (busy[0], obj.oid))
-            return False
-        heapq.heappush(busy, t + hop_time)
-        return True
+            self._obs.on_depart(obj.oid, t, obj.location, dst, arrive)
+        obj.begin_leg(dst, arrive)
+        self.events.push_arrival(arrive, obj.oid)

@@ -1,0 +1,175 @@
+"""The event spine: one typed queue for every engine alarm.
+
+The engine used to juggle six parallel heaps (scheduled executions,
+master-object arrivals, read-copy arrivals, departure alarms, pending
+transaction specs, scheduler alarms) plus a poll of the message router,
+and finding the next active time step meant a 7-way scan on every loop
+iteration.  :class:`EventQueue` replaces them with a single heap of
+``(time, kind, key, payload)`` entries:
+
+* **O(1) next-event peek** — :meth:`EventQueue.peek_time` reads one heap
+  top instead of scanning seven sources.
+* **Deterministic tie-breaks** — within one time step, kinds pop in the
+  engine's phase order (:class:`EventKind` values), and entries of the
+  same kind pop by a per-kind key chosen to reproduce the legacy heaps
+  byte-for-byte (object id for arrivals, ``(oid, tid, epoch)`` for
+  copies, submission sequence for specs, transaction id for executions).
+* **Alarm dedup** — :meth:`push_alarm` drops duplicate alarm times, so
+  windowed/bucket schedulers that re-request the same wake-up every step
+  no longer grow the queue.
+
+Phase-aligned consumption: the engine processes each kind at a fixed
+phase of its step, but events for a *later* phase may already be due when
+an *earlier* phase drains the heap.  :meth:`pop_kind` therefore scoops
+every due entry off the heap into per-kind buckets and returns only the
+requested kind; the rest wait in their bucket for their phase.  An event
+pushed *after* its phase already ran this step (e.g. an execution
+committed for the current time during the depart phase) stays queued and
+is delivered next step — exactly the legacy heaps' behavior.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from enum import IntEnum
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro._types import ObjectId, Time, TxnId
+
+#: One queue entry: ``(time, kind, key, payload)``.  The first three
+#: fields are the heap order; the payload is never compared (keys are
+#: unique per kind wherever payloads differ).
+Event = Tuple[Time, int, Any, Any]
+
+
+class EventKind(IntEnum):
+    """Event types, ordered by the engine phase that consumes them."""
+
+    ARRIVAL = 0  #: master object settles at a node (key: oid)
+    COPY = 1     #: read-only copy reaches its reader (key: (oid, tid, epoch))
+    MESSAGE = 2  #: a router delivery falls due (key: 0; marker only)
+    SPEC = 3     #: a submitted transaction generates (key: submit seq)
+    EXEC = 4     #: a scheduled transaction executes (key: tid)
+    DEPART = 5   #: re-check an object for departure (key: oid)
+    ALARM = 6    #: scheduler-requested wake-up (key: 0; deduplicated)
+
+
+class EventQueue:
+    """Single-heap, typed, deterministic event queue (the engine's clock).
+
+    Producers push with the per-kind ``push_*`` helpers; the engine
+    consumes with :meth:`pop_kind` once per kind per step, in phase
+    order.  :meth:`peek_time` is the O(1) replacement for the old
+    multi-heap next-active-time scan.
+    """
+
+    __slots__ = ("_heap", "_due", "_due_count", "_due_min", "_spec_seq", "_alarm_times")
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._due: Dict[int, List[Event]] = {int(kind): [] for kind in EventKind}
+        self._due_count = 0
+        self._due_min: Optional[Time] = None
+        self._spec_seq = itertools.count()
+        self._alarm_times: set = set()
+
+    # ------------------------------------------------------------------
+    # producers
+    # ------------------------------------------------------------------
+    def push(self, time: Time, kind: EventKind, key: Any = 0, payload: Any = None) -> None:
+        """Push one typed event (the ``push_*`` helpers wrap this)."""
+        heapq.heappush(self._heap, (time, int(kind), key, payload))
+
+    def push_arrival(self, time: Time, oid: ObjectId) -> None:
+        """Master object ``oid`` arrives at its leg destination."""
+        self.push(time, EventKind.ARRIVAL, oid)
+
+    def push_copy(self, time: Time, oid: ObjectId, tid: TxnId, epoch: int) -> None:
+        """A read copy of ``oid`` (serve epoch ``epoch``) reaches ``tid``."""
+        self.push(time, EventKind.COPY, (oid, tid, epoch))
+
+    def push_message(self, time: Time) -> None:
+        """Marker: the router will have a delivery due at ``time``."""
+        self.push(time, EventKind.MESSAGE)
+
+    def push_spec(self, time: Time, spec: Any) -> None:
+        """A submitted transaction spec generates at ``time``."""
+        self.push(time, EventKind.SPEC, next(self._spec_seq), spec)
+
+    def push_exec(self, time: Time, tid: TxnId) -> None:
+        """Transaction ``tid`` is scheduled to execute at ``time``."""
+        self.push(time, EventKind.EXEC, tid)
+
+    def push_depart(self, time: Time, oid: ObjectId) -> None:
+        """Re-check object ``oid`` for departure at ``time``."""
+        self.push(time, EventKind.DEPART, oid)
+
+    def push_alarm(self, time: Time) -> bool:
+        """Scheduler wake-up at ``time``; duplicates are dropped.
+
+        Returns True when a new alarm was queued, False when an alarm for
+        that exact time was already pending.
+        """
+        if time in self._alarm_times:
+            return False
+        self._alarm_times.add(time)
+        self.push(time, EventKind.ALARM)
+        return True
+
+    # ------------------------------------------------------------------
+    # consumers
+    # ------------------------------------------------------------------
+    def peek_time(self) -> Optional[Time]:
+        """Earliest pending event time, or None when the queue is empty.
+
+        O(1): one heap top (plus the minimum over any already-scooped
+        due entries awaiting their phase, tracked incrementally).
+        """
+        if self._due_count:
+            if self._heap and self._heap[0][0] < self._due_min:  # pragma: no cover
+                return self._heap[0][0]
+            return self._due_min
+        return self._heap[0][0] if self._heap else None
+
+    def pop_kind(self, kind: EventKind, t: Time) -> List[Event]:
+        """All events of ``kind`` due at or before ``t``, in heap order.
+
+        Due events of *other* kinds encountered on the heap are parked in
+        their bucket for their own phase; within a kind, entries come out
+        ordered by ``(time, key)`` — the legacy per-heap order.
+        """
+        heap = self._heap
+        due = self._due
+        while heap and heap[0][0] <= t:
+            entry = heapq.heappop(heap)
+            due[entry[1]].append(entry)
+            self._due_count += 1
+            if self._due_min is None or entry[0] < self._due_min:
+                self._due_min = entry[0]
+        bucket = due[int(kind)]
+        if not bucket:
+            return bucket
+        due[int(kind)] = []
+        self._due_count -= len(bucket)
+        if self._due_count == 0:
+            self._due_min = None
+        else:
+            self._due_min = min(e[0] for b in due.values() for e in b)
+        if kind is EventKind.ALARM:
+            for entry in bucket:
+                self._alarm_times.discard(entry[0])
+        return bucket
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._heap) + self._due_count
+
+    def __bool__(self) -> bool:
+        return bool(self._heap) or self._due_count > 0
+
+    def pending_alarms(self) -> List[Time]:
+        """Distinct pending scheduler-alarm times (sorted; for tests)."""
+        return sorted(self._alarm_times)

@@ -43,8 +43,12 @@ class MessageRouter:
     scheduler's overhead metrics in experiment E8.
     """
 
-    def __init__(self, graph: Graph) -> None:
+    def __init__(self, graph: Graph, spine=None) -> None:
+        #: optional :class:`~repro.sim.events.EventQueue`: when set, every
+        #: send pushes a MESSAGE marker so the engine's next-active-time
+        #: peek covers deliveries without polling this router
         self._graph = graph
+        self._spine = spine
         self._heap: List[Tuple[Time, int, Message, DeliveryCallback]] = []
         self._seq = itertools.count()
         self.sent_count = 0
@@ -70,6 +74,8 @@ class MessageRouter:
         delay = max(1, dist) + extra_delay
         msg = Message(src, dst, kind, payload, now, now + delay)
         heapq.heappush(self._heap, (msg.deliver_at, next(self._seq), msg, on_deliver))
+        if self._spine is not None:
+            self._spine.push_message(msg.deliver_at)
         self.sent_count += 1
         self.total_distance += dist
         return msg

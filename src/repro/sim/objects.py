@@ -56,6 +56,24 @@ class SharedObject:
         """Time steps needed to cover metric distance ``dist``."""
         return self.speed_den * dist
 
+    # ------------------------------------------------------------------
+    # transit state transitions (driven by the engine + transport layer)
+    # ------------------------------------------------------------------
+    def begin_leg(self, dst: NodeId, arrive_time: Time) -> None:
+        """Enter transit toward ``dst``, arriving at ``arrive_time``."""
+        self.in_transit = True
+        self.dest = dst
+        self.arrive_time = arrive_time
+
+    def complete_leg(self) -> NodeId:
+        """Settle at the current leg's destination; returns the new location."""
+        assert self.in_transit and self.dest is not None
+        self.location = self.dest
+        self.in_transit = False
+        self.dest = None
+        self.arrive_time = None
+        return self.location
+
     def time_to_reach(self, graph: Graph, node: NodeId, now: Time) -> Time:
         """Upper bound on when this object could be at ``node``.
 

@@ -1,0 +1,210 @@
+"""Pluggable transport models: how master objects move through the graph.
+
+The paper's base model moves an object in one leg along a shortest path
+(:class:`DirectTransport`); its Section VI congestion questions need
+finer models — edge-by-edge motion (:class:`HopTransport`), bounded
+per-node egress (:class:`EgressCapacity`), bounded per-edge concurrency
+(:class:`LinkCapacity`).  These used to be ``if``-branches inside the
+engine's departure routine; they are now strategy objects selected via
+``SimConfig.transport`` and composed as decorators, so capacity-curve
+studies, sharded topologies, or asynchronous backends can swap the
+motion model without touching the engine.
+
+A transport answers one question: *given that this object should head
+for ``target`` now, what leg does it take?*  :meth:`Transport.plan_leg`
+returns ``(dst, arrive_time)`` for the leg departing at ``t``, or
+``None`` when the move is blocked — in which case the transport has
+already queued a retry on the engine's event spine
+(:class:`~repro.sim.events.EventQueue`).  The engine keeps everything
+else: commit logic, departure policy (eager/lazy), trace legs, and the
+``on_depart``/``on_arrive`` probe events.
+
+Selection and legacy mapping (``repro.sim.config.SimConfig``)::
+
+    SimConfig(transport="hop")                  # edge-by-edge motion
+    SimConfig(transport="direct")               # whole-leg motion (default)
+    SimConfig(transport=MyTransport())          # custom strategy
+    SimConfig(hop_motion=True)                  # legacy spelling of "hop"
+    SimConfig(link_capacity=2, transport="hop") # wraps in LinkCapacity
+    SimConfig(node_egress_capacity=1)           # wraps in EgressCapacity
+
+:func:`build_transport` applies the capacity decorators outermost-first
+(egress, then link, then the base), reproducing the legacy engine's
+check order: an egress slot is consumed even when the link then blocks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from repro._types import NodeId, Time
+from repro.errors import WorkloadError
+from repro.sim.objects import SharedObject
+
+#: One planned leg: ``(dst, arrive_time)``.
+Leg = Tuple[NodeId, Time]
+
+
+class Transport:
+    """Base strategy: subclass and implement :meth:`plan_leg`.
+
+    ``kind`` identifies the motion granularity ("direct", "hop", or
+    "custom"); ``SimConfig`` uses it to validate knob combinations (per
+    -link capacity needs per-edge legs, i.e. a "hop" transport).
+    """
+
+    kind = "custom"
+
+    def bind(self, sim) -> None:
+        """Attach to a simulator; called once from ``Simulator.__init__``."""
+        self.sim = sim
+
+    def begin_step(self, t: Time) -> None:
+        """Reset any per-step state (e.g. egress counters)."""
+
+    def plan_leg(self, obj: SharedObject, target: NodeId, t: Time) -> Optional[Leg]:
+        """The leg ``obj`` takes from its location toward ``target`` at ``t``.
+
+        Return ``(dst, arrive_time)``, or ``None`` when blocked — after
+        scheduling a retry via ``self.sim.events.push_depart``.
+        """
+        raise NotImplementedError
+
+
+class DirectTransport(Transport):
+    """Whole shortest-path legs at once (the paper's base model)."""
+
+    kind = "direct"
+
+    def plan_leg(self, obj: SharedObject, target: NodeId, t: Time) -> Optional[Leg]:
+        travel = obj.travel_time(self.sim.graph.distance(obj.location, target))
+        return target, t + travel
+
+
+class HopTransport(Transport):
+    """Edge-by-edge motion: one trace leg per hop, route re-evaluated at
+    every intermediate node.
+
+    Motion physics are identical to :class:`DirectTransport` in the
+    uncongested model, but schedulers observe finer-grained positions
+    (the in-transit artificial node is the next hop, not the final
+    target), so committed times may differ — usually slightly better.
+    Required for per-link capacity.
+    """
+
+    kind = "hop"
+
+    def plan_leg(self, obj: SharedObject, target: NodeId, t: Time) -> Optional[Leg]:
+        graph = self.sim.graph
+        hop = graph.shortest_path(obj.location, target)[1]
+        return hop, t + obj.travel_time(graph.neighbors(obj.location)[hop])
+
+
+class TransportDecorator(Transport):
+    """Wrap another transport; delegates everything by default."""
+
+    def __init__(self, inner: Transport) -> None:
+        self.inner = inner
+
+    @property
+    def kind(self) -> str:  # type: ignore[override]
+        return self.inner.kind
+
+    def bind(self, sim) -> None:
+        super().bind(sim)
+        self.inner.bind(sim)
+
+    def begin_step(self, t: Time) -> None:
+        self.inner.begin_step(t)
+
+    def plan_leg(self, obj: SharedObject, target: NodeId, t: Time) -> Optional[Leg]:
+        return self.inner.plan_leg(obj, target, t)
+
+
+class EgressCapacity(TransportDecorator):
+    """At most ``capacity`` objects may *depart* any node per time step
+    (the paper's Section VI congestion question; bench E13).
+
+    Excess departures retry next step.  The slot is consumed before the
+    inner transport plans the leg, so an inner-layer block (e.g. a full
+    link) still uses up egress — matching the legacy engine.
+    """
+
+    def __init__(self, inner: Transport, capacity: int) -> None:
+        if capacity < 1:
+            raise WorkloadError("node_egress_capacity must be >= 1")
+        super().__init__(inner)
+        self.capacity = capacity
+        self._used: Dict[NodeId, int] = {}
+
+    def begin_step(self, t: Time) -> None:
+        self._used = {}
+        self.inner.begin_step(t)
+
+    def plan_leg(self, obj: SharedObject, target: NodeId, t: Time) -> Optional[Leg]:
+        used = self._used.get(obj.location, 0)
+        if used >= self.capacity:
+            # Congested: retry next step.
+            self.sim.events.push_depart(t + 1, obj.oid)
+            return None
+        self._used[obj.location] = used + 1
+        return self.inner.plan_leg(obj, target, t)
+
+
+class LinkCapacity(TransportDecorator):
+    """At most ``capacity`` objects may traverse any single edge
+    concurrently, both directions combined (Section VI's bounded link
+    capacity; bench E20).
+
+    Requires a hop-granularity inner transport (each leg must be one
+    edge).  A blocked traversal waits at the upstream node and retries
+    at the earliest in-flight release.
+    """
+
+    def __init__(self, inner: Transport, capacity: int) -> None:
+        if capacity < 1:
+            raise WorkloadError("link_capacity must be >= 1")
+        super().__init__(inner)
+        self.capacity = capacity
+        #: per-edge traversal end times, a min-heap per undirected edge
+        self._busy: Dict[Tuple[NodeId, NodeId], List[Time]] = {}
+
+    def bind(self, sim) -> None:
+        super().bind(sim)
+        self._busy = {}
+
+    def plan_leg(self, obj: SharedObject, target: NodeId, t: Time) -> Optional[Leg]:
+        leg = self.inner.plan_leg(obj, target, t)
+        if leg is None:
+            return None
+        dst, arrive = leg
+        u, v = obj.location, dst
+        key = (u, v) if u < v else (v, u)
+        busy = self._busy.setdefault(key, [])
+        while busy and busy[0] <= t:
+            heapq.heappop(busy)
+        if len(busy) >= self.capacity:
+            # Link full: retry when the earliest traversal releases.
+            self.sim.events.push_depart(busy[0], obj.oid)
+            return None
+        heapq.heappush(busy, arrive)
+        return leg
+
+
+def build_transport(config) -> Transport:
+    """Materialize ``config.transport`` (+ capacity knobs) as one strategy.
+
+    ``config.transport`` may be "direct", "hop", ``None`` (legacy
+    ``hop_motion`` flag decides), or a :class:`Transport` instance; the
+    ``link_capacity`` / ``node_egress_capacity`` fields wrap the base in
+    the corresponding decorators.
+    """
+    base = config.transport
+    if base is None or isinstance(base, str):
+        base = HopTransport() if config.transport_kind == "hop" else DirectTransport()
+    if config.link_capacity is not None:
+        base = LinkCapacity(base, config.link_capacity)
+    if config.node_egress_capacity is not None:
+        base = EgressCapacity(base, config.node_egress_capacity)
+    return base

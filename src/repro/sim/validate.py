@@ -14,6 +14,12 @@ physically possible under the paper's model:
 
 This is the library's correctness oracle: tests and every benchmark run it,
 so a scheduler cannot report an infeasible makespan.
+
+The checks are transport-agnostic: each trace leg is certified on its own
+(length, contiguity, non-overlap), so a hop-granularity trace — many
+single-edge legs per journey, as produced by
+:class:`~repro.sim.transport.HopTransport` — certifies exactly like a
+direct-transport trace of whole shortest-path legs.
 """
 
 from __future__ import annotations

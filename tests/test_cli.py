@@ -214,6 +214,47 @@ class TestCommands:
         path.write_text("[]")
         assert main(["suite", "--file", str(path)]) == 2
 
+    def test_run_transport_hop(self, capsys):
+        rc = main([
+            "run", "--topology", "grid:3x3", "--workload", "bernoulli",
+            "--objects", "4", "--rate", "0.08", "--horizon", "20",
+            "--transport", "hop", "--json",
+        ])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["txns"] > 0
+
+    def test_run_transport_direct_explicit(self, capsys):
+        rc = main([
+            "run", "--topology", "clique:6", "--workload", "batch",
+            "--objects", "3", "--k", "1", "--transport", "direct", "--json",
+        ])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["txns"] == 6
+
+    def test_run_rejects_link_capacity_with_direct_transport(self, capsys):
+        with pytest.raises(SystemExit, match="hop transport"):
+            main([
+                "run", "--topology", "line:10", "--workload", "hotspot",
+                "--transport", "direct", "--link-capacity", "1", "--json",
+            ])
+
+    def test_run_rejects_direct_transport_with_hop_motion(self):
+        with pytest.raises(SystemExit, match="hop"):
+            main([
+                "run", "--topology", "line:10", "--workload", "hotspot",
+                "--transport", "direct", "--hop-motion", "--json",
+            ])
+
+    def test_compare_accepts_transport(self, capsys):
+        rc = main([
+            "compare", "--topology", "grid:3x3", "--workload", "batch",
+            "--objects", "3", "--k", "1", "--schedulers", "greedy,fifo",
+            "--transport", "hop", "--json",
+        ])
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert [d["scheduler"] for d in out] == ["greedy", "fifo"]
+
     def test_run_zipf_closed_loop(self, capsys):
         rc = main([
             "run", "--topology", "clique:6", "--workload", "closed-loop",

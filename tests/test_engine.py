@@ -215,3 +215,35 @@ class TestQuiescenceAndTicks:
         sim = Simulator(topologies.line(4), NullScheduler())
         trace = sim.run()
         assert trace.num_txns == 0
+
+    def test_max_steps_allows_exactly_n_active_steps(self):
+        # The chain needs active steps at t=2 and t=6 (plus the t=0
+        # bootstrap step, which max_steps does not count).
+        def fresh():
+            specs = [TxnSpec(0, 2, (0,)), TxnSpec(0, 6, (0,))]
+            return line_sim({2: 2, 6: 6}, specs, {0: 0})
+
+        trace = fresh().run(max_steps=2)  # exactly enough
+        assert len(trace.txns) == 2
+
+        with pytest.raises(SchedulingError, match="max_steps=1"):
+            fresh().run(max_steps=1)
+
+    def test_max_steps_stops_before_extra_step_runs(self):
+        # With max_steps=N, the (N+1)-th step must NOT execute: the
+        # second transaction stays live and uncommitted after the raise.
+        specs = [TxnSpec(0, 2, (0,)), TxnSpec(0, 6, (0,))]
+        sim = line_sim({2: 2, 6: 6}, specs, {0: 0})
+        with pytest.raises(SchedulingError):
+            sim.run(max_steps=1)
+        assert sim.txns[0].state is TxnState.EXECUTED  # step 1 (t=2) ran
+        assert sim.txns[1].state is not TxnState.EXECUTED  # step 2 did not
+
+    def test_duplicate_alarms_deduplicated(self):
+        sim = Simulator(topologies.line(4), NullScheduler())
+        for _ in range(5):
+            sim.add_alarm(10)
+        sim.add_alarm(12)
+        assert sim.events.pending_alarms() == [10, 12]
+        sim.run_until(12)
+        assert sim.events.pending_alarms() == []

@@ -1,0 +1,108 @@
+"""Unit tests for the event spine (``repro.sim.events``)."""
+
+from repro.sim.events import EventKind, EventQueue
+
+
+class TestOrdering:
+    def test_peek_is_earliest_across_kinds(self):
+        q = EventQueue()
+        q.push_exec(9, 1)
+        q.push_arrival(4, 7)
+        q.push_alarm(6)
+        assert q.peek_time() == 4
+
+    def test_same_time_kinds_pop_independently(self):
+        # All kinds due at t=5; each pop_kind returns only its own.
+        q = EventQueue()
+        q.push_depart(5, 3)
+        q.push_exec(5, 2)
+        q.push_arrival(5, 1)
+        q.push_spec(5, "spec")
+        assert [e[2] for e in q.pop_kind(EventKind.ARRIVAL, 5)] == [1]
+        assert [e[2] for e in q.pop_kind(EventKind.EXEC, 5)] == [2]
+        assert [e[2] for e in q.pop_kind(EventKind.DEPART, 5)] == [3]
+        assert [e[3] for e in q.pop_kind(EventKind.SPEC, 5)] == ["spec"]
+        assert not q
+
+    def test_per_kind_tiebreak_by_key(self):
+        # Same-time arrivals come out in object-id order (the legacy
+        # per-heap (time, oid) order).
+        q = EventQueue()
+        for oid in (5, 1, 3):
+            q.push_arrival(2, oid)
+        assert [e[2] for e in q.pop_kind(EventKind.ARRIVAL, 2)] == [1, 3, 5]
+
+    def test_specs_keep_submission_order_at_same_time(self):
+        q = EventQueue()
+        q.push_spec(1, "first")
+        q.push_spec(1, "second")
+        q.push_spec(0, "earlier")
+        assert [e[3] for e in q.pop_kind(EventKind.SPEC, 1)] == [
+            "earlier",
+            "first",
+            "second",
+        ]
+
+    def test_times_interleave_within_kind(self):
+        q = EventQueue()
+        q.push_exec(3, 30)
+        q.push_exec(1, 10)
+        q.push_exec(2, 20)
+        got = q.pop_kind(EventKind.EXEC, 3)
+        assert [(e[0], e[2]) for e in got] == [(1, 10), (2, 20), (3, 30)]
+
+
+class TestScoopSemantics:
+    def test_future_events_stay_queued(self):
+        q = EventQueue()
+        q.push_exec(5, 1)
+        q.push_exec(9, 2)
+        assert [e[2] for e in q.pop_kind(EventKind.EXEC, 5)] == [1]
+        assert q.peek_time() == 9
+
+    def test_other_kinds_parked_not_lost(self):
+        # Popping one kind scoops due entries of other kinds into their
+        # bucket; they come out at their own phase, and peek still sees
+        # them.
+        q = EventQueue()
+        q.push_depart(3, 8)
+        q.push_arrival(3, 4)
+        assert [e[2] for e in q.pop_kind(EventKind.ARRIVAL, 3)] == [4]
+        assert len(q) == 1 and q.peek_time() == 3
+        assert [e[2] for e in q.pop_kind(EventKind.DEPART, 3)] == [8]
+        assert q.peek_time() is None
+
+    def test_push_after_pop_waits_for_next_pop(self):
+        # An event pushed for the current time after its kind was already
+        # drained stays queued (the engine delivers it next step).
+        q = EventQueue()
+        q.push_exec(4, 1)
+        q.pop_kind(EventKind.EXEC, 4)
+        q.push_exec(4, 2)
+        assert q.peek_time() == 4
+        assert [e[2] for e in q.pop_kind(EventKind.EXEC, 4)] == [2]
+
+    def test_len_and_bool_count_parked_entries(self):
+        q = EventQueue()
+        assert not q and len(q) == 0
+        q.push_arrival(1, 0)
+        q.push_depart(1, 0)
+        q.pop_kind(EventKind.ARRIVAL, 1)  # parks the depart entry
+        assert q and len(q) == 1
+
+
+class TestAlarmDedup:
+    def test_duplicate_times_dropped(self):
+        q = EventQueue()
+        assert q.push_alarm(7) is True
+        assert q.push_alarm(7) is False
+        assert q.push_alarm(8) is True
+        assert q.pending_alarms() == [7, 8]
+        assert len(q.pop_kind(EventKind.ALARM, 7)) == 1
+
+    def test_time_reusable_after_pop(self):
+        q = EventQueue()
+        q.push_alarm(3)
+        q.pop_kind(EventKind.ALARM, 3)
+        assert q.pending_alarms() == []
+        assert q.push_alarm(3) is True

@@ -49,6 +49,11 @@ DOCUMENTED_API = {
     ],
     "repro.sim": ["Simulator", "SimConfig", "certify_trace"],
     "repro.sim.config": ["SimConfig"],
+    "repro.sim.events": ["EventKind", "EventQueue"],
+    "repro.sim.transport": [
+        "Transport", "DirectTransport", "HopTransport",
+        "EgressCapacity", "LinkCapacity", "build_transport",
+    ],
     "repro.sim.serialize": ["save_trace", "load_trace", "trace_to_dict"],
     "repro.analysis": [
         "run_experiment", "RunResult", "summarize", "RunMetrics",
