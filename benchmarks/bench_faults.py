@@ -1,0 +1,94 @@
+"""Fault degradation — what crash/drop/delay faults cost a schedule.
+
+Sweeps the drop probability (with and without a node crash) on the grid
+with the greedy scheduler and reports makespan inflation against the
+fault-free baseline, plus the recovery effort (reschedules, re-requests,
+deepest backoff).  Every faulted trace is still certified: the certifier
+reconciles each step of leg slack against the trace's fault records, so
+the degradation numbers are as trustworthy as the reliable-model ones.
+"""
+
+import pytest
+
+from _util import emit, once
+from repro.core import GreedyScheduler
+from repro.faults import FaultPlan
+from repro.network import topologies
+from repro.obs import CountersProbe
+from repro.sim import SimConfig, Simulator, certify_trace
+from repro.workloads import OnlineWorkload
+
+
+def run_faulted(drop, crashes, seed=7):
+    g = topologies.grid([4, 4])
+    wl = OnlineWorkload.bernoulli(
+        g, num_objects=8, k=2, rate=1.5 / g.num_nodes, horizon=50, seed=1
+    )
+    plan = None
+    if drop or crashes:
+        plan = FaultPlan.random(
+            seed, num_nodes=g.num_nodes, horizon=50,
+            drop_prob=drop, crash_count=crashes, crash_len=8,
+        )
+    probe = CountersProbe()
+    cfg = SimConfig(faults=plan, probe=probe)
+    trace = Simulator(g, GreedyScheduler(), wl, config=cfg).run()
+    certify_trace(g, trace)
+    return trace, probe.counters
+
+
+@pytest.mark.benchmark(group="faults")
+def test_fault_degradation_sweep(benchmark):
+    rows = []
+    base = None
+    for crashes in (0, 1):
+        for drop in (0.0, 0.05, 0.1):
+            if crashes == 0 and drop == 0.0:
+                label = "none"
+            else:
+                label = f"drop={drop}" + (",crash" if crashes else "")
+            trace, c = run_faulted(drop, crashes)
+            if base is None:
+                base = trace.makespan()
+            assert all(r.exec_time >= 0 for r in trace.txns.values())  # liveness
+            rows.append([
+                label,
+                trace.num_txns,
+                trace.makespan(),
+                round(trace.makespan() / max(1, base), 2),
+                c.get("faults.dropped", 0),
+                c.get("recovery.reschedules", 0),
+                c.get("recovery.rerequests", 0),
+                c.get("recovery.backoff_max", 0),
+            ])
+    once(benchmark, lambda: run_faulted(0.1, 1, seed=8))
+    emit(
+        "Fault degradation — makespan inflation vs fault-free baseline "
+        "(greedy, grid-4x4)",
+        ["faults", "txns", "makespan", "inflation", "drops",
+         "reschedules", "rerequests", "max backoff"],
+        rows,
+    )
+
+
+@pytest.mark.benchmark(group="faults")
+def test_fault_recovery_across_seeds(benchmark):
+    """Recovery effort across the CI fault-matrix seeds: every seeded
+    crash + 10% drop run commits everything, at bounded backoff."""
+    rows = []
+    for seed in (3, 7, 11, 23, 42):
+        trace, c = run_faulted(0.1, 1, seed=seed)
+        assert all(r.exec_time >= 0 for r in trace.txns.values())
+        rows.append([
+            seed,
+            trace.num_txns,
+            trace.makespan(),
+            c.get("recovery.reschedules", 0),
+            c.get("recovery.backoff_max", 0),
+        ])
+    once(benchmark, lambda: run_faulted(0.1, 1, seed=3))
+    emit(
+        "Fault recovery across seeds (drop=0.1 + one crash, greedy, grid-4x4)",
+        ["seed", "txns", "makespan", "reschedules", "max backoff"],
+        rows,
+    )

@@ -20,6 +20,7 @@ Quickstart::
 """
 
 from repro._types import DeparturePolicy, NodeId, ObjectId, Time, TxnId, TxnState
+from repro.faults import CrashWindow, FaultInjector, FaultPlan
 from repro.core import (
     BucketScheduler,
     CoordinatedGreedyScheduler,
@@ -56,6 +57,9 @@ __all__ = [
     "Transport",
     "DirectTransport",
     "HopTransport",
+    "FaultPlan",
+    "CrashWindow",
+    "FaultInjector",
     "OnlineScheduler",
     "GreedyScheduler",
     "CoordinatedGreedyScheduler",

@@ -33,6 +33,36 @@ def _metrics_rows(res: RunResult) -> List[List[object]]:
     ]
 
 
+def _degradation_lines(res: RunResult) -> List[str]:
+    """Fault/recovery section (empty for fault-free runs).
+
+    Summarises what the injected faults (:mod:`repro.faults`) cost the
+    run: the fault mix, how many recovery reschedules the engine issued,
+    the deepest exponential backoff reached, and the total slack the
+    delays added to object motion.
+    """
+    trace = res.trace
+    if not trace.faults and not trace.reschedules:
+        return []
+    counts = trace.fault_counts()
+    delay_steps = sum(
+        f.extra for f in trace.faults if f.kind in ("delay", "crash-delay", "msg-delay")
+    )
+    rows = [[kind, n] for kind, n in sorted(counts.items())]
+    rows.append(["reschedules", len(trace.reschedules)])
+    rows.append(["max backoff", trace.max_backoff()])
+    rows.append(["delay slack (steps)", delay_steps])
+    lines = ["", "## Fault degradation", "", "```",
+             render_table(["fault", "count"], rows), "```", ""]
+    resched_tids = {r.tid for r in trace.reschedules}
+    lines.append(
+        f"{len(resched_tids)} of {len(trace.txns)} transactions needed recovery; "
+        f"all committed despite the faults above (the certifier reconciles every "
+        f"step of leg slack against the fault records)."
+    )
+    return lines
+
+
 def run_report(
     graph: Graph,
     res: RunResult,
@@ -77,6 +107,7 @@ def run_report(
             f"duration {worst.worst_duration} vs lower bound {worst.lower_bound} "
             f"(ratio {worst.ratio:.2f})."
         )
+    lines.extend(_degradation_lines(res))
     if res.obs:
         lines.append("")
         lines.append(obs_section(res.obs).rstrip())

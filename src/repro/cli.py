@@ -214,13 +214,25 @@ def _close_probe(probe) -> None:
             close()
 
 
-def make_config(args, speed: int, probe=None) -> SimConfig:
+def make_faults(args, graph: Graph):
+    """Parse ``--faults seed=S,drop=P,delay=P,crash=K,...`` into a FaultPlan."""
+    spec = getattr(args, "faults", None)
+    if not spec:
+        return None
+    from repro.faults import FaultPlan
+
+    horizon = getattr(args, "horizon", 60) or 60
+    return FaultPlan.parse(spec, num_nodes=graph.num_nodes, horizon=horizon)
+
+
+def make_config(args, speed: int, probe=None, faults=None) -> SimConfig:
     """Translate CLI knobs into one SimConfig.
 
     Congestion studies (--link-capacity / --node-capacity) need the
     deferral engine, not hard errors, so they switch to strict=False —
     their schedules target the congestion-free model and the deferral
-    count is the measurement.
+    count is the measurement.  Fault runs (--faults) stay strict: misses
+    route through the recovery machinery, not the deferral path.
 
     ``--transport`` selects the motion model explicitly; without it the
     legacy inference applies (``--hop-motion`` or ``--link-capacity``
@@ -249,6 +261,7 @@ def make_config(args, speed: int, probe=None) -> SimConfig:
         link_capacity=link_capacity,
         probe=probe,
         transport=transport,
+        faults=faults,
     )
 
 
@@ -258,12 +271,17 @@ def cmd_run(args) -> int:
     workload = make_workload(args, graph)
     probe = make_probe(args)
     res = run_experiment(
-        graph, scheduler, workload, config=make_config(args, speed, probe=probe)
+        graph, scheduler, workload,
+        config=make_config(args, speed, probe=probe, faults=make_faults(args, graph)),
     )
     _close_probe(probe)
     out = _result_dict(args.scheduler, res)
     out["topology"] = graph.name
     out["deadline_misses"] = len(res.trace.violations)
+    if res.trace.faults or res.trace.reschedules:
+        out["faults"] = res.trace.fault_counts()
+        out["reschedules"] = len(res.trace.reschedules)
+        out["backoff_max"] = res.trace.max_backoff()
     if res.obs is not None:
         out["obs"] = res.obs
     if args.obs_jsonl:
@@ -305,10 +323,14 @@ def cmd_compare(args) -> int:
             jsonl_path = f"{root}.{name}{dot}{ext}" if dot else f"{args.obs_jsonl}.{name}"
         probe = make_probe(args, jsonl_path=jsonl_path)
         res = run_experiment(
-            graph, scheduler, workload, config=make_config(args, speed, probe=probe)
+            graph, scheduler, workload,
+            config=make_config(args, speed, probe=probe, faults=make_faults(args, graph)),
         )
         _close_probe(probe)
         d = _result_dict(name, res)
+        if res.trace.faults or res.trace.reschedules:
+            d["faults"] = res.trace.fault_counts()
+            d["reschedules"] = len(res.trace.reschedules)
         if res.obs is not None:
             d["obs"] = res.obs
         if jsonl_path:
@@ -428,6 +450,12 @@ def cmd_replay(args) -> int:
         "deadline_misses": len(replayed.violations),
         "txns": replayed.num_txns,
     }
+    if trace.faults or trace.reschedules:
+        # The archived schedule was shaped by injected faults and
+        # recovery; the replay runs on a reliable network, so objects
+        # route in commit order and some archived times may miss.
+        out["archived_faults"] = sum(trace.fault_counts().values())
+        out["note"] = "archive carries fault records; replay is fault-free"
     if args.json:
         print(json.dumps(out, indent=2))
     else:
@@ -487,6 +515,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="attach a CountersProbe; print/emit its summary")
         p.add_argument("--obs-jsonl", metavar="FILE", default=None,
                        help="stream probe events to FILE as JSONL (repro.obs schema)")
+        p.add_argument("--faults", metavar="SPEC", default=None,
+                       help="deterministic fault plan, e.g. "
+                            "seed=1,drop=0.1,delay=0.05,max-delay=3,crash=2,crash-len=8")
 
     p_run = sub.add_parser("run", help="run one scheduler and print metrics")
     common(p_run)

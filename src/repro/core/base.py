@@ -50,6 +50,30 @@ class OnlineScheduler(abc.ABC):
         (bucket schedulers).
         """
 
+    def on_reschedule(self, txn: Transaction, t: Time) -> None:
+        """Recovery hook (:mod:`repro.faults`): ``txn`` missed its
+        committed execution time — an object was lost or late, or its home
+        node crashed — and the engine has just un-committed it.  Pick a new
+        execution time (or re-enter pending machinery, as the bucket
+        scheduler does).
+
+        The default re-enters the greedy coloring path against the current
+        dependency state and clamps the result to the engine's recovery
+        floor (exponential backoff + home-node restart), so every
+        scheduler degrades gracefully under faults without further code.
+        Only ever called when ``SimConfig.faults`` is active; the paper's
+        no-revision property holds untouched otherwise.
+        """
+        from repro.core.coloring import min_valid_color
+        from repro.core.dependency import constraints_for
+
+        assert self.sim is not None, "scheduler not bound to a simulator"
+        cons = constraints_for(self.sim, txn, now=t)
+        color = min_valid_color(cons)
+        exec_time = max(t + color, self.sim.reschedule_floor(txn))
+        self.emit("reschedule", t, tid=txn.tid, color=color, exec=exec_time)
+        self.sim.commit_schedule(txn, exec_time)
+
     def next_wake_after(self, t: Time) -> Optional[Time]:
         """Earliest future step at which this scheduler must run even if no
         other event occurs (e.g. a bucket activation), or ``None``."""

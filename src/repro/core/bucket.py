@@ -135,6 +135,14 @@ class BucketScheduler(OnlineScheduler):
         self.emit("activate", t, level=level, size=len(bucket))
         self.buckets[level] = []
 
+    def on_reschedule(self, txn: Transaction, t: Time) -> None:
+        """Recovery hook (:mod:`repro.faults`): a rescheduled transaction
+        re-enters the normal insertion path — it lands in the smallest
+        bucket whose batch still fits and is committed at that bucket's
+        next activation, which naturally provides the recovery backoff."""
+        assert self.sim is not None
+        self._insert(SimStateView(self.sim, t), txn, t)
+
     # ------------------------------------------------------------------
     def next_wake_after(self, t: Time) -> Optional[Time]:
         wakes = []

@@ -1,0 +1,306 @@
+"""Deterministic, seeded fault injection (``repro.faults``).
+
+The paper's model — and the engine's default mode — assumes a perfectly
+reliable synchronous network: objects always arrive, nodes never crash,
+and a missed execution time is a hard :class:`InfeasibleScheduleError`.
+This module lets a run *violate* those assumptions on purpose, so the
+recovery machinery (engine ``RESCHEDULE`` events + the
+``OnlineScheduler.on_reschedule`` hook) can be exercised and measured:
+
+* **Node crash-stop/restart** — a :class:`CrashWindow` takes one node
+  offline for ``[start, end)``: nothing departs from it, arrivals and
+  control-message deliveries addressed to it are suppressed until the
+  restart step, generation and execution at the node are deferred.
+* **Object-leg drops** — with probability ``drop_prob`` a planned master
+  object leg is lost: the object silently stays at its source (the last
+  confirmed holder) and nobody learns until a transaction misses its
+  execution time; recovery then re-requests the object and reschedules.
+* **Bounded delay jitter** — with probability ``delay_prob`` an object
+  leg (or a control message) takes up to ``max_delay`` extra steps.
+
+Every decision is drawn from ``random.Random`` seeded with a *string*
+key derived from ``(plan.seed, decision kind, decision coordinates)``.
+String seeding hashes via SHA-512, so the same :class:`FaultPlan` yields
+byte-identical fault decisions across processes and runs regardless of
+``PYTHONHASHSEED`` — the acceptance test for deterministic replay.
+
+A frozen :class:`FaultPlan` travels on ``SimConfig.faults``; the engine
+realizes it as a :class:`FaultInjector` (per-run mutable state: lost
+objects, reschedule counts) plus a
+:class:`~repro.sim.transport.FaultyTransport` decorator around the
+configured transport.  ``faults=None`` (the default) leaves every code
+path untouched and every golden trace byte-identical.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro._types import NodeId, ObjectId, Time, TxnId
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """One crash-stop/restart interval: ``node`` is down for
+    ``start <= t < end`` and processes its backlog at ``end``."""
+
+    node: NodeId
+    start: Time
+    end: Time
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise WorkloadError(
+                f"crash window [{self.start}, {self.end}) for node {self.node} is empty or negative"
+            )
+
+    @property
+    def duration(self) -> Time:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Frozen description of every fault a run will suffer.
+
+    Attributes
+    ----------
+    seed:
+        Root of all randomness; two runs with equal plans (and equal
+        graph/workload) produce byte-identical certified traces.
+    drop_prob:
+        Per-departure probability that a master object leg is lost.
+        Must be < 1 so retransmissions eventually succeed (liveness).
+    delay_prob:
+        Per-departure (and per-message) probability of extra latency.
+    max_delay:
+        Upper bound, in steps, of the injected extra latency (>= 1 when
+        ``delay_prob`` > 0).
+    crashes:
+        Crash-stop/restart windows (see :class:`CrashWindow`).
+    backoff_base / backoff_cap:
+        Exponential backoff of recovery reschedules: the ``n``-th
+        reschedule of one transaction waits at least
+        ``min(cap, base * 2**(n-1))`` steps.
+    max_reschedules:
+        Per-transaction reschedule budget; ``None`` (default) means
+        recovery never gives up.  When exceeded the engine raises
+        :class:`~repro.errors.InfeasibleScheduleError`.
+    """
+
+    seed: int = 0
+    drop_prob: float = 0.0
+    delay_prob: float = 0.0
+    max_delay: Time = 0
+    crashes: Tuple[CrashWindow, ...] = ()
+    backoff_base: Time = 1
+    backoff_cap: Time = 64
+    max_reschedules: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        if not 0.0 <= self.drop_prob < 1.0:
+            raise WorkloadError(
+                f"drop_prob must be in [0, 1) for liveness, got {self.drop_prob}"
+            )
+        if not 0.0 <= self.delay_prob <= 1.0:
+            raise WorkloadError(f"delay_prob must be in [0, 1], got {self.delay_prob}")
+        if self.max_delay < 0:
+            raise WorkloadError(f"max_delay must be >= 0, got {self.max_delay}")
+        if self.delay_prob > 0 and self.max_delay < 1:
+            raise WorkloadError("delay_prob > 0 requires max_delay >= 1")
+        if self.backoff_base < 1:
+            raise WorkloadError(f"backoff_base must be >= 1, got {self.backoff_base}")
+        if self.backoff_cap < self.backoff_base:
+            raise WorkloadError("backoff_cap must be >= backoff_base")
+        if self.max_reschedules is not None and self.max_reschedules < 1:
+            raise WorkloadError("max_reschedules must be >= 1 (or None for unlimited)")
+
+    @property
+    def active(self) -> bool:
+        """True when the plan can actually inject something."""
+        return bool(self.drop_prob or self.delay_prob or self.crashes)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        *,
+        num_nodes: int,
+        horizon: Time,
+        drop_prob: float = 0.0,
+        delay_prob: float = 0.0,
+        max_delay: Time = 0,
+        crash_count: int = 0,
+        crash_len: Time = 8,
+        **kwargs,
+    ) -> "FaultPlan":
+        """A plan whose crash windows are drawn from the seed.
+
+        ``crash_count`` windows of ``crash_len`` steps each are placed on
+        uniformly random nodes at uniformly random starts in
+        ``[1, horizon]``.  Placement uses the same string-keyed RNG as
+        runtime decisions, so the whole plan is one function of ``seed``.
+        """
+        if crash_count < 0 or crash_len < 1:
+            raise WorkloadError("crash_count must be >= 0 and crash_len >= 1")
+        if num_nodes < 1 or horizon < 1:
+            raise WorkloadError("num_nodes and horizon must be >= 1")
+        rng = random.Random(f"{seed}|crash-windows")
+        windows = []
+        for _ in range(crash_count):
+            node = rng.randrange(num_nodes)
+            start = rng.randint(1, horizon)
+            windows.append(CrashWindow(node, start, start + crash_len))
+        return cls(
+            seed=seed,
+            drop_prob=drop_prob,
+            delay_prob=delay_prob,
+            max_delay=max_delay,
+            crashes=tuple(windows),
+            **kwargs,
+        )
+
+    @classmethod
+    def parse(cls, spec: str, *, num_nodes: int, horizon: Time) -> "FaultPlan":
+        """Parse the CLI spelling ``seed=S,drop=P,delay=P,max-delay=N,crash=K,crash-len=L``.
+
+        ``crash=K`` draws K random crash windows (see :meth:`random`);
+        unknown keys raise :class:`~repro.errors.WorkloadError`.
+        """
+        known = {
+            "seed": 0, "drop": 0.0, "delay": 0.0, "max-delay": 0,
+            "crash": 0, "crash-len": 8, "backoff-cap": 64,
+        }
+        values = dict(known)
+        for part in filter(None, (p.strip() for p in spec.split(","))):
+            key, sep, raw = part.partition("=")
+            if not sep or key not in known:
+                raise WorkloadError(
+                    f"bad --faults entry {part!r} (known keys: {sorted(known)})"
+                )
+            try:
+                values[key] = float(raw) if key in ("drop", "delay") else int(raw)
+            except ValueError:
+                raise WorkloadError(f"bad --faults value for {key!r}: {raw!r}") from None
+        if values["delay"] > 0 and values["max-delay"] == 0:
+            values["max-delay"] = 3  # a sensible default jitter bound
+        return cls.random(
+            int(values["seed"]),
+            num_nodes=num_nodes,
+            horizon=max(1, horizon),
+            drop_prob=values["drop"],
+            delay_prob=values["delay"],
+            max_delay=int(values["max-delay"]),
+            crash_count=int(values["crash"]),
+            crash_len=int(values["crash-len"]),
+            backoff_cap=int(values["backoff-cap"]),
+        )
+
+
+class FaultInjector:
+    """Per-run realization of a :class:`FaultPlan`.
+
+    Holds the mutable recovery state (lost objects, per-transaction
+    reschedule counts) and answers the engine's and transport's fault
+    queries.  All probabilistic answers are pure functions of
+    ``(plan.seed, decision kind, decision coordinates)`` — see module
+    docstring — so replaying the same run re-draws the same faults.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._windows: Dict[NodeId, List[CrashWindow]] = {}
+        for w in plan.crashes:
+            self._windows.setdefault(w.node, []).append(w)
+        for windows in self._windows.values():
+            windows.sort(key=lambda w: (w.start, w.end))
+        #: oid -> node where the object actually remained when its leg
+        #: was dropped (the last confirmed holder)
+        self.lost: Dict[ObjectId, NodeId] = {}
+        #: per-transaction reschedule counts (drives exponential backoff)
+        self.reschedule_counts: Dict[TxnId, int] = {}
+
+    # ------------------------------------------------------------------
+    # seeded decisions
+    # ------------------------------------------------------------------
+    def _coin(self, *key: object) -> float:
+        parts = "|".join(str(k) for k in (self.plan.seed,) + key)
+        return random.Random(parts).random()
+
+    def should_drop(self, oid: ObjectId, t: Time) -> bool:
+        """Lose the master leg of ``oid`` departing at ``t``?"""
+        p = self.plan.drop_prob
+        return bool(p) and self._coin("drop", oid, t) < p
+
+    def leg_delay(self, oid: ObjectId, t: Time) -> Time:
+        """Extra steps injected into the leg of ``oid`` departing at ``t``."""
+        return self._jitter("leg", oid, t)
+
+    def message_delay(self, src: NodeId, dst: NodeId, kind: str, t: Time) -> Time:
+        """Extra latency for a control message sent at ``t``."""
+        return self._jitter("msg", src, dst, kind, t)
+
+    def _jitter(self, *key: object) -> Time:
+        p = self.plan.delay_prob
+        if not p or self._coin("delay?", *key) >= p:
+            return 0
+        span = self.plan.max_delay
+        return 1 + int(self._coin("delay", *key) * span) if span > 1 else 1
+
+    # ------------------------------------------------------------------
+    # crash windows
+    # ------------------------------------------------------------------
+    def node_down(self, node: NodeId, t: Time) -> bool:
+        """Is ``node`` crashed at step ``t``?"""
+        return self.restart_time(node, t) is not None
+
+    def restart_time(self, node: NodeId, t: Time) -> Optional[Time]:
+        """First step >= ``t`` at which ``node`` is up again, or ``None``
+        if it is not down at ``t``.  Overlapping/adjacent windows chain."""
+        windows = self._windows.get(node)
+        if not windows:
+            return None
+        up: Time = t
+        moved = True
+        while moved:
+            moved = False
+            for w in windows:
+                if w.start <= up < w.end:
+                    up = w.end
+                    moved = True
+        return up if up != t else None
+
+    # ------------------------------------------------------------------
+    # recovery bookkeeping
+    # ------------------------------------------------------------------
+    def mark_lost(self, oid: ObjectId, node: NodeId) -> None:
+        self.lost[oid] = node
+
+    def clear_lost(self, oid: ObjectId) -> None:
+        self.lost.pop(oid, None)
+
+    def recover_lost(self, oid: ObjectId) -> Optional[NodeId]:
+        """Pop and return the last confirmed holder of a lost object."""
+        return self.lost.pop(oid, None)
+
+    def bump_reschedules(self, tid: TxnId) -> int:
+        """Count one more reschedule of ``tid``; returns the new count."""
+        n = self.reschedule_counts.get(tid, 0) + 1
+        self.reschedule_counts[tid] = n
+        return n
+
+    def backoff_for(self, n: int) -> Time:
+        """Backoff before the ``n``-th reschedule: ``min(cap, base * 2**(n-1))``."""
+        base, cap = self.plan.backoff_base, self.plan.backoff_cap
+        return min(cap, base << min(n - 1, 40))
+
+    @property
+    def total_reschedules(self) -> int:
+        return sum(self.reschedule_counts.values())

@@ -91,6 +91,27 @@ class CountersProbe(Probe):
     def on_sched(self, event, t, **fields) -> None:
         self._bump(f"sched.{event}")
 
+    # -- fault injection / recovery (repro.faults) ---------------------
+    def on_fault(self, kind, t, node=None, oid=None, extra=0) -> None:
+        if kind == "drop":
+            self._bump("faults.dropped")
+        elif kind == "crash":
+            self._bump("faults.crashes")
+            self._bump("faults.crashed_steps", extra)
+        elif kind in ("delay", "msg-delay", "crash-delay"):
+            self._bump("faults.delayed")
+            self._bump("faults.delay_steps", extra)
+        elif kind == "rerequest":
+            self._bump("recovery.rerequests")
+        else:
+            self._bump(f"faults.{kind}")
+
+    def on_reschedule(self, tid, t, backoff, new_exec, missing) -> None:
+        self._bump("recovery.reschedules")
+        prev = self.counters.get("recovery.backoff_max", 0)
+        if backoff > prev:
+            self.counters["recovery.backoff_max"] = backoff
+
     # -- reporting -----------------------------------------------------
     def summary(self) -> dict:
         """Flat mapping: counters + ``phase_s.<name>`` + ``wall_s``."""

@@ -24,6 +24,9 @@ event-specific fields::
     {"e": "copy", "t": 13, "oid": 1, "tid": 4, "arrive": 14}
     {"e": "alarm", "t": 16, "count": 1}
     {"e": "sched.color", "t": 12, "tid": 3, "color": 5, "constraints": 2}
+    {"e": "fault.drop", "t": 13, "node": 5, "oid": 1}
+    {"e": "fault.crash", "t": 20, "node": 2, "extra": 8}
+    {"e": "reschedule", "t": 19, "tid": 3, "backoff": 2, "exec": 24, "missing": [1]}
     {"e": "end", "t": 40, "txns": 10}
 
 Unknown fields must be preserved by readers; unknown event names must be
@@ -124,6 +127,22 @@ class JsonlProbe(Probe):
 
     def on_copy(self, oid, reader_tid, t, arrive) -> None:
         self._write({"e": "copy", "t": t, "oid": oid, "tid": reader_tid, "arrive": arrive})
+
+    def on_fault(self, kind, t, node=None, oid=None, extra=0) -> None:
+        rec = {"e": f"fault.{kind}", "t": t}
+        if node is not None:
+            rec["node"] = node
+        if oid is not None:
+            rec["oid"] = oid
+        if extra:
+            rec["extra"] = extra
+        self._write(rec)
+
+    def on_reschedule(self, tid, t, backoff, new_exec, missing) -> None:
+        self._write({
+            "e": "reschedule", "t": t, "tid": tid, "backoff": backoff,
+            "exec": new_exec, "missing": list(missing),
+        })
 
     def on_sched(self, event, t, **fields) -> None:
         rec = {"e": f"sched.{event}", "t": t}

@@ -107,6 +107,32 @@ class Probe:
     def on_copy(self, oid: ObjectId, reader_tid: TxnId, t: Time, arrive: Time) -> None:
         """A read-only copy was cut for ``reader_tid``."""
 
+    # -- fault injection / recovery (repro.faults) ---------------------
+    def on_fault(
+        self,
+        kind: str,
+        t: Time,
+        node: Optional[NodeId] = None,
+        oid: Optional[ObjectId] = None,
+        extra: Time = 0,
+    ) -> None:
+        """An injected fault fired: ``kind`` is a
+        :class:`~repro.sim.trace.FaultRecord` kind ("drop", "delay",
+        "msg-delay", "crash", "restart", "crash-delay", "rerequest").
+        Never called on fault-free runs (``SimConfig.faults=None``)."""
+
+    def on_reschedule(
+        self,
+        tid: TxnId,
+        t: Time,
+        backoff: Time,
+        new_exec: Time,
+        missing: Sequence[ObjectId],
+    ) -> None:
+        """Recovery rescheduled ``tid`` at ``t`` after it missed its
+        committed execution time; ``new_exec`` is -1 when the scheduler
+        deferred the new commitment (e.g. to a bucket activation)."""
+
     # -- scheduler decisions -------------------------------------------
     def on_sched(self, event: str, t: Time, **fields) -> None:
         """Generic scheduler decision (see the module table for names)."""
@@ -184,6 +210,14 @@ class MultiProbe(Probe):
     def on_copy(self, oid, reader_tid, t, arrive):
         for p in self.probes:
             p.on_copy(oid, reader_tid, t, arrive)
+
+    def on_fault(self, kind, t, node=None, oid=None, extra=0):
+        for p in self.probes:
+            p.on_fault(kind, t, node=node, oid=oid, extra=extra)
+
+    def on_reschedule(self, tid, t, backoff, new_exec, missing):
+        for p in self.probes:
+            p.on_reschedule(tid, t, backoff, new_exec, missing)
 
     def on_sched(self, event, t, **fields):
         for p in self.probes:

@@ -10,11 +10,18 @@ from repro.sim.config import SimConfig
 from repro.sim.engine import Simulator
 from repro.sim.events import EventKind, EventQueue
 from repro.sim.objects import SharedObject
-from repro.sim.trace import ExecutionTrace, ObjectLeg, TxnRecord
+from repro.sim.trace import (
+    ExecutionTrace,
+    FaultRecord,
+    ObjectLeg,
+    RescheduleRecord,
+    TxnRecord,
+)
 from repro.sim.transactions import Transaction
 from repro.sim.transport import (
     DirectTransport,
     EgressCapacity,
+    FaultyTransport,
     HopTransport,
     LinkCapacity,
     Transport,
@@ -30,6 +37,8 @@ __all__ = [
     "ExecutionTrace",
     "ObjectLeg",
     "TxnRecord",
+    "FaultRecord",
+    "RescheduleRecord",
     "certify_trace",
     "EventKind",
     "EventQueue",
@@ -38,5 +47,6 @@ __all__ = [
     "HopTransport",
     "EgressCapacity",
     "LinkCapacity",
+    "FaultyTransport",
     "build_transport",
 ]

@@ -67,6 +67,12 @@ class SimConfig:
         Custom instances are used as given (their ``kind`` attribute
         participates in validation); the capacity knobs above always
         wrap the selected base.
+    faults:
+        A frozen :class:`repro.faults.FaultPlan` of seeded crash/drop/
+        delay faults, or ``None`` (the default) for the paper's reliable
+        network.  ``None`` guarantees byte-identical traces with
+        pre-fault-layer builds; a plan enables the recovery machinery
+        (timeout-driven rescheduling with exponential backoff).
     """
 
     departure_policy: DeparturePolicy = DeparturePolicy.EAGER
@@ -79,8 +85,21 @@ class SimConfig:
     max_time: Optional[Time] = None
     probe: Optional[Probe] = None
     transport: Optional[object] = None
+    faults: Optional[object] = None
 
     def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Reject nonsensical knob combinations with a clear
+        :class:`~repro.errors.WorkloadError` before they can surface as
+        deep engine failures.
+
+        Runs automatically on construction; public so callers composing a
+        config via ``dataclasses.replace``-style helpers (which re-run
+        ``__post_init__``) or building one programmatically can re-check
+        explicitly.
+        """
         if isinstance(self.transport, str) and self.transport not in ("direct", "hop"):
             raise WorkloadError(
                 f"unknown transport {self.transport!r} (choose 'direct' or 'hop')"
@@ -93,11 +112,27 @@ class SimConfig:
                 "(hop_motion=True or transport='hop')"
             )
         if self.link_capacity is not None and self.link_capacity < 1:
-            raise WorkloadError("link_capacity must be >= 1")
+            raise WorkloadError(
+                f"link_capacity must be >= 1, got {self.link_capacity}"
+            )
         if self.node_egress_capacity is not None and self.node_egress_capacity < 1:
-            raise WorkloadError("node_egress_capacity must be >= 1")
+            raise WorkloadError(
+                f"node_egress_capacity must be >= 1, got {self.node_egress_capacity}"
+            )
         if self.object_speed_den < 1:
-            raise WorkloadError("object_speed_den must be >= 1")
+            raise WorkloadError(
+                f"object_speed_den must be >= 1, got {self.object_speed_den}"
+            )
+        if self.max_time is not None and self.max_time < 0:
+            raise WorkloadError(f"max_time must be >= 0, got {self.max_time}")
+        if self.faults is not None:
+            from repro.faults import FaultPlan
+
+            if not isinstance(self.faults, FaultPlan):
+                raise WorkloadError(
+                    "faults must be a repro.faults.FaultPlan or None, "
+                    f"got {type(self.faults).__name__}"
+                )
 
     @property
     def transport_kind(self) -> str:

@@ -31,14 +31,22 @@ import itertools
 from typing import Dict, List, Optional, Set
 
 from repro._types import DeparturePolicy, NodeId, ObjectId, Time, TxnId, TxnState
-from repro.errors import InfeasibleScheduleError, SchedulingError, WorkloadError
+from repro.errors import InfeasibleScheduleError, ReproError, SchedulingError, WorkloadError
 from repro.network.graph import Graph
 from repro.obs.probe import NULL_PROBE
 from repro.sim.config import SimConfig
 from repro.sim.events import EventKind, EventQueue
 from repro.sim.messages import MessageRouter
 from repro.sim.objects import QueueEntry, SharedObject
-from repro.sim.trace import CopyLeg, ExecutionTrace, ObjectLeg, TxnRecord, Violation
+from repro.sim.trace import (
+    CopyLeg,
+    ExecutionTrace,
+    FaultRecord,
+    ObjectLeg,
+    RescheduleRecord,
+    TxnRecord,
+    Violation,
+)
 from repro.sim.transactions import Transaction, TxnSpec
 from repro.sim.transport import build_transport
 
@@ -123,6 +131,7 @@ class Simulator:
         max_time: Optional[Time] = None,
         probe=None,
         transport=None,
+        faults=None,
     ) -> None:
         # Merge rule: start from config (or defaults); explicitly passed
         # keywords win.  SimConfig.__post_init__ re-validates the result.
@@ -137,6 +146,7 @@ class Simulator:
             max_time=max_time,
             probe=probe,
             transport=transport,
+            faults=faults,
         )
         self.config = cfg
         self.graph = graph
@@ -162,6 +172,22 @@ class Simulator:
         #: the event spine — single source of future engine events
         self.events = EventQueue()
         self.router = MessageRouter(graph, spine=self.events)
+        #: fault layer (repro.faults): None in the reliable default model,
+        #: a FaultInjector when cfg.faults carries a FaultPlan.  Must be
+        #: set before build_transport — FaultyTransport binds to it.
+        self.faults = None
+        self._pending_fault_events = 0
+        self._resched_floor: Dict[TxnId, Time] = {}
+        if cfg.faults is not None:
+            from repro.faults import FaultInjector
+
+            self.faults = FaultInjector(cfg.faults)
+            self.router.injector = self.faults
+            self.router.on_fault = self.record_fault
+            for w in cfg.faults.crashes:
+                self.events.push_fault(w.start, (w.node, 0), ("crash", w.node, w.duration))
+                self.events.push_fault(w.end, (w.node, 1), ("restart", w.node, 0))
+                self._pending_fault_events += 2
         #: the motion strategy (repro.sim.transport)
         self.transport = build_transport(cfg)
         self.transport.bind(self)
@@ -250,6 +276,39 @@ class Simulator:
         if t >= self.now:
             self.events.push_alarm(t)
 
+    def record_fault(
+        self,
+        kind: str,
+        t: Time,
+        *,
+        node: Optional[NodeId] = None,
+        oid: Optional[ObjectId] = None,
+        extra: Time = 0,
+    ) -> None:
+        """Record one injected fault on the trace and notify the probe.
+
+        Called by the engine itself, :class:`~repro.sim.transport.
+        FaultyTransport`, and the message router; never called when
+        ``SimConfig.faults`` is None, so fault-free traces stay empty.
+        """
+        self.trace.faults.append(FaultRecord(kind, t, node, oid, extra))
+        if self._obs is not None:
+            self._obs.on_fault(kind, t, node=node, oid=oid, extra=extra)
+
+    def reschedule_floor(self, txn) -> Time:
+        """Earliest execution time recovery allows for ``txn``.
+
+        Combines the exponential-backoff floor set by the last
+        ``RESCHEDULE`` of this transaction with the restart time of its
+        (possibly crashed) home node.  ``OnlineScheduler.on_reschedule``
+        implementations clamp their recomputed time to this."""
+        floor = self._resched_floor.get(txn.tid, self.now)
+        if self.faults is not None:
+            restart = self.faults.restart_time(txn.home, self.now)
+            if restart is not None and restart > floor:
+                floor = restart
+        return floor
+
     def _get_object(self, oid: ObjectId) -> SharedObject:
         try:
             return self.objects[oid]
@@ -320,8 +379,19 @@ class Simulator:
             self._step(self.now)
         while True:
             nxt = self._next_active_time()
-            if nxt is None and not self.live and not self._scheduler_pending():
-                break
+            if not self.live and not self._scheduler_pending():
+                if nxt is None:
+                    break
+                # Crash-window bookkeeping events alone cannot revive a
+                # quiescent run: stop instead of stepping through every
+                # remaining down-window of an otherwise finished workload.
+                if (
+                    self._pending_fault_events
+                    and len(self.events) == self._pending_fault_events
+                    and self.router.pending == 0
+                    and self._last_wake is None
+                ):
+                    break
             if nxt is None:
                 # Live txns but nothing will ever happen again: deadlock.
                 stuck = sorted(self.live)
@@ -356,10 +426,29 @@ class Simulator:
         events = self.events
         if obs is not None:
             obs.on_step_begin(t)
+        # Phase 0 (fault layer only): crash/restart transitions.
+        if self.faults is not None:
+            for _, _, _, payload in events.pop_kind(EventKind.FAULT, t):
+                self._pending_fault_events -= 1
+                kind, node, extra = payload
+                self.record_fault(kind, t, node=node, extra=extra)
+        if obs is not None:
             obs.on_phase_begin("receive", t)
         # Phase 1: receive objects (masters, then read copies).
         for _, _, oid, _ in events.pop_kind(EventKind.ARRIVAL, t):
             obj = self.objects[oid]
+            if self.faults is not None and obj.in_transit:
+                # A crashed destination cannot receive: hold the object in
+                # transit until the node's restart step.
+                restart = self.faults.restart_time(obj.dest, t)
+                if restart is not None:
+                    self.record_fault(
+                        "crash-delay", t, node=obj.dest, oid=oid, extra=restart - t
+                    )
+                    obj.arrive_time = restart
+                    events.push_arrival(restart, oid)
+                    self._extend_leg_arrival(oid, restart)
+                    continue
             obj.complete_leg()
             self._needs_departure_check.add(oid)
             if obs is not None:
@@ -384,12 +473,25 @@ class Simulator:
         # Phase 2: generate new transactions.
         new_txns: List[Transaction] = []
         for _, _, _, spec in events.pop_kind(EventKind.SPEC, t):
+            if self.faults is not None:
+                # A crashed node generates nothing; its spec waits for the
+                # restart step.
+                restart = self.faults.restart_time(spec.home, t)
+                if restart is not None:
+                    self.events.push_spec(restart, spec)
+                    continue
             new_txns.append(self._generate(spec, t))
         if obs is not None:
             obs.on_phase_end("generate", t)
             obs.on_phase_begin("schedule", t)
         # Phase 3: let the scheduler act (schedule new txns / activate buckets).
-        self.scheduler.on_step(t, new_txns)
+        try:
+            self.scheduler.on_step(t, new_txns)
+        except ReproError as exc:
+            self._add_step_context(exc, t, new_txns)
+            raise
+        except Exception as exc:
+            raise SchedulingError(self._step_context(exc, t, new_txns)) from exc
         if obs is not None:
             obs.on_phase_end("schedule", t)
             obs.on_phase_begin("execute", t)
@@ -408,6 +510,39 @@ class Simulator:
             if popped:
                 obs.on_alarm(t, popped)
             obs.on_step_end(t)
+
+    def _step_context(self, exc: BaseException, t: Time, new_txns: List[Transaction]) -> str:
+        """Human-readable simulation context for a scheduler failure."""
+        tids = [x.tid for x in new_txns]
+        return (
+            f"{type(self.scheduler).__name__}.on_step failed at t={t} "
+            f"(new transactions {tids}): {exc}"
+        )
+
+    def _add_step_context(self, exc: BaseException, t: Time, new_txns: List[Transaction]) -> None:
+        """Append step/transaction context to an in-flight scheduler error.
+
+        Mutates ``exc.args`` so the original type (and any ``pytest.raises``
+        match on the original message) is preserved while the traceback a
+        user sees names the step and the transactions being scheduled.
+        """
+        tids = [x.tid for x in new_txns]
+        note = f" [in {type(self.scheduler).__name__}.on_step at t={t}, new transactions {tids}]"
+        if exc.args and isinstance(exc.args[0], str):
+            exc.args = (exc.args[0] + note,) + exc.args[1:]
+        else:
+            exc.args = exc.args + (note.strip(),)
+
+    def _extend_leg_arrival(self, oid: ObjectId, new_arrive: Time) -> None:
+        """Stretch the most recent trace leg of ``oid`` to ``new_arrive``
+        (its destination was crashed on arrival; the matching
+        ``crash-delay`` fault record accounts for the slack)."""
+        legs = self.trace.legs
+        for i in range(len(legs) - 1, -1, -1):
+            leg = legs[i]
+            if leg.oid == oid:
+                legs[i] = ObjectLeg(leg.oid, leg.depart_time, leg.src, leg.dst, new_arrive)
+                return
 
     def _generate(self, spec: TxnSpec, t: Time) -> Transaction:
         for oid in (*spec.objects, *spec.reads):
@@ -441,8 +576,14 @@ class Simulator:
             txn = self.txns[tid]
             if txn.state is TxnState.EXECUTED:
                 continue
+            if txn.exec_time is None or txn.exec_time > t:
+                continue  # stale event: recovery moved this execution
             missing = self._missing_objects(txn)
-            if missing:
+            home_down = self.faults is not None and self.faults.node_down(txn.home, t)
+            if missing or home_down:
+                if self.faults is not None:
+                    self._recover(txn, t, missing)
+                    continue
                 if self.strict:
                     raise InfeasibleScheduleError([Violation(tid, t, tuple(sorted(missing)))])
                 self.trace.violations.append(Violation(tid, t, tuple(sorted(missing))))
@@ -451,6 +592,68 @@ class Simulator:
                 self.events.push_exec(t + 1, tid)
                 continue
             self._commit(txn, t)
+
+    def _recover(self, txn: Transaction, t: Time, missing: List[ObjectId]) -> None:
+        """Timeout-driven rescheduling (the fault layer's recovery path).
+
+        ``txn`` missed its committed execution time — an object was lost
+        or late, or its home node is down.  The engine: (1) re-requests
+        any lost object from its last confirmed holder; (2) un-commits
+        the transaction (releases its object-queue slots — the one case
+        where a committed time is revised, explicitly outside the paper's
+        model); (3) lets the scheduler pick a new time via
+        ``on_reschedule``, clamped to an exponential-backoff floor; and
+        (4) records a :class:`RescheduleRecord` so the certifier and
+        analysis can account for the revision.
+        """
+        inj = self.faults
+        n = inj.bump_reschedules(txn.tid)
+        if inj.plan.max_reschedules is not None and n > inj.plan.max_reschedules:
+            raise InfeasibleScheduleError(
+                [Violation(txn.tid, t, tuple(sorted(missing)))]
+            )
+        backoff = inj.backoff_for(n)
+        old_exec = txn.exec_time if txn.exec_time is not None else t
+        # (1) Lost objects: the injector remembers where each dropped leg
+        # actually left its object; re-request from that holder.
+        for oid in missing:
+            if oid in inj.lost:
+                holder = inj.recover_lost(oid)
+                self.record_fault("rerequest", t, node=holder, oid=oid)
+                self._needs_departure_check.add(oid)
+        # (2) Un-commit: release queue slots and any in-flight read state
+        # so commit_schedule accepts a fresh time.
+        for oid in txn.objects:
+            obj = self.objects[oid]
+            obj.remove_writer(txn.tid)
+            # Served-but-unexecuted readers may have copies whose version
+            # assumed this writer's old position in the order; re-cut.
+            for entry in obj.read_waiters:
+                if entry.tid in obj.reads_served:
+                    obj.reads_served.discard(entry.tid)
+                    obj.reads_delivered.discard(entry.tid)
+                    obj.read_epoch[entry.tid] = obj.read_epoch.get(entry.tid, 0) + 1
+            self._needs_departure_check.add(oid)
+            self._service_reads(obj, t)
+        for oid in txn.reads:
+            self.objects[oid].finish_read(txn.tid)
+        txn.exec_time = None
+        txn.state = TxnState.PENDING
+        floor = t + backoff
+        restart = inj.restart_time(txn.home, t)
+        if restart is not None and restart > floor:
+            floor = restart
+        self._resched_floor[txn.tid] = floor
+        self.add_alarm(floor)
+        # (3) The scheduler decides the new time (or re-enters its own
+        # pending machinery, e.g. bucket insertion).
+        self.scheduler.on_reschedule(txn, t)
+        new_exec = txn.exec_time if txn.exec_time is not None else -1
+        self.trace.reschedules.append(
+            RescheduleRecord(txn.tid, t, old_exec, new_exec, backoff, tuple(sorted(missing)))
+        )
+        if self._obs is not None:
+            self._obs.on_reschedule(txn.tid, t, backoff, new_exec, tuple(sorted(missing)))
 
     def _missing_objects(self, txn: Transaction) -> List[ObjectId]:
         missing = []

@@ -46,13 +46,14 @@ Event = Tuple[Time, int, Any, Any]
 class EventKind(IntEnum):
     """Event types, ordered by the engine phase that consumes them."""
 
-    ARRIVAL = 0  #: master object settles at a node (key: oid)
-    COPY = 1     #: read-only copy reaches its reader (key: (oid, tid, epoch))
-    MESSAGE = 2  #: a router delivery falls due (key: 0; marker only)
-    SPEC = 3     #: a submitted transaction generates (key: submit seq)
-    EXEC = 4     #: a scheduled transaction executes (key: tid)
-    DEPART = 5   #: re-check an object for departure (key: oid)
-    ALARM = 6    #: scheduler-requested wake-up (key: 0; deduplicated)
+    FAULT = 0    #: injected crash/restart transition (key: (node, kind))
+    ARRIVAL = 1  #: master object settles at a node (key: oid)
+    COPY = 2     #: read-only copy reaches its reader (key: (oid, tid, epoch))
+    MESSAGE = 3  #: a router delivery falls due (key: 0; marker only)
+    SPEC = 4     #: a submitted transaction generates (key: submit seq)
+    EXEC = 5     #: a scheduled transaction executes (key: tid)
+    DEPART = 6   #: re-check an object for departure (key: oid)
+    ALARM = 7    #: scheduler-requested wake-up (key: 0; deduplicated)
 
 
 class EventQueue:
@@ -84,6 +85,14 @@ class EventQueue:
     def push_arrival(self, time: Time, oid: ObjectId) -> None:
         """Master object ``oid`` arrives at its leg destination."""
         self.push(time, EventKind.ARRIVAL, oid)
+
+    def push_fault(self, time: Time, key: Any, payload: Any) -> None:
+        """An injected crash/restart transition fires at ``time``.
+
+        Only queued when ``SimConfig.faults`` carries crash windows; the
+        fault-free engine never sees this kind.
+        """
+        self.push(time, EventKind.FAULT, key, payload)
 
     def push_copy(self, time: Time, oid: ObjectId, tid: TxnId, epoch: int) -> None:
         """A read copy of ``oid`` (serve epoch ``epoch``) reaches ``tid``."""

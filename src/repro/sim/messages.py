@@ -53,6 +53,14 @@ class MessageRouter:
         self._seq = itertools.count()
         self.sent_count = 0
         self.total_distance: float = 0.0
+        #: optional :class:`repro.faults.FaultInjector` (set by the engine
+        #: when ``SimConfig.faults`` is active): adds seeded delivery
+        #: jitter on send and holds deliveries to crashed destinations
+        #: until their restart step
+        self.injector = None
+        #: optional fault-recording callback, ``(kind, t, node=, extra=)``
+        #: — the engine wires :meth:`Simulator.record_fault` here
+        self.on_fault = None
 
     def send(
         self,
@@ -72,6 +80,12 @@ class MessageRouter:
         """
         dist = self._graph.distance(src, dst)
         delay = max(1, dist) + extra_delay
+        if self.injector is not None:
+            jitter = self.injector.message_delay(src, dst, kind, now)
+            if jitter:
+                delay += jitter
+                if self.on_fault is not None:
+                    self.on_fault("msg-delay", now, node=dst, extra=jitter)
         msg = Message(src, dst, kind, payload, now, now + delay)
         heapq.heappush(self._heap, (msg.deliver_at, next(self._seq), msg, on_deliver))
         if self._spine is not None:
@@ -87,11 +101,25 @@ class MessageRouter:
         """Run callbacks for all messages due at or before ``now``.
 
         Callbacks may send further messages (delivered strictly later).
-        Returns the number of messages delivered.
+        Returns the number of messages delivered.  Deliveries addressed
+        to a crashed node (:mod:`repro.faults`) are requeued for the
+        node's restart step instead of running now.
         """
         count = 0
         while self._heap and self._heap[0][0] <= now:
             _, _, msg, cb = heapq.heappop(self._heap)
+            if self.injector is not None:
+                restart = self.injector.restart_time(msg.dst, now)
+                if restart is not None:
+                    held = Message(
+                        msg.src, msg.dst, msg.kind, msg.payload, msg.sent_at, restart
+                    )
+                    heapq.heappush(
+                        self._heap, (restart, next(self._seq), held, cb)
+                    )
+                    if self._spine is not None:
+                        self._spine.push_message(restart)
+                    continue
             cb(now, msg)
             count += 1
         return count

@@ -110,6 +110,16 @@ class SharedObject:
             )
         self.queue.pop(0)
 
+    def remove_writer(self, tid: TxnId) -> None:
+        """Drop a scheduled writer from the queue, wherever it sits.
+
+        Recovery (:mod:`repro.faults`) un-commits a transaction that
+        missed its execution time before re-inserting it with a new time;
+        unlike :meth:`pop_head` this does not require ``tid`` to be the
+        queue head and tolerates the entry being absent.
+        """
+        self.queue = [e for e in self.queue if e.tid != tid]
+
     def next_requester(self) -> Optional["QueueEntry"]:
         """The next scheduled writer, if any."""
         return self.queue[0] if self.queue else None

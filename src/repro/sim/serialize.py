@@ -9,12 +9,25 @@ from __future__ import annotations
 import json
 from typing import Any, Dict
 
-from repro.sim.trace import CopyLeg, ExecutionTrace, ObjectLeg, TxnRecord, Violation
+from repro.sim.trace import (
+    CopyLeg,
+    ExecutionTrace,
+    FaultRecord,
+    ObjectLeg,
+    RescheduleRecord,
+    TxnRecord,
+    Violation,
+)
 
 
 def trace_to_dict(trace: ExecutionTrace) -> Dict[str, Any]:
-    """Plain-JSON representation of a trace."""
-    return {
+    """Plain-JSON representation of a trace.
+
+    The ``faults`` / ``reschedules`` keys are emitted only when non-empty:
+    fault-free runs serialize exactly as they did before :mod:`repro.faults`
+    existed, keeping archived and golden traces byte-identical.
+    """
+    out = {
         "graph_name": trace.graph_name,
         "initial_placement": {str(k): v for k, v in trace.initial_placement.items()},
         "object_speed_den": trace.object_speed_den,
@@ -43,6 +56,16 @@ def trace_to_dict(trace: ExecutionTrace) -> Dict[str, Any]:
         "violations": [[v.tid, v.time, list(v.missing)] for v in trace.violations],
         "meta": dict(trace.meta),
     }
+    if trace.faults:
+        out["faults"] = [
+            [f.kind, f.time, f.node, f.oid, f.extra] for f in trace.faults
+        ]
+    if trace.reschedules:
+        out["reschedules"] = [
+            [r.tid, r.time, r.old_exec, r.new_exec, r.backoff, list(r.missing)]
+            for r in trace.reschedules
+        ]
+    return out
 
 
 def trace_from_dict(data: Dict[str, Any]) -> ExecutionTrace:
@@ -71,6 +94,12 @@ def trace_from_dict(data: Dict[str, Any]) -> ExecutionTrace:
         trace.copy_legs.append(CopyLeg(*c))
     for v in data.get("violations", []):
         trace.violations.append(Violation(v[0], v[1], tuple(v[2])))
+    for f in data.get("faults", []):
+        trace.faults.append(FaultRecord(f[0], f[1], f[2], f[3], f[4]))
+    for r in data.get("reschedules", []):
+        trace.reschedules.append(
+            RescheduleRecord(r[0], r[1], r[2], r[3], r[4], tuple(r[5]))
+        )
     trace.meta.update(data.get("meta", {}))
     return trace
 

@@ -77,6 +77,60 @@ class Violation:
         return f"txn {self.tid} at t={self.time} missing objects {list(self.missing)}"
 
 
+@dataclass(frozen=True)
+class FaultRecord:
+    """One injected fault (:mod:`repro.faults`), as it actually fired.
+
+    ``kind`` is one of:
+
+    * ``"drop"`` — a master leg of ``oid`` planned at ``time`` was lost
+      (the object never left ``node``);
+    * ``"delay"`` — the leg of ``oid`` departing at ``time`` took
+      ``extra`` additional steps;
+    * ``"crash"`` / ``"restart"`` — ``node`` went down at ``time`` for
+      ``extra`` steps / came back up at ``time``;
+    * ``"crash-delay"`` — an arrival of ``oid`` at crashed ``node`` was
+      held ``extra`` extra steps until its restart;
+    * ``"rerequest"`` — recovery re-requested lost ``oid`` from its last
+      confirmed holder ``node`` at ``time``.
+    """
+
+    kind: str
+    time: Time
+    node: Optional[NodeId] = None
+    oid: Optional[ObjectId] = None
+    extra: Time = 0
+
+    def __str__(self) -> str:
+        bits = [f"t={self.time}"]
+        if self.node is not None:
+            bits.append(f"node={self.node}")
+        if self.oid is not None:
+            bits.append(f"oid={self.oid}")
+        if self.extra:
+            bits.append(f"extra={self.extra}")
+        return f"{self.kind}({', '.join(bits)})"
+
+
+@dataclass(frozen=True)
+class RescheduleRecord:
+    """One recovery action: a transaction missed its committed execution
+    time (lost/late object or crashed home node) and was re-scheduled."""
+
+    tid: TxnId
+    time: Time
+    old_exec: Time
+    new_exec: Time
+    backoff: Time
+    missing: Tuple[ObjectId, ...] = ()
+
+    def __str__(self) -> str:
+        return (
+            f"txn {self.tid} missed t={self.old_exec}, rescheduled at t={self.time} "
+            f"to t={self.new_exec} (backoff {self.backoff}, missing {list(self.missing)})"
+        )
+
+
 @dataclass
 class ExecutionTrace:
     """Everything that happened in one simulation run."""
@@ -88,6 +142,8 @@ class ExecutionTrace:
     legs: List[ObjectLeg] = field(default_factory=list)
     copy_legs: List[CopyLeg] = field(default_factory=list)
     violations: List[Violation] = field(default_factory=list)
+    faults: List[FaultRecord] = field(default_factory=list)
+    reschedules: List[RescheduleRecord] = field(default_factory=list)
     messages_sent: int = 0
     message_hops: float = 0.0
     end_time: Time = 0
@@ -128,6 +184,17 @@ class ExecutionTrace:
 
     def legs_of(self, oid: ObjectId) -> List[ObjectLeg]:
         return [l for l in self.legs if l.oid == oid]
+
+    def fault_counts(self) -> Dict[str, int]:
+        """Count of injected faults by kind (empty for fault-free runs)."""
+        counts: Dict[str, int] = {}
+        for f in self.faults:
+            counts[f.kind] = counts.get(f.kind, 0) + 1
+        return counts
+
+    def max_backoff(self) -> Time:
+        """Largest recovery backoff used (0 for fault-free runs)."""
+        return max((r.backoff for r in self.reschedules), default=0)
 
     def executions_in_order(self) -> List[TxnRecord]:
         return sorted(self.txns.values(), key=lambda r: (r.exec_time, r.tid))

@@ -192,13 +192,73 @@ class LinkCapacity(TransportDecorator):
         return leg
 
 
+class FaultyTransport(TransportDecorator):
+    """Inject the seeded faults of a :class:`repro.faults.FaultPlan` into
+    master-object legs (the transport half of the fault layer; the engine
+    injects the crash-window half into arrivals and deliveries).
+
+    Outermost decorator.  Per planned departure, in order:
+
+    1. **crashed source** — nothing departs from a down node; the
+       departure retries at the node's restart step (no fault record:
+       the window itself is recorded by the engine's crash event);
+    2. inner transport plans the leg (capacity slots are consumed even
+       when the leg is then dropped — a lost frame still occupied the
+       port);
+    3. **drop** — with ``drop_prob``, the leg is silently lost: the
+       object stays at rest at its source and *no retry is queued*.
+       Nobody learns until a transaction misses its committed execution
+       time; recovery then re-requests the object from this node, which
+       the injector remembers as the last confirmed holder;
+    4. **delay** — with ``delay_prob``, arrival slips by 1..``max_delay``
+       extra steps.
+
+    Drops and delays are recorded on the trace (:class:`~repro.sim.trace.
+    FaultRecord`) via ``Simulator.record_fault`` so the certifier can
+    account for the extra slack and analysis can report degradation.
+    """
+
+    def __init__(self, inner: Transport) -> None:
+        super().__init__(inner)
+        self.injector = None
+
+    def bind(self, sim) -> None:
+        super().bind(sim)
+        self.injector = sim.faults
+
+    def plan_leg(self, obj: SharedObject, target: NodeId, t: Time) -> Optional[Leg]:
+        inj = self.injector
+        if inj is None:
+            return self.inner.plan_leg(obj, target, t)
+        src = obj.location
+        restart = inj.restart_time(src, t)
+        if restart is not None:
+            self.sim.events.push_depart(restart, obj.oid)
+            return None
+        leg = self.inner.plan_leg(obj, target, t)
+        if leg is None:
+            return None
+        if inj.should_drop(obj.oid, t):
+            inj.mark_lost(obj.oid, src)
+            self.sim.record_fault("drop", t, node=src, oid=obj.oid)
+            return None
+        inj.clear_lost(obj.oid)
+        dst, arrive = leg
+        extra = inj.leg_delay(obj.oid, t)
+        if extra:
+            self.sim.record_fault("delay", t, oid=obj.oid, extra=extra)
+            arrive += extra
+        return dst, arrive
+
+
 def build_transport(config) -> Transport:
     """Materialize ``config.transport`` (+ capacity knobs) as one strategy.
 
     ``config.transport`` may be "direct", "hop", ``None`` (legacy
     ``hop_motion`` flag decides), or a :class:`Transport` instance; the
     ``link_capacity`` / ``node_egress_capacity`` fields wrap the base in
-    the corresponding decorators.
+    the corresponding decorators, and an active ``config.faults`` plan
+    wraps everything in :class:`FaultyTransport`.
     """
     base = config.transport
     if base is None or isinstance(base, str):
@@ -207,4 +267,6 @@ def build_transport(config) -> Transport:
         base = LinkCapacity(base, config.link_capacity)
     if config.node_egress_capacity is not None:
         base = EgressCapacity(base, config.node_egress_capacity)
+    if getattr(config, "faults", None) is not None:
+        base = FaultyTransport(base)
     return base

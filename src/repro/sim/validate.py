@@ -20,6 +20,13 @@ The checks are transport-agnostic: each trace leg is certified on its own
 single-edge legs per journey, as produced by
 :class:`~repro.sim.transport.HopTransport` — certifies exactly like a
 direct-transport trace of whole shortest-path legs.
+
+Fault-injected traces (:mod:`repro.faults`) certify too: a trace carrying
+fault records may have *slower* legs than physics dictates, but every
+step of per-object slack must be accounted for by a matching ``delay`` /
+``crash-delay`` fault record (legs may never be *faster*), and every
+recovery reschedule must be consistent with the final execution times.
+A fault-free trace gets the exact-equality checks, unchanged.
 """
 
 from __future__ import annotations
@@ -84,6 +91,15 @@ def certify_trace(
     issues: List[CertificationIssue] = []
     speed = trace.object_speed_den
 
+    # Fault accounting (repro.faults): per-object slack budget from
+    # delay / crash-delay records.  Empty for fault-free traces, which
+    # then get the exact-equality leg check below.
+    has_faults = bool(trace.faults)
+    fault_slack: Dict[ObjectId, Time] = {}
+    for f in trace.faults:
+        if f.kind in ("delay", "crash-delay") and f.oid is not None:
+            fault_slack[f.oid] = fault_slack.get(f.oid, 0) + f.extra
+
     legs_by_obj: Dict[ObjectId, list] = {oid: [] for oid in trace.initial_placement}
     for leg in trace.legs:
         legs_by_obj.setdefault(leg.oid, []).append(leg)
@@ -102,14 +118,30 @@ def certify_trace(
                 creators = [r for r in trace.txns.values()]
                 start = creators[0].home if creators else 0
         pos, t = start, 0
+        slack_used: Time = 0
         for leg in legs:
             expected = speed * graph.distance(leg.src, leg.dst)
-            if leg.arrive_time - leg.depart_time != expected:
+            actual = leg.arrive_time - leg.depart_time
+            if has_faults:
+                # Injected delays make legs slower, never faster; the
+                # per-object total is reconciled against the fault
+                # records after the loop.
+                if actual < expected:
+                    issues.append(
+                        CertificationIssue(
+                            "leg-speed",
+                            f"object {oid} leg {leg.src}->{leg.dst} took "
+                            f"{actual}, faster than physics ({expected})",
+                        )
+                    )
+                else:
+                    slack_used += actual - expected
+            elif actual != expected:
                 issues.append(
                     CertificationIssue(
                         "leg-speed",
                         f"object {oid} leg {leg.src}->{leg.dst} took "
-                        f"{leg.arrive_time - leg.depart_time}, expected {expected}",
+                        f"{actual}, expected {expected}",
                     )
                 )
             if leg.src != pos:
@@ -127,6 +159,14 @@ def certify_trace(
                     )
                 )
             pos, t = leg.dst, leg.arrive_time
+        if has_faults and slack_used != fault_slack.get(oid, 0):
+            issues.append(
+                CertificationIssue(
+                    "fault-slack",
+                    f"object {oid} legs carry {slack_used} steps of slack but "
+                    f"fault records account for {fault_slack.get(oid, 0)}",
+                )
+            )
         positions[oid] = _object_position_intervals(start, legs)
 
     # 3: object presence at execution.
@@ -251,6 +291,31 @@ def certify_trace(
                                 f"node {node}: txns {a.tid} and {b.tid} live together",
                             )
                         )
+
+    # 6: recovery reschedules (repro.faults) must be consistent with the
+    # final execution times: a transaction cannot have executed before the
+    # reschedule that revived it, and a recommitted time cannot precede
+    # the recovery step that chose it.
+    last_resched: Dict[TxnId, Time] = {}
+    for r in trace.reschedules:
+        if r.new_exec != -1 and r.new_exec < r.time:
+            issues.append(
+                CertificationIssue(
+                    "reschedule",
+                    f"txn {r.tid} rescheduled at t={r.time} to earlier time {r.new_exec}",
+                )
+            )
+        last_resched[r.tid] = max(last_resched.get(r.tid, 0), r.time)
+    for tid, t_resched in last_resched.items():
+        rec = trace.txns.get(tid)
+        if rec is not None and rec.exec_time < t_resched:
+            issues.append(
+                CertificationIssue(
+                    "reschedule",
+                    f"txn {tid} executed at t={rec.exec_time} before its last "
+                    f"reschedule at t={t_resched}",
+                )
+            )
 
     # Engine-recorded violations are certification failures too.
     for v in trace.violations:

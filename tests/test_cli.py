@@ -255,6 +255,39 @@ class TestCommands:
         out = json.loads(capsys.readouterr().out)
         assert [d["scheduler"] for d in out] == ["greedy", "fifo"]
 
+    def test_run_faults(self, capsys):
+        rc = main([
+            "run", "--topology", "grid:3x3", "--workload", "bernoulli",
+            "--objects", "5", "--rate", "0.08", "--horizon", "30", "--seed", "1",
+            "--faults", "seed=7,drop=0.1,crash=1,crash-len=6",
+            "--obs-counters", "--json",
+        ])
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["reschedules"] > 0
+        assert out["faults"].get("drop", 0) > 0
+        assert out["obs"]["recovery.reschedules"] == out["reschedules"]
+        assert out["deadline_misses"] == 0  # recovery, not deferral
+
+    def test_run_rejects_bad_faults_spec(self, capsys):
+        rc = main([
+            "run", "--topology", "clique:6", "--workload", "batch",
+            "--objects", "3", "--k", "1", "--faults", "drop=1.5", "--json",
+        ])
+        assert rc == 2  # WorkloadError surfaces as exit code 2
+        assert "drop_prob" in capsys.readouterr().err
+
+    def test_compare_with_faults(self, capsys):
+        rc = main([
+            "compare", "--topology", "grid:3x3", "--workload", "bernoulli",
+            "--objects", "5", "--rate", "0.08", "--horizon", "30", "--seed", "1",
+            "--schedulers", "greedy,fifo",
+            "--faults", "seed=7,drop=0.1,crash=1,crash-len=6", "--json",
+        ])
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert all(d["reschedules"] > 0 for d in out)
+
     def test_run_zipf_closed_loop(self, capsys):
         rc = main([
             "run", "--topology", "clique:6", "--workload", "closed-loop",

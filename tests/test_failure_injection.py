@@ -94,6 +94,38 @@ class TestSchedulerContractInjection:
             fuzz_scheduler(OffByOne, trials=60, seed=1)
 
 
+class TestStepContextInjection:
+    """Scheduler exceptions must surface with simulation context: the
+    step, the scheduler class, and the transactions being scheduled."""
+
+    def test_foreign_exception_wrapped_with_context(self):
+        class Boom(OnlineScheduler):
+            def on_step(self, t, new_txns):
+                if new_txns:
+                    raise ValueError("bucket arithmetic went negative")
+
+        with pytest.raises(SchedulingError) as ei:
+            run_with(Boom, specs=[TxnSpec(3, 5, (0,))])
+        msg = str(ei.value)
+        assert "Boom.on_step failed at t=3" in msg
+        assert "[0]" in msg                      # the offending txn ids
+        assert "bucket arithmetic went negative" in msg
+        assert isinstance(ei.value.__cause__, ValueError)  # original chained
+
+    def test_repro_error_keeps_type_and_gains_context(self):
+        class Revises(OnlineScheduler):
+            def on_step(self, t, new_txns):
+                for txn in new_txns:
+                    self.sim.commit_schedule(txn, t + 10)
+                    self.sim.commit_schedule(txn, t + 20)
+
+        # The original message still matches (guards existing handlers)...
+        with pytest.raises(SchedulingError, match="already scheduled") as ei:
+            run_with(Revises)
+        # ...and the context note is appended to it.
+        assert "Revises.on_step at t=0" in str(ei.value)
+
+
 class TestTracePhysicsInjection:
     def base_trace(self):
         g = topologies.line(8)

@@ -18,6 +18,7 @@ DOCUMENTED_API = {
         "BucketScheduler", "DistributedBucketScheduler",
         "CoordinatedGreedyScheduler", "certify_trace", "Graph",
         "DeparturePolicy", "topologies", "workloads",
+        "FaultPlan", "CrashWindow",
     ],
     "repro.network.topologies": [
         "clique", "line", "grid", "hypercube", "butterfly",
@@ -47,12 +48,14 @@ DOCUMENTED_API = {
     "repro.baselines": [
         "FifoSerialScheduler", "TspTourScheduler", "OptimisticDTMSimulator",
     ],
+    "repro.faults": ["FaultPlan", "CrashWindow", "FaultInjector"],
     "repro.sim": ["Simulator", "SimConfig", "certify_trace"],
     "repro.sim.config": ["SimConfig"],
     "repro.sim.events": ["EventKind", "EventQueue"],
     "repro.sim.transport": [
         "Transport", "DirectTransport", "HopTransport",
-        "EgressCapacity", "LinkCapacity", "build_transport",
+        "EgressCapacity", "LinkCapacity", "FaultyTransport",
+        "build_transport",
     ],
     "repro.sim.serialize": ["save_trace", "load_trace", "trace_to_dict"],
     "repro.analysis": [

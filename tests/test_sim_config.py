@@ -53,10 +53,31 @@ def test_frozen():
     dict(link_capacity=1),                      # requires hop_motion
     dict(hop_motion=True, link_capacity=0),     # capacity >= 1
     dict(object_speed_den=0),
+    dict(object_speed_den=-2),
+    dict(node_egress_capacity=0),               # capacity >= 1
+    dict(node_egress_capacity=-1),
+    dict(max_time=-1),
+    dict(faults="drop=0.1"),                    # must be a FaultPlan
+    dict(faults=42),
 ])
 def test_validation(bad):
     with pytest.raises(WorkloadError):
         SimConfig(**bad)
+
+
+def test_validation_messages_name_the_value():
+    """validate() errors must quote the offending value (debuggability)."""
+    with pytest.raises(WorkloadError, match="-3"):
+        SimConfig(object_speed_den=-3)
+    with pytest.raises(WorkloadError, match="-7"):
+        SimConfig(max_time=-7)
+
+
+def test_validate_is_public_and_idempotent():
+    cfg = SimConfig(hop_motion=True, link_capacity=2, max_time=100)
+    cfg.validate()  # explicit re-check of a valid config is a no-op
+    from repro.faults import FaultPlan
+    SimConfig(faults=FaultPlan(drop_prob=0.1)).validate()
 
 
 def test_with_overrides_kwargs_win_and_none_ignored():

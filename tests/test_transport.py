@@ -150,6 +150,23 @@ class TestBuildAndCompose:
         with pytest.raises(NotImplementedError):
             Transport().plan_leg(None, 0, 0)
 
+    def test_capacity_decorator_order_is_immaterial(self):
+        """EgressCapacity(LinkCapacity(hop)) and LinkCapacity(
+        EgressCapacity(hop)) produce the same trace on the line-12
+        hotspot — a slot consumed in one layer while the other blocks
+        must not change the schedule, whichever layer is outermost."""
+        def run(transport):
+            g = topologies.line(12)
+            wl = hotspot_workload(g, num_cold_objects=3, k_cold=1, seed=0)
+            cfg = SimConfig(transport=transport, strict=False)
+            trace = Simulator(g, GreedyScheduler(), wl, config=cfg).run()
+            return g, trace
+
+        _, a = run(EgressCapacity(LinkCapacity(HopTransport(), 1), 1))
+        _, b = run(LinkCapacity(EgressCapacity(HopTransport(), 1), 1))
+        assert _dumps(a) == _dumps(b)
+        assert a.legs  # the hotspot actually moves objects
+
 
 class TestValidation:
     def test_unknown_transport_string(self):
