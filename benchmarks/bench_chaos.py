@@ -1,0 +1,90 @@
+"""Chaos-harness throughput and monitor overhead.
+
+Two numbers the chaos layer must keep honest: how many fully monitored
+episodes per second a sweep sustains (CI budgets the nightly
+``chaos-smoke`` job against this), and what the every-step
+:class:`~repro.chaos.invariants.InvariantMonitor` costs on top of a bare
+run (it re-derives the engine's safety invariants from scratch, so its
+overhead is the price of continuous verification).  Both land in
+``BENCH_chaos.json``: ``episodes_per_sec`` and ``monitor_overhead_pct``.
+"""
+
+import time
+
+import pytest
+
+from _util import emit, once
+from repro.chaos import InvariantMonitor, run_sweep
+from repro.core import GreedyScheduler
+from repro.faults import FaultPlan
+from repro.network import topologies
+from repro.sim import SimConfig, Simulator
+from repro.workloads import OnlineWorkload
+
+EPISODES = 24
+
+
+def timed_sweep():
+    t0 = time.perf_counter()
+    res = run_sweep(EPISODES, seed=7, topology="ring:10", horizon=30)
+    secs = time.perf_counter() - t0
+    assert res.ok, [v.violation for v in res.violations]
+    return res, secs
+
+
+def monitored_run(monitor):
+    g = topologies.grid([4, 4])
+    wl = OnlineWorkload.bernoulli(
+        g, num_objects=8, k=2, rate=1.5 / g.num_nodes, horizon=50, seed=1
+    )
+    plan = FaultPlan.random(
+        7, num_nodes=g.num_nodes, horizon=50,
+        drop_prob=0.05, crash_count=1, crash_len=8,
+        partition_count=1, partition_len=8,
+        edges=[(u, v) for u, v, _ in g.edges()],
+    )
+    probe = InvariantMonitor() if monitor else None
+    cfg = SimConfig(faults=plan, probe=probe)
+    return Simulator(g, GreedyScheduler(), wl, config=cfg).run()
+
+
+@pytest.mark.benchmark(group="chaos")
+def test_chaos_episode_throughput(benchmark):
+    res, secs = timed_sweep()
+    summary = res.summary()
+    eps = EPISODES / secs
+    once(benchmark, lambda: run_sweep(4, seed=9, topology="ring:10", horizon=30))
+    emit(
+        f"Chaos sweep throughput ({EPISODES} episodes, ring-10, monitors on)",
+        ["episodes", "seconds", "episodes/sec", "committed",
+         "invariant checks", "violations"],
+        [[EPISODES, round(secs, 3), round(eps, 2), summary["committed"],
+          summary["invariant_checks"], summary["violations"]]],
+        extra={"episodes_per_sec": round(eps, 3)},
+    )
+
+
+@pytest.mark.benchmark(group="chaos")
+def test_monitor_overhead(benchmark):
+    # Best-of-3 for each mode: the runs are deterministic, so the spread
+    # is pure timer noise and the minimum is the honest cost.
+    def best(monitor):
+        times = []
+        for _ in range(3):
+            t0 = time.perf_counter()
+            monitored_run(monitor)
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    bare = best(False)
+    monitored = best(True)
+    overhead = 100.0 * (monitored - bare) / bare
+    once(benchmark, lambda: monitored_run(True))
+    emit(
+        "Invariant-monitor overhead (greedy, grid-4x4, full fault mix)",
+        ["run", "seconds"],
+        [["bare", round(bare, 4)],
+         ["monitored", round(monitored, 4)],
+         ["overhead %", round(overhead, 1)]],
+        extra={"monitor_overhead_pct": round(overhead, 2)},
+    )

@@ -20,7 +20,7 @@ Quickstart::
 """
 
 from repro._types import DeparturePolicy, NodeId, ObjectId, Time, TxnId, TxnState
-from repro.faults import CrashWindow, FaultInjector, FaultPlan
+from repro.faults import CrashWindow, FaultInjector, FaultPlan, PartitionWindow
 from repro.core import (
     BucketScheduler,
     CoordinatedGreedyScheduler,
@@ -59,6 +59,7 @@ __all__ = [
     "HopTransport",
     "FaultPlan",
     "CrashWindow",
+    "PartitionWindow",
     "FaultInjector",
     "OnlineScheduler",
     "GreedyScheduler",

@@ -1,0 +1,61 @@
+"""``repro.chaos`` — chaos search, runtime invariants, minimizing reproducers.
+
+PR 3's fault layer (:mod:`repro.faults`) made single hand-written fault
+plans injectable; this package turns that into *continuously verified
+robustness*:
+
+* :mod:`repro.chaos.invariants` — an :class:`InvariantMonitor` probe
+  that re-derives the engine's safety invariants every step (single
+  holder, object conservation, commit presence, reschedule budget,
+  monotone time) plus a liveness watchdog, raising structured
+  :class:`InvariantViolation`\\ s with step/txn/object context;
+* :mod:`repro.chaos.search` — seeded random fault plans (crashes +
+  drops + delays + partitions) swept across schedulers and workloads,
+  every episode monitored, certified, and checked for full commitment;
+* :mod:`repro.chaos.shrink` — a delta-debugging shrinker that minimizes
+  any failing plan to a smallest still-failing reproducer;
+* :mod:`repro.chaos.artifact` — replayable JSON artifacts
+  (``repro.chaos/1``) that re-run bit-for-bit via
+  ``repro chaos replay``.
+
+CLI: ``repro chaos sweep`` / ``repro chaos replay`` (see ``repro.cli``).
+"""
+
+from repro.chaos.artifact import (
+    SCHEMA as ARTIFACT_SCHEMA,
+    artifact_dict,
+    load_artifact,
+    replay_artifact,
+    save_artifact,
+)
+from repro.chaos.invariants import InvariantMonitor, InvariantViolation
+from repro.chaos.search import (
+    DEFAULT_SCHEDULERS,
+    EpisodeResult,
+    EpisodeSpec,
+    SweepResult,
+    episode_spec,
+    run_episode,
+    run_sweep,
+)
+from repro.chaos.shrink import plan_size, shrink_plan, shrink_spec
+
+__all__ = [
+    "InvariantMonitor",
+    "InvariantViolation",
+    "EpisodeSpec",
+    "EpisodeResult",
+    "SweepResult",
+    "episode_spec",
+    "run_episode",
+    "run_sweep",
+    "DEFAULT_SCHEDULERS",
+    "shrink_plan",
+    "shrink_spec",
+    "plan_size",
+    "ARTIFACT_SCHEMA",
+    "artifact_dict",
+    "save_artifact",
+    "load_artifact",
+    "replay_artifact",
+]

@@ -1,0 +1,80 @@
+"""Replayable chaos artifacts (schema ``repro.chaos/1``).
+
+A failing (usually shrunk) episode is archived as one self-contained
+JSON file: the full :class:`~repro.chaos.search.EpisodeSpec` (topology
+spec, scheduler name, workload parameters, serialized fault plan,
+monitor options) plus the violation that was observed.  Because an
+episode is a pure function of its spec, ``repro chaos replay art.json``
+re-runs it bit-for-bit and checks the violation reproduces — same
+invariant, same step, same message — making artifacts durable bug
+reports that survive across machines and CI runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional, Tuple
+
+from repro.chaos.search import EpisodeResult, EpisodeSpec, run_episode
+from repro.errors import ReproError
+
+SCHEMA = "repro.chaos/1"
+
+
+def artifact_dict(result: EpisodeResult) -> Dict[str, object]:
+    """The archive form of a failing episode."""
+    if result.violation is None:
+        raise ReproError("cannot archive a clean episode (no violation)")
+    return {
+        "schema": SCHEMA,
+        "spec": result.spec.to_dict(),
+        "violation": dict(result.violation),
+    }
+
+
+def save_artifact(
+    result: EpisodeResult, directory: str, *, name: Optional[str] = None
+) -> str:
+    """Write ``result`` under ``directory``; returns the file path."""
+    os.makedirs(directory, exist_ok=True)
+    if name is None:
+        inv = result.violation["invariant"] if result.violation else "clean"
+        name = f"chaos-{inv}-{result.spec.plan.seed}.json"
+    path = os.path.join(directory, name)
+    with open(path, "w") as fh:
+        json.dump(artifact_dict(result), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_artifact(path: str) -> Tuple[EpisodeSpec, Dict[str, object]]:
+    """Read an artifact; returns ``(spec, recorded_violation)``."""
+    with open(path) as fh:
+        data = json.load(fh)
+    schema = data.get("schema")
+    if schema != SCHEMA:
+        raise ReproError(
+            f"artifact {path!r} has schema {schema!r}, expected {SCHEMA!r}"
+        )
+    return EpisodeSpec.from_dict(data["spec"]), data["violation"]
+
+
+def replay_artifact(path: str) -> Tuple[EpisodeResult, bool]:
+    """Re-run an archived episode and compare against the record.
+
+    Returns ``(result, reproduced)`` where ``reproduced`` is True when
+    the replay hit the same violation — byte-identical message, same
+    invariant, same step.  A replay that passes cleanly or fails
+    differently returns False (the bug moved: environment drift or a
+    fix landed).
+    """
+    spec, recorded = load_artifact(path)
+    result = run_episode(spec)
+    reproduced = (
+        result.violation is not None
+        and result.violation["invariant"] == recorded.get("invariant")
+        and result.violation["message"] == recorded.get("message")
+        and result.violation["step"] == recorded.get("step")
+    )
+    return result, reproduced

@@ -1,0 +1,283 @@
+"""Runtime invariant monitors (``repro.chaos``).
+
+The certifier (:func:`repro.sim.validate.certify_trace`) checks a run
+*after* it finishes, from the trace alone.  The :class:`InvariantMonitor`
+checks the engine's *live state* every step, so a safety violation is
+caught at the step it happens — with the transaction, object, and node
+that broke it — instead of surfacing hundreds of steps later as a
+mysterious certification failure.  It is an ordinary observability probe
+(:class:`repro.obs.probe.Probe`): wire it via ``SimConfig.probe`` (alone
+or inside a :class:`~repro.obs.probe.MultiProbe`), and a run without it
+is byte-identical to an unmonitored run.
+
+Checked invariants
+------------------
+``single-holder``
+    At most one live transaction holds a writable object: an object's
+    ``holder_txn`` must name a known transaction, and while that holder
+    is still live nobody else may have popped the object's queue head.
+``conservation``
+    Objects are conserved across legs and crashes: every registered
+    object is either at rest on a real node of ``G`` or in transit to a
+    real node with an arrival no earlier than now — never both, never
+    neither, never duplicated.
+``commit-presence``
+    A transaction commits only with *all* its written objects at rest at
+    its home node (checked independently of the engine's own
+    ``_missing_objects`` bookkeeping).
+``budget``
+    The recovery layer respects ``FaultPlan.max_reschedules``: no
+    transaction's reschedule count may exceed the budget.
+``monotone-time``
+    Steps are observed in strictly increasing time order.
+``stall``
+    Liveness watchdog: with live transactions present, some transaction
+    must commit at least every ``stall_k`` *active steps*; ``stall_k``
+    active steps without a commit flag a global stall.
+``planted``
+    Test-only hook (see :meth:`InvariantMonitor.__init__`): fires when a
+    chosen node is crashed while a chosen edge is cut in the same step.
+    Exists so the chaos shrinker has a deterministic, minimizable
+    target; never enabled outside tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro._types import NodeId, ObjectId, Time, TxnId, TxnState
+from repro.errors import ReproError
+from repro.obs.probe import Probe
+
+
+class InvariantViolation(ReproError):
+    """A runtime safety/liveness invariant broke mid-run.
+
+    Carries structured context so the chaos harness can match, shrink,
+    and replay the exact failure:
+
+    ``invariant``
+        The invariant name (``"single-holder"``, ``"conservation"``,
+        ``"commit-presence"``, ``"budget"``, ``"monotone-time"``,
+        ``"stall"``, ``"planted"``).
+    ``step`` / ``tid`` / ``oid`` / ``node``
+        Where it happened; ``None`` where not applicable.
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        detail: str,
+        *,
+        step: Time,
+        tid: Optional[TxnId] = None,
+        oid: Optional[ObjectId] = None,
+        node: Optional[NodeId] = None,
+    ) -> None:
+        self.invariant = invariant
+        self.detail = detail
+        self.step = step
+        self.tid = tid
+        self.oid = oid
+        self.node = node
+        ctx = [f"t={step}"]
+        if tid is not None:
+            ctx.append(f"txn={tid}")
+        if oid is not None:
+            ctx.append(f"oid={oid}")
+        if node is not None:
+            ctx.append(f"node={node}")
+        super().__init__(f"invariant {invariant!r} violated ({', '.join(ctx)}): {detail}")
+
+
+class InvariantMonitor(Probe):
+    """Probe that re-derives the engine's safety invariants every step.
+
+    Parameters
+    ----------
+    stall_k:
+        Liveness watchdog window: this many consecutive *active* steps
+        with live transactions but no commit raise a ``"stall"``
+        violation.  Sized generously by default — recovery backoff plus
+        a long partition can legitimately idle a run for
+        ``backoff_cap + longest window`` steps.
+    planted:
+        Test-only violation hook for the shrinker demo:
+        ``{"node": n, "edge": (u, v)}`` raises a ``"planted"`` violation
+        at the first step where node ``n`` is crashed *and* edge
+        ``(u, v)`` is cut by an active partition.  ``None`` (default)
+        disables the hook.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        *,
+        stall_k: int = 512,
+        planted: Optional[Dict[str, object]] = None,
+    ) -> None:
+        if stall_k < 1:
+            raise ValueError(f"stall_k must be >= 1, got {stall_k}")
+        self.stall_k = stall_k
+        self.planted = planted
+        self.checks_run = 0
+        self.sim = None
+        self._last_step: Optional[Time] = None
+        self._idle_steps = 0
+        self._committed_this_step = False
+
+    # -- run lifecycle --------------------------------------------------
+    def on_run_begin(self, sim) -> None:
+        self.sim = sim
+        self._last_step = None
+        self._idle_steps = 0
+
+    # -- step structure -------------------------------------------------
+    def on_step_begin(self, t: Time) -> None:
+        if self._last_step is not None and t <= self._last_step:
+            raise InvariantViolation(
+                "monotone-time",
+                f"step {t} observed after step {self._last_step}",
+                step=t,
+            )
+        self._last_step = t
+        self._committed_this_step = False
+
+    def on_step_end(self, t: Time) -> None:
+        sim = self.sim
+        if sim is None:  # not bound to an engine; nothing to check
+            return
+        self.checks_run += 1
+        self._check_objects(sim, t)
+        self._check_budget(sim, t)
+        self._check_stall(sim, t)
+        if self.planted is not None:
+            self._check_planted(sim, t)
+
+    # -- transaction lifecycle ------------------------------------------
+    def on_commit(self, txn, t: Time) -> None:
+        self._committed_this_step = True
+        sim = self.sim
+        if sim is None:
+            return
+        for oid in txn.objects:
+            obj = sim.objects[oid]
+            if obj.in_transit or obj.location != txn.home:
+                where = (
+                    f"in transit to {obj.dest}" if obj.in_transit
+                    else f"at rest at {obj.location}"
+                )
+                raise InvariantViolation(
+                    "commit-presence",
+                    f"txn {txn.tid} committed at home {txn.home} while object "
+                    f"{oid} was {where}",
+                    step=t,
+                    tid=txn.tid,
+                    oid=oid,
+                    node=txn.home,
+                )
+
+    # -- individual checks ----------------------------------------------
+    def _check_objects(self, sim, t: Time) -> None:
+        n = sim.graph.num_nodes
+        for oid, obj in sim.objects.items():
+            if obj.oid != oid:
+                raise InvariantViolation(
+                    "conservation",
+                    f"registry key {oid} maps to object {obj.oid}",
+                    step=t,
+                    oid=oid,
+                )
+            if obj.in_transit:
+                if not 0 <= obj.dest < n:
+                    raise InvariantViolation(
+                        "conservation",
+                        f"object {oid} in transit to non-node {obj.dest}",
+                        step=t,
+                        oid=oid,
+                    )
+                if obj.arrive_time < t:
+                    raise InvariantViolation(
+                        "conservation",
+                        f"object {oid} in transit with arrival "
+                        f"{obj.arrive_time} in the past",
+                        step=t,
+                        oid=oid,
+                    )
+            elif not 0 <= obj.location < n:
+                raise InvariantViolation(
+                    "conservation",
+                    f"object {oid} at rest at non-node {obj.location}",
+                    step=t,
+                    oid=oid,
+                )
+            holder = obj.holder_txn
+            if holder is not None:
+                txn = sim.txns.get(holder)
+                if txn is None:
+                    raise InvariantViolation(
+                        "single-holder",
+                        f"object {oid} held by unknown txn {holder}",
+                        step=t,
+                        oid=oid,
+                    )
+                # While the holder is live the object may not be in
+                # transit away from it: that would put the same writable
+                # object in two transactions' hands.
+                if txn.state is not TxnState.EXECUTED and obj.in_transit:
+                    raise InvariantViolation(
+                        "single-holder",
+                        f"object {oid} departed while holder txn {holder} "
+                        "is still live",
+                        step=t,
+                        oid=oid,
+                        tid=holder,
+                    )
+
+    def _check_budget(self, sim, t: Time) -> None:
+        inj = sim.faults
+        if inj is None or inj.plan.max_reschedules is None:
+            return
+        budget = inj.plan.max_reschedules
+        for tid, count in inj.reschedule_counts.items():
+            if count > budget:
+                raise InvariantViolation(
+                    "budget",
+                    f"txn {tid} rescheduled {count} times, budget {budget}",
+                    step=t,
+                    tid=tid,
+                )
+
+    def _check_stall(self, sim, t: Time) -> None:
+        if self._committed_this_step or not sim.live:
+            self._idle_steps = 0
+            return
+        self._idle_steps += 1
+        if self._idle_steps >= self.stall_k:
+            stuck = sorted(sim.live)[:8]
+            raise InvariantViolation(
+                "stall",
+                f"{len(sim.live)} live transactions (e.g. {stuck}) made no "
+                f"commit for {self._idle_steps} active steps",
+                step=t,
+                tid=stuck[0] if stuck else None,
+            )
+
+    def _check_planted(self, sim, t: Time) -> None:
+        inj = sim.faults
+        if inj is None:
+            return
+        node = self.planted.get("node")
+        edge = self.planted.get("edge")
+        if node is None or edge is None:
+            return
+        u, v = edge
+        key: Tuple[NodeId, NodeId] = (u, v) if u < v else (v, u)
+        if inj.node_down(node, t) and key in inj.active_cut(t):
+            raise InvariantViolation(
+                "planted",
+                f"node {node} crashed while edge {key} cut (test hook)",
+                step=t,
+                node=node,
+            )

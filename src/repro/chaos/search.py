@@ -1,0 +1,382 @@
+"""Chaos-search harness: seeded fault sweeps with invariant monitoring.
+
+One **episode** is a full simulation run — topology, scheduler, seeded
+workload — under a seeded :class:`repro.faults.FaultPlan` mixing every
+fault class (crashes, drops, delays, partitions), with an
+:class:`~repro.chaos.invariants.InvariantMonitor` wired in as the probe.
+A **sweep** runs many episodes, rotating schedulers and re-drawing the
+plan and workload from the episode seed, and collects every failure:
+invariant violations, engine errors, uncommitted transactions, and
+post-hoc certification failures all count.
+
+Determinism is the contract: an episode is a pure function of its
+parameters (the :class:`EpisodeSpec`), so any failing episode can be
+re-run bit-for-bit from its spec alone — which is exactly what the
+shrinker (:mod:`repro.chaos.shrink`) and replay artifacts
+(:mod:`repro.chaos.artifact`) rely on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.chaos.invariants import InvariantMonitor, InvariantViolation
+from repro.errors import ReproError
+from repro.faults import FaultPlan
+
+#: Default scheduler rotation for sweeps: a cross-section of the bundled
+#: families (greedy coloring, adaptive, coordinated, bucket conversion,
+#: windowed batching, serial baseline).  All run at object speed 1 and
+#: survive fault injection; the distributed schedulers (speed 2, message
+#: heavy) can be opted in via the ``schedulers`` argument.
+DEFAULT_SCHEDULERS = (
+    "greedy",
+    "greedy-degree",
+    "adaptive",
+    "coordinated",
+    "bucket",
+    "windowed",
+    "fifo",
+    "tsp",
+)
+
+
+@dataclass(frozen=True)
+class EpisodeSpec:
+    """Everything needed to re-run one episode bit-for-bit.
+
+    ``workload`` is ``{"kind", "objects", "k", "seed", ...}`` — the
+    argument set of :func:`make_workload`.  ``planted`` is the test-only
+    violation hook passed through to the monitor.
+    """
+
+    topology: str
+    scheduler: str
+    workload: Dict[str, object]
+    plan: FaultPlan
+    stall_k: int = 512
+    monitor: bool = True
+    planted: Optional[Dict[str, object]] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "topology": self.topology,
+            "scheduler": self.scheduler,
+            "workload": dict(self.workload),
+            "plan": self.plan.to_dict(),
+            "stall_k": self.stall_k,
+            "monitor": self.monitor,
+        }
+        if self.planted is not None:
+            planted = dict(self.planted)
+            if "edge" in planted:
+                planted["edge"] = list(planted["edge"])
+            out["planted"] = planted
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "EpisodeSpec":
+        planted = data.get("planted")
+        if planted is not None:
+            planted = dict(planted)
+            if "edge" in planted:
+                planted["edge"] = tuple(planted["edge"])
+        return cls(
+            topology=data["topology"],
+            scheduler=data["scheduler"],
+            workload=dict(data["workload"]),
+            plan=FaultPlan.from_dict(data["plan"]),
+            stall_k=data.get("stall_k", 512),
+            monitor=data.get("monitor", True),
+            planted=planted,
+        )
+
+
+@dataclass
+class EpisodeResult:
+    """Outcome of one episode."""
+
+    spec: EpisodeSpec
+    committed: int = 0
+    generated: int = 0
+    makespan: int = 0
+    end_time: int = 0
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+    reschedules: int = 0
+    checks_run: int = 0
+    #: structured failure, or None for a clean episode:
+    #: {"invariant", "detail", "message", "step", "tid", "oid", "node"}
+    violation: Optional[Dict[str, object]] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.violation is None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "spec": self.spec.to_dict(),
+            "committed": self.committed,
+            "generated": self.generated,
+            "makespan": self.makespan,
+            "end_time": self.end_time,
+            "fault_counts": dict(self.fault_counts),
+            "reschedules": self.reschedules,
+            "checks_run": self.checks_run,
+            "violation": self.violation,
+        }
+
+
+def make_workload(graph, params: Dict[str, object]):
+    """Build the episode workload from its parameter dict.
+
+    ``kind`` is ``"batch"`` (all transactions at t=0) or ``"bernoulli"``
+    (per-node coin flips over ``horizon`` steps at ``rate``).
+    """
+    from repro.workloads import BatchWorkload, OnlineWorkload
+
+    kind = params.get("kind", "batch")
+    objects = int(params.get("objects", 6))
+    k = int(params.get("k", 2))
+    seed = int(params.get("seed", 0))
+    if kind == "batch":
+        return BatchWorkload.uniform(graph, objects, k, seed=seed)
+    if kind == "bernoulli":
+        rate = float(params.get("rate", 1.0 / graph.num_nodes))
+        horizon = int(params.get("horizon", 50))
+        return OnlineWorkload.bernoulli(
+            graph, objects, k, rate=rate, horizon=horizon, seed=seed
+        )
+    raise ReproError(f"unknown chaos workload kind {params.get('kind')!r}")
+
+
+def _violation_dict(exc: InvariantViolation) -> Dict[str, object]:
+    return {
+        "invariant": exc.invariant,
+        "detail": exc.detail,
+        "message": str(exc),
+        "step": exc.step,
+        "tid": exc.tid,
+        "oid": exc.oid,
+        "node": exc.node,
+    }
+
+
+def run_episode(spec: EpisodeSpec) -> EpisodeResult:
+    """Run one episode; never raises on a fault-layer failure.
+
+    Invariant violations, engine errors (deadlock, infeasibility,
+    reschedule-budget exhaustion), uncommitted transactions at
+    quiescence, and post-hoc certification failures are all folded into
+    ``result.violation``; genuinely broken specs (unknown scheduler or
+    topology) still raise.
+    """
+    # Function-level imports: repro.cli imports repro.chaos for the
+    # ``chaos`` subcommand, so the factories are pulled lazily here to
+    # keep the layering acyclic.
+    from repro.cli import make_scheduler, parse_topology
+    from repro.sim.config import SimConfig
+    from repro.sim.engine import Simulator
+    from repro.sim.validate import certify_trace
+
+    graph = parse_topology(spec.topology)
+    scheduler, speed = make_scheduler(spec.scheduler, graph)
+    workload = make_workload(graph, spec.workload)
+    probe = (
+        InvariantMonitor(stall_k=spec.stall_k, planted=spec.planted)
+        if spec.monitor
+        else None
+    )
+    config = SimConfig(faults=spec.plan, probe=probe, object_speed_den=speed)
+    result = EpisodeResult(spec=spec)
+    try:
+        sim = Simulator(graph, scheduler, workload, config=config)
+        trace = sim.run()
+    except InvariantViolation as exc:
+        result.violation = _violation_dict(exc)
+    except ReproError as exc:
+        result.violation = {
+            "invariant": "engine-error",
+            "detail": f"{type(exc).__name__}: {exc}",
+            "message": str(exc),
+            "step": None,
+            "tid": None,
+            "oid": None,
+            "node": None,
+        }
+    else:
+        result.committed = trace.num_txns
+        result.generated = len(sim.txns)
+        result.makespan = trace.makespan()
+        result.end_time = trace.end_time
+        result.fault_counts = trace.fault_counts()
+        result.reschedules = len(trace.reschedules)
+        if result.committed < result.generated:
+            missing = sorted(
+                tid for tid in sim.txns if tid not in trace.txns
+            )[:8]
+            result.violation = {
+                "invariant": "liveness",
+                "detail": (
+                    f"{result.generated - result.committed} of "
+                    f"{result.generated} transactions never committed "
+                    f"(e.g. {missing})"
+                ),
+                "message": "uncommitted transactions at quiescence",
+                "step": trace.end_time,
+                "tid": missing[0] if missing else None,
+                "oid": None,
+                "node": None,
+            }
+        else:
+            issues = certify_trace(graph, trace, raise_on_failure=False)
+            if issues:
+                result.violation = {
+                    "invariant": "certify",
+                    "detail": "; ".join(str(i) for i in issues[:5]),
+                    "message": f"{len(issues)} certification issues",
+                    "step": trace.end_time,
+                    "tid": None,
+                    "oid": None,
+                    "node": None,
+                }
+    if probe is not None:
+        result.checks_run = probe.checks_run
+    return result
+
+
+def episode_spec(
+    index: int,
+    *,
+    seed: int = 0,
+    topology: str = "ring:12",
+    schedulers: Tuple[str, ...] = DEFAULT_SCHEDULERS,
+    workload_kind: str = "bernoulli",
+    objects: int = 6,
+    k: int = 2,
+    horizon: int = 40,
+    drop: float = 0.05,
+    delay: float = 0.1,
+    max_delay: int = 3,
+    crashes: int = 1,
+    crash_len: int = 6,
+    partitions: int = 1,
+    partition_len: int = 8,
+    stall_k: int = 512,
+    monitor: bool = True,
+) -> EpisodeSpec:
+    """The ``index``-th episode of a sweep: scheduler rotates round-robin,
+    fault plan and workload are drawn from a per-episode seed derived by
+    the same string-keyed RNG the injector uses."""
+    from repro.cli import parse_topology
+
+    ep_seed = random.Random(f"{seed}|chaos-episode|{index}").randrange(2**31)
+    graph = parse_topology(topology)
+    plan = FaultPlan.random(
+        ep_seed,
+        num_nodes=graph.num_nodes,
+        horizon=horizon,
+        drop_prob=drop,
+        delay_prob=delay,
+        max_delay=max_delay,
+        crash_count=crashes,
+        crash_len=crash_len,
+        partition_count=partitions,
+        partition_len=partition_len,
+        edges=[(u, v) for u, v, _ in graph.edges()],
+    )
+    workload: Dict[str, object] = {
+        "kind": workload_kind,
+        "objects": objects,
+        "k": k,
+        "seed": ep_seed,
+    }
+    if workload_kind == "bernoulli":
+        workload["horizon"] = horizon
+    return EpisodeSpec(
+        topology=topology,
+        scheduler=schedulers[index % len(schedulers)],
+        workload=workload,
+        plan=plan,
+        stall_k=stall_k,
+        monitor=monitor,
+    )
+
+
+@dataclass
+class SweepResult:
+    """Outcome of a chaos sweep."""
+
+    episodes: List[EpisodeResult] = field(default_factory=list)
+    artifacts: List[str] = field(default_factory=list)
+
+    @property
+    def violations(self) -> List[EpisodeResult]:
+        return [r for r in self.episodes if not r.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> Dict[str, object]:
+        fault_totals: Dict[str, int] = {}
+        for r in self.episodes:
+            for kind, count in r.fault_counts.items():
+                fault_totals[kind] = fault_totals.get(kind, 0) + count
+        return {
+            "episodes": len(self.episodes),
+            "violations": len(self.violations),
+            "committed": sum(r.committed for r in self.episodes),
+            "reschedules": sum(r.reschedules for r in self.episodes),
+            "invariant_checks": sum(r.checks_run for r in self.episodes),
+            "fault_counts": fault_totals,
+            "schedulers": sorted({r.spec.scheduler for r in self.episodes}),
+            "artifacts": list(self.artifacts),
+        }
+
+
+def run_sweep(
+    episodes: int,
+    *,
+    seed: int = 0,
+    shrink: bool = False,
+    artifact_dir: Optional[str] = None,
+    progress: Optional[Callable[[EpisodeResult], None]] = None,
+    **episode_kwargs,
+) -> SweepResult:
+    """Run ``episodes`` seeded chaos episodes; optionally minimize and
+    archive every failure.
+
+    With ``shrink=True`` each failing episode's fault plan is
+    delta-debugged down to a smallest still-failing reproducer
+    (:func:`repro.chaos.shrink.shrink_spec`); with ``artifact_dir`` set,
+    each (minimized) failure is written as a replayable JSON artifact.
+    ``episode_kwargs`` are forwarded to :func:`episode_spec`.
+    """
+    from repro.chaos.artifact import save_artifact
+    from repro.chaos.shrink import shrink_spec
+
+    out = SweepResult()
+    for i in range(episodes):
+        spec = episode_spec(i, seed=seed, **episode_kwargs)
+        result = run_episode(spec)
+        if result.violation is not None and shrink:
+            small = shrink_spec(spec, result.violation["invariant"])
+            result = run_episode(small)
+            if result.violation is None:  # shrink must preserve failure
+                result = run_episode(spec)
+        if result.violation is not None and artifact_dir is not None:
+            path = save_artifact(
+                result, artifact_dir, name=f"chaos-{seed}-{i:04d}.json"
+            )
+            out.artifacts.append(path)
+        out.episodes.append(result)
+        if progress is not None:
+            progress(result)
+    return out
+
+
+def rerun_with_plan(spec: EpisodeSpec, plan: FaultPlan) -> EpisodeResult:
+    """Re-run ``spec`` with a substituted fault plan (shrinker probe)."""
+    return run_episode(replace(spec, plan=plan))

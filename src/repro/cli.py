@@ -192,13 +192,18 @@ def _result_dict(name: str, res) -> dict:
 
 
 def make_probe(args, jsonl_path: Optional[str] = None):
-    """Build the probe requested by --obs-counters / --obs-jsonl (or None)."""
+    """Build the probe requested by --obs-counters / --obs-jsonl /
+    --monitor (or None when nothing was asked for)."""
     probes = []
     if getattr(args, "obs_counters", False):
         probes.append(CountersProbe())
     path = jsonl_path if jsonl_path is not None else getattr(args, "obs_jsonl", None)
     if path:
         probes.append(JsonlProbe(path))
+    if getattr(args, "monitor", False):
+        from repro.chaos import InvariantMonitor
+
+        probes.append(InvariantMonitor(stall_k=getattr(args, "stall_k", 512)))
     if not probes:
         return None
     return probes[0] if len(probes) == 1 else MultiProbe(*probes)
@@ -215,14 +220,19 @@ def _close_probe(probe) -> None:
 
 
 def make_faults(args, graph: Graph):
-    """Parse ``--faults seed=S,drop=P,delay=P,crash=K,...`` into a FaultPlan."""
+    """Parse ``--faults seed=S,drop=P,crash=K,partition=K,...`` into a FaultPlan."""
     spec = getattr(args, "faults", None)
     if not spec:
         return None
     from repro.faults import FaultPlan
 
     horizon = getattr(args, "horizon", 60) or 60
-    return FaultPlan.parse(spec, num_nodes=graph.num_nodes, horizon=horizon)
+    return FaultPlan.parse(
+        spec,
+        num_nodes=graph.num_nodes,
+        horizon=horizon,
+        edges=[(u, v) for u, v, _ in graph.edges()],
+    )
 
 
 def make_config(args, speed: int, probe=None, faults=None) -> SimConfig:
@@ -488,6 +498,85 @@ def cmd_cover(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """Chaos harness: ``repro chaos sweep`` / ``repro chaos replay``.
+
+    ``sweep`` runs seeded fault episodes (crashes + drops + delays +
+    partitions) across a scheduler rotation with invariant monitors on;
+    any failure exits non-zero, optionally minimized (``--shrink``) and
+    archived as a replayable artifact (``--artifact-dir``).  ``replay``
+    re-runs an archived artifact and verifies the violation reproduces.
+    """
+    from repro import chaos
+
+    if args.action == "replay":
+        if not args.artifact:
+            raise SystemExit("chaos replay needs an artifact path")
+        result, reproduced = chaos.replay_artifact(args.artifact)
+        out = {
+            "artifact": args.artifact,
+            "reproduced": reproduced,
+            "violation": result.violation,
+        }
+        if args.json:
+            print(json.dumps(out, indent=2))
+        else:
+            status = "reproduced" if reproduced else "NOT reproduced"
+            print(f"{args.artifact}: violation {status}")
+            if result.violation:
+                print(f"  {result.violation['message']}")
+        return 0 if reproduced else 1
+
+    schedulers = (
+        tuple(s.strip() for s in args.schedulers.split(",") if s.strip())
+        if args.schedulers
+        else chaos.DEFAULT_SCHEDULERS
+    )
+
+    def progress(result) -> None:
+        if args.json or args.quiet:
+            return
+        mark = "." if result.ok else "F"
+        print(mark, end="", flush=True)
+
+    res = chaos.run_sweep(
+        args.episodes,
+        seed=args.seed,
+        shrink=args.shrink,
+        artifact_dir=args.artifact_dir,
+        progress=progress,
+        topology=args.topology,
+        schedulers=schedulers,
+        workload_kind=args.workload,
+        objects=args.objects,
+        k=args.k,
+        horizon=args.horizon,
+        drop=args.drop,
+        delay=args.delay,
+        max_delay=args.max_delay,
+        crashes=args.crashes,
+        crash_len=args.crash_len,
+        partitions=args.partitions,
+        partition_len=args.partition_len,
+        stall_k=args.stall_k,
+    )
+    summary = res.summary()
+    if args.json:
+        summary["episode_violations"] = [r.to_dict() for r in res.violations]
+        print(json.dumps(summary, indent=2))
+    else:
+        if not args.quiet:
+            print()
+        rows = [[k, v] for k, v in summary.items() if k != "fault_counts"]
+        rows.extend(
+            [f"faults.{k}", v] for k, v in sorted(summary["fault_counts"].items())
+        )
+        print(render_table(["metric", "value"], rows, title="chaos sweep"))
+        for r in res.violations:
+            print(f"FAIL {r.spec.scheduler}: {r.violation['message']}")
+    return 0 if res.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Distributed TM dynamic scheduling toolkit"
@@ -530,6 +619,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="max concurrent traversals per edge (implies hop motion)")
     p_run.add_argument("--node-capacity", type=int, default=None,
                        help="max object departures per node per step")
+    p_run.add_argument("--monitor", action="store_true",
+                       help="attach the runtime InvariantMonitor (repro.chaos): "
+                            "abort with a structured error on any safety violation")
+    p_run.add_argument("--stall-k", type=int, default=512,
+                       help="liveness watchdog: flag a stall after this many "
+                            "active steps without a commit (with --monitor)")
     p_run.set_defaults(func=cmd_run)
 
     p_cmp = sub.add_parser("compare", help="run several schedulers on one workload")
@@ -555,6 +650,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_suite.add_argument("--file", required=True, help="JSON array of run configs")
     p_suite.add_argument("--json", action="store_true")
     p_suite.set_defaults(func=cmd_suite)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="chaos-search harness: seeded fault sweeps and replay"
+    )
+    p_chaos.add_argument("action", choices=["sweep", "replay"])
+    p_chaos.add_argument("artifact", nargs="?", default=None,
+                         help="artifact JSON path (replay action)")
+    p_chaos.add_argument("--episodes", type=int, default=50)
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument("--topology", default="ring:12")
+    p_chaos.add_argument("--schedulers", default=None,
+                         help="comma-separated rotation (default: 8 bundled)")
+    p_chaos.add_argument("--workload", default="bernoulli",
+                         choices=["batch", "bernoulli"])
+    p_chaos.add_argument("--objects", type=int, default=6)
+    p_chaos.add_argument("--k", type=int, default=2)
+    p_chaos.add_argument("--horizon", type=int, default=40)
+    p_chaos.add_argument("--drop", type=float, default=0.05)
+    p_chaos.add_argument("--delay", type=float, default=0.1)
+    p_chaos.add_argument("--max-delay", type=int, default=3)
+    p_chaos.add_argument("--crashes", type=int, default=1)
+    p_chaos.add_argument("--crash-len", type=int, default=6)
+    p_chaos.add_argument("--partitions", type=int, default=1)
+    p_chaos.add_argument("--partition-len", type=int, default=8)
+    p_chaos.add_argument("--stall-k", type=int, default=512)
+    p_chaos.add_argument("--shrink", action="store_true",
+                         help="delta-debug failing plans to minimal reproducers")
+    p_chaos.add_argument("--artifact-dir", default=None,
+                         help="write replayable failure artifacts here")
+    p_chaos.add_argument("--json", action="store_true")
+    p_chaos.add_argument("--quiet", action="store_true")
+    p_chaos.set_defaults(func=cmd_chaos)
     return parser
 
 

@@ -17,6 +17,12 @@ recovery machinery (engine ``RESCHEDULE`` events + the
   execution time; recovery then re-requests the object and reschedules.
 * **Bounded delay jitter** — with probability ``delay_prob`` an object
   leg (or a control message) takes up to ``max_delay`` extra steps.
+* **Network partitions** — a :class:`PartitionWindow` severs a set of
+  edges of ``G`` for ``[start, end)``: object legs whose shortest path
+  crosses the cut are rerouted along an intact path (with recomputed,
+  longer distances) or blocked until the heal step when the cut
+  disconnects source from target; control messages addressed across the
+  cut are deferred to heal time.
 
 Every decision is drawn from ``random.Random`` seeded with a *string*
 key derived from ``(plan.seed, decision kind, decision coordinates)``.
@@ -40,6 +46,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro._types import NodeId, ObjectId, Time, TxnId
 from repro.errors import WorkloadError
+from repro.network.graph import normalize_cut
 
 
 @dataclass(frozen=True)
@@ -63,6 +70,49 @@ class CrashWindow:
 
 
 @dataclass(frozen=True)
+class PartitionWindow:
+    """One network partition: the edges of ``cut`` are severed for
+    ``start <= t < end`` and the graph heals at ``end``.
+
+    ``cut`` is stored normalized — each edge as ``(min, max)``, sorted,
+    deduplicated — so equal cuts compare and hash equal regardless of
+    the spelling they were built from.
+    """
+
+    cut: Tuple[Tuple[NodeId, NodeId], ...]
+    start: Time
+    end: Time
+
+    def __post_init__(self) -> None:
+        edges = tuple(sorted(normalize_cut(self.cut)))
+        object.__setattr__(self, "cut", edges)
+        if not edges:
+            raise WorkloadError(
+                f"partition window [{self.start}, {self.end}) has an empty cut"
+            )
+        if self.start < 0 or self.end <= self.start:
+            raise WorkloadError(
+                f"partition window [{self.start}, {self.end}) is empty or negative"
+            )
+
+    @property
+    def duration(self) -> Time:
+        return self.end - self.start
+
+    @property
+    def cut_set(self) -> frozenset:
+        """The cut as a normalized frozenset (graph cache key form)."""
+        return frozenset(self.cut)
+
+
+#: Hard cap on the exponential-backoff shift: the floor grows at most to
+#: ``base * 2**BACKOFF_SHIFT_CAP`` (= base * 1024) no matter how many
+#: reschedules a pathological run accumulates, so the next attempt can
+#: never be pushed astronomically past ``max_time`` by the exponent alone.
+BACKOFF_SHIFT_CAP = 10
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """Frozen description of every fault a run will suffer.
 
@@ -81,10 +131,16 @@ class FaultPlan:
         ``delay_prob`` > 0).
     crashes:
         Crash-stop/restart windows (see :class:`CrashWindow`).
+    partitions:
+        Network-partition windows (see :class:`PartitionWindow`): sets
+        of edges severed for an interval, healed at its end.
     backoff_base / backoff_cap:
         Exponential backoff of recovery reschedules: the ``n``-th
         reschedule of one transaction waits at least
-        ``min(cap, base * 2**(n-1))`` steps.
+        ``min(cap, base * 2**min(n-1, BACKOFF_SHIFT_CAP))`` steps — the
+        shift itself is capped at :data:`BACKOFF_SHIFT_CAP` (2**10) so a
+        pathological reschedule count cannot push the floor past any
+        realistic ``max_time``.
     max_reschedules:
         Per-transaction reschedule budget; ``None`` (default) means
         recovery never gives up.  When exceeded the engine raises
@@ -96,12 +152,14 @@ class FaultPlan:
     delay_prob: float = 0.0
     max_delay: Time = 0
     crashes: Tuple[CrashWindow, ...] = ()
+    partitions: Tuple[PartitionWindow, ...] = ()
     backoff_base: Time = 1
     backoff_cap: Time = 64
     max_reschedules: Optional[int] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "partitions", tuple(self.partitions))
         if not 0.0 <= self.drop_prob < 1.0:
             raise WorkloadError(
                 f"drop_prob must be in [0, 1) for liveness, got {self.drop_prob}"
@@ -122,7 +180,37 @@ class FaultPlan:
     @property
     def active(self) -> bool:
         """True when the plan can actually inject something."""
-        return bool(self.drop_prob or self.delay_prob or self.crashes)
+        return bool(
+            self.drop_prob or self.delay_prob or self.crashes or self.partitions
+        )
+
+    def validate_against(self, graph) -> None:
+        """Check every node and edge the plan names against ``graph``.
+
+        The engine calls this when it binds the plan, so a typo'd crash
+        node or a partition edge that does not exist in ``G`` fails fast
+        with an error naming the offending value instead of silently
+        never firing.
+        """
+        n = graph.num_nodes
+        for w in self.crashes:
+            if not 0 <= w.node < n:
+                raise WorkloadError(
+                    f"fault plan crash window [{w.start}, {w.end}) names node "
+                    f"{w.node}, outside the graph's 0..{n - 1}"
+                )
+        for p in self.partitions:
+            for u, v in p.cut:
+                if not (0 <= u < n and 0 <= v < n):
+                    raise WorkloadError(
+                        f"fault plan partition [{p.start}, {p.end}) cuts edge "
+                        f"({u}, {v}) with a node outside the graph's 0..{n - 1}"
+                    )
+                if not graph.has_edge(u, v):
+                    raise WorkloadError(
+                        f"fault plan partition [{p.start}, {p.end}) cuts "
+                        f"({u}, {v}), which is not an edge of {graph.name!r}"
+                    )
 
     # ------------------------------------------------------------------
     # constructors
@@ -139,17 +227,29 @@ class FaultPlan:
         max_delay: Time = 0,
         crash_count: int = 0,
         crash_len: Time = 8,
+        partition_count: int = 0,
+        partition_len: Time = 8,
+        edges=None,
         **kwargs,
     ) -> "FaultPlan":
-        """A plan whose crash windows are drawn from the seed.
+        """A plan whose crash and partition windows are drawn from the seed.
 
         ``crash_count`` windows of ``crash_len`` steps each are placed on
         uniformly random nodes at uniformly random starts in
-        ``[1, horizon]``.  Placement uses the same string-keyed RNG as
+        ``[1, horizon]``.  ``partition_count`` windows of
+        ``partition_len`` steps each cut either one uniformly random edge
+        or (every other draw, roughly) every edge incident to one random
+        node — the cut that actually splits ``G``.  Partition windows
+        always heal by ``horizon + partition_len``.  Drawing partitions
+        requires ``edges`` (the graph's ``(u, v)`` pairs, e.g.
+        ``[(u, v) for u, v, _ in graph.edges()]``) because a cut must
+        name real edges.  Placement uses the same string-keyed RNG as
         runtime decisions, so the whole plan is one function of ``seed``.
         """
         if crash_count < 0 or crash_len < 1:
             raise WorkloadError("crash_count must be >= 0 and crash_len >= 1")
+        if partition_count < 0 or partition_len < 1:
+            raise WorkloadError("partition_count must be >= 0 and partition_len >= 1")
         if num_nodes < 1 or horizon < 1:
             raise WorkloadError("num_nodes and horizon must be >= 1")
         rng = random.Random(f"{seed}|crash-windows")
@@ -158,33 +258,64 @@ class FaultPlan:
             node = rng.randrange(num_nodes)
             start = rng.randint(1, horizon)
             windows.append(CrashWindow(node, start, start + crash_len))
+        cuts: List[PartitionWindow] = []
+        if partition_count:
+            if not edges:
+                raise WorkloadError(
+                    "partition_count > 0 requires edges= (the graph's (u, v) "
+                    "pairs) so the drawn cuts name real edges"
+                )
+            edge_list = sorted(normalize_cut(edges))
+            prng = random.Random(f"{seed}|partition-windows")
+            for _ in range(partition_count):
+                start = prng.randint(1, horizon)
+                if prng.random() < 0.5 and num_nodes > 1:
+                    # Isolate one node: cut every edge incident to it.
+                    node = prng.randrange(num_nodes)
+                    cut = tuple(e for e in edge_list if node in e)
+                    if not cut:  # isolated node has no edges; fall back
+                        cut = (edge_list[prng.randrange(len(edge_list))],)
+                else:
+                    cut = (edge_list[prng.randrange(len(edge_list))],)
+                cuts.append(PartitionWindow(cut, start, start + partition_len))
         return cls(
             seed=seed,
             drop_prob=drop_prob,
             delay_prob=delay_prob,
             max_delay=max_delay,
             crashes=tuple(windows),
+            partitions=tuple(cuts),
             **kwargs,
         )
 
     @classmethod
-    def parse(cls, spec: str, *, num_nodes: int, horizon: Time) -> "FaultPlan":
-        """Parse the CLI spelling ``seed=S,drop=P,delay=P,max-delay=N,crash=K,crash-len=L``.
+    def parse(cls, spec: str, *, num_nodes: int, horizon: Time, edges=None) -> "FaultPlan":
+        """Parse the CLI spelling
+        ``seed=S,drop=P,delay=P,max-delay=N,crash=K,crash-len=L,partition=K,partition-len=L``.
 
-        ``crash=K`` draws K random crash windows (see :meth:`random`);
-        unknown keys raise :class:`~repro.errors.WorkloadError`.
+        ``crash=K`` / ``partition=K`` draw K random crash / partition
+        windows (see :meth:`random`; ``partition`` requires ``edges``).
+        Unknown keys and *duplicate* keys raise
+        :class:`~repro.errors.WorkloadError` naming the offending key —
+        a silently ignored or last-write-wins entry would make a typo'd
+        fault spec run a different experiment than the one asked for.
         """
         known = {
             "seed": 0, "drop": 0.0, "delay": 0.0, "max-delay": 0,
-            "crash": 0, "crash-len": 8, "backoff-cap": 64,
+            "crash": 0, "crash-len": 8, "partition": 0, "partition-len": 8,
+            "backoff-cap": 64,
         }
         values = dict(known)
+        seen = set()
         for part in filter(None, (p.strip() for p in spec.split(","))):
             key, sep, raw = part.partition("=")
             if not sep or key not in known:
                 raise WorkloadError(
                     f"bad --faults entry {part!r} (known keys: {sorted(known)})"
                 )
+            if key in seen:
+                raise WorkloadError(f"duplicate --faults key {key!r}")
+            seen.add(key)
             try:
                 values[key] = float(raw) if key in ("drop", "delay") else int(raw)
             except ValueError:
@@ -200,7 +331,49 @@ class FaultPlan:
             max_delay=int(values["max-delay"]),
             crash_count=int(values["crash"]),
             crash_len=int(values["crash-len"]),
+            partition_count=int(values["partition"]),
+            partition_len=int(values["partition-len"]),
+            edges=edges,
             backoff_cap=int(values["backoff-cap"]),
+        )
+
+    # ------------------------------------------------------------------
+    # serialization (chaos artifacts; repro.chaos.artifact)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON representation; inverse of :meth:`from_dict`."""
+        return {
+            "seed": self.seed,
+            "drop_prob": self.drop_prob,
+            "delay_prob": self.delay_prob,
+            "max_delay": self.max_delay,
+            "crashes": [[w.node, w.start, w.end] for w in self.crashes],
+            "partitions": [
+                [[list(e) for e in p.cut], p.start, p.end] for p in self.partitions
+            ],
+            "backoff_base": self.backoff_base,
+            "backoff_cap": self.backoff_cap,
+            "max_reschedules": self.max_reschedules,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultPlan":
+        """Rebuild a plan serialized by :meth:`to_dict`."""
+        return cls(
+            seed=data.get("seed", 0),
+            drop_prob=data.get("drop_prob", 0.0),
+            delay_prob=data.get("delay_prob", 0.0),
+            max_delay=data.get("max_delay", 0),
+            crashes=tuple(
+                CrashWindow(n, s, e) for n, s, e in data.get("crashes", [])
+            ),
+            partitions=tuple(
+                PartitionWindow(tuple(tuple(e) for e in cut), s, e)
+                for cut, s, e in data.get("partitions", [])
+            ),
+            backoff_base=data.get("backoff_base", 1),
+            backoff_cap=data.get("backoff_cap", 64),
+            max_reschedules=data.get("max_reschedules"),
         )
 
 
@@ -221,6 +394,13 @@ class FaultInjector:
             self._windows.setdefault(w.node, []).append(w)
         for windows in self._windows.values():
             windows.sort(key=lambda w: (w.start, w.end))
+        self._partitions: Tuple[PartitionWindow, ...] = tuple(
+            sorted(plan.partitions, key=lambda p: (p.start, p.end, p.cut))
+        )
+        #: memo of the last ``active_cut`` query — the same step asks
+        #: several times (departures, message deliveries)
+        self._cut_at: Optional[Time] = None
+        self._cut_memo: frozenset = frozenset()
         #: oid -> node where the object actually remained when its leg
         #: was dropped (the last confirmed holder)
         self.lost: Dict[ObjectId, NodeId] = {}
@@ -278,6 +458,39 @@ class FaultInjector:
         return up if up != t else None
 
     # ------------------------------------------------------------------
+    # partition windows
+    # ------------------------------------------------------------------
+    def active_cut(self, t: Time) -> frozenset:
+        """Union of all cuts active at step ``t`` (normalized edge set;
+        empty when no partition window covers ``t``)."""
+        if t == self._cut_at:
+            return self._cut_memo
+        cut: set = set()
+        for p in self._partitions:
+            if p.start <= t < p.end:
+                cut.update(p.cut)
+        out = frozenset(cut)
+        self._cut_at, self._cut_memo = t, out
+        return out
+
+    def heal_time(self, t: Time) -> Optional[Time]:
+        """Earliest step > ``t`` at which the active cut *shrinks* — the
+        nearest ``end`` among windows covering ``t`` — or ``None`` when
+        no partition is active.  Blocked work retries there and
+        re-checks: the remaining cut may still separate it."""
+        ends = [p.end for p in self._partitions if p.start <= t < p.end]
+        return min(ends) if ends else None
+
+    def partition_separates(self, graph, src: NodeId, dst: NodeId, t: Time) -> bool:
+        """Does the cut active at ``t`` disconnect ``src`` from ``dst``?"""
+        if src == dst:
+            return False
+        cut = self.active_cut(t)
+        if not cut:
+            return False
+        return graph.distance_avoiding(src, dst, cut) == float("inf")
+
+    # ------------------------------------------------------------------
     # recovery bookkeeping
     # ------------------------------------------------------------------
     def mark_lost(self, oid: ObjectId, node: NodeId) -> None:
@@ -297,9 +510,16 @@ class FaultInjector:
         return n
 
     def backoff_for(self, n: int) -> Time:
-        """Backoff before the ``n``-th reschedule: ``min(cap, base * 2**(n-1))``."""
+        """Backoff before the ``n``-th reschedule:
+        ``min(cap, base * 2**min(n-1, BACKOFF_SHIFT_CAP))``.
+
+        The exponent is clamped at :data:`BACKOFF_SHIFT_CAP` (2**10)
+        *before* the cap is applied, so even a plan with a huge
+        ``backoff_cap`` cannot let a pathological reschedule count grow
+        the floor geometrically forever.
+        """
         base, cap = self.plan.backoff_base, self.plan.backoff_cap
-        return min(cap, base << min(n - 1, 40))
+        return min(cap, base << min(n - 1, BACKOFF_SHIFT_CAP))
 
     @property
     def total_reschedules(self) -> int:

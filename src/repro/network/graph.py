@@ -18,6 +18,19 @@ from repro.errors import GraphError
 
 _Edge = Tuple[NodeId, NodeId, Weight]
 
+#: A normalized edge cut: frozenset of ``(u, v)`` pairs with ``u < v``.
+Cut = frozenset
+
+
+def normalize_cut(edges: Iterable[Tuple[NodeId, NodeId]]) -> Cut:
+    """Canonical form of an edge set: ``frozenset`` of ``(min, max)`` pairs.
+
+    Used as the cache key for cut-aware shortest paths and as the stored
+    form of :class:`repro.faults.PartitionWindow` cuts, so two spellings
+    of the same cut share one Dijkstra cache entry.
+    """
+    return frozenset((u, v) if u < v else (v, u) for u, v in edges)
+
 
 class Graph:
     """An undirected, connected, positively weighted graph.
@@ -53,6 +66,7 @@ class Graph:
         # Lazy caches.
         self._dist: Dict[NodeId, List[Weight]] = {}
         self._pred: Dict[NodeId, List[Optional[NodeId]]] = {}
+        self._cut_sssp: Dict[Tuple[Cut, NodeId], Tuple[List[Weight], List[Optional[NodeId]]]] = {}
         self._diameter: Optional[Weight] = None
         if self._n > 1 and all(not a for a in self._adj):
             raise GraphError("graph with more than one node has no edges")
@@ -152,6 +166,81 @@ class Graph:
             path.append(p)
         path.reverse()
         return path
+
+    # ------------------------------------------------------------------
+    # cut-aware shortest paths (repro.faults partition windows)
+    # ------------------------------------------------------------------
+    def _sssp_avoiding(
+        self, src: NodeId, cut: Cut
+    ) -> Tuple[List[Weight], List[Optional[NodeId]]]:
+        """Dijkstra from ``src`` ignoring the edges of ``cut``.
+
+        Unlike :meth:`_sssp`, unreachable nodes keep distance ``inf``
+        instead of raising — a partition *is* a temporary disconnection.
+        Results are cached per ``(cut, src)``: during a partition window
+        the same few cuts are queried every step.
+        """
+        cached = self._cut_sssp.get((cut, src))
+        if cached is not None:
+            return cached
+        inf = float("inf")
+        dist: List[Weight] = [inf] * self._n
+        pred: List[Optional[NodeId]] = [None] * self._n
+        dist[src] = 0
+        heap: List[Tuple[Weight, NodeId]] = [(0, src)]
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > dist[u]:
+                continue
+            for v, w in self._adj[u].items():
+                if ((u, v) if u < v else (v, u)) in cut:
+                    continue
+                nd = d + w
+                if nd < dist[v]:
+                    dist[v] = nd
+                    pred[v] = u
+                    heapq.heappush(heap, (nd, v))
+        self._cut_sssp[(cut, src)] = (dist, pred)
+        return dist, pred
+
+    def distance_avoiding(self, u: NodeId, v: NodeId, cut: Cut) -> Weight:
+        """Shortest-path distance in ``G`` minus the edges of ``cut``.
+
+        Returns ``float('inf')`` when the cut separates ``u`` from ``v``.
+        ``cut`` must be normalized (see :func:`normalize_cut`); an empty
+        cut falls back to the plain cached :meth:`distance`.
+        """
+        if not cut:
+            return self.distance(u, v)
+        self._check_node(u)
+        self._check_node(v)
+        return self._sssp_avoiding(u, cut)[0][v]
+
+    def shortest_path_avoiding(
+        self, u: NodeId, v: NodeId, cut: Cut
+    ) -> Optional[List[NodeId]]:
+        """One shortest ``u``-``v`` path avoiding ``cut``, or ``None``
+        when the cut separates the endpoints."""
+        if not cut:
+            return self.shortest_path(u, v)
+        self._check_node(u)
+        self._check_node(v)
+        dist, pred = self._sssp_avoiding(u, cut)
+        if dist[v] == float("inf"):
+            return None
+        path = [v]
+        while path[-1] != u:
+            p = pred[path[-1]]
+            assert p is not None
+            path.append(p)
+        path.reverse()
+        return path
+
+    def has_edge(self, u: NodeId, v: NodeId) -> bool:
+        """True when ``{u, v}`` is an edge of ``G``."""
+        self._check_node(u)
+        self._check_node(v)
+        return v in self._adj[u]
 
     def eccentricity(self, u: NodeId) -> Weight:
         """Maximum distance from ``u`` to any node."""

@@ -103,6 +103,15 @@ class CountersProbe(Probe):
             self._bump("faults.delay_steps", extra)
         elif kind == "rerequest":
             self._bump("recovery.rerequests")
+        elif kind == "partition":
+            self._bump("faults.partitions")
+            self._bump("faults.partitioned_steps", extra)
+        elif kind in ("partition-block", "partition-msg"):
+            self._bump("faults.partition_waits")
+            self._bump("faults.partition_wait_steps", extra)
+        elif kind == "reroute":
+            self._bump("faults.reroutes")
+            self._bump("faults.reroute_steps", extra)
         else:
             self._bump(f"faults.{kind}")
 

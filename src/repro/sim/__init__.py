@@ -14,6 +14,7 @@ from repro.sim.trace import (
     ExecutionTrace,
     FaultRecord,
     ObjectLeg,
+    PartitionRecord,
     RescheduleRecord,
     TxnRecord,
 )
@@ -39,6 +40,7 @@ __all__ = [
     "TxnRecord",
     "FaultRecord",
     "RescheduleRecord",
+    "PartitionRecord",
     "certify_trace",
     "EventKind",
     "EventQueue",

@@ -43,6 +43,7 @@ from repro.sim.trace import (
     ExecutionTrace,
     FaultRecord,
     ObjectLeg,
+    PartitionRecord,
     RescheduleRecord,
     TxnRecord,
     Violation,
@@ -181,12 +182,24 @@ class Simulator:
         if cfg.faults is not None:
             from repro.faults import FaultInjector
 
+            # Binding is the moment the plan meets the actual graph: a
+            # typo'd node or edge id fails loudly here instead of a
+            # window that silently never fires.
+            cfg.faults.validate_against(graph)
             self.faults = FaultInjector(cfg.faults)
             self.router.injector = self.faults
             self.router.on_fault = self.record_fault
+            # FAULT-event keys are (class, id, phase) integer triples so
+            # crash and partition transitions at the same step order
+            # deterministically: crashes (class 0) before partitions
+            # (class 1), starts (phase 0) before ends (phase 1).
             for w in cfg.faults.crashes:
-                self.events.push_fault(w.start, (w.node, 0), ("crash", w.node, w.duration))
-                self.events.push_fault(w.end, (w.node, 1), ("restart", w.node, 0))
+                self.events.push_fault(w.start, (0, w.node, 0), ("crash", w.node, w.duration))
+                self.events.push_fault(w.end, (0, w.node, 1), ("restart", w.node, 0))
+                self._pending_fault_events += 2
+            for idx, p in enumerate(cfg.faults.partitions):
+                self.events.push_fault(p.start, (1, idx, 0), ("partition", idx, p.duration))
+                self.events.push_fault(p.end, (1, idx, 1), ("heal", idx, 0))
                 self._pending_fault_events += 2
         #: the motion strategy (repro.sim.transport)
         self.transport = build_transport(cfg)
@@ -382,9 +395,9 @@ class Simulator:
             if not self.live and not self._scheduler_pending():
                 if nxt is None:
                     break
-                # Crash-window bookkeeping events alone cannot revive a
-                # quiescent run: stop instead of stepping through every
-                # remaining down-window of an otherwise finished workload.
+                # Crash/partition-window bookkeeping events alone cannot
+                # revive a quiescent run: stop instead of stepping through
+                # every remaining window of an otherwise finished workload.
                 if (
                     self._pending_fault_events
                     and len(self.events) == self._pending_fault_events
@@ -426,12 +439,24 @@ class Simulator:
         events = self.events
         if obs is not None:
             obs.on_step_begin(t)
-        # Phase 0 (fault layer only): crash/restart transitions.
+        # Phase 0 (fault layer only): crash/restart/partition transitions.
         if self.faults is not None:
             for _, _, _, payload in events.pop_kind(EventKind.FAULT, t):
                 self._pending_fault_events -= 1
                 kind, node, extra = payload
-                self.record_fault(kind, t, node=node, extra=extra)
+                if kind == "partition":
+                    # ``node`` slot carries the window index; the record
+                    # on the trace is the window itself, for certifier
+                    # reconciliation of reroute/block slack.
+                    p = self.config.faults.partitions[node]
+                    self.trace.partitions.append(
+                        PartitionRecord(p.cut, p.start, p.end)
+                    )
+                    self.record_fault(kind, t, extra=extra)
+                elif kind == "heal":
+                    self.record_fault(kind, t)
+                else:
+                    self.record_fault(kind, t, node=node, extra=extra)
         if obs is not None:
             obs.on_phase_begin("receive", t)
         # Phase 1: receive objects (masters, then read copies).
@@ -640,6 +665,11 @@ class Simulator:
         txn.exec_time = None
         txn.state = TxnState.PENDING
         floor = t + backoff
+        # The backoff floor never pushes the next attempt past the run
+        # horizon: a pathological reschedule count would otherwise park
+        # the retry beyond max_time and guarantee a silent no-show.
+        if self.max_time is not None and floor > self.max_time:
+            floor = self.max_time
         restart = inj.restart_time(txn.home, t)
         if restart is not None and restart > floor:
             floor = restart

@@ -103,7 +103,10 @@ class MessageRouter:
         Callbacks may send further messages (delivered strictly later).
         Returns the number of messages delivered.  Deliveries addressed
         to a crashed node (:mod:`repro.faults`) are requeued for the
-        node's restart step instead of running now.
+        node's restart step instead of running now; deliveries whose
+        sender and destination are separated by an active partition cut
+        are requeued for the cut's earliest heal time (``"partition-msg"``
+        fault record).
         """
         count = 0
         while self._heap and self._heap[0][0] <= now:
@@ -111,18 +114,29 @@ class MessageRouter:
             if self.injector is not None:
                 restart = self.injector.restart_time(msg.dst, now)
                 if restart is not None:
-                    held = Message(
-                        msg.src, msg.dst, msg.kind, msg.payload, msg.sent_at, restart
-                    )
-                    heapq.heappush(
-                        self._heap, (restart, next(self._seq), held, cb)
-                    )
-                    if self._spine is not None:
-                        self._spine.push_message(restart)
+                    self._requeue(msg, cb, restart)
+                    continue
+                if msg.src != msg.dst and self.injector.partition_separates(
+                    self._graph, msg.src, msg.dst, now
+                ):
+                    heal = self.injector.heal_time(now)
+                    assert heal is not None  # a cut is active at ``now``
+                    self._requeue(msg, cb, heal)
+                    if self.on_fault is not None:
+                        self.on_fault(
+                            "partition-msg", now, node=msg.dst, extra=heal - now
+                        )
                     continue
             cb(now, msg)
             count += 1
         return count
+
+    def _requeue(self, msg: Message, cb: DeliveryCallback, at: Time) -> None:
+        """Re-deliver ``msg`` at ``at`` (fault hold: crash or partition)."""
+        held = Message(msg.src, msg.dst, msg.kind, msg.payload, msg.sent_at, at)
+        heapq.heappush(self._heap, (at, next(self._seq), held, cb))
+        if self._spine is not None:
+            self._spine.push_message(at)
 
     @property
     def pending(self) -> int:

@@ -14,6 +14,7 @@ from repro.sim.trace import (
     ExecutionTrace,
     FaultRecord,
     ObjectLeg,
+    PartitionRecord,
     RescheduleRecord,
     TxnRecord,
     Violation,
@@ -65,6 +66,10 @@ def trace_to_dict(trace: ExecutionTrace) -> Dict[str, Any]:
             [r.tid, r.time, r.old_exec, r.new_exec, r.backoff, list(r.missing)]
             for r in trace.reschedules
         ]
+    if trace.partitions:
+        out["partitions"] = [
+            [[list(e) for e in p.cut], p.start, p.end] for p in trace.partitions
+        ]
     return out
 
 
@@ -99,6 +104,10 @@ def trace_from_dict(data: Dict[str, Any]) -> ExecutionTrace:
     for r in data.get("reschedules", []):
         trace.reschedules.append(
             RescheduleRecord(r[0], r[1], r[2], r[3], r[4], tuple(r[5]))
+        )
+    for p in data.get("partitions", []):
+        trace.partitions.append(
+            PartitionRecord(tuple(tuple(e) for e in p[0]), p[1], p[2])
         )
     trace.meta.update(data.get("meta", {}))
     return trace

@@ -92,7 +92,16 @@ class FaultRecord:
     * ``"crash-delay"`` — an arrival of ``oid`` at crashed ``node`` was
       held ``extra`` extra steps until its restart;
     * ``"rerequest"`` — recovery re-requested lost ``oid`` from its last
-      confirmed holder ``node`` at ``time``.
+      confirmed holder ``node`` at ``time``;
+    * ``"partition-block"`` — a leg of ``oid`` from ``node`` was blocked
+      by an active partition (no intact path); the departure retries at
+      heal time, ``extra`` steps later;
+    * ``"reroute"`` — a leg of ``oid`` from ``node`` detoured around an
+      active cut, taking ``extra`` steps beyond the unpartitioned
+      shortest path;
+    * ``"partition-msg"`` — a control message into ``node`` was deferred
+      ``extra`` steps to the heal time of the partition separating it
+      from its sender.
     """
 
     kind: str
@@ -131,6 +140,26 @@ class RescheduleRecord:
         )
 
 
+@dataclass(frozen=True)
+class PartitionRecord:
+    """One network-partition window as it actually took effect
+    (:mod:`repro.faults`): the edges of ``cut`` were severed for
+    ``[start, end)`` and healed at ``end``.  Recorded when the window's
+    start fires, so the certifier can reconcile every ``reroute`` /
+    ``partition-block`` fault record against a covering window."""
+
+    cut: Tuple[Tuple[NodeId, NodeId], ...]
+    start: Time
+    end: Time
+
+    def covers(self, t: Time) -> bool:
+        return self.start <= t < self.end
+
+    def __str__(self) -> str:
+        edges = ", ".join(f"{u}-{v}" for u, v in self.cut)
+        return f"partition([{self.start}, {self.end}), cut {{{edges}}})"
+
+
 @dataclass
 class ExecutionTrace:
     """Everything that happened in one simulation run."""
@@ -144,6 +173,7 @@ class ExecutionTrace:
     violations: List[Violation] = field(default_factory=list)
     faults: List[FaultRecord] = field(default_factory=list)
     reschedules: List[RescheduleRecord] = field(default_factory=list)
+    partitions: List[PartitionRecord] = field(default_factory=list)
     messages_sent: int = 0
     message_hops: float = 0.0
     end_time: Time = 0

@@ -202,20 +202,29 @@ class FaultyTransport(TransportDecorator):
     1. **crashed source** — nothing departs from a down node; the
        departure retries at the node's restart step (no fault record:
        the window itself is recorded by the engine's crash event);
-    2. inner transport plans the leg (capacity slots are consumed even
+    2. **partition** — when an active cut (:class:`repro.faults.
+       PartitionWindow`) separates the source from the target, the
+       departure is blocked until the earliest heal time
+       (``"partition-block"`` record); when an intact detour exists the
+       leg is re-planned against the cut-aware shortest path
+       (``"reroute"`` record, ``extra`` = added travel steps).  Rerouted
+       legs bypass the inner capacity decorators — the detour models the
+       network forwarding around the cut, not a scheduled departure;
+    3. inner transport plans the leg (capacity slots are consumed even
        when the leg is then dropped — a lost frame still occupied the
        port);
-    3. **drop** — with ``drop_prob``, the leg is silently lost: the
+    4. **drop** — with ``drop_prob``, the leg is silently lost: the
        object stays at rest at its source and *no retry is queued*.
        Nobody learns until a transaction misses its committed execution
        time; recovery then re-requests the object from this node, which
        the injector remembers as the last confirmed holder;
-    4. **delay** — with ``delay_prob``, arrival slips by 1..``max_delay``
+    5. **delay** — with ``delay_prob``, arrival slips by 1..``max_delay``
        extra steps.
 
-    Drops and delays are recorded on the trace (:class:`~repro.sim.trace.
-    FaultRecord`) via ``Simulator.record_fault`` so the certifier can
-    account for the extra slack and analysis can report degradation.
+    Drops, delays, blocks, and reroutes are recorded on the trace
+    (:class:`~repro.sim.trace.FaultRecord`) via ``Simulator.record_fault``
+    so the certifier can account for the extra slack and analysis can
+    report degradation.
     """
 
     def __init__(self, inner: Transport) -> None:
@@ -235,20 +244,81 @@ class FaultyTransport(TransportDecorator):
         if restart is not None:
             self.sim.events.push_depart(restart, obj.oid)
             return None
-        leg = self.inner.plan_leg(obj, target, t)
-        if leg is None:
+        planned = self._plan_partition_aware(obj, target, t)
+        if planned is None:
             return None
+        leg, reroute_slack = planned
         if inj.should_drop(obj.oid, t):
             inj.mark_lost(obj.oid, src)
             self.sim.record_fault("drop", t, node=src, oid=obj.oid)
             return None
         inj.clear_lost(obj.oid)
+        if reroute_slack is not None:
+            # Recorded only now that the leg survived the drop check: a
+            # dropped leg must leave no slack record for the certifier.
+            self.sim.record_fault(
+                "reroute", t, node=src, oid=obj.oid, extra=reroute_slack
+            )
         dst, arrive = leg
         extra = inj.leg_delay(obj.oid, t)
         if extra:
             self.sim.record_fault("delay", t, oid=obj.oid, extra=extra)
             arrive += extra
         return dst, arrive
+
+    def _plan_partition_aware(
+        self, obj: SharedObject, target: NodeId, t: Time
+    ) -> Optional[Tuple[Leg, Optional[Time]]]:
+        """Plan the leg, respecting any partition cut active at ``t``.
+
+        Separated source/target blocks until the earliest heal (records
+        ``"partition-block"``, returns ``None``).  When a detour exists
+        the leg is re-planned on the cut-aware shortest path: hop
+        transports take the cut-aware next hop (following the *plain*
+        next hop here could oscillate between two nodes until the heal),
+        direct-style transports take the whole detour.  An unaffected
+        leg falls through to the inner transport so capacity decorators
+        keep applying.
+
+        Returns ``(leg, reroute_slack)`` — ``reroute_slack`` is the
+        extra travel beyond unpartitioned physics (``None`` when not
+        rerouted); the caller records it only if the leg survives the
+        drop check.
+        """
+        inj = self.injector
+        graph = self.sim.graph
+        src = obj.location
+        cut = inj.active_cut(t)
+        if cut and src != target:
+            d_cut = graph.distance_avoiding(src, target, cut)
+            if d_cut == float("inf"):
+                heal = inj.heal_time(t)
+                assert heal is not None  # a cut is active, so a window covers t
+                self.sim.events.push_depart(heal, obj.oid)
+                self.sim.record_fault(
+                    "partition-block", t, node=src, oid=obj.oid, extra=heal - t
+                )
+                return None
+            if self.kind == "hop":
+                path = graph.shortest_path_avoiding(src, target, cut)
+                assert path is not None  # d_cut is finite
+                hop = path[1]
+                if hop != graph.shortest_path(src, target)[1]:
+                    w = graph.neighbors(src)[hop]
+                    # The detour edge may be longer than the plain
+                    # shortest distance to that neighbour; the slack is
+                    # exactly that difference, for the certifier.
+                    detour = obj.travel_time(w) - obj.travel_time(
+                        graph.distance(src, hop)
+                    )
+                    return (hop, t + obj.travel_time(w)), detour
+            else:
+                d_base = graph.distance(src, target)
+                if d_cut > d_base:
+                    detour = obj.travel_time(d_cut) - obj.travel_time(d_base)
+                    return (target, t + obj.travel_time(d_cut)), detour
+        leg = self.inner.plan_leg(obj, target, t)
+        return None if leg is None else (leg, None)
 
 
 def build_transport(config) -> Transport:

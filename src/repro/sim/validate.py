@@ -24,9 +24,12 @@ direct-transport trace of whole shortest-path legs.
 Fault-injected traces (:mod:`repro.faults`) certify too: a trace carrying
 fault records may have *slower* legs than physics dictates, but every
 step of per-object slack must be accounted for by a matching ``delay`` /
-``crash-delay`` fault record (legs may never be *faster*), and every
-recovery reschedule must be consistent with the final execution times.
-A fault-free trace gets the exact-equality checks, unchanged.
+``crash-delay`` / ``reroute`` fault record (legs may never be *faster*),
+every recovery reschedule must be consistent with the final execution
+times, and every partition-dependent record (``reroute``,
+``partition-block``, ``partition-msg``) must fall inside a
+:class:`~repro.sim.trace.PartitionRecord` window.  A fault-free trace
+gets the exact-equality checks, unchanged.
 """
 
 from __future__ import annotations
@@ -92,12 +95,12 @@ def certify_trace(
     speed = trace.object_speed_den
 
     # Fault accounting (repro.faults): per-object slack budget from
-    # delay / crash-delay records.  Empty for fault-free traces, which
-    # then get the exact-equality leg check below.
-    has_faults = bool(trace.faults)
+    # delay / crash-delay / reroute records.  Empty for fault-free
+    # traces, which then get the exact-equality leg check below.
+    has_faults = bool(trace.faults) or bool(trace.partitions)
     fault_slack: Dict[ObjectId, Time] = {}
     for f in trace.faults:
-        if f.kind in ("delay", "crash-delay") and f.oid is not None:
+        if f.kind in ("delay", "crash-delay", "reroute") and f.oid is not None:
             fault_slack[f.oid] = fault_slack.get(f.oid, 0) + f.extra
 
     legs_by_obj: Dict[ObjectId, list] = {oid: [] for oid in trace.initial_placement}
@@ -316,6 +319,38 @@ def certify_trace(
                     f"reschedule at t={t_resched}",
                 )
             )
+
+    # 7: partition reconciliation (repro.faults).  Every window must be
+    # well-formed over real edges of G, and every partition-dependent
+    # fault record must fall inside some recorded window — a reroute or
+    # block with no covering partition means the transport invented a
+    # detour the injected plan never asked for.
+    for p in trace.partitions:
+        if p.start >= p.end:
+            issues.append(
+                CertificationIssue(
+                    "partition",
+                    f"partition window [{p.start}, {p.end}) is empty or reversed",
+                )
+            )
+        for u, v in p.cut:
+            if not graph.has_edge(u, v):
+                issues.append(
+                    CertificationIssue(
+                        "partition",
+                        f"partition cut names non-edge ({u}, {v}) of {graph.name!r}",
+                    )
+                )
+    for f in trace.faults:
+        if f.kind in ("reroute", "partition-block", "partition-msg"):
+            if not any(p.covers(f.time) for p in trace.partitions):
+                issues.append(
+                    CertificationIssue(
+                        "partition",
+                        f"{f.kind} record at t={f.time} has no covering "
+                        "partition window",
+                    )
+                )
 
     # Engine-recorded violations are certification failures too.
     for v in trace.violations:

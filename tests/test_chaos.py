@@ -1,0 +1,225 @@
+"""Chaos-search harness tests (repro.chaos).
+
+1. **Monitors** — the :class:`InvariantMonitor` probe runs its checks on
+   healthy and faulted runs without firing, costs nothing when absent
+   (byte-identical golden traces), and raises a structured
+   :class:`InvariantViolation` when the planted test hook trips.
+2. **Sweeps** — a seeded sweep is deterministic, rotates schedulers, and
+   reports zero violations on the bundled engine.
+3. **Shrinking** — a deliberately planted violation minimizes to a
+   <= 2-window plan, deterministically (same episode, same reproducer).
+4. **Artifacts** — a shrunk failure round-trips through its JSON
+   artifact and replays byte-identically (same invariant, message, and
+   step).
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.chaos import (
+    DEFAULT_SCHEDULERS,
+    InvariantMonitor,
+    InvariantViolation,
+    episode_spec,
+    load_artifact,
+    plan_size,
+    replay_artifact,
+    run_episode,
+    run_sweep,
+    save_artifact,
+    shrink_spec,
+)
+from repro.chaos.artifact import artifact_dict
+from repro.core import GreedyScheduler
+from repro.errors import ReproError
+from repro.faults import CrashWindow, FaultPlan, PartitionWindow
+from repro.network import topologies
+from repro.sim import SimConfig, Simulator
+from repro.sim.serialize import trace_to_dict
+from repro.workloads import OnlineWorkload
+
+
+def canonical(trace) -> str:
+    return json.dumps(trace_to_dict(trace), sort_keys=True, indent=0)
+
+
+def planted_spec():
+    """An episode that provokes the test-only planted invariant: node 2
+    crashes while edge (2, 3) is cut, amid decoy windows and noise."""
+    spec = episode_spec(0, seed=3, topology="ring:10", horizon=30)
+    plan = FaultPlan(
+        seed=3,
+        drop_prob=0.1,
+        delay_prob=0.1,
+        max_delay=3,
+        crashes=(CrashWindow(2, 5, 15), CrashWindow(4, 6, 12)),
+        partitions=(
+            PartitionWindow(((2, 3),), 8, 18),
+            PartitionWindow(((5, 6),), 4, 10),
+        ),
+    )
+    return replace(spec, plan=plan, planted={"node": 2, "edge": (2, 3)})
+
+
+# ----------------------------------------------------------------------
+# invariant monitor
+# ----------------------------------------------------------------------
+
+class TestInvariantMonitor:
+    def run_monitored(self, plan, monitor):
+        g = topologies.ring(8)
+        wl = OnlineWorkload.bernoulli(g, 5, 2, rate=0.15, horizon=25, seed=4)
+        cfg = SimConfig(faults=plan, probe=monitor)
+        return Simulator(g, GreedyScheduler(), wl, config=cfg).run()
+
+    def test_clean_run_passes_and_counts_checks(self):
+        mon = InvariantMonitor()
+        self.run_monitored(None, mon)
+        assert mon.checks_run > 0
+
+    def test_faulted_run_passes(self):
+        plan = FaultPlan(
+            seed=2,
+            drop_prob=0.1,
+            delay_prob=0.1,
+            max_delay=2,
+            crashes=(CrashWindow(3, 4, 9),),
+            partitions=(PartitionWindow(((0, 1),), 3, 11),),
+        )
+        mon = InvariantMonitor()
+        trace = self.run_monitored(plan, mon)
+        assert mon.checks_run > 0
+        assert trace.num_txns > 0
+
+    def test_monitor_leaves_trace_byte_identical(self):
+        # Acceptance: monitors are observers only — enabling them must
+        # not change the golden trace by a single byte.
+        plan = FaultPlan(seed=2, drop_prob=0.1, crashes=(CrashWindow(3, 4, 9),))
+        bare = self.run_monitored(plan, None)
+        monitored = self.run_monitored(plan, InvariantMonitor())
+        assert canonical(bare) == canonical(monitored)
+
+    def test_planted_hook_fires_with_context(self):
+        spec = planted_spec()
+        result = run_episode(spec)
+        assert result.violation is not None
+        v = result.violation
+        assert v["invariant"] == "planted"
+        assert v["step"] == 8  # the cut starts at 8, inside the crash
+        assert v["node"] == 2
+        assert "node 2 crashed while edge (2, 3) cut" in v["message"]
+
+    def test_violation_is_structured(self):
+        exc = InvariantViolation(
+            "single-holder", "two holders", step=7, tid=1, oid=2, node=3
+        )
+        assert exc.invariant == "single-holder"
+        assert exc.step == 7 and exc.tid == 1 and exc.oid == 2 and exc.node == 3
+        assert "invariant 'single-holder' violated" in str(exc)
+
+
+# ----------------------------------------------------------------------
+# episodes and sweeps
+# ----------------------------------------------------------------------
+
+class TestSweep:
+    def test_episode_is_deterministic(self):
+        spec = episode_spec(2, seed=11, topology="ring:10", horizon=25)
+        a, b = run_episode(spec), run_episode(spec)
+        assert a.to_dict() == b.to_dict()
+
+    def test_sweep_rotates_schedulers_and_stays_clean(self):
+        res = run_sweep(10, seed=6, topology="ring:10", horizon=25)
+        assert res.ok and res.violations == []
+        used = {e.spec.scheduler for e in res.episodes}
+        assert len(used) >= 6
+        assert used <= set(DEFAULT_SCHEDULERS)
+        summary = res.summary()
+        assert summary["episodes"] == 10 and summary["violations"] == 0
+
+    def test_sweep_commits_everything(self):
+        res = run_sweep(6, seed=1, topology="ring:10", horizon=25)
+        for e in res.episodes:
+            assert e.committed == e.generated
+
+    def test_sweep_with_shrink_archives_minimized_artifact(self, tmp_path):
+        # Force a failing sweep by planting the hook into episode 0.
+        spec = planted_spec()
+        result = run_episode(spec)
+        small = shrink_spec(spec, result.violation["invariant"])
+        shrunk = run_episode(small)
+        path = save_artifact(shrunk, str(tmp_path))
+        loaded_spec, recorded = load_artifact(path)
+        assert loaded_spec == small
+        assert recorded["invariant"] == "planted"
+
+
+# ----------------------------------------------------------------------
+# shrinking
+# ----------------------------------------------------------------------
+
+class TestShrinker:
+    def test_minimizes_to_two_windows(self):
+        spec = planted_spec()
+        assert plan_size(spec.plan) == 6  # 2 crashes + 2 cuts + 2 knobs
+        result = run_episode(spec)
+        small = shrink_spec(spec, result.violation["invariant"]).plan
+        # The planted hook needs exactly one crash and one partition.
+        assert len(small.crashes) == 1 and len(small.partitions) == 1
+        assert small.drop_prob == 0.0 and small.delay_prob == 0.0
+        assert plan_size(small) == 2
+        assert small.crashes[0].node == 2
+        assert small.partitions[0].cut == ((2, 3),)
+
+    def test_shrinking_is_deterministic(self):
+        spec = planted_spec()
+        inv = run_episode(spec).violation["invariant"]
+        a = shrink_spec(spec, inv)
+        b = shrink_spec(spec, inv)
+        assert a == b
+
+    def test_shrunk_plan_still_fails_identically(self):
+        spec = planted_spec()
+        v0 = run_episode(spec).violation
+        small = shrink_spec(spec, v0["invariant"])
+        v1 = run_episode(small).violation
+        assert v1 is not None and v1["invariant"] == v0["invariant"]
+
+
+# ----------------------------------------------------------------------
+# artifacts
+# ----------------------------------------------------------------------
+
+class TestArtifacts:
+    def test_clean_episode_cannot_be_archived(self):
+        spec = episode_spec(0, seed=1, topology="ring:10", horizon=25)
+        result = run_episode(spec)
+        assert result.ok
+        with pytest.raises(ReproError, match="clean episode"):
+            artifact_dict(result)
+
+    def test_replay_reproduces_byte_identically(self, tmp_path):
+        spec = planted_spec()
+        result = run_episode(spec)
+        small = shrink_spec(spec, result.violation["invariant"])
+        shrunk = run_episode(small)
+        path = save_artifact(shrunk, str(tmp_path), name="planted.json")
+        replayed, reproduced = replay_artifact(path)
+        assert reproduced
+        assert replayed.violation == shrunk.violation
+
+    def test_schema_checked(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "something/else"}))
+        with pytest.raises(ReproError, match="schema"):
+            load_artifact(str(bad))
+
+    def test_artifact_file_is_stable_json(self, tmp_path):
+        spec = planted_spec()
+        result = run_episode(spec)
+        p1 = save_artifact(result, str(tmp_path), name="a.json")
+        p2 = save_artifact(result, str(tmp_path), name="b.json")
+        with open(p1) as f1, open(p2) as f2:
+            assert f1.read() == f2.read()

@@ -1,0 +1,177 @@
+"""Satellite regressions: fault-spec parsing, backoff caps, and compound
+fault interactions (crash+drop on one leg, partition during recovery).
+
+These pin the corners that single-fault tests miss: two fault classes
+hitting the same object leg at the same step, a partition isolating the
+node recovery is about to re-request from, exponential backoff saturing
+at the 2**10 shift cap, and the ``--faults`` mini-language rejecting
+duplicate/unknown keys by name.
+"""
+
+import pytest
+
+from repro.core import GreedyScheduler
+from repro.errors import InfeasibleScheduleError, WorkloadError
+from repro.faults import (
+    BACKOFF_SHIFT_CAP,
+    CrashWindow,
+    FaultInjector,
+    FaultPlan,
+    PartitionWindow,
+)
+from repro.network import topologies
+from repro.sim import SimConfig, Simulator, certify_trace
+from repro.sim.transactions import TxnSpec
+from repro.workloads import ManualWorkload
+
+
+def drop_first_leg(monkeypatch):
+    """Force exactly the first planned object leg to be dropped."""
+    orig = FaultInjector.should_drop
+    state = {"armed": True}
+
+    def fake(self, oid, t):
+        if state["armed"]:
+            state["armed"] = False
+            return True
+        return orig(self, oid, t)
+
+    monkeypatch.setattr(FaultInjector, "should_drop", fake)
+
+
+def one_txn_run(graph, plan, *, obj_node, home, config=None):
+    wl = ManualWorkload({0: obj_node}, [TxnSpec(0, home, (0,))])
+    cfg = config if config is not None else SimConfig(faults=plan)
+    trace = Simulator(graph, GreedyScheduler(), wl, config=cfg).run()
+    return trace
+
+
+def fault_kinds(trace):
+    return {f.kind for f in trace.faults}
+
+
+# ----------------------------------------------------------------------
+# --faults mini-language (satellite: parser hardening)
+# ----------------------------------------------------------------------
+
+class TestFaultsParser:
+    def test_duplicate_key_rejected_by_name(self):
+        with pytest.raises(WorkloadError, match=r"duplicate --faults key 'seed'"):
+            FaultPlan.parse("seed=1,seed=2", num_nodes=8, horizon=20)
+
+    def test_unknown_key_rejected_by_name(self):
+        with pytest.raises(WorkloadError, match=r"'sed=1'"):
+            FaultPlan.parse("sed=1", num_nodes=8, horizon=20)
+
+    def test_bad_value_rejected_by_name(self):
+        with pytest.raises(WorkloadError, match=r"'drop'.*'oops'"):
+            FaultPlan.parse("drop=oops", num_nodes=8, horizon=20)
+
+    def test_partition_windows_accepted(self):
+        g = topologies.ring(8)
+        edges = [(u, v) for u, v, _ in g.edges()]
+        plan = FaultPlan.parse(
+            "seed=1,partition=2,partition-len=5",
+            num_nodes=8,
+            horizon=20,
+            edges=edges,
+        )
+        assert len(plan.partitions) == 2
+        assert all(p.duration == 5 for p in plan.partitions)
+        plan.validate_against(g)  # drawn cuts name real edges
+
+    def test_partition_requires_edges(self):
+        with pytest.raises(WorkloadError, match="edges"):
+            FaultPlan.parse("partition=1", num_nodes=8, horizon=20)
+
+    def test_backoff_cap_key(self):
+        plan = FaultPlan.parse("seed=1,backoff-cap=16", num_nodes=8, horizon=20)
+        assert plan.backoff_cap == 16
+
+
+# ----------------------------------------------------------------------
+# backoff saturation (satellite: 2**10 shift cap)
+# ----------------------------------------------------------------------
+
+class TestBackoffCap:
+    def test_shift_saturates_at_cap(self):
+        inj = FaultInjector(FaultPlan(seed=0, backoff_base=1, backoff_cap=10**9))
+        assert inj.backoff_for(1) == 1
+        assert inj.backoff_for(BACKOFF_SHIFT_CAP + 1) == 2**BACKOFF_SHIFT_CAP
+        # A pathological reschedule count must not blow the shift up —
+        # backoff_for(10**6) without the cap would be a ~300 kB integer.
+        assert inj.backoff_for(10**6) == 2**BACKOFF_SHIFT_CAP
+
+    def test_plan_cap_still_binds_first(self):
+        inj = FaultInjector(FaultPlan(seed=0))  # default backoff_cap=64
+        assert inj.backoff_for(100) == 64
+
+    def test_tiny_reschedule_budget_fails_fast(self, monkeypatch):
+        # Every leg drops: recovery burns its budget and must raise
+        # rather than loop (regression for the budget + shift cap).
+        monkeypatch.setattr(FaultInjector, "should_drop", lambda self, oid, t: True)
+        g = topologies.line(4)
+        plan = FaultPlan(seed=0, max_reschedules=2)
+        with pytest.raises(InfeasibleScheduleError):
+            one_txn_run(g, plan, obj_node=3, home=0)
+
+    def test_backoff_floor_clamped_to_max_time(self, monkeypatch):
+        # One drop with a huge backoff base: the retry floor (t + 50)
+        # lands past max_time and without the clamp the transaction
+        # would silently never run again.
+        drop_first_leg(monkeypatch)
+        g = topologies.line(4)
+        plan = FaultPlan(seed=0, backoff_base=50, backoff_cap=50)
+        cfg = SimConfig(faults=plan, max_time=12)
+        trace = one_txn_run(g, plan, obj_node=3, home=0, config=cfg)
+        assert trace.num_txns == 1
+        rec = trace.txns[0]
+        assert rec.exec_time <= 12
+        assert certify_trace(g, trace) == []
+
+
+# ----------------------------------------------------------------------
+# compound faults (satellite: same leg, same step; partition vs recovery)
+# ----------------------------------------------------------------------
+
+class TestCompoundFaults:
+    def test_crash_and_drop_same_leg_same_step(self, monkeypatch):
+        # The home node is down from the start, so the object's first
+        # leg is crash-deferred to the restart step — and at that very
+        # step the leg is dropped.  Two fault classes hit the same leg
+        # at the same step; recovery must untangle both (re-request the
+        # lost object after the restart) and still commit.
+        drop_first_leg(monkeypatch)
+        g = topologies.line(6)
+        plan = FaultPlan(seed=0, crashes=(CrashWindow(0, 0, 8),))
+        trace = one_txn_run(g, plan, obj_node=5, home=0)
+        assert trace.num_txns == 1
+        kinds = fault_kinds(trace)
+        assert {"drop", "rerequest", "crash", "restart"} <= kinds
+        drop = next(f for f in trace.faults if f.kind == "drop")
+        assert drop.time == 8  # dropped at the restart step itself
+        rerequest = next(f for f in trace.faults if f.kind == "rerequest")
+        assert rerequest.node == 5  # the drop left node 5 as the holder
+        assert trace.txns[0].exec_time >= 8 + g.distance(5, 0)
+        assert certify_trace(g, trace) == []
+
+    def test_partition_isolates_holder_during_rerequest(self, monkeypatch):
+        # The first leg is dropped, so node 4 is the object's last
+        # confirmed holder.  By the time recovery re-requests it, a
+        # partition has isolated node 4 entirely: the re-requested leg
+        # must block until the heal, then deliver, then commit.
+        drop_first_leg(monkeypatch)
+        g = topologies.ring(8)
+        plan = FaultPlan(
+            seed=0, partitions=(PartitionWindow(((3, 4), (4, 5)), 1, 14),)
+        )
+        trace = one_txn_run(g, plan, obj_node=4, home=0)
+        assert trace.num_txns == 1
+        kinds = fault_kinds(trace)
+        assert {"drop", "rerequest", "partition", "partition-block", "heal"} <= kinds
+        rerequest = next(f for f in trace.faults if f.kind == "rerequest")
+        assert rerequest.node == 4  # re-requested from the last holder
+        block = next(f for f in trace.faults if f.kind == "partition-block")
+        assert block.time >= rerequest.time  # blocked while re-requesting
+        assert trace.txns[0].exec_time >= 14  # only after the heal
+        assert certify_trace(g, trace) == []

@@ -1,0 +1,276 @@
+"""Network-partition fault tests (PR: chaos + partitions).
+
+Layers mirror ``test_faults.py``:
+
+1. **Plan validity** — :class:`PartitionWindow` construction rules and
+   :meth:`FaultPlan.validate_against` naming the offending node/edge
+   when a plan references things the bound graph does not have.
+2. **Physics** — a cut either blocks object legs until the heal
+   (``partition-block``) or reroutes them along an intact detour
+   (``reroute`` with the exact extra travel), under both direct and hop
+   transports; control messages across the cut are deferred to the heal
+   (``partition-msg``).
+3. **Liveness + accountability** — partitioned runs still commit every
+   transaction, the trace carries :class:`PartitionRecord`\\ s that the
+   certifier checks cover every partition-dependent fault record, and
+   everything round-trips through JSON byte-identically.
+"""
+
+import json
+
+import pytest
+
+from repro.core import GreedyScheduler
+from repro.errors import WorkloadError
+from repro.faults import CrashWindow, FaultPlan, PartitionWindow
+from repro.network import topologies
+from repro.network.graph import normalize_cut
+from repro.sim import PartitionRecord, SimConfig, Simulator, certify_trace
+from repro.sim.serialize import trace_from_dict, trace_to_dict
+from repro.sim.transactions import TxnSpec
+from repro.workloads import ManualWorkload, OnlineWorkload
+
+
+def canonical(trace) -> str:
+    return json.dumps(trace_to_dict(trace), sort_keys=True, indent=0)
+
+
+def fault_kinds(trace):
+    return {f.kind for f in trace.faults}
+
+
+def ring_run(plan, *, transport="direct", specs=None, placement=None, n=8):
+    g = topologies.ring(n)
+    placement = placement if placement is not None else {0: 4}
+    specs = specs if specs is not None else [TxnSpec(0, 0, (0,))]
+    wl = ManualWorkload(placement, specs)
+    cfg = SimConfig(faults=plan, transport=transport)
+    trace = Simulator(g, GreedyScheduler(), wl, config=cfg).run()
+    return g, trace
+
+
+# ----------------------------------------------------------------------
+# windows and plan validation
+# ----------------------------------------------------------------------
+
+class TestPartitionWindow:
+    def test_cut_is_normalized_and_sorted(self):
+        p = PartitionWindow(((5, 4), (2, 1)), 3, 7)
+        assert p.cut == ((1, 2), (4, 5))
+        assert p.duration == 4
+        assert p.cut_set == normalize_cut([(4, 5), (1, 2)])
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(WorkloadError):
+            PartitionWindow(((0, 1),), 5, 5)
+        with pytest.raises(WorkloadError):
+            PartitionWindow(((0, 1),), -1, 4)
+
+    def test_empty_cut_rejected(self):
+        with pytest.raises(WorkloadError):
+            PartitionWindow((), 1, 4)
+
+    def test_record_covers(self):
+        r = PartitionRecord(((0, 1),), 3, 7)
+        assert not r.covers(2)
+        assert r.covers(3) and r.covers(6)
+        assert not r.covers(7)
+
+
+class TestValidateAgainst:
+    """The engine validates the plan against G when it binds it; errors
+    must name the offending value (satellite: value-naming errors)."""
+
+    def test_crash_node_out_of_range_named(self):
+        g = topologies.ring(4)
+        plan = FaultPlan(seed=0, crashes=(CrashWindow(9, 1, 4),))
+        with pytest.raises(WorkloadError, match=r"names node 9"):
+            plan.validate_against(g)
+
+    def test_partition_node_out_of_range_named(self):
+        g = topologies.ring(4)
+        plan = FaultPlan(seed=0, partitions=(PartitionWindow(((3, 7),), 1, 4),))
+        with pytest.raises(WorkloadError, match=r"\(3, 7\)"):
+            plan.validate_against(g)
+
+    def test_partition_nonexistent_edge_named(self):
+        g = topologies.ring(6)  # (0, 3) is a chord, not a ring edge
+        plan = FaultPlan(seed=0, partitions=(PartitionWindow(((0, 3),), 1, 4),))
+        with pytest.raises(WorkloadError, match=r"\(0, 3\).*not an edge"):
+            plan.validate_against(g)
+
+    def test_engine_binds_and_rejects(self):
+        plan = FaultPlan(seed=0, crashes=(CrashWindow(99, 1, 4),))
+        with pytest.raises(WorkloadError, match="99"):
+            ring_run(plan)
+
+    def test_valid_plan_accepted(self):
+        g = topologies.ring(6)
+        plan = FaultPlan(
+            seed=0,
+            crashes=(CrashWindow(2, 1, 4),),
+            partitions=(PartitionWindow(((2, 3),), 1, 4),),
+        )
+        plan.validate_against(g)  # no raise
+
+
+# ----------------------------------------------------------------------
+# cut-aware shortest paths
+# ----------------------------------------------------------------------
+
+class TestCutAwarePaths:
+    def test_detour_distance(self):
+        g = topologies.ring(8)
+        cut = normalize_cut([(0, 1)])
+        assert g.distance(1, 0) == 1
+        assert g.distance_avoiding(1, 0, cut) == 7  # the long way round
+
+    def test_separation_is_inf(self):
+        g = topologies.ring(8)
+        cut = normalize_cut([(3, 4), (4, 5)])  # isolates node 4
+        assert g.distance_avoiding(4, 0, cut) == float("inf")
+        assert g.shortest_path_avoiding(4, 0, cut) is None
+
+    def test_empty_cut_matches_plain(self):
+        g = topologies.grid([3, 3])
+        for s in range(g.num_nodes):
+            for d in range(g.num_nodes):
+                assert g.distance_avoiding(s, d, frozenset()) == g.distance(s, d)
+
+    def test_path_avoids_cut_edges(self):
+        g = topologies.grid([3, 3])
+        cut = normalize_cut([(0, 1)])
+        path = g.shortest_path_avoiding(0, 2, cut)
+        legs = normalize_cut(zip(path, path[1:]))
+        assert not (legs & cut)
+
+
+# ----------------------------------------------------------------------
+# transport + engine semantics
+# ----------------------------------------------------------------------
+
+class TestPartitionPhysics:
+    def test_blocked_leg_waits_for_heal(self):
+        # Node 4's edges are all cut until t=12: the object cannot leave.
+        plan = FaultPlan(
+            seed=0, partitions=(PartitionWindow(((3, 4), (4, 5)), 0, 12),)
+        )
+        g, trace = ring_run(plan)
+        assert trace.num_txns == 1
+        kinds = fault_kinds(trace)
+        assert {"partition", "partition-block", "heal"} <= kinds
+        block = next(f for f in trace.faults if f.kind == "partition-block")
+        assert block.extra == 12 - block.time  # wait is exactly to the heal
+        assert trace.partitions == [PartitionRecord(((3, 4), (4, 5)), 0, 12)]
+        assert certify_trace(g, trace) == []
+
+    @pytest.mark.parametrize("transport", ["direct", "hop"])
+    def test_reroute_takes_detour(self, transport):
+        # The object sits one hop from home but that edge is cut: the
+        # leg must take the long way round, with the extra travel
+        # recorded for the certifier.
+        plan = FaultPlan(seed=0, partitions=(PartitionWindow(((0, 1),), 0, 30),))
+        g, trace = ring_run(plan, transport=transport, placement={0: 1})
+        assert trace.num_txns == 1
+        assert "reroute" in fault_kinds(trace)
+        assert certify_trace(g, trace) == []
+
+    def test_hop_reroute_makes_progress(self):
+        # Regression: under a cut, hop transports must follow the
+        # cut-aware next hop; following the plain next hop oscillates
+        # between two nodes until the heal.
+        plan = FaultPlan(
+            seed=0, partitions=(PartitionWindow(((1, 2), (2, 3)), 0, 40),)
+        )
+        g, trace = ring_run(plan, transport="hop", placement={0: 2})
+        # Node 2 is isolated: the object waits for the heal, then hops.
+        assert trace.num_txns == 1
+        assert certify_trace(g, trace) == []
+
+    def test_messages_deferred_across_cut(self):
+        # A message-passing scheduler whose control traffic crosses the
+        # cut: deliveries are held to the heal and recorded.
+        from repro.cli import make_scheduler
+
+        g = topologies.ring(8)
+        plan = FaultPlan(
+            seed=3, partitions=(PartitionWindow(((3, 4), (4, 5)), 2, 12),)
+        )
+        wl = OnlineWorkload.bernoulli(g, 5, 2, rate=0.2, horizon=20, seed=5)
+        scheduler, speed = make_scheduler("coordinated", g)
+        cfg = SimConfig(faults=plan, object_speed_den=speed)
+        trace = Simulator(g, scheduler, wl, config=cfg).run()
+        assert certify_trace(g, trace) == []
+        held = [f for f in trace.faults if f.kind == "partition-msg"]
+        for f in held:
+            assert any(p.covers(f.time) for p in trace.partitions)
+
+    def test_partition_records_deterministic(self):
+        plan = FaultPlan(
+            seed=9,
+            drop_prob=0.1,
+            partitions=(PartitionWindow(((0, 1),), 1, 9),),
+        )
+        _, a = ring_run(plan)
+        _, b = ring_run(plan)
+        assert canonical(a) == canonical(b)
+
+
+# ----------------------------------------------------------------------
+# serialization + certifier reconciliation
+# ----------------------------------------------------------------------
+
+class TestPartitionTraceRoundTrip:
+    def test_round_trip_preserves_partitions(self):
+        plan = FaultPlan(
+            seed=1, partitions=(PartitionWindow(((3, 4), (4, 5)), 0, 12),)
+        )
+        g, trace = ring_run(plan)
+        back = trace_from_dict(json.loads(canonical(trace)))
+        assert back.partitions == trace.partitions
+        assert canonical(back) == canonical(trace)
+        assert certify_trace(g, back) == []
+
+    def test_unpartitioned_trace_has_no_partitions_key(self):
+        g, trace = ring_run(None)
+        assert "partitions" not in trace_to_dict(trace)
+
+    def test_certifier_rejects_uncovered_reroute(self):
+        # Strip the PartitionRecords: every reroute record is now
+        # unexplained and certification must fail.
+        plan = FaultPlan(seed=0, partitions=(PartitionWindow(((0, 1),), 0, 30),))
+        g, trace = ring_run(plan, placement={0: 1})
+        assert "reroute" in fault_kinds(trace)
+        data = json.loads(canonical(trace))
+        del data["partitions"]
+        tampered = trace_from_dict(data)
+        issues = certify_trace(g, tampered, raise_on_failure=False)
+        assert issues and any("partition" in str(i) for i in issues)
+
+    def test_certifier_rejects_bogus_window(self):
+        plan = FaultPlan(seed=0, partitions=(PartitionWindow(((0, 1),), 0, 30),))
+        g, trace = ring_run(plan, placement={0: 1})
+        data = json.loads(canonical(trace))
+        data["partitions"][0][0] = [[0, 3]]  # not an edge of ring(8)
+        tampered = trace_from_dict(data)
+        issues = certify_trace(g, tampered, raise_on_failure=False)
+        assert issues and any("partition" in str(i) for i in issues)
+
+
+class TestPartitionLiveness:
+    def test_full_mix_still_commits(self):
+        g = topologies.ring(10)
+        plan = FaultPlan(
+            seed=4,
+            drop_prob=0.05,
+            delay_prob=0.1,
+            max_delay=2,
+            crashes=(CrashWindow(3, 5, 11),),
+            partitions=(PartitionWindow(((6, 7),), 4, 14),),
+        )
+        wl = OnlineWorkload.bernoulli(g, 6, 2, rate=0.15, horizon=25, seed=2)
+        specs = wl.arrivals()
+        cfg = SimConfig(faults=plan)
+        trace = Simulator(g, GreedyScheduler(), wl, config=cfg).run()
+        assert trace.num_txns == len(specs)
+        assert certify_trace(g, trace) == []
