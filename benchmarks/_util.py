@@ -19,6 +19,7 @@ from __future__ import annotations
 import json
 import math
 import os
+import platform
 import sys
 from typing import Iterable, Mapping, Optional, Sequence
 
@@ -26,6 +27,20 @@ from repro.analysis import render_table
 
 RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
 BENCH_SCHEMA = "repro.bench/1"
+
+
+def host_meta() -> dict:
+    """Worker/host metadata stamped into every ``BENCH_*.json`` snapshot.
+
+    Parallel speedup numbers are meaningless without the core count they
+    were measured on, so the schema carries it alongside the interpreter
+    version and platform.
+    """
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "platform": platform.system().lower(),
+    }
 
 
 def _caller_bench_name(depth: int = 2) -> str:
@@ -47,6 +62,7 @@ def _write_json(
     rows: Sequence[Sequence[object]],
     obs: Optional[Mapping[str, object]],
     extra: Optional[Mapping[str, object]],
+    jobs: Optional[Sequence[int]],
 ) -> str:
     path = _json_path(name)
     doc = {"schema": BENCH_SCHEMA, "bench": name, "tables": []}
@@ -58,11 +74,14 @@ def _write_json(
                 doc = loaded
         except (OSError, ValueError):
             pass  # corrupt or foreign file: start fresh
+    doc["host"] = host_meta()
     record = {"title": title, "headers": list(headers), "rows": [list(r) for r in rows]}
     if obs:
         record["obs"] = dict(obs)
     if extra:
         record["extra"] = dict(extra)
+    if jobs:
+        record["jobs"] = [int(j) for j in jobs]
     tables = [t for t in doc.get("tables", []) if t.get("title") != title]
     tables.append(record)
     doc["tables"] = tables
@@ -79,20 +98,23 @@ def emit(
     *,
     obs: Optional[Mapping[str, object]] = None,
     extra: Optional[Mapping[str, object]] = None,
+    jobs: Optional[Sequence[int]] = None,
 ) -> str:
     """Render, print (uncaptured), and persist one experiment table.
 
     Appends the rendered table to ``results.txt`` and updates the calling
     module's ``BENCH_<name>.json`` snapshot.  ``obs`` attaches probe
     counters (e.g. ``CountersProbe.summary()``); ``extra`` attaches any
-    other JSON-serializable metadata (parameters, derived stats).
+    other JSON-serializable metadata (parameters, derived stats); ``jobs``
+    records the worker counts a parallel bench swept.  The snapshot also
+    carries :func:`host_meta` so speedups are interpretable later.
     """
     rows = [list(r) for r in rows]
     table = render_table(headers, rows, title=title)
     print("\n" + table + "\n", file=sys.__stdout__, flush=True)
     with open(RESULTS_PATH, "a") as fh:
         fh.write(table + "\n\n")
-    _write_json(_caller_bench_name(), title, headers, rows, obs, extra)
+    _write_json(_caller_bench_name(), title, headers, rows, obs, extra, jobs)
     return table
 
 

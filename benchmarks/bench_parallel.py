@@ -1,0 +1,183 @@
+"""E-PARALLEL — fan-out speedup and serial-floor guard for repro.parallel.
+
+Times the three wired fan-out layers — multi-seed ``replicate``, a chaos
+``run_sweep`` (monitors on), and a compare-style scheduler×seed grid via
+``run_grid`` — at ``jobs`` ∈ {1, 2, 4}, asserting the parallel results
+are identical to serial before trusting any timing.
+
+Two guards come out of the numbers:
+
+* **Serial floor** (hard): calibrated serial replicate throughput
+  (seeds/sec divided by a same-session heap-op calibration, so machine
+  speed cancels) must stay within 30% of the committed
+  ``BENCH_parallel.json`` snapshot — the ``jobs=1`` path must never pay
+  for the pool's existence.
+* **Speedup** (informational): with ≥ 4 physical cores, ``jobs=4``
+  should reach ~2× on these workloads; below that core count a speedup
+  target is physically meaningless, so the check only *warns* and the
+  snapshot records the measured curve plus the host core count
+  (``host.cpu_count``) needed to interpret it.
+"""
+
+import heapq
+import json
+import os
+import time
+
+import pytest
+
+from _util import emit, once
+from repro.analysis import replicate, run_experiment, run_grid
+from repro.chaos import run_sweep
+from repro.core import GreedyScheduler
+from repro.network import topologies
+from repro.workloads import OnlineWorkload
+
+JOBS_SWEEP = [1, 2, 4]
+REGRESSION_FLOOR = 0.7
+#: jobs=4 speedup below this on a >=4-core host prints a warning
+SPEEDUP_TARGET = 2.0
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "BENCH_parallel.json")
+TITLE = "E-PARALLEL  fan-out speedup — replicate / chaos sweep / compare grid"
+
+REPLICATE_SEEDS = list(range(8))
+SWEEP_EPISODES = 12
+GRID_SCHEDULERS = ["greedy", "bucket", "fifo", "tsp"]
+GRID_SEEDS = [0, 1]
+
+
+def _replicate_case(seed):
+    """One replicate unit: a dense bernoulli clique run (picklable)."""
+    g = topologies.clique(16)
+    wl = OnlineWorkload.bernoulli(
+        g, num_objects=8, k=2, rate=0.2, horizon=120, seed=seed
+    )
+    res = run_experiment(g, GreedyScheduler(), wl)
+    return {"makespan": res.makespan, "ratio": res.competitive_ratio}
+
+
+def _grid_case(case):
+    """One compare-grid cell: (scheduler name, seed) -> metrics."""
+    from repro.cli import make_scheduler, parse_topology
+
+    name, seed = case
+    g = parse_topology("clique:12")
+    scheduler, speed = make_scheduler(name, g)
+    wl = OnlineWorkload.bernoulli(
+        g, num_objects=6, k=2, rate=0.15, horizon=80, seed=seed
+    )
+    res = run_experiment(g, scheduler, wl, object_speed_den=speed)
+    return {"makespan": res.makespan, "txns": res.metrics.num_txns}
+
+
+def _canon(value):
+    return json.dumps(value, sort_keys=True, default=repr)
+
+
+def _run_replicate(jobs):
+    return replicate(_replicate_case, REPLICATE_SEEDS, jobs=jobs)
+
+
+def _run_sweep(jobs):
+    res = run_sweep(
+        SWEEP_EPISODES, seed=6, topology="ring:10", horizon=25, jobs=jobs
+    )
+    return [r.to_dict() for r in res.episodes]
+
+
+def _run_grid(jobs):
+    cases = [(name, seed) for name in GRID_SCHEDULERS for seed in GRID_SEEDS]
+    return run_grid(_grid_case, cases, jobs=jobs)
+
+
+def _calibrate(n=150_000, repeats=3):
+    """ops/sec of a fixed heap push/pop workload (machine speed proxy)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        h = []
+        for i in range(n):
+            heapq.heappush(h, (i * 2654435761) % 1000003)
+        while h:
+            heapq.heappop(h)
+        best = min(best, time.perf_counter() - t0)
+    return 2 * n / best
+
+
+def _committed_serial_calibrated():
+    try:
+        with open(BASELINE_PATH) as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    for table in doc.get("tables", []):
+        if table.get("title") == TITLE:
+            return (table.get("extra") or {}).get("serial_calibrated")
+    return None
+
+
+@pytest.mark.benchmark(group="E-PARALLEL-speedup")
+def test_parallel_speedup_and_serial_floor(benchmark):
+    baseline = _committed_serial_calibrated()
+    cal = _calibrate()
+    layers = [
+        ("replicate", _run_replicate, len(REPLICATE_SEEDS)),
+        ("chaos-sweep", _run_sweep, SWEEP_EPISODES),
+        ("compare-grid", _run_grid, len(GRID_SCHEDULERS) * len(GRID_SEEDS)),
+    ]
+    rows = []
+    serial_calibrated = {}
+    speedups = {}
+    for name, fn, units in layers:
+        reference = None
+        serial_secs = None
+        for jobs in JOBS_SWEEP:
+            t0 = time.perf_counter()
+            out = fn(jobs)
+            secs = time.perf_counter() - t0
+            if reference is None:
+                reference = _canon(out)
+                serial_secs = secs
+                serial_calibrated[name] = round(units / secs / cal * 1e6, 4)
+            else:
+                # Timing without determinism is worthless: parallel output
+                # must match serial byte-for-byte before it is counted.
+                assert _canon(out) == reference, (
+                    f"{name}: jobs={jobs} output differs from serial"
+                )
+            speedup = round(serial_secs / secs, 2)
+            speedups.setdefault(name, {})[str(jobs)] = speedup
+            rows.append([
+                name, jobs, units, round(secs * 1e3, 1),
+                round(units / secs, 2), speedup,
+            ])
+    once(benchmark, lambda: _run_replicate(1))
+    cores = os.cpu_count() or 1
+    emit(
+        TITLE,
+        ["layer", "jobs", "units", "best_ms", "units/s", "speedup"],
+        rows,
+        extra={
+            "serial_calibrated": serial_calibrated,
+            "speedups": speedups,
+            "calibration_ops": round(cal, 1),
+            "jobs_sweep": JOBS_SWEEP,
+            "regression_floor": REGRESSION_FLOOR,
+            "speedup_target": SPEEDUP_TARGET,
+        },
+        jobs=JOBS_SWEEP,
+    )
+    if cores >= 4:
+        for name, curve in speedups.items():
+            if curve.get("4", 0) < SPEEDUP_TARGET:
+                print(
+                    f"WARNING: {name} jobs=4 speedup {curve.get('4')}x < "
+                    f"{SPEEDUP_TARGET}x on a {cores}-core host"
+                )
+    if baseline:
+        for name, rate in serial_calibrated.items():
+            base = baseline.get(name)
+            assert base is None or rate >= REGRESSION_FLOOR * base, (
+                f"{name}: calibrated serial throughput {rate:.4f} < "
+                f"{REGRESSION_FLOOR:.0%} of committed baseline {base:.4f}"
+            )

@@ -29,6 +29,7 @@ from repro.core import (
     OnlineScheduler,
 )
 from repro.network import Graph, topologies
+from repro.parallel import WorkerPool, pmap, resolve_jobs
 from repro.sim import (
     DirectTransport,
     ExecutionTrace,
@@ -61,6 +62,9 @@ __all__ = [
     "CrashWindow",
     "PartitionWindow",
     "FaultInjector",
+    "WorkerPool",
+    "pmap",
+    "resolve_jobs",
     "OnlineScheduler",
     "GreedyScheduler",
     "CoordinatedGreedyScheduler",

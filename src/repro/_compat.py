@@ -1,0 +1,25 @@
+"""Small version-compatibility helpers.
+
+The library supports Python >= 3.9; a few CPython niceties we want on
+the hot path (``dataclass(slots=True)``) only exist from 3.10.  This
+module centralizes the conditional so call sites stay declarative.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+
+
+def slotted_dataclass(**kwargs):
+    """``@dataclass(slots=True, **kwargs)`` where supported, else plain.
+
+    ``slots=True`` removes the per-instance ``__dict__`` from hot classes
+    (SharedObject, Transaction, trace records), shrinking memory and
+    speeding attribute access.  On 3.9 the flag does not exist, so the
+    decorator degrades to a regular dataclass — behaviour is identical,
+    only the memory layout differs.
+    """
+    if sys.version_info >= (3, 10):
+        return dataclass(slots=True, **kwargs)
+    return dataclass(**kwargs)

@@ -31,7 +31,7 @@ from repro.analysis.exact import (
     exact_optimal_makespan,
     exact_ratio,
 )
-from repro.analysis.experiments import RunResult, run_experiment
+from repro.analysis.experiments import RunResult, run_experiment, run_grid
 from repro.analysis.timeline import (
     hottest_nodes,
     live_count_series,
@@ -52,6 +52,7 @@ __all__ = [
     "render_table",
     "RunResult",
     "run_experiment",
+    "run_grid",
     "Aggregate",
     "replicate",
     "exact_optimal_makespan",

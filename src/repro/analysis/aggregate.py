@@ -14,6 +14,9 @@ from typing import Callable, Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
+from repro.errors import ReproError
+from repro.parallel import WorkerPool
+
 
 @dataclass(frozen=True)
 class Aggregate:
@@ -63,33 +66,61 @@ class Aggregate:
                 round(self.min, 2), round(self.max, 2), f"[{lo:.2f},{hi:.2f}]"]
 
 
+class _SeedRunner:
+    """Picklable per-seed adapter so ``replicate`` can fan out via pmap."""
+
+    def __init__(self, experiment, config):
+        self.experiment = experiment
+        self.config = config
+
+    def __call__(self, seed):
+        if self.config is None:
+            return self.experiment(seed)
+        return self.experiment(seed, self.config)
+
+
 def replicate(
     experiment: Callable[..., Mapping[str, float]],
     seeds: Sequence[int],
     *,
     config=None,
+    jobs: int = 1,
 ) -> Dict[str, Aggregate]:
     """Run ``experiment(seed)`` for each seed; aggregate each metric key.
 
     The experiment returns a flat ``{metric: value}`` mapping; all runs
-    must return the same keys.  When ``config`` (a
-    :class:`~repro.sim.config.SimConfig`) is given, the factory is called
-    as ``experiment(seed, config)`` so one engine configuration threads
-    through every replication — typically forwarded to
+    must return the same keys — a mismatch raises :class:`ReproError`
+    naming the offending seed and the missing/extra keys.  When ``config``
+    (a :class:`~repro.sim.config.SimConfig`) is given, the factory is
+    called as ``experiment(seed, config)`` so one engine configuration
+    threads through every replication — typically forwarded to
     ``run_experiment(..., config=config)``.
+
+    ``jobs`` > 1 shards the seeds across a process pool
+    (:mod:`repro.parallel`); each seed is an independent pure function of
+    ``(seed, config)``, so the aggregates are identical to the serial
+    result for any worker count.
     """
+    seeds = list(seeds)
+    with WorkerPool(_SeedRunner(experiment, config), jobs=jobs) as pool:
+        outputs = pool.map(seeds)
+
     collected: Dict[str, List[float]] = {}
     keys = None
-    for seed in seeds:
-        out = experiment(seed) if config is None else experiment(seed, config)
+    first_seed = None
+    for seed, out in zip(seeds, outputs):
         if keys is None:
             keys = set(out)
+            first_seed = seed
             for k in keys:
                 collected[k] = []
         elif set(out) != keys:
-            raise ValueError(
+            missing = sorted(keys - set(out))
+            extra = sorted(set(out) - keys)
+            raise ReproError(
                 f"experiment returned inconsistent metric keys for seed {seed}: "
-                f"{sorted(set(out) ^ keys)}"
+                f"missing {missing}, extra {extra} "
+                f"(relative to seed {first_seed}'s keys {sorted(keys)})"
             )
         for k, v in out.items():
             collected[k].append(float(v))

@@ -48,8 +48,9 @@ def earliest_schedule_for_order(
     out: Dict[TxnId, Time] = {}
     for txn in order:
         t = txn.gen_time
+        drow = graph.distances_from(txn.home)
         for oid in txn.objects:
-            t = max(t, avail[oid] + speed * graph.distance(pos[oid], txn.home))
+            t = max(t, avail[oid] + speed * drow[pos[oid]])
         out[txn.tid] = t
         for oid in txn.objects:
             pos[oid] = txn.home
@@ -103,9 +104,10 @@ def exact_optimal_makespan(
         candidates = []
         for txn in remaining:
             t = txn.gen_time
+            drow = graph.distances_from(txn.home)
             for oid in txn.objects:
                 i = oids.index(oid)
-                t = max(t, avail[i] + speed * graph.distance(pos[i], txn.home))
+                t = max(t, avail[i] + speed * drow[pos[i]])
             candidates.append((t, txn))
         candidates.sort(key=lambda ct: (ct[0], ct[1].tid))
         for t, txn in candidates:

@@ -21,7 +21,7 @@ certification is skipped for them (the deferral count is the measurement).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro._types import DeparturePolicy
 from repro.analysis.metrics import RunMetrics, summarize
@@ -107,3 +107,28 @@ def run_experiment(
         makespan_ratio=mk_ratio,
         obs=obs,
     )
+
+
+def run_grid(
+    case_fn: Callable[[Any], Mapping[str, float]],
+    cases: Sequence[Any],
+    *,
+    jobs: int = 1,
+) -> List[Dict[str, float]]:
+    """Evaluate an experiment grid, optionally on a process pool.
+
+    ``case_fn(case)`` builds and runs one experiment from its picklable
+    case description (a seed, a ``(topology, scheduler, seed)`` tuple, a
+    dict of knobs — whatever the study sweeps) and returns a flat metric
+    mapping.  Results come back as plain dicts **in case order**,
+    identical for every ``jobs`` value (:mod:`repro.parallel`), so grid
+    tables and downstream aggregation never depend on worker timing.
+
+    This is the grid-shaped sibling of
+    :func:`~repro.analysis.aggregate.replicate`, which aggregates one
+    experiment across seeds; ``run_grid`` keeps each case's metrics
+    separate.
+    """
+    from repro.parallel import pmap
+
+    return [dict(out) for out in pmap(case_fn, cases, jobs=jobs)]

@@ -31,12 +31,14 @@ class FifoSerialScheduler(OnlineScheduler):
         speed = self.sim.object_speed_den
         for txn in sorted(new_txns, key=lambda x: x.tid):
             bound: Time = 1
+            # One cached Dijkstra row serves the whole object loop.
+            drow = self.sim.graph.distances_from(txn.home)
             for oid in txn.all_objects:
                 pos = self._planned_pos.get(oid)
                 if pos is None:
                     reach = self.sim.object_time_to_reach(oid, txn.home)
                 else:
-                    reach = speed * self.sim.graph.distance(pos, txn.home)
+                    reach = speed * drow[pos]
                 bound = max(bound, reach)
             exec_time = max(self._horizon, t) + bound
             self.emit("fifo", t, tid=txn.tid, bound=bound)

@@ -28,7 +28,8 @@ def nearest_neighbor_order(graph, start, txns: Sequence[Transaction]) -> List[Tr
     order: List[Transaction] = []
     pos = start
     while remaining:
-        nxt = min(remaining, key=lambda x: (graph.distance(pos, x.home), x.tid))
+        drow = graph.distances_from(pos)
+        nxt = min(remaining, key=lambda x: (drow[x.home], x.tid))
         order.append(nxt)
         remaining.remove(nxt)
         pos = nxt.home

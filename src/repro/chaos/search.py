@@ -20,11 +20,36 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.chaos.invariants import InvariantMonitor, InvariantViolation
 from repro.errors import ReproError
 from repro.faults import FaultPlan
+from repro.parallel import WorkerPool
+
+#: Per-process memo of parsed topologies.  A sweep re-runs hundreds of
+#: episodes (and the shrinker thousands of candidates) on the same few
+#: topology strings; sharing one :class:`~repro.network.graph.Graph` per
+#: string also shares its Dijkstra cache.  Safe because graphs are
+#: immutable after construction and their cached distances are pure.
+_GRAPH_CACHE: Dict[str, object] = {}
+
+
+def _cached_topology(topology: str):
+    graph = _GRAPH_CACHE.get(topology)
+    if graph is None:
+        from repro.cli import parse_topology
+
+        graph = _GRAPH_CACHE[topology] = parse_topology(topology)
+    return graph
+
+
+def _warm_worker(topology: str) -> None:
+    """Pool initializer: build the sweep topology and every Dijkstra row
+    once per worker process instead of once per episode."""
+    graph = _cached_topology(topology)
+    for node in graph.nodes():
+        graph.distances_from(node)
 
 #: Default scheduler rotation for sweeps: a cross-section of the bundled
 #: families (greedy coloring, adaptive, coordinated, bucket conversion,
@@ -175,12 +200,12 @@ def run_episode(spec: EpisodeSpec) -> EpisodeResult:
     # Function-level imports: repro.cli imports repro.chaos for the
     # ``chaos`` subcommand, so the factories are pulled lazily here to
     # keep the layering acyclic.
-    from repro.cli import make_scheduler, parse_topology
+    from repro.cli import make_scheduler
     from repro.sim.config import SimConfig
     from repro.sim.engine import Simulator
     from repro.sim.validate import certify_trace
 
-    graph = parse_topology(spec.topology)
+    graph = _cached_topology(spec.topology)
     scheduler, speed = make_scheduler(spec.scheduler, graph)
     workload = make_workload(graph, spec.workload)
     probe = (
@@ -265,14 +290,14 @@ def episode_spec(
     partition_len: int = 8,
     stall_k: int = 512,
     monitor: bool = True,
+    planted: Optional[Dict[str, object]] = None,
 ) -> EpisodeSpec:
     """The ``index``-th episode of a sweep: scheduler rotates round-robin,
     fault plan and workload are drawn from a per-episode seed derived by
-    the same string-keyed RNG the injector uses."""
-    from repro.cli import parse_topology
-
+    the same string-keyed RNG the injector uses.  ``planted`` forwards
+    the monitor's test-only violation hook to every generated spec."""
     ep_seed = random.Random(f"{seed}|chaos-episode|{index}").randrange(2**31)
-    graph = parse_topology(topology)
+    graph = _cached_topology(topology)
     plan = FaultPlan.random(
         ep_seed,
         num_nodes=graph.num_nodes,
@@ -301,6 +326,7 @@ def episode_spec(
         plan=plan,
         stall_k=stall_k,
         monitor=monitor,
+        planted=planted,
     )
 
 
@@ -343,6 +369,8 @@ def run_sweep(
     shrink: bool = False,
     artifact_dir: Optional[str] = None,
     progress: Optional[Callable[[EpisodeResult], None]] = None,
+    jobs: int = 1,
+    specs: Optional[Sequence[EpisodeSpec]] = None,
     **episode_kwargs,
 ) -> SweepResult:
     """Run ``episodes`` seeded chaos episodes; optionally minimize and
@@ -353,27 +381,51 @@ def run_sweep(
     (:func:`repro.chaos.shrink.shrink_spec`); with ``artifact_dir`` set,
     each (minimized) failure is written as a replayable JSON artifact.
     ``episode_kwargs`` are forwarded to :func:`episode_spec`.
+
+    ``jobs`` > 1 fans the episodes (and the shrinker's candidate plans)
+    out over a process pool (:mod:`repro.parallel`).  Episodes are pure
+    functions of their spec and results are merged by episode index, so
+    the sweep result — episode order, shrunk plans, artifacts — is
+    identical to a serial run for any worker count.
+
+    ``specs`` overrides episode generation with an explicit list of
+    :class:`EpisodeSpec` to run (``episodes``/``episode_kwargs`` are then
+    ignored); artifacts and progress behave exactly as for generated
+    specs.
     """
     from repro.chaos.artifact import save_artifact
     from repro.chaos.shrink import shrink_spec
 
+    if specs is None:
+        specs = [episode_spec(i, seed=seed, **episode_kwargs) for i in range(episodes)]
+    else:
+        specs = list(specs)
+    topology = specs[0].topology if specs else "ring:12"
+
     out = SweepResult()
-    for i in range(episodes):
-        spec = episode_spec(i, seed=seed, **episode_kwargs)
-        result = run_episode(spec)
-        if result.violation is not None and shrink:
-            small = shrink_spec(spec, result.violation["invariant"])
-            result = run_episode(small)
-            if result.violation is None:  # shrink must preserve failure
+    with WorkerPool(
+        run_episode, jobs=jobs, initializer=_warm_worker, initargs=(topology,)
+    ) as pool:
+        # Serial runs stream episode-by-episode (progress fires as each
+        # completes); parallel runs map everything first and then
+        # post-process in episode order, which yields the same results.
+        results = pool.map(specs) if pool.jobs > 1 else [None] * len(specs)
+        for i, (spec, result) in enumerate(zip(specs, results)):
+            if result is None:
                 result = run_episode(spec)
-        if result.violation is not None and artifact_dir is not None:
-            path = save_artifact(
-                result, artifact_dir, name=f"chaos-{seed}-{i:04d}.json"
-            )
-            out.artifacts.append(path)
-        out.episodes.append(result)
-        if progress is not None:
-            progress(result)
+            if result.violation is not None and shrink:
+                small = shrink_spec(spec, result.violation["invariant"], pool=pool)
+                result = run_episode(small)
+                if result.violation is None:  # shrink must preserve failure
+                    result = run_episode(spec)
+            if result.violation is not None and artifact_dir is not None:
+                path = save_artifact(
+                    result, artifact_dir, name=f"chaos-{seed}-{i:04d}.json"
+                )
+                out.artifacts.append(path)
+            out.episodes.append(result)
+            if progress is not None:
+                progress(result)
     return out
 
 

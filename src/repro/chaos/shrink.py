@@ -11,6 +11,14 @@ of the plan — and each greedy pass repeats until a fixpoint, so the
 result is minimal under the move set and, crucially, *deterministic*:
 the same failing episode always shrinks to the same reproducer.
 
+The greedy fixpoint passes are phrased as "generate the orderd candidate
+list for this round, accept the *first* failing candidate"; that framing
+admits speculative parallelism (:func:`shrink_spec`'s ``pool``): a batch
+evaluator may test all candidates of a round concurrently and take the
+lowest failing index — by construction the same candidate a serial scan
+would accept, so parallel and serial shrinking produce identical
+reproducers.
+
 The final plan is what lands in the replay artifact
 (:mod:`repro.chaos.artifact`); a typical planted crash+partition
 violation minimizes from a dozen windows and three probabilities to a
@@ -20,16 +28,50 @@ two-window plan with everything else zeroed.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence
 
 from repro.faults import CrashWindow, FaultPlan, PartitionWindow
 
 #: Predicate: does this plan still provoke the target violation?
 StillFails = Callable[[FaultPlan], bool]
 
+#: Batch predicate: per-candidate :data:`StillFails` flags, evaluated
+#: together (e.g. on a worker pool).  Must be pointwise-equal to mapping
+#: the serial predicate.
+StillFailsMany = Callable[[Sequence[FaultPlan]], List[bool]]
+
+
+def _first_failing(
+    candidates: Sequence[FaultPlan],
+    fails: StillFails,
+    fails_many: Optional[StillFailsMany],
+) -> Optional[int]:
+    """Index of the first candidate that still fails, or ``None``.
+
+    Serial mode scans in order and short-circuits; batch mode evaluates
+    every candidate (speculatively, in parallel) and picks the lowest
+    failing index — the identical outcome, bought with extra work.
+    """
+    if not candidates:
+        return None
+    if fails_many is None:
+        for i, candidate in enumerate(candidates):
+            if fails(candidate):
+                return i
+        return None
+    flags = fails_many(candidates)
+    for i, flag in enumerate(flags):
+        if flag:
+            return i
+    return None
+
 
 def _zero_probabilities(plan: FaultPlan, fails: StillFails) -> FaultPlan:
-    """Try zeroing drop/delay probabilities, jointly then individually."""
+    """Try zeroing drop/delay probabilities, jointly then individually.
+
+    Each try conditions on the previous outcome, so this pass stays
+    serial — it is at most three episode runs.
+    """
     if plan.drop_prob or plan.delay_prob:
         candidate = replace(plan, drop_prob=0.0, delay_prob=0.0, max_delay=0)
         if fails(candidate):
@@ -46,7 +88,11 @@ def _zero_probabilities(plan: FaultPlan, fails: StillFails) -> FaultPlan:
 
 
 def _drop_window_classes(plan: FaultPlan, fails: StillFails) -> FaultPlan:
-    """Try removing all crash windows, then all partition windows."""
+    """Try removing all crash windows, then all partition windows.
+
+    The second try depends on whether the first was accepted (two runs
+    total), so this pass also stays serial.
+    """
     if plan.crashes:
         candidate = replace(plan, crashes=())
         if fails(candidate):
@@ -58,91 +104,65 @@ def _drop_window_classes(plan: FaultPlan, fails: StillFails) -> FaultPlan:
     return plan
 
 
-def _drop_individual_windows(plan: FaultPlan, fails: StillFails) -> FaultPlan:
+def _drop_individual_windows(
+    plan: FaultPlan, fails: StillFails, fails_many: Optional[StillFailsMany] = None
+) -> FaultPlan:
     """Remove single windows while the plan keeps failing (to fixpoint)."""
-    changed = True
-    while changed:
-        changed = False
-        for i in range(len(plan.crashes)):
-            crashes = plan.crashes[:i] + plan.crashes[i + 1:]
-            candidate = replace(plan, crashes=crashes)
-            if fails(candidate):
-                plan = candidate
-                changed = True
-                break
-        else:
-            for i in range(len(plan.partitions)):
-                parts = plan.partitions[:i] + plan.partitions[i + 1:]
-                candidate = replace(plan, partitions=parts)
-                if fails(candidate):
-                    plan = candidate
-                    changed = True
-                    break
-    return plan
+    while True:
+        candidates = [
+            replace(plan, crashes=plan.crashes[:i] + plan.crashes[i + 1:])
+            for i in range(len(plan.crashes))
+        ] + [
+            replace(plan, partitions=plan.partitions[:i] + plan.partitions[i + 1:])
+            for i in range(len(plan.partitions))
+        ]
+        hit = _first_failing(candidates, fails, fails_many)
+        if hit is None:
+            return plan
+        plan = candidates[hit]
 
 
-def _shrink_cuts(plan: FaultPlan, fails: StillFails) -> FaultPlan:
+def _shrink_cuts(
+    plan: FaultPlan, fails: StillFails, fails_many: Optional[StillFailsMany] = None
+) -> FaultPlan:
     """Remove individual edges from partition cuts (to fixpoint)."""
-    changed = True
-    while changed:
-        changed = False
+    while True:
+        candidates: List[FaultPlan] = []
         for i, p in enumerate(plan.partitions):
             if len(p.cut) <= 1:
                 continue
             for j in range(len(p.cut)):
-                cut = p.cut[:j] + p.cut[j + 1:]
-                smaller = PartitionWindow(cut, p.start, p.end)
+                smaller = PartitionWindow(p.cut[:j] + p.cut[j + 1:], p.start, p.end)
                 parts = plan.partitions[:i] + (smaller,) + plan.partitions[i + 1:]
-                candidate = replace(plan, partitions=parts)
-                if fails(candidate):
-                    plan = candidate
-                    changed = True
-                    break
-            if changed:
-                break
-    return plan
+                candidates.append(replace(plan, partitions=parts))
+        hit = _first_failing(candidates, fails, fails_many)
+        if hit is None:
+            return plan
+        plan = candidates[hit]
 
 
-def _shrink_intervals(plan: FaultPlan, fails: StillFails) -> FaultPlan:
+def _shrink_intervals(
+    plan: FaultPlan, fails: StillFails, fails_many: Optional[StillFailsMany] = None
+) -> FaultPlan:
     """Halve window durations while the plan keeps failing (to fixpoint)."""
-    changed = True
-    while changed:
-        changed = False
+    while True:
+        candidates: List[FaultPlan] = []
         for i, w in enumerate(plan.crashes):
             if w.duration <= 1:
                 continue
             half = CrashWindow(w.node, w.start, w.start + (w.duration + 1) // 2)
             crashes = plan.crashes[:i] + (half,) + plan.crashes[i + 1:]
-            candidate = replace(plan, crashes=crashes)
-            if fails(candidate):
-                plan = candidate
-                changed = True
-                break
-        else:
-            for i, p in enumerate(plan.partitions):
-                if p.duration <= 1:
-                    continue
-                half = PartitionWindow(
-                    p.cut, p.start, p.start + (p.duration + 1) // 2
-                )
-                parts = plan.partitions[:i] + (half,) + plan.partitions[i + 1:]
-                candidate = replace(plan, partitions=parts)
-                if fails(candidate):
-                    plan = candidate
-                    changed = True
-                    break
-    return plan
-
-
-#: Greedy passes, cheapest-win-first; the driver repeats the whole
-#: sequence until one full round makes no progress.
-_PASSES: List[Callable[[FaultPlan, StillFails], FaultPlan]] = [
-    _zero_probabilities,
-    _drop_window_classes,
-    _drop_individual_windows,
-    _shrink_cuts,
-    _shrink_intervals,
-]
+            candidates.append(replace(plan, crashes=crashes))
+        for i, p in enumerate(plan.partitions):
+            if p.duration <= 1:
+                continue
+            half = PartitionWindow(p.cut, p.start, p.start + (p.duration + 1) // 2)
+            parts = plan.partitions[:i] + (half,) + plan.partitions[i + 1:]
+            candidates.append(replace(plan, partitions=parts))
+        hit = _first_failing(candidates, fails, fails_many)
+        if hit is None:
+            return plan
+        plan = candidates[hit]
 
 
 def plan_size(plan: FaultPlan) -> int:
@@ -161,6 +181,7 @@ def shrink_plan(
     fails: StillFails,
     *,
     max_rounds: int = 16,
+    fails_many: Optional[StillFailsMany] = None,
 ) -> FaultPlan:
     """Minimize ``plan`` under the move set while ``fails`` stays true.
 
@@ -169,17 +190,23 @@ def shrink_plan(
     passes to a global fixpoint, ``max_rounds`` bounding the outer loop
     against pathological ping-ponging (never hit in practice — each pass
     only ever removes or shortens).
+
+    ``fails_many``, when given, batch-evaluates candidate lists (see
+    :data:`StillFailsMany`); the result is identical to the serial scan.
     """
     for _ in range(max_rounds):
         before = plan_size(plan)
-        for p in _PASSES:
-            plan = p(plan, fails)
+        plan = _zero_probabilities(plan, fails)
+        plan = _drop_window_classes(plan, fails)
+        plan = _drop_individual_windows(plan, fails, fails_many)
+        plan = _shrink_cuts(plan, fails, fails_many)
+        plan = _shrink_intervals(plan, fails, fails_many)
         if plan_size(plan) == before:
             break
     return plan
 
 
-def shrink_spec(spec, invariant: str, *, max_rounds: int = 16):
+def shrink_spec(spec, invariant: str, *, max_rounds: int = 16, pool=None):
     """Shrink a failing :class:`~repro.chaos.search.EpisodeSpec`'s plan.
 
     The predicate re-runs the episode with the candidate plan and checks
@@ -187,15 +214,29 @@ def shrink_spec(spec, invariant: str, *, max_rounds: int = 16):
     differently (or passes) is rejected, so the reproducer reproduces
     the original bug, not merely *a* bug.  Returns a new spec carrying
     the minimized plan.
+
+    ``pool`` is an optional :class:`repro.parallel.WorkerPool` bound to
+    :func:`~repro.chaos.search.run_episode`; when given (and running
+    more than one job), each shrink round's candidate plans are
+    evaluated concurrently.  The accepted candidate is always the one
+    the serial scan would accept, so the reproducer is unchanged.
     """
     from repro.chaos.search import rerun_with_plan
 
-    def fails(candidate: FaultPlan) -> bool:
-        result = rerun_with_plan(spec, candidate)
+    def _trips(result) -> bool:
         return (
             result.violation is not None
             and result.violation["invariant"] == invariant
         )
 
-    small = shrink_plan(spec.plan, fails, max_rounds=max_rounds)
+    def fails(candidate: FaultPlan) -> bool:
+        return _trips(rerun_with_plan(spec, candidate))
+
+    fails_many = None
+    if pool is not None and pool.jobs > 1:
+        def fails_many(candidates: Sequence[FaultPlan]) -> List[bool]:
+            results = pool.map([replace(spec, plan=p) for p in candidates])
+            return [_trips(r) for r in results]
+
+    small = shrink_plan(spec.plan, fails, max_rounds=max_rounds, fails_many=fails_many)
     return replace(spec, plan=small)

@@ -20,6 +20,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import Optional, Tuple
 
 from repro._types import DeparturePolicy
@@ -36,6 +37,7 @@ from repro.cover import build_sparse_cover
 from repro.errors import ReproError
 from repro.network import Graph, topologies
 from repro.obs import CountersProbe, JsonlProbe, MultiProbe
+from repro.parallel import pmap
 from repro.offline import (
     ClusterBatchScheduler,
     ColoringBatchScheduler,
@@ -316,43 +318,60 @@ def cmd_run(args) -> int:
     return 0
 
 
+def _compare_one(payload) -> dict:
+    """One scheduler of a ``compare``: a full timed run, returned as the
+    JSON-ready result dict.  Module-level and driven by a picklable
+    ``(args, name, jsonl_path)`` payload so ``--jobs N`` can fan the
+    schedulers out over a process pool."""
+    args, name, jsonl_path = payload
+    graph = parse_topology(args.topology)
+    scheduler, speed = make_scheduler(name, graph)
+    workload = make_workload(args, graph)
+    probe = make_probe(args, jsonl_path=jsonl_path)
+    started = time.perf_counter()
+    res = run_experiment(
+        graph, scheduler, workload,
+        config=make_config(args, speed, probe=probe, faults=make_faults(args, graph)),
+    )
+    seconds = time.perf_counter() - started
+    _close_probe(probe)
+    d = _result_dict(name, res)
+    d["seconds"] = round(seconds, 3)
+    if res.trace.faults or res.trace.reschedules:
+        d["faults"] = res.trace.fault_counts()
+        d["reschedules"] = len(res.trace.reschedules)
+    if res.obs is not None:
+        d["obs"] = res.obs
+    if jsonl_path:
+        d["obs_jsonl"] = jsonl_path
+    return d
+
+
 def cmd_compare(args) -> int:
     graph = parse_topology(args.topology)
     names = args.schedulers.split(",") if args.schedulers else [
         "greedy", "bucket", "fifo", "tsp"
     ]
-    rows = []
-    results = []
+    payloads = []
     for name in names:
-        scheduler, speed = make_scheduler(name, graph)
-        workload = make_workload(args, graph)
         jsonl_path = None
         if args.obs_jsonl:
             # One stream per scheduler: results.jsonl -> results.greedy.jsonl
             root, dot, ext = args.obs_jsonl.rpartition(".")
             jsonl_path = f"{root}.{name}{dot}{ext}" if dot else f"{args.obs_jsonl}.{name}"
-        probe = make_probe(args, jsonl_path=jsonl_path)
-        res = run_experiment(
-            graph, scheduler, workload,
-            config=make_config(args, speed, probe=probe, faults=make_faults(args, graph)),
-        )
-        _close_probe(probe)
-        d = _result_dict(name, res)
-        if res.trace.faults or res.trace.reschedules:
-            d["faults"] = res.trace.fault_counts()
-            d["reschedules"] = len(res.trace.reschedules)
-        if res.obs is not None:
-            d["obs"] = res.obs
-        if jsonl_path:
-            d["obs_jsonl"] = jsonl_path
-        results.append(d)
-        rows.append([d["scheduler"], d["txns"], d["makespan"], d["mean_latency"],
-                     d["p99_latency"], d["competitive_ratio"], d["messages"]])
+        payloads.append((args, name, jsonl_path))
+    results = pmap(_compare_one, payloads, jobs=getattr(args, "jobs", 1))
+    rows = [
+        [d["scheduler"], d["txns"], d["makespan"], d["mean_latency"],
+         d["p99_latency"], d["competitive_ratio"], d["messages"], d["seconds"]]
+        for d in results
+    ]
     if args.json:
         print(json.dumps(results, indent=2))
     else:
         print(render_table(
-            ["scheduler", "txns", "makespan", "mean-lat", "p99-lat", "ratio", "msgs"],
+            ["scheduler", "txns", "makespan", "mean-lat", "p99-lat", "ratio", "msgs",
+             "seconds"],
             rows, title=graph.name,
         ))
         if args.obs_counters:
@@ -362,6 +381,34 @@ def cmd_compare(args) -> int:
                     print(render_table(["counter", "value"], obs_rows,
                                        title=f"obs: {d['scheduler']}"))
     return 0
+
+
+def _suite_one(payload) -> dict:
+    """One ``suite`` entry as a picklable unit of work for ``--jobs N``."""
+    i, entry = payload
+    ns = argparse.Namespace(
+        topology=entry["topology"],
+        workload=entry.get("workload", "bernoulli"),
+        objects=entry.get("objects", 8),
+        k=entry.get("k", 2),
+        rate=entry.get("rate", 0.05),
+        horizon=entry.get("horizon", 60),
+        rounds=entry.get("rounds", 3),
+        read_fraction=entry.get("read_fraction", 0.0),
+        zipf=entry.get("zipf", 0.0),
+        seed=entry.get("seed", 0),
+        object_speed=entry.get("object_speed", 1),
+    )
+    graph = parse_topology(ns.topology)
+    scheduler, speed = make_scheduler(entry.get("scheduler", "greedy"), graph)
+    res = run_experiment(
+        graph, scheduler, make_workload(ns, graph),
+        object_speed_den=max(speed, ns.object_speed),
+    )
+    d = _result_dict(entry.get("scheduler", "greedy"), res)
+    d["name"] = entry.get("name", f"entry-{i}")
+    d["topology"] = graph.name
+    return d
 
 
 def cmd_suite(args) -> int:
@@ -382,38 +429,16 @@ def cmd_suite(args) -> int:
     if not isinstance(entries, list) or not entries:
         print("suite file must be a non-empty JSON array", file=sys.stderr)
         return 2
-    rows = []
-    results = []
     for i, entry in enumerate(entries):
         unknown = set(entry) - allowed
         if unknown:
             print(f"suite entry {i}: unknown keys {sorted(unknown)}", file=sys.stderr)
             return 2
-        ns = argparse.Namespace(
-            topology=entry["topology"],
-            workload=entry.get("workload", "bernoulli"),
-            objects=entry.get("objects", 8),
-            k=entry.get("k", 2),
-            rate=entry.get("rate", 0.05),
-            horizon=entry.get("horizon", 60),
-            rounds=entry.get("rounds", 3),
-            read_fraction=entry.get("read_fraction", 0.0),
-            zipf=entry.get("zipf", 0.0),
-            seed=entry.get("seed", 0),
-            object_speed=entry.get("object_speed", 1),
-        )
-        graph = parse_topology(ns.topology)
-        scheduler, speed = make_scheduler(entry.get("scheduler", "greedy"), graph)
-        res = run_experiment(
-            graph, scheduler, make_workload(ns, graph),
-            object_speed_den=max(speed, ns.object_speed),
-        )
-        d = _result_dict(entry.get("scheduler", "greedy"), res)
-        d["name"] = entry.get("name", f"entry-{i}")
-        d["topology"] = graph.name
-        results.append(d)
-        rows.append([d["name"], d["topology"], d["scheduler"], d["txns"],
-                     d["makespan"], d["mean_latency"], d["competitive_ratio"]])
+    results = pmap(_suite_one, list(enumerate(entries)),
+                   jobs=getattr(args, "jobs", 1))
+    rows = [[d["name"], d["topology"], d["scheduler"], d["txns"],
+             d["makespan"], d["mean_latency"], d["competitive_ratio"]]
+            for d in results]
     if args.json:
         print(json.dumps(results, indent=2))
     else:
@@ -545,6 +570,7 @@ def cmd_chaos(args) -> int:
         shrink=args.shrink,
         artifact_dir=args.artifact_dir,
         progress=progress,
+        jobs=args.jobs,
         topology=args.topology,
         schedulers=schedulers,
         workload_kind=args.workload,
@@ -577,6 +603,65 @@ def cmd_chaos(args) -> int:
     return 0 if res.ok else 1
 
 
+def cmd_profile(args) -> int:
+    """Profile one run under cProfile and print the hottest functions.
+
+    The profiled region is exactly ``run_experiment`` (engine + scheduler
+    + certification); graph/workload construction is excluded so the
+    table reflects the steady-state hot path.  Future hot-path claims
+    should cite this output rather than intuition.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    graph = parse_topology(args.topology)
+    scheduler, speed = make_scheduler(args.scheduler, graph)
+    workload = make_workload(args, graph)
+    config = make_config(args, speed, faults=make_faults(args, graph))
+    profiler = cProfile.Profile()
+    started = time.perf_counter()
+    profiler.enable()
+    res = run_experiment(graph, scheduler, workload, config=config)
+    profiler.disable()
+    seconds = time.perf_counter() - started
+
+    stats = pstats.Stats(profiler, stream=io.StringIO())
+    stats.sort_stats(args.sort)
+    summary = {
+        "topology": graph.name,
+        "scheduler": args.scheduler,
+        "txns": res.metrics.num_txns,
+        "makespan": res.metrics.makespan,
+        "seconds": round(seconds, 3),
+        "calls": stats.total_calls,
+    }
+    # (cc, nc, tt, ct) per function, hottest by the chosen sort key.
+    sort_index = {"cumulative": 3, "tottime": 2}[args.sort]
+    entries = sorted(
+        stats.stats.items(), key=lambda kv: kv[1][sort_index], reverse=True
+    )[: args.top]
+    top = [
+        {
+            "function": f"{path.rsplit('/', 1)[-1]}:{line}({func})",
+            "ncalls": nc,
+            "tottime": round(tt, 4),
+            "cumtime": round(ct, 4),
+        }
+        for (path, line, func), (cc, nc, tt, ct, _callers) in entries
+    ]
+    if args.json:
+        summary["top"] = top
+        print(json.dumps(summary, indent=2))
+    else:
+        print(render_table(["metric", "value"], [[k, v] for k, v in summary.items()],
+                           title=f"profile: {graph.name} / {args.scheduler}"))
+        rows = [[t["ncalls"], t["tottime"], t["cumtime"], t["function"]] for t in top]
+        print(render_table(["ncalls", "tottime", "cumtime", "function"], rows,
+                           title=f"top {args.top} by {args.sort}"))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Distributed TM dynamic scheduling toolkit"
@@ -607,6 +692,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--faults", metavar="SPEC", default=None,
                        help="deterministic fault plan, e.g. "
                             "seed=1,drop=0.1,delay=0.05,max-delay=3,crash=2,crash-len=8")
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for fan-out commands "
+                            "(compare/suite/chaos sweep); 0 = cpu count; "
+                            "results are identical to --jobs 1")
 
     p_run = sub.add_parser("run", help="run one scheduler and print metrics")
     common(p_run)
@@ -649,7 +738,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_suite = sub.add_parser("suite", help="run a JSON-defined experiment suite")
     p_suite.add_argument("--file", required=True, help="JSON array of run configs")
     p_suite.add_argument("--json", action="store_true")
+    p_suite.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (0 = cpu count)")
     p_suite.set_defaults(func=cmd_suite)
+
+    p_prof = sub.add_parser(
+        "profile", help="cProfile one run; print the top-N hottest functions"
+    )
+    common(p_prof)
+    p_prof.add_argument("--scheduler", default="greedy", choices=SCHEDULER_NAMES)
+    p_prof.add_argument("--top", type=int, default=20,
+                        help="number of functions to show")
+    p_prof.add_argument("--sort", choices=["cumulative", "tottime"],
+                        default="cumulative")
+    p_prof.set_defaults(func=cmd_profile)
 
     p_chaos = sub.add_parser(
         "chaos", help="chaos-search harness: seeded fault sweeps and replay"
@@ -679,6 +781,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="delta-debug failing plans to minimal reproducers")
     p_chaos.add_argument("--artifact-dir", default=None,
                          help="write replayable failure artifacts here")
+    p_chaos.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for episodes and shrink "
+                              "candidates (0 = cpu count); deterministic")
     p_chaos.add_argument("--json", action="store_true")
     p_chaos.add_argument("--quiet", action="store_true")
     p_chaos.set_defaults(func=cmd_chaos)

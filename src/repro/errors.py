@@ -29,6 +29,22 @@ class InfeasibleScheduleError(SchedulingError):
         super().__init__(f"infeasible schedule: {preview}{more}")
 
 
+class ParallelError(ReproError):
+    """A parallel fan-out (``repro.parallel``) failed inside a worker.
+
+    Raised when the original worker exception cannot be transported
+    faithfully across the process boundary (or the pool itself broke);
+    carries the spec index, the original exception type name, and the
+    remote traceback text so the failure stays debuggable.
+    """
+
+    def __init__(self, message, *, index=None, cause_type=None, remote_traceback=None):
+        self.index = index
+        self.cause_type = cause_type
+        self.remote_traceback = remote_traceback
+        super().__init__(message)
+
+
 class WorkloadError(ReproError):
     """Invalid workload specification (k larger than object pool, ...)."""
 

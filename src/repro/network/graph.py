@@ -11,6 +11,7 @@ ever.
 from __future__ import annotations
 
 import heapq
+from collections import OrderedDict
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro._types import NodeId, Weight
@@ -46,6 +47,14 @@ class Graph:
         Optional human-readable label (topology constructors set this).
     """
 
+    #: Max cached cut-aware Dijkstra results (per ``(cut, src)`` pair).
+    #: Plain ``_dist`` rows stay unbounded — there are at most ``n`` of
+    #: them — but a long chaos sweep can touch thousands of distinct
+    #: cuts, so ``_cut_sssp`` evicts least-recently-used entries past
+    #: this cap.  Eviction only discards cached work; distances are
+    #: recomputed identically on the next query.
+    CUT_CACHE_MAX = 256
+
     def __init__(self, num_nodes: int, edges: Iterable[_Edge], name: str = "") -> None:
         if num_nodes <= 0:
             raise GraphError(f"graph needs at least one node, got {num_nodes}")
@@ -66,7 +75,7 @@ class Graph:
         # Lazy caches.
         self._dist: Dict[NodeId, List[Weight]] = {}
         self._pred: Dict[NodeId, List[Optional[NodeId]]] = {}
-        self._cut_sssp: Dict[Tuple[Cut, NodeId], Tuple[List[Weight], List[Optional[NodeId]]]] = {}
+        self._cut_sssp: "OrderedDict[Tuple[Cut, NodeId], Tuple[List[Weight], List[Optional[NodeId]]]]" = OrderedDict()
         self._diameter: Optional[Weight] = None
         if self._n > 1 and all(not a for a in self._adj):
             raise GraphError("graph with more than one node has no edges")
@@ -141,10 +150,16 @@ class Graph:
 
     def distance(self, u: NodeId, v: NodeId) -> Weight:
         """Shortest-path distance ``d_G(u, v)``."""
+        # Hot path: one dict probe when the source row is already cached.
+        row = self._dist.get(u)
+        if row is not None:
+            if 0 <= v < self._n:
+                return row[v]
+            self._check_node(v)
         self._check_node(u)
         self._check_node(v)
         # Reuse whichever endpoint is already cached to keep the cache small.
-        if v in self._dist and u not in self._dist:
+        if v in self._dist:
             u, v = v, u
         return self._sssp(u)[v]
 
@@ -177,11 +192,14 @@ class Graph:
 
         Unlike :meth:`_sssp`, unreachable nodes keep distance ``inf``
         instead of raising — a partition *is* a temporary disconnection.
-        Results are cached per ``(cut, src)``: during a partition window
-        the same few cuts are queried every step.
+        Results are cached per ``(cut, src)`` with LRU eviction past
+        :data:`CUT_CACHE_MAX`: during a partition window the same few
+        cuts are queried every step, while a long chaos sweep cycling
+        through thousands of distinct cuts must not grow without bound.
         """
         cached = self._cut_sssp.get((cut, src))
         if cached is not None:
+            self._cut_sssp.move_to_end((cut, src))
             return cached
         inf = float("inf")
         dist: List[Weight] = [inf] * self._n
@@ -201,6 +219,8 @@ class Graph:
                     pred[v] = u
                     heapq.heappush(heap, (nd, v))
         self._cut_sssp[(cut, src)] = (dist, pred)
+        while len(self._cut_sssp) > self.CUT_CACHE_MAX:
+            self._cut_sssp.popitem(last=False)
         return dist, pred
 
     def distance_avoiding(self, u: NodeId, v: NodeId, cut: Cut) -> Weight:

@@ -754,6 +754,7 @@ class Simulator:
         """
         if obj.in_transit or not obj.read_waiters:
             return
+        drow = None  # distances from the master's position, fetched lazily
         for entry in list(obj.read_waiters):
             if entry.tid in obj.reads_served or not obj.reader_serviceable(entry):
                 continue
@@ -769,7 +770,9 @@ class Simulator:
                 if self._obs is not None:
                     self._obs.on_copy(obj.oid, entry.tid, t, t)
                 continue
-            travel = obj.travel_time(self.graph.distance(obj.location, reader_home))
+            if drow is None:
+                drow = self.graph.distances_from(obj.location)
+            travel = obj.travel_time(drow[reader_home])
             arrive = t + travel
             self.trace.copy_legs.append(
                 CopyLeg(obj.oid, entry.tid, t, obj.location, reader_home, arrive, obj.version)

@@ -11,15 +11,16 @@ is therefore ``(a - t) + speed * d(v, u)``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import field
 from typing import Dict, List, Optional, Set
 
+from repro._compat import slotted_dataclass
 from repro._types import NodeId, ObjectId, Time, TxnId
 from repro.errors import SchedulingError
 from repro.network.graph import Graph
 
 
-@dataclass
+@slotted_dataclass()
 class SharedObject:
     """State of one mobile object.
 
@@ -165,7 +166,7 @@ class SharedObject:
                 self.read_epoch[entry.tid] = self.read_epoch.get(entry.tid, 0) + 1
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class QueueEntry:
     """One scheduled requester of an object."""
 

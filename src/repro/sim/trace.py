@@ -8,13 +8,14 @@ scheduler bug cannot silently produce an impossible "good" schedule.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import field
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from repro._compat import slotted_dataclass
 from repro._types import NodeId, ObjectId, Time, TxnId
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class ObjectLeg:
     """One uninterrupted movement of an object between two nodes."""
 
@@ -25,7 +26,7 @@ class ObjectLeg:
     arrive_time: Time
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class CopyLeg:
     """One copy shipment to a reader (read/write extension).
 
@@ -43,7 +44,7 @@ class CopyLeg:
     version: int
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class TxnRecord:
     """Immutable summary of one transaction's life."""
 
@@ -65,7 +66,7 @@ class TxnRecord:
         return tuple(sorted(set(self.objects) | set(self.reads)))
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class Violation:
     """A feasibility violation observed by the engine (non-strict mode)."""
 
@@ -77,7 +78,7 @@ class Violation:
         return f"txn {self.tid} at t={self.time} missing objects {list(self.missing)}"
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class FaultRecord:
     """One injected fault (:mod:`repro.faults`), as it actually fired.
 
@@ -121,7 +122,7 @@ class FaultRecord:
         return f"{self.kind}({', '.join(bits)})"
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class RescheduleRecord:
     """One recovery action: a transaction missed its committed execution
     time (lost/late object or crashed home node) and was re-scheduled."""
@@ -140,7 +141,7 @@ class RescheduleRecord:
         )
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class PartitionRecord:
     """One network-partition window as it actually took effect
     (:mod:`repro.faults`): the edges of ``cut`` were severed for
@@ -160,7 +161,7 @@ class PartitionRecord:
         return f"partition([{self.start}, {self.end}), cut {{{edges}}})"
 
 
-@dataclass
+@slotted_dataclass()
 class ExecutionTrace:
     """Everything that happened in one simulation run."""
 

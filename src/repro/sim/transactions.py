@@ -7,13 +7,13 @@ it has assembled all of them; all delay in the model is communication.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import FrozenSet, Optional, Tuple
 
+from repro._compat import slotted_dataclass
 from repro._types import NodeId, ObjectId, Time, TxnId, TxnState
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class TxnSpec:
     """A workload-level description of a transaction to be generated.
 
@@ -38,7 +38,7 @@ class TxnSpec:
             raise ValueError("an object cannot be both read and written by one transaction")
 
 
-@dataclass
+@slotted_dataclass()
 class Transaction:
     """A transaction pinned to ``home``.
 

@@ -91,7 +91,7 @@ def check_plan(
         users = sorted(users, key=lambda x: (plan[x.tid], x.tid))
         pos, t = placement[oid], 0
         for txn in users:
-            need = t + speed * graph.distance(pos, txn.home)
+            need = t + speed * graph.distances_from(txn.home)[pos]
             if plan[txn.tid] < need:
                 problems.append(
                     f"object {oid}: txn {txn.tid} at {plan[txn.tid]} needs >= {need}"

@@ -47,10 +47,25 @@ class TestReplicate:
         assert out["b"].mean == 4.0
 
     def test_inconsistent_keys_rejected(self):
-        def exp(seed):
-            return {"a": 1} if seed == 0 else {"b": 1}
+        from repro.errors import ReproError
 
-        with pytest.raises(ValueError):
+        def exp(seed):
+            return {"a": 1} if seed == 0 else {"a": 1, "b": 1}
+
+        with pytest.raises(ReproError) as err:
+            replicate(exp, seeds=[0, 7])
+        msg = str(err.value)
+        assert "seed 7" in msg
+        assert "extra ['b']" in msg
+        assert "missing []" in msg
+
+    def test_inconsistent_keys_names_missing(self):
+        from repro.errors import ReproError
+
+        def exp(seed):
+            return {"a": 1, "b": 1} if seed == 0 else {"b": 1}
+
+        with pytest.raises(ReproError, match=r"seed 1.*missing \['a'\]"):
             replicate(exp, seeds=[0, 1])
 
     def test_real_experiment(self):

@@ -19,7 +19,9 @@ DOCUMENTED_API = {
         "CoordinatedGreedyScheduler", "certify_trace", "Graph",
         "DeparturePolicy", "topologies", "workloads",
         "FaultPlan", "CrashWindow",
+        "pmap", "WorkerPool", "resolve_jobs",
     ],
+    "repro.parallel": ["WorkerPool", "pmap", "resolve_jobs"],
     "repro.network.topologies": [
         "clique", "line", "grid", "hypercube", "butterfly",
         "cluster_graph", "star_graph", "tree", "random_geometric",
@@ -62,7 +64,7 @@ DOCUMENTED_API = {
         "run_experiment", "RunResult", "summarize", "RunMetrics",
         "competitive_ratio", "makespan_ratio",
         "batch_lower_bound", "object_mst_bound", "object_load_bound",
-        "replicate", "Aggregate", "render_table",
+        "replicate", "Aggregate", "render_table", "run_grid",
         "exact_optimal_makespan", "exact_ratio",
         "optimize_placement", "replace_placement",
         "throughput", "response_time_series", "saturation_point",
