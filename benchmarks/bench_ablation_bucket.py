@@ -23,6 +23,7 @@ from repro.offline import (
     StarBatchScheduler,
 )
 from repro.workloads import OnlineWorkload, hotspot_workload
+from repro.sim import SimConfig
 
 
 @pytest.mark.benchmark(group="E11-ablation")
@@ -88,7 +89,8 @@ def test_e11_departure_policy_ablation(benchmark):
         )
         eager = run_experiment(g, GreedyScheduler(), mk())
         lazy = run_experiment(
-            g, GreedyScheduler(), mk(), departure_policy=DeparturePolicy.LAZY
+            g, GreedyScheduler(), mk(),
+            config=SimConfig(departure_policy=DeparturePolicy.LAZY),
         )
         rows.append(
             [name, eager.makespan, lazy.makespan,
@@ -97,7 +99,7 @@ def test_e11_departure_policy_ablation(benchmark):
     once(benchmark, lambda: run_experiment(
         topologies.line(32), GreedyScheduler(),
         OnlineWorkload.bernoulli(topologies.line(32), 6, 2, rate=1 / 32, horizon=60, seed=8),
-        departure_policy=DeparturePolicy.LAZY,
+        config=SimConfig(departure_policy=DeparturePolicy.LAZY),
     ))
     emit(
         "E11c departure ablation — eager (paper) vs lazy forwarding",

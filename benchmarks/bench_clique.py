@@ -14,12 +14,13 @@ from repro.core import GreedyScheduler
 from repro.network import topologies
 from repro.obs import CountersProbe
 from repro.workloads import ClosedLoopWorkload
+from repro.sim import SimConfig
 
 
 def run_one(n, k, seed=0, probe=None):
     g = topologies.clique(n)
     wl = ClosedLoopWorkload(g, num_objects=max(4, n // 2), k=k, rounds=3, seed=seed)
-    return run_experiment(g, GreedyScheduler(uniform_beta=1), wl, probe=probe)
+    return run_experiment(g, GreedyScheduler(uniform_beta=1), wl, config=SimConfig(probe=probe))
 
 
 @pytest.mark.benchmark(group="E2-clique")

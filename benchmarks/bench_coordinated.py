@@ -19,6 +19,7 @@ from repro.core import (
 from repro.network import topologies
 from repro.offline import ColoringBatchScheduler
 from repro.workloads import OnlineWorkload
+from repro.sim import SimConfig
 
 
 CONFIGS = [
@@ -37,7 +38,8 @@ def run_all(make_graph, seed=0):
     clairvoyant = run_experiment(g, GreedyScheduler(), mk())
     coordinated = run_experiment(g, CoordinatedGreedyScheduler(), mk())
     distributed = run_experiment(
-        g, DistributedBucketScheduler(ColoringBatchScheduler(), seed=1), mk(), object_speed_den=2
+        g, DistributedBucketScheduler(ColoringBatchScheduler(), seed=1), mk(),
+        config=SimConfig(object_speed_den=2),
     )
     return g, clairvoyant, coordinated, distributed
 

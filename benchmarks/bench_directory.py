@@ -17,6 +17,7 @@ from repro.core import DistributedBucketScheduler
 from repro.network import topologies
 from repro.offline import ColoringBatchScheduler, LineBatchScheduler
 from repro.workloads import OnlineWorkload
+from repro.sim import SimConfig
 
 
 CONFIGS = [
@@ -32,10 +33,11 @@ def run_pair(make_graph, batch_cls, seed=0):
         g, num_objects=6, k=2, rate=0.8 / g.num_nodes, horizon=3 * g.diameter() + 20, seed=seed
     )
     probe = run_experiment(
-        g, DistributedBucketScheduler(batch_cls(), seed=1), mk(), object_speed_den=2
+        g, DistributedBucketScheduler(batch_cls(), seed=1), mk(),
+        config=SimConfig(object_speed_den=2),
     )
     arrow_sched = DistributedBucketScheduler(batch_cls(), seed=1, discovery="arrow")
-    arrow = run_experiment(g, arrow_sched, mk(), object_speed_den=2)
+    arrow = run_experiment(g, arrow_sched, mk(), config=SimConfig(object_speed_den=2))
     return g, probe, arrow, arrow_sched
 
 

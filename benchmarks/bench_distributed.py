@@ -15,6 +15,7 @@ from repro.core import BucketScheduler, DistributedBucketScheduler
 from repro.network import topologies
 from repro.offline import ColoringBatchScheduler, LineBatchScheduler
 from repro.workloads import OnlineWorkload
+from repro.sim import SimConfig
 
 
 CONFIGS = [
@@ -30,9 +31,10 @@ def run_pair(make_graph, batch_cls, seed=0):
     mk = lambda: OnlineWorkload.bernoulli(
         g, num_objects=6, k=2, rate=0.8 / g.num_nodes, horizon=4 * g.diameter() + 20, seed=seed
     )
-    central = run_experiment(g, BucketScheduler(batch_cls()), mk(), object_speed_den=2)
+    central = run_experiment(g, BucketScheduler(batch_cls()), mk(), config=SimConfig(object_speed_den=2))
     distributed = run_experiment(
-        g, DistributedBucketScheduler(batch_cls(), seed=1), mk(), object_speed_den=2
+        g, DistributedBucketScheduler(batch_cls(), seed=1), mk(),
+        config=SimConfig(object_speed_den=2),
     )
     return g, central, distributed
 

@@ -32,6 +32,7 @@ from repro.chaos import run_sweep
 from repro.core import GreedyScheduler
 from repro.network import topologies
 from repro.workloads import OnlineWorkload
+from repro.sim import SimConfig
 
 JOBS_SWEEP = [1, 2, 4]
 REGRESSION_FLOOR = 0.7
@@ -66,7 +67,7 @@ def _grid_case(case):
     wl = OnlineWorkload.bernoulli(
         g, num_objects=6, k=2, rate=0.15, horizon=80, seed=seed
     )
-    res = run_experiment(g, scheduler, wl, object_speed_den=speed)
+    res = run_experiment(g, scheduler, wl, config=SimConfig(object_speed_den=speed))
     return {"makespan": res.makespan, "txns": res.metrics.num_txns}
 
 

@@ -22,7 +22,11 @@ from repro import topologies
 from repro.analysis import render_table, run_experiment
 from repro.core import BucketScheduler, DistributedBucketScheduler, GreedyScheduler
 from repro.offline import ColoringBatchScheduler, LineBatchScheduler
+from repro.sim import SimConfig
 from repro.workloads import ClosedLoopWorkload, OnlineWorkload
+
+#: the distributed schedulers need objects at half speed (Theorem 5 setup)
+SPEED2 = SimConfig(object_speed_den=2)
 
 
 def theorem3_clique():
@@ -82,9 +86,9 @@ def theorem5_distributed():
         mk = lambda: OnlineWorkload.bernoulli(
             g, num_objects=6, k=2, rate=0.8 / g.num_nodes, horizon=4 * g.diameter() + 20, seed=4
         )
-        central = run_experiment(g, BucketScheduler(type(batch)()), mk(), object_speed_den=2)
+        central = run_experiment(g, BucketScheduler(type(batch)()), mk(), config=SPEED2)
         dist = run_experiment(
-            g, DistributedBucketScheduler(type(batch)(), seed=1), mk(), object_speed_den=2
+            g, DistributedBucketScheduler(type(batch)(), seed=1), mk(), config=SPEED2
         )
         over = dist.makespan / max(1, central.makespan)
         rows.append([name, central.makespan, dist.makespan, round(over, 2),

@@ -31,7 +31,26 @@ from repro.analysis.exact import (
     exact_optimal_makespan,
     exact_ratio,
 )
-from repro.analysis.experiments import RunResult, run_experiment, run_grid
+from repro.analysis.experiments import (
+    RunResult,
+    StreamResult,
+    run_experiment,
+    run_grid,
+    run_stream,
+)
+from repro.analysis.frontier import (
+    FrontierResult,
+    SchedulerFrontier,
+    stability_frontier,
+)
+from repro.analysis.slo import (
+    SloSummary,
+    StabilityVerdict,
+    backlog_series,
+    latency_percentiles,
+    slo_summary,
+    stability_verdict,
+)
 from repro.analysis.timeline import (
     hottest_nodes,
     live_count_series,
@@ -83,4 +102,16 @@ __all__ = [
     "node_utilization",
     "hottest_nodes",
     "waiting_time_breakdown",
+    # open-system (streaming) analysis
+    "StreamResult",
+    "run_stream",
+    "SloSummary",
+    "StabilityVerdict",
+    "slo_summary",
+    "stability_verdict",
+    "latency_percentiles",
+    "backlog_series",
+    "FrontierResult",
+    "SchedulerFrontier",
+    "stability_frontier",
 ]

@@ -69,14 +69,18 @@ class Aggregate:
 class _SeedRunner:
     """Picklable per-seed adapter so ``replicate`` can fan out via pmap."""
 
-    def __init__(self, experiment, config):
+    def __init__(self, experiment, config, workload):
         self.experiment = experiment
         self.config = config
+        self.workload = workload
 
     def __call__(self, seed):
-        if self.config is None:
-            return self.experiment(seed)
-        return self.experiment(seed, self.config)
+        args = [seed]
+        if self.config is not None or self.workload is not None:
+            args.append(self.config)
+        if self.workload is not None:
+            args.append(self.workload.with_seed(seed))
+        return self.experiment(*args)
 
 
 def replicate(
@@ -84,6 +88,7 @@ def replicate(
     seeds: Sequence[int],
     *,
     config=None,
+    workload=None,
     jobs: int = 1,
 ) -> Dict[str, Aggregate]:
     """Run ``experiment(seed)`` for each seed; aggregate each metric key.
@@ -96,13 +101,19 @@ def replicate(
     threads through every replication — typically forwarded to
     ``run_experiment(..., config=config)``.
 
+    When ``workload`` (a :class:`~repro.workloads.spec.WorkloadSpec`) is
+    given, the factory is called as ``experiment(seed, config,
+    workload.with_seed(seed))`` — the spec-first form: one frozen
+    description, re-seeded per replication, typically forwarded straight
+    to ``run_experiment`` / ``run_stream``.
+
     ``jobs`` > 1 shards the seeds across a process pool
     (:mod:`repro.parallel`); each seed is an independent pure function of
     ``(seed, config)``, so the aggregates are identical to the serial
     result for any worker count.
     """
     seeds = list(seeds)
-    with WorkerPool(_SeedRunner(experiment, config), jobs=jobs) as pool:
+    with WorkerPool(_SeedRunner(experiment, config, workload), jobs=jobs) as pool:
         outputs = pool.map(seeds)
 
     collected: Dict[str, List[float]] = {}

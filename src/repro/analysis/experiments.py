@@ -20,17 +20,43 @@ certification is skipped for them (the deferral count is the measurement).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
-from repro._types import DeparturePolicy
+from repro._types import DeparturePolicy, Time
 from repro.analysis.metrics import RunMetrics, summarize
 from repro.analysis.ratios import RatioPoint, competitive_ratio, makespan_ratio
+from repro.analysis.slo import SloSummary, slo_summary
+from repro.errors import WorkloadError
 from repro.network.graph import Graph
 from repro.sim.config import SimConfig
 from repro.sim.engine import Simulator
 from repro.sim.trace import ExecutionTrace
 from repro.sim.validate import certify_trace
+
+
+def resolve_workload(graph: Graph, workload):
+    """Build ``workload`` if it is a :class:`~repro.workloads.spec.
+    WorkloadSpec`; pass constructed instances through unchanged.
+
+    The uniform entry point every runner (``run_experiment`` /
+    ``run_stream`` / ``replicate`` / chaos episodes) funnels through, so
+    a frozen spec is accepted anywhere an instance is.
+    """
+    if hasattr(workload, "build") and hasattr(workload, "kind"):
+        return workload.build(graph)
+    return workload
+
+
+def _warn_shorthand(name: str) -> None:
+    warnings.warn(
+        f"run_experiment({name}=...) is deprecated; pass "
+        f"config=SimConfig().with_overrides({name}=...) (or a SimConfig "
+        f"with the field set) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass
@@ -75,15 +101,35 @@ def run_experiment(
 ) -> RunResult:
     """Run one scheduler/workload pair to quiescence and analyse it.
 
-    ``config`` carries every engine knob; the ``object_speed_den`` /
-    ``departure_policy`` / ``probe`` keywords remain as the established
-    shorthand and override the corresponding ``config`` field when passed.
+    ``workload`` may be a constructed instance or a frozen
+    :class:`~repro.workloads.spec.WorkloadSpec` (built on ``graph``
+    here).  Open (streaming) workloads never reach quiescence — use
+    :func:`run_stream` for those.
+
+    ``config`` carries every engine knob.  The ``object_speed_den`` /
+    ``departure_policy`` / ``probe`` shorthand keywords are **deprecated**
+    (they still work, and still override the corresponding ``config``
+    field): pass ``config=SimConfig.with_overrides(...)`` instead.
     """
+    for name, value in (
+        ("object_speed_den", object_speed_den),
+        ("departure_policy", departure_policy),
+        ("probe", probe),
+    ):
+        if value is not None:
+            _warn_shorthand(name)
     cfg = (config or SimConfig()).with_overrides(
         object_speed_den=object_speed_den,
         departure_policy=departure_policy,
         probe=probe,
     )
+    workload = resolve_workload(graph, workload)
+    if getattr(workload, "open_system", False):
+        raise WorkloadError(
+            "run_experiment drains a closed workload to quiescence; an "
+            "open (streaming) workload needs a horizon — use "
+            "run_stream(graph, scheduler, workload, until=...)"
+        )
     sim = Simulator(graph, scheduler, workload, config=cfg)
     trace = sim.run(max_steps=max_steps)
     if certify and cfg.strict:
@@ -109,6 +155,60 @@ def run_experiment(
     )
 
 
+@dataclass
+class StreamResult:
+    """One open-system run: the truncated trace plus its SLO fold."""
+
+    trace: ExecutionTrace
+    slo: SloSummary
+    #: probe summary, as on :class:`RunResult`
+    obs: Optional[dict] = None
+
+    @property
+    def stable(self) -> bool:
+        return self.slo.stable
+
+    @property
+    def throughput(self) -> float:
+        return self.slo.throughput
+
+
+def run_stream(
+    graph: Graph,
+    scheduler,
+    workload,
+    *,
+    until: Time,
+    warmup: Optional[Time] = None,
+    config: Optional[SimConfig] = None,
+) -> StreamResult:
+    """Run one scheduler against an open workload to the horizon.
+
+    The open-system sibling of :func:`run_experiment`: ``workload`` is an
+    open streaming workload (or a ``WorkloadSpec`` of an open kind),
+    arrivals are pulled lazily from its seeded stream, and the run stops
+    at ``until`` whether or not the system kept up.  The result carries
+    the :class:`~repro.analysis.slo.SloSummary` — percentiles, rates, and
+    the stability verdict.  Certification is skipped: a truncated run
+    legitimately ends with objects mid-flight, which the closed-run
+    certifier rejects by design.
+    """
+    cfg = config or SimConfig()
+    workload = resolve_workload(graph, workload)
+    if not getattr(workload, "open_system", False):
+        raise WorkloadError(
+            "run_stream needs an open (streaming) workload; closed "
+            "workloads drain to quiescence — use run_experiment"
+        )
+    sim = Simulator(graph, scheduler, workload, config=cfg)
+    trace = sim.run(until=until, warmup=warmup)
+    obs = None
+    summarize_probe = getattr(cfg.probe, "summary", None)
+    if summarize_probe is not None:
+        obs = summarize_probe()
+    return StreamResult(trace=trace, slo=slo_summary(trace), obs=obs)
+
+
 def run_grid(
     case_fn: Callable[[Any], Mapping[str, float]],
     cases: Sequence[Any],
@@ -119,8 +219,8 @@ def run_grid(
 
     ``case_fn(case)`` builds and runs one experiment from its picklable
     case description (a seed, a ``(topology, scheduler, seed)`` tuple, a
-    dict of knobs — whatever the study sweeps) and returns a flat metric
-    mapping.  Results come back as plain dicts **in case order**,
+    frozen :class:`~repro.workloads.spec.WorkloadSpec`, a dict of knobs —
+    whatever the study sweeps) and returns a flat metric mapping.  Results come back as plain dicts **in case order**,
     identical for every ``jobs`` value (:mod:`repro.parallel`), so grid
     tables and downstream aggregation never depend on worker timing.
 

@@ -1,0 +1,236 @@
+"""SLO analysis for open-system (streaming) runs.
+
+A closed run is judged by makespan; an open run at arrival rate λ is
+judged the way a service is: **is it stable** (does the backlog stay
+bounded?) and **what latency do the percentile tails see**?  This module
+turns one truncated open trace — ``Simulator.run(until=...)`` with an
+open workload, which records arrival/commit/backlog bookkeeping in
+``trace.meta["open"]`` — into exactly those answers:
+
+* :func:`latency_percentiles` — p50/p99/p999 commit latency (time in
+  system, ``exec_time - gen_time``) over post-warmup transactions;
+* :func:`backlog_series` — in-system transaction count over time,
+  reconstructed exactly from committed gen/exec times plus the
+  uncommitted gen times the engine recorded at the horizon;
+* :func:`stability_verdict` — the backlog-growth heuristic: compare the
+  mean backlog of the first and second halves of the measurement window
+  (and the post-warmup commit rate against the arrival rate).  A stable
+  system's backlog fluctuates around a constant; an unstable one grows
+  roughly linearly, so its second-half mean is well above its first;
+* :func:`slo_summary` — one :class:`SloSummary` row combining all of
+  the above, the unit the ``repro stream`` report and the frontier
+  bisection consume.
+
+Everything here is a pure function of the trace, so summaries are
+byte-identical across ``repro.parallel`` worker counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._types import Time
+from repro.errors import ReproError
+from repro.sim.trace import ExecutionTrace
+
+__all__ = [
+    "SloSummary",
+    "StabilityVerdict",
+    "backlog_series",
+    "latency_percentiles",
+    "slo_summary",
+    "stability_verdict",
+]
+
+#: the latency percentiles every report tabulates
+PERCENTILES: Tuple[float, ...] = (50.0, 99.0, 99.9)
+
+
+def _open_meta(trace: ExecutionTrace) -> Dict[str, object]:
+    meta = trace.meta.get("open")
+    if meta is None:
+        raise ReproError(
+            "trace has no open-run bookkeeping (trace.meta['open']); "
+            "run an open workload via Simulator.run(until=...) or run_stream()"
+        )
+    return meta  # type: ignore[return-value]
+
+
+def latency_percentiles(
+    trace: ExecutionTrace, *, warmup: Time = 0
+) -> Dict[str, float]:
+    """``{"p50": ..., "p99": ..., "p999": ...}`` commit latency.
+
+    Measured over transactions *generated* at or after ``warmup`` (the
+    open-system convention: warmup arrivals are excluded so ramp-up
+    cannot pollute the tail).  Empty window yields NaNs.
+    """
+    lats = [
+        r.latency
+        for r in trace.txns.values()
+        if r.gen_time >= warmup
+    ]
+    if not lats:
+        return {"p50": float("nan"), "p99": float("nan"), "p999": float("nan")}
+    arr = np.asarray(sorted(lats), dtype=float)
+    p50, p99, p999 = (float(np.percentile(arr, q)) for q in PERCENTILES)
+    return {"p50": p50, "p99": p99, "p999": p999}
+
+
+def backlog_series(trace: ExecutionTrace) -> List[Tuple[Time, int]]:
+    """``(t, in-system count)`` for every step ``0..horizon``.
+
+    The count at ``t`` is arrivals with ``gen_time <= t`` minus commits
+    with ``exec_time <= t``; transactions still live at the horizon
+    contribute via the ``uncommitted_gen_times`` the engine recorded.
+    """
+    meta = _open_meta(trace)
+    horizon = int(meta["horizon"])
+    deltas = np.zeros(horizon + 2, dtype=int)
+    for r in trace.txns.values():
+        deltas[min(r.gen_time, horizon)] += 1
+        deltas[min(r.exec_time, horizon) + 1] -= 1
+    for g in meta["uncommitted_gen_times"]:  # type: ignore[union-attr]
+        deltas[min(int(g), horizon)] += 1
+    series = np.cumsum(deltas[: horizon + 1])
+    return [(t, int(series[t])) for t in range(horizon + 1)]
+
+
+@dataclass(frozen=True)
+class StabilityVerdict:
+    """The backlog-growth stability call for one open run."""
+
+    stable: bool
+    #: mean in-system count over the first / second half of the window
+    backlog_first_half: float
+    backlog_second_half: float
+    #: committed per step post-warmup vs generated per step post-warmup
+    commit_rate: float
+    arrival_rate: float
+
+    @property
+    def growth(self) -> float:
+        return self.backlog_second_half - self.backlog_first_half
+
+
+def stability_verdict(
+    trace: ExecutionTrace,
+    *,
+    warmup: Optional[Time] = None,
+    slack: float = 0.25,
+) -> StabilityVerdict:
+    """Judge stability from backlog growth and rate balance.
+
+    The run is **unstable** when either signal trips:
+
+    * the mean backlog over the second half of the post-warmup window
+      exceeds the first-half mean by more than ``slack`` of it (plus an
+      absolute grace of 2 transactions, so tiny queues never flap), or
+    * the post-warmup commit rate falls short of the post-warmup
+      arrival rate by more than ``slack``.
+
+    Both signals are deliberately coarse: the question a frontier probe
+    asks is "is λ clearly beyond this scheduler?", and a coarse verdict
+    keeps the bisection monotone in practice.
+    """
+    meta = _open_meta(trace)
+    horizon = int(meta["horizon"])
+    if warmup is None:
+        warmup = int(meta["warmup"])
+    series = backlog_series(trace)
+    window = [b for t, b in series if t >= warmup]
+    half = len(window) // 2
+    first = float(np.mean(window[:half])) if half else 0.0
+    second = float(np.mean(window[half:])) if window[half:] else 0.0
+    span = max(horizon - warmup, 1)
+    committed = sum(1 for r in trace.txns.values() if r.exec_time > warmup)
+    arrived = sum(1 for r in trace.txns.values() if r.gen_time > warmup) + sum(
+        1 for g in meta["uncommitted_gen_times"] if g > warmup  # type: ignore[union-attr]
+    )
+    commit_rate = committed / span
+    arrival_rate = arrived / span
+    backlog_grows = second > first * (1.0 + slack) + 2.0
+    falls_behind = commit_rate < arrival_rate * (1.0 - slack)
+    return StabilityVerdict(
+        stable=not (backlog_grows or falls_behind),
+        backlog_first_half=first,
+        backlog_second_half=second,
+        commit_rate=commit_rate,
+        arrival_rate=arrival_rate,
+    )
+
+
+@dataclass(frozen=True)
+class SloSummary:
+    """One open run, folded to the numbers a capacity report tabulates."""
+
+    horizon: Time
+    warmup: Time
+    generated: int
+    committed: int
+    backlog: int
+    arrival_rate: float
+    throughput: float
+    p50: float
+    p99: float
+    p999: float
+    mean_latency: float
+    stable: bool
+    backlog_first_half: float
+    backlog_second_half: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "horizon": self.horizon,
+            "warmup": self.warmup,
+            "generated": self.generated,
+            "committed": self.committed,
+            "backlog": self.backlog,
+            "arrival_rate": self.arrival_rate,
+            "throughput": self.throughput,
+            "p50": self.p50,
+            "p99": self.p99,
+            "p999": self.p999,
+            "mean_latency": self.mean_latency,
+            "stable": self.stable,
+            "backlog_first_half": self.backlog_first_half,
+            "backlog_second_half": self.backlog_second_half,
+        }
+
+
+def slo_summary(trace: ExecutionTrace, *, warmup: Optional[Time] = None) -> SloSummary:
+    """Fold one open trace into an :class:`SloSummary`."""
+    from repro.analysis.steady_state import throughput as _throughput
+
+    meta = _open_meta(trace)
+    if warmup is None:
+        warmup = int(meta["warmup"])
+    verdict = stability_verdict(trace, warmup=warmup)
+    pcts = latency_percentiles(trace, warmup=warmup)
+    lats = [r.latency for r in trace.txns.values() if r.gen_time >= warmup]
+    mean_lat = float(np.mean(lats)) if lats else float("nan")
+    horizon = int(meta["horizon"])
+    tput = (
+        _throughput(trace, warmup=warmup, horizon=horizon)
+        if horizon > warmup
+        else 0.0
+    )
+    return SloSummary(
+        horizon=horizon,
+        warmup=int(warmup),
+        generated=int(meta["generated"]),
+        committed=int(meta["committed"]),
+        backlog=int(meta["backlog"]),
+        arrival_rate=verdict.arrival_rate,
+        throughput=tput,
+        p50=pcts["p50"],
+        p99=pcts["p99"],
+        p999=pcts["p999"],
+        mean_latency=mean_lat,
+        stable=verdict.stable,
+        backlog_first_half=verdict.backlog_first_half,
+        backlog_second_half=verdict.backlog_second_half,
+    )

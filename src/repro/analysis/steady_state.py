@@ -17,12 +17,33 @@ from repro._types import Time
 from repro.sim.trace import ExecutionTrace
 
 
-def throughput(trace: ExecutionTrace, *, warmup_fraction: float = 0.2) -> float:
-    """Committed transactions per step after the warmup prefix."""
+def throughput(
+    trace: ExecutionTrace,
+    *,
+    warmup_fraction: float = 0.2,
+    warmup: Optional[Time] = None,
+    horizon: Optional[Time] = None,
+) -> float:
+    """Committed transactions per step after the warmup prefix.
+
+    By default the warmup cutoff is ``warmup_fraction`` of the trace
+    makespan — the right notion for a *closed* run that drains to empty.
+    An *open* (streaming) run truncated at ``run(until=...)`` makes a
+    makespan-relative fraction meaningless, so pass ``warmup`` as an
+    **absolute step count** (it then overrides ``warmup_fraction``) and,
+    optionally, ``horizon`` to measure against the run's wall-clock end
+    (``trace.end_time``) rather than the last commit time.
+    """
     if not trace.txns:
         return 0.0
-    horizon = max(trace.makespan(), 1)
-    cutoff = int(horizon * warmup_fraction)
+    if horizon is None:
+        horizon = max(trace.makespan(), 1)
+    if warmup is not None:
+        if warmup < 0 or warmup >= horizon:
+            raise ValueError(f"warmup must be in [0, horizon={horizon}), got {warmup}")
+        cutoff = warmup
+    else:
+        cutoff = int(horizon * warmup_fraction)
     committed = [r for r in trace.txns.values() if r.exec_time > cutoff]
     span = horizon - cutoff
     return len(committed) / span if span > 0 else 0.0

@@ -26,6 +26,7 @@ from repro.chaos.invariants import InvariantMonitor, InvariantViolation
 from repro.errors import ReproError
 from repro.faults import FaultPlan
 from repro.parallel import WorkerPool
+from repro.workloads.spec import WorkloadSpec
 
 #: Per-process memo of parsed topologies.  A sweep re-runs hundreds of
 #: episodes (and the shrinker thousands of candidates) on the same few
@@ -72,24 +73,30 @@ DEFAULT_SCHEDULERS = (
 class EpisodeSpec:
     """Everything needed to re-run one episode bit-for-bit.
 
-    ``workload`` is ``{"kind", "objects", "k", "seed", ...}`` — the
-    argument set of :func:`make_workload`.  ``planted`` is the test-only
-    violation hook passed through to the monitor.
+    ``workload`` is either a frozen :class:`~repro.workloads.spec.
+    WorkloadSpec` or the legacy parameter dict ``{"kind", "objects",
+    "k", "seed", ...}`` understood by :func:`make_workload`.  ``planted``
+    is the test-only violation hook passed through to the monitor.
     """
 
     topology: str
     scheduler: str
-    workload: Dict[str, object]
+    workload: object
     plan: FaultPlan
     stall_k: int = 512
     monitor: bool = True
     planted: Optional[Dict[str, object]] = None
 
     def to_dict(self) -> Dict[str, object]:
+        workload = (
+            {"spec": self.workload.to_dict()}
+            if isinstance(self.workload, WorkloadSpec)
+            else dict(self.workload)
+        )
         out: Dict[str, object] = {
             "topology": self.topology,
             "scheduler": self.scheduler,
-            "workload": dict(self.workload),
+            "workload": workload,
             "plan": self.plan.to_dict(),
             "stall_k": self.stall_k,
             "monitor": self.monitor,
@@ -108,10 +115,14 @@ class EpisodeSpec:
             planted = dict(planted)
             if "edge" in planted:
                 planted["edge"] = tuple(planted["edge"])
+        raw = dict(data["workload"])
+        workload = (
+            WorkloadSpec.from_dict(raw["spec"]) if set(raw) == {"spec"} else raw
+        )
         return cls(
             topology=data["topology"],
             scheduler=data["scheduler"],
-            workload=dict(data["workload"]),
+            workload=workload,
             plan=FaultPlan.from_dict(data["plan"]),
             stall_k=data.get("stall_k", 512),
             monitor=data.get("monitor", True),
@@ -153,14 +164,18 @@ class EpisodeResult:
         }
 
 
-def make_workload(graph, params: Dict[str, object]):
-    """Build the episode workload from its parameter dict.
+def make_workload(graph, params):
+    """Build the episode workload from its description.
 
-    ``kind`` is ``"batch"`` (all transactions at t=0) or ``"bernoulli"``
-    (per-node coin flips over ``horizon`` steps at ``rate``).
+    ``params`` is a :class:`~repro.workloads.spec.WorkloadSpec` (built
+    directly) or the legacy parameter dict whose ``kind`` is ``"batch"``
+    (all transactions at t=0) or ``"bernoulli"`` (per-node coin flips
+    over ``horizon`` steps at ``rate``).
     """
     from repro.workloads import BatchWorkload, OnlineWorkload
 
+    if isinstance(params, WorkloadSpec):
+        return params.build(graph)
     kind = params.get("kind", "batch")
     objects = int(params.get("objects", 6))
     k = int(params.get("k", 2))

@@ -318,6 +318,142 @@ def cmd_run(args) -> int:
     return 0
 
 
+OPEN_WORKLOAD_KINDS = ["poisson-open", "onoff-open", "diurnal-open", "adversarial-open"]
+
+
+def make_stream_spec(args) -> "WorkloadSpec":
+    """Build the open :class:`WorkloadSpec` a stream/frontier run uses."""
+    from repro.analysis.frontier import rate_knob
+    from repro.workloads import WorkloadSpec
+
+    kind = args.workload
+    knobs = {"objects": args.objects, "k": args.k}
+    if args.zipf > 0:
+        knobs["zipf"] = args.zipf
+    if args.read_fraction > 0:
+        knobs["read_fraction"] = args.read_fraction
+    knobs[rate_knob(kind)] = args.lam
+    if kind == "onoff-open" and args.lam_off is not None:
+        knobs["lam_off"] = args.lam_off
+    if kind == "diurnal-open":
+        knobs["amplitude"] = args.amplitude
+        knobs["period"] = args.period
+    if kind == "adversarial-open":
+        knobs["burst"] = args.burst
+    return WorkloadSpec.make(kind, seed=args.seed, **knobs)
+
+
+def _slo_rows(slo: dict) -> list:
+    return [
+        ["stable", slo["stable"]],
+        ["arrival rate", round(slo["arrival_rate"], 4)],
+        ["throughput", round(slo["throughput"], 4)],
+        ["p50 latency", slo["p50"]],
+        ["p99 latency", slo["p99"]],
+        ["p999 latency", slo["p999"]],
+        ["mean latency", round(slo["mean_latency"], 3)],
+        ["generated", slo["generated"]],
+        ["committed", slo["committed"]],
+        ["backlog at horizon", slo["backlog"]],
+        ["backlog first/second half",
+         f"{slo['backlog_first_half']:.1f} / {slo['backlog_second_half']:.1f}"],
+    ]
+
+
+def cmd_stream(args) -> int:
+    """Run one scheduler against an open workload; print the SLO fold."""
+    from repro.analysis import run_stream
+
+    graph = parse_topology(args.topology)
+    scheduler, speed = make_scheduler(args.scheduler, graph)
+    spec = make_stream_spec(args)
+    probe = make_probe(args)
+    warmup = args.warmup if args.warmup is not None else args.until // 4
+    cfg = SimConfig(
+        object_speed_den=max(speed, args.object_speed), probe=probe
+    )
+    res = run_stream(
+        graph, scheduler, spec, until=args.until, warmup=warmup, config=cfg
+    )
+    _close_probe(probe)
+    out = {
+        "topology": graph.name,
+        "scheduler": args.scheduler,
+        "workload": spec.to_dict(),
+        **res.slo.to_dict(),
+    }
+    if res.obs is not None:
+        out["obs"] = res.obs
+    title = f"{graph.name} / {args.scheduler} @ λ={args.lam} ({spec.kind})"
+    if args.report:
+        with open(args.report, "w") as fh:
+            fh.write(f"# Open-system run — {title}\n\n")
+            fh.write(render_table(["metric", "value"], _slo_rows(out), title=None))
+            fh.write("\n")
+        out["report_file"] = args.report
+    if args.json:
+        print(json.dumps(out, indent=2))
+    else:
+        obs = out.pop("obs", None)
+        print(render_table(["metric", "value"], _slo_rows(out), title=title))
+        if obs:
+            print(render_table(
+                ["counter", "value"], [[k, v] for k, v in obs.items()], title="obs"
+            ))
+    return 0
+
+
+def cmd_frontier(args) -> int:
+    """Bisect λ per scheduler; print the stability frontier."""
+    from repro.analysis import stability_frontier
+
+    names = args.schedulers.split(",") if args.schedulers else ["greedy", "bucket", "fifo"]
+    spec = make_stream_spec(args)
+    warmup = args.warmup if args.warmup is not None else args.until // 4
+    res = stability_frontier(
+        args.topology,
+        names,
+        spec,
+        lam_min=args.lam_min,
+        lam_max=args.lam_max,
+        rounds=args.rounds,
+        until=args.until,
+        warmup=warmup,
+        jobs=args.jobs,
+    )
+    rows = []
+    for s in res.schedulers:
+        slo = s.stable_slo
+        rows.append([
+            s.scheduler,
+            round(s.lambda_star, 4),
+            round(slo["throughput"], 3) if slo else "-",
+            slo["p50"] if slo else "-",
+            slo["p99"] if slo else "-",
+            slo["p999"] if slo else "-",
+            len(s.probes),
+        ])
+    header = ["scheduler", "λ*", "tput@λ*", "p50", "p99", "p999", "probes"]
+    title = (
+        f"stability frontier — {args.topology}, {spec.kind}, "
+        f"λ∈[{args.lam_min}, {args.lam_max}], until={args.until}"
+    )
+    if args.report:
+        with open(args.report, "w") as fh:
+            fh.write(f"# {title}\n\n")
+            fh.write(render_table(header, rows, title=None))
+            fh.write(
+                f"\nλ* is the largest probed arrival rate with a stable "
+                f"verdict; latencies are the p50/p99/p999 commit latency at "
+                f"λ*.  {res.probe_count} probes total.\n"
+            )
+    if args.json:
+        print(json.dumps(res.to_dict(), indent=2))
+    else:
+        print(render_table(header, rows, title=title))
+    return 0
+
+
 def _compare_one(payload) -> dict:
     """One scheduler of a ``compare``: a full timed run, returned as the
     JSON-ready result dict.  Module-level and driven by a picklable
@@ -403,7 +539,7 @@ def _suite_one(payload) -> dict:
     scheduler, speed = make_scheduler(entry.get("scheduler", "greedy"), graph)
     res = run_experiment(
         graph, scheduler, make_workload(ns, graph),
-        object_speed_den=max(speed, ns.object_speed),
+        config=SimConfig(object_speed_den=max(speed, ns.object_speed)),
     )
     d = _result_dict(entry.get("scheduler", "greedy"), res)
     d["name"] = entry.get("name", f"entry-{i}")
@@ -720,6 +856,66 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_cmp)
     p_cmp.add_argument("--schedulers", help="comma-separated (default greedy,bucket,fifo,tsp)")
     p_cmp.set_defaults(func=cmd_compare)
+
+    def stream_common(p):
+        p.add_argument("--topology", required=True,
+                       help="e.g. clique:16, grid:4x4, cluster:3x4:6")
+        p.add_argument("--workload", default="poisson-open",
+                       choices=OPEN_WORKLOAD_KINDS)
+        p.add_argument("--objects", type=int, default=8)
+        p.add_argument("--k", type=int, default=2)
+        p.add_argument("--zipf", type=float, default=0.0,
+                       help="Zipf skew s (0 = uniform)")
+        p.add_argument("--read-fraction", type=float, default=0.0)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--object-speed", type=int, default=1)
+        p.add_argument("--until", type=int, default=600,
+                       help="run horizon in steps (open runs never drain)")
+        p.add_argument("--warmup", type=int, default=None,
+                       help="measurement cutoff in absolute steps "
+                            "(default: until/4)")
+        p.add_argument("--lam-off", type=float, default=None,
+                       help="idle-phase rate (onoff-open)")
+        p.add_argument("--amplitude", type=float, default=0.5,
+                       help="rate swing (diurnal-open)")
+        p.add_argument("--period", type=int, default=200,
+                       help="cycle length in steps (diurnal-open)")
+        p.add_argument("--burst", type=int, default=8,
+                       help="burst allowance (adversarial-open)")
+        p.add_argument("--json", action="store_true")
+        p.add_argument("--report", help="write a markdown report to this file")
+
+    p_stream = sub.add_parser(
+        "stream", help="open-system run: SLO percentiles + stability verdict"
+    )
+    stream_common(p_stream)
+    p_stream.add_argument("--scheduler", default="greedy", choices=SCHEDULER_NAMES)
+    p_stream.add_argument("--lam", type=float, default=0.5,
+                          help="arrival rate λ (the open kind's rate knob)")
+    p_stream.add_argument("--obs-counters", action="store_true",
+                          help="attach a CountersProbe; print/emit its summary")
+    p_stream.add_argument("--obs-jsonl", metavar="FILE", default=None,
+                          help="stream probe events to FILE as JSONL")
+    p_stream.set_defaults(func=cmd_stream)
+
+    p_front = sub.add_parser(
+        "frontier",
+        help="bisect λ per scheduler into a throughput-vs-λ stability frontier",
+    )
+    stream_common(p_front)
+    p_front.add_argument("--schedulers",
+                         help="comma-separated (default greedy,bucket,fifo)")
+    p_front.add_argument("--lam", type=float, default=0.5,
+                         help="placeholder rate; the frontier overwrites it "
+                              "per probe")
+    p_front.add_argument("--lam-min", type=float, default=0.05)
+    p_front.add_argument("--lam-max", type=float, default=4.0)
+    p_front.add_argument("--rounds", type=int, default=6,
+                         help="bisection rounds after the two bracketing probes")
+    p_front.add_argument("--jobs", type=int, default=1,
+                         help="worker processes per bisection round "
+                              "(0 = cpu count); results identical to --jobs 1")
+    p_front.set_defaults(func=cmd_frontier)
 
     p_cov = sub.add_parser("cover", help="build and verify a sparse cover")
     p_cov.add_argument("--topology", required=True)

@@ -26,7 +26,10 @@ class CountersProbe(Probe):
         Monotonic event counts: ``steps``, ``generated``, ``scheduled``,
         ``commits``, ``deferrals``, ``departures``, ``arrivals``,
         ``copies``, ``alarms``, plus one ``sched.<event>`` entry per
-        scheduler decision kind.
+        scheduler decision kind; open (streaming) runs additionally get
+        ``stream.generated`` / ``stream.committed`` / ``stream.backlog``
+        / ``stream.horizon`` / ``stream.warmup`` from the engine's
+        open-run bookkeeping.
     phase_seconds:
         Wall-clock seconds spent inside each engine phase.
     """
@@ -49,6 +52,15 @@ class CountersProbe(Probe):
 
     def on_run_end(self, sim, trace) -> None:
         self.wall_seconds += time.perf_counter() - self._run_t0
+        open_meta = trace.meta.get("open")
+        if open_meta is not None:
+            # Open-system (streaming) bookkeeping the engine recorded just
+            # before this hook: arrivals vs commits vs work left behind.
+            self.counters["stream.generated"] = int(open_meta["generated"])
+            self.counters["stream.committed"] = int(open_meta["committed"])
+            self.counters["stream.backlog"] = int(open_meta["backlog"])
+            self.counters["stream.horizon"] = int(open_meta["horizon"])
+            self.counters["stream.warmup"] = int(open_meta["warmup"])
 
     def on_step_begin(self, t: Time) -> None:
         self._bump("steps")

@@ -221,11 +221,22 @@ class Simulator:
             initial_placement={},
             object_speed_den=self.object_speed_den,
         )
+        #: open-system streaming state (repro.workloads.streaming): a lazy
+        #: unbounded spec iterator plus its one-spec lookahead.  None for
+        #: closed workloads, whose finite spec list is materialized below.
+        self._arrival_iter = None
+        self._arrival_next = None
+        self._arrival_buffered: Optional[Time] = None
+        self._open_warmup: Optional[Time] = None
         if workload is not None:
             for oid, node in workload.initial_objects().items():
                 self.add_object(oid, node)
-            for spec in workload.arrivals():
-                self.submit(spec)
+            if getattr(workload, "open_system", False):
+                self._arrival_iter = workload.arrival_stream()
+                self._arrival_next = next(self._arrival_iter, None)
+            else:
+                for spec in workload.arrivals():
+                    self.submit(spec)
         scheduler.bind(self)
 
     # ------------------------------------------------------------------
@@ -359,15 +370,49 @@ class Simulator:
             nxt = wake
         return nxt
 
-    def run(self, max_steps: Optional[int] = None) -> ExecutionTrace:
+    def run(
+        self,
+        max_steps: Optional[int] = None,
+        *,
+        until: Optional[Time] = None,
+        warmup: Optional[Time] = None,
+    ) -> ExecutionTrace:
         """Run until quiescence (or at most ``max_steps`` active steps).
 
         Quiescence: no pending generations, no live transactions, no
         in-flight objects/messages, and the scheduler reports no pending
         work.  With ``max_steps=N``, exactly N active steps may execute;
         needing an (N+1)-th raises :class:`SchedulingError`.
+
+        **Open-system (steady-state) mode**: with an open workload
+        (``workload.open_system`` true — see
+        :mod:`repro.workloads.streaming`) arrivals are pulled lazily from
+        ``workload.arrival_stream()`` and the run *must* be bounded by
+        ``until`` (or ``SimConfig.max_time``): the stream is unbounded,
+        so quiescence never arrives.  The run stops at the horizon even
+        when the system is unstable — in-flight and unscheduled
+        transactions are simply left behind, and their count is the
+        **backlog** recorded (with generated/committed totals and the
+        uncommitted generation times) in ``trace.meta["open"]`` for
+        :mod:`repro.analysis.slo` to turn into a stability verdict.
+        ``warmup`` marks the measurement cutoff (absolute steps) and is
+        recorded alongside; the engine itself treats every step alike.
         """
-        return self._run_loop(max_steps=max_steps, until=None)
+        if self._arrival_iter is not None and until is None and self.max_time is None:
+            raise WorkloadError(
+                "open-system workload: pass run(until=...) or set "
+                "SimConfig.max_time — unbounded arrivals never reach quiescence"
+            )
+        if until is not None and until < self.now:
+            raise SchedulingError(f"run(until={until}) is in the past (now={self.now})")
+        if warmup is not None:
+            horizon = until if until is not None else self.max_time
+            if warmup < 0 or (horizon is not None and warmup >= horizon):
+                raise WorkloadError(
+                    f"warmup must be in [0, horizon={horizon}), got {warmup}"
+                )
+        self._open_warmup = warmup
+        return self._run_loop(max_steps=max_steps, until=until)
 
     def run_until(self, until: Time, max_steps: Optional[int] = None) -> ExecutionTrace:
         """Advance the simulation to time ``until`` (inclusive) and return.
@@ -426,6 +471,24 @@ class Simulator:
         self.trace.end_time = self.now
         self.trace.messages_sent = self.router.sent_count
         self.trace.message_hops = self.router.total_distance
+        if self._arrival_iter is not None:
+            # Open-run bookkeeping for the SLO/stability analysis: how much
+            # work arrived vs committed, and the generation times of the
+            # transactions left behind (the backlog) so the analysis can
+            # reconstruct the full backlog-over-time series.  Recorded
+            # before on_run_end so probes (stream counters) can read it.
+            generated = len(self.txns)
+            committed = len(self.trace.txns)
+            self.trace.meta["open"] = {
+                "horizon": self.now,
+                "warmup": self._open_warmup or 0,
+                "generated": generated,
+                "committed": committed,
+                "backlog": generated - committed,
+                "uncommitted_gen_times": sorted(
+                    txn.gen_time for txn in self.live.values()
+                ),
+            }
         if obs is not None:
             obs.on_run_end(self, self.trace)
         return self.trace
@@ -433,6 +496,33 @@ class Simulator:
     def _scheduler_pending(self) -> bool:
         has = getattr(self.scheduler, "has_pending", None)
         return bool(has()) if has is not None else False
+
+    def _pump_arrivals(self, t: Time) -> None:
+        """Pull arrivals lazily from an open workload's stream.
+
+        Pushes every stream spec due at or before ``t`` onto the event
+        spine plus exactly **one** strictly-future spec — the lookahead
+        that lets ``_next_active_time`` see the next arrival so the run
+        loop advances to it (and stops pulling once it passes the
+        horizon).  Sound because streams yield non-decreasing
+        ``gen_time``: once one future spec is buffered, nothing earlier
+        can follow.  Arrivals whose gen_time already passed (a stream
+        starting behind ``now``) are generated at ``t``.
+        """
+        if self._arrival_buffered is not None and self._arrival_buffered <= t:
+            self._arrival_buffered = None
+        nxt = self._arrival_next
+        if nxt is None:
+            return
+        it = self._arrival_iter
+        while nxt is not None and nxt.gen_time <= t:
+            self.events.push_spec(t, nxt)
+            nxt = next(it, None)
+        if nxt is not None and self._arrival_buffered is None:
+            self.events.push_spec(nxt.gen_time, nxt)
+            self._arrival_buffered = nxt.gen_time
+            nxt = next(it, None)
+        self._arrival_next = nxt
 
     def _step(self, t: Time) -> None:
         obs = self._obs
@@ -496,6 +586,7 @@ class Simulator:
             obs.on_phase_end("deliver", t)
             obs.on_phase_begin("generate", t)
         # Phase 2: generate new transactions.
+        self._pump_arrivals(t)
         new_txns: List[Transaction] = []
         for _, _, _, spec in events.pop_kind(EventKind.SPEC, t):
             if self.faults is not None:

@@ -19,6 +19,7 @@ from repro.network import topologies
 from repro.network.graph import Graph
 from repro.sim.transactions import Transaction, TxnSpec
 from repro.workloads.arrivals import ManualWorkload
+from repro.sim import SimConfig
 
 #: topology families used by :func:`random_instance`
 TOPOLOGY_FAMILIES = ("line", "clique", "grid", "star", "ring", "hypercube")
@@ -124,7 +125,8 @@ def fuzz_scheduler(
         )
         results.append(
             run_experiment(
-                g, scheduler_factory(), wl, object_speed_den=object_speed_den
+                g, scheduler_factory(), wl,
+                config=SimConfig(object_speed_den=object_speed_den),
             )
         )
     return results

@@ -1,4 +1,21 @@
-"""Workload generators: object placement, choice models, arrival processes."""
+"""Workload generators: object placement, choice models, arrival processes.
+
+Two families:
+
+* **Closed** workloads (:mod:`repro.workloads.arrivals`) — a finite
+  transaction set that drains to empty (batch, bernoulli, bursty,
+  closed-loop); experiments answer "what makespan?".
+* **Open** (streaming) workloads (:mod:`repro.workloads.streaming`) —
+  seeded *unbounded* arrival processes (Poisson, on/off bursty, diurnal,
+  adversarial-rate); experiments answer "is the system stable at rate λ
+  and what are the latency percentiles?" via ``Simulator.run(until=...)``
+  and :mod:`repro.analysis.slo` / :mod:`repro.analysis.frontier`.
+
+:class:`WorkloadSpec` (:mod:`repro.workloads.spec`) is the spec-first
+handle over both: a frozen ``kind + seed + knobs`` value accepted by
+``run_experiment`` / ``run_stream`` / ``replicate`` / ``run_grid`` and
+the chaos ``EpisodeSpec`` wherever a workload instance is.
+"""
 
 from repro.workloads.arrivals import (
     BatchWorkload,
@@ -9,6 +26,7 @@ from repro.workloads.arrivals import (
 )
 from repro.workloads.generators import (
     LocalityChooser,
+    ObjectChooser,
     UniformChooser,
     ZipfChooser,
     place_objects_uniform,
@@ -20,24 +38,45 @@ from repro.workloads.applications import (
     vacation_workload,
 )
 from repro.workloads.gap_instances import crossing_lower_bound, grid_crossing_workload
+from repro.workloads.spec import WORKLOAD_KINDS, WorkloadSpec
+from repro.workloads.streaming import (
+    AdversarialOpenWorkload,
+    DiurnalWorkload,
+    OnOffBurstyWorkload,
+    OpenWorkload,
+    PoissonOpenWorkload,
+)
 from repro.sim.transactions import TxnSpec
 
 __all__ = [
+    # specs
     "TxnSpec",
-    "grid_crossing_workload",
-    "crossing_lower_bound",
-    "workload_from_trace",
-    "bank_workload",
-    "vacation_workload",
-    "inventory_workload",
+    "WorkloadSpec",
+    "WORKLOAD_KINDS",
+    # closed workloads
     "BatchWorkload",
     "OnlineWorkload",
     "ClosedLoopWorkload",
     "ManualWorkload",
+    "workload_from_trace",
+    # open (streaming) workloads
+    "OpenWorkload",
+    "PoissonOpenWorkload",
+    "OnOffBurstyWorkload",
+    "DiurnalWorkload",
+    "AdversarialOpenWorkload",
+    # choosers / placement
+    "ObjectChooser",
     "UniformChooser",
     "ZipfChooser",
     "LocalityChooser",
     "place_objects_uniform",
+    # constructed instances
     "chain_workload",
     "hotspot_workload",
+    "grid_crossing_workload",
+    "crossing_lower_bound",
+    "bank_workload",
+    "vacation_workload",
+    "inventory_workload",
 ]

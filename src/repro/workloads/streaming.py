@@ -1,0 +1,282 @@
+"""Open-system streaming workloads: unbounded seeded arrival processes.
+
+Every workload in :mod:`repro.workloads.arrivals` is *closed*: a finite
+transaction set drains to empty and the experiment answers "what
+makespan?".  A service facing continuous traffic is an *open* system —
+transactions arrive forever at rate λ and the questions become "is the
+system **stable** at λ?" and "what are the commit-latency percentiles?"
+(*Stable Scheduling in Transactional Memory*, PAPERS.md, frames exactly
+this adversarial-rate setting).
+
+A streaming workload carries ``open_system = True`` and provides
+
+* ``initial_objects()`` — the seeded object placement (as for closed
+  workloads), and
+* ``arrival_stream()`` — a fresh **unbounded** iterator of
+  :class:`~repro.sim.transactions.TxnSpec` in non-decreasing ``gen_time``
+  order.  Each call restarts the stream from the seed, so a run is a pure
+  function of ``(workload ctor args, horizon)`` — the determinism the
+  parallel runtime and the frontier bisection rely on.
+
+The engine pulls the stream lazily (one spec of lookahead) during
+``Simulator.run(until=...)`` — see the "open-system runs" notes in
+:mod:`repro.sim.engine` — so an unstable rate cannot materialize an
+unbounded spec list: generation is bounded by the run horizon.
+
+Arrival counts are drawn per step (``Poisson(rate_at(t))``), homes
+uniformly at random, and object sets via any
+:class:`~repro.workloads.generators.ObjectChooser` (``ZipfChooser`` is
+the hotspot/popularity knob); ``read_fraction`` splits accesses into
+reads per the read/write extension.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, Optional
+
+import numpy as np
+
+from repro._types import NodeId, ObjectId, Time
+from repro.errors import WorkloadError
+from repro.network.graph import Graph
+from repro.sim.transactions import TxnSpec
+from repro.workloads.arrivals import _split_reads
+from repro.workloads.generators import ObjectChooser, UniformChooser, place_objects_uniform
+
+#: RNG stream tags: placement and arrivals draw from disjoint seeded
+#: streams so re-running ``arrival_stream()`` never perturbs placement.
+_PLACEMENT_STREAM = 17
+_ARRIVAL_STREAM = 29
+
+
+class OpenWorkload:
+    """Base class of the open (streaming) arrival processes.
+
+    Subclasses define the time-varying expected arrival rate via
+    :meth:`rate_at` (transactions per step, summed over all nodes) or
+    override :meth:`arrival_stream` entirely for non-Poisson processes.
+    """
+
+    #: engines and runners dispatch open-system handling on this flag
+    open_system = True
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        num_objects: int = 8,
+        k: int = 2,
+        seed: int = 0,
+        chooser: Optional[ObjectChooser] = None,
+        read_fraction: float = 0.0,
+    ) -> None:
+        if num_objects < 1:
+            raise WorkloadError(f"num_objects must be >= 1, got {num_objects}")
+        if k < 1 or k > num_objects:
+            raise WorkloadError(f"k must be in [1, num_objects={num_objects}], got {k}")
+        if not 0.0 <= read_fraction <= 1.0:
+            raise WorkloadError(f"read_fraction must be a probability, got {read_fraction}")
+        self.graph = graph
+        self.num_objects = int(num_objects)
+        self.k = int(k)
+        self.seed = int(seed)
+        self.chooser = chooser or UniformChooser(num_objects)
+        self.read_fraction = float(read_fraction)
+        self._placement = place_objects_uniform(
+            graph, num_objects, np.random.default_rng([self.seed, _PLACEMENT_STREAM])
+        )
+
+    # -- workload protocol ---------------------------------------------
+    def initial_objects(self) -> Dict[ObjectId, NodeId]:
+        return dict(self._placement)
+
+    def rate_at(self, t: Time) -> float:
+        """Expected arrivals (all nodes combined) at step ``t``."""
+        raise NotImplementedError
+
+    @property
+    def mean_rate(self) -> float:
+        """Long-run average arrival rate (for reports; default: rate at 0)."""
+        return self.rate_at(0)
+
+    def arrival_stream(self) -> Iterator[TxnSpec]:
+        """A fresh unbounded spec iterator, restarted from the seed."""
+        rng = np.random.default_rng([self.seed, _ARRIVAL_STREAM])
+        t = 0
+        while True:
+            n = int(rng.poisson(self.rate_at(t)))
+            for _ in range(n):
+                yield self._spec(t, rng)
+            t += 1
+
+    # -- helpers for subclasses ----------------------------------------
+    def _spec(self, t: Time, rng: np.random.Generator) -> TxnSpec:
+        home = int(rng.integers(0, self.graph.num_nodes))
+        writes, reads = _split_reads(
+            self.chooser.choose(home, self.k, rng), self.read_fraction, rng
+        )
+        return TxnSpec(t, home, writes, reads=reads)
+
+
+class PoissonOpenWorkload(OpenWorkload):
+    """Constant-rate Poisson arrivals: ``Poisson(lam)`` new transactions
+    per step at uniformly random homes — the canonical open-system
+    workload the stability frontier bisects over."""
+
+    def __init__(self, graph: Graph, lam: float, **kwargs) -> None:
+        if lam <= 0:
+            raise WorkloadError(f"lam must be > 0, got {lam}")
+        super().__init__(graph, **kwargs)
+        self.lam = float(lam)
+
+    def rate_at(self, t: Time) -> float:
+        return self.lam
+
+
+class OnOffBurstyWorkload(OpenWorkload):
+    """Markov-modulated on/off arrivals: alternating burst and idle phases
+    with geometric durations; rate ``lam_on`` while bursting, ``lam_off``
+    while idle.  The open-system analogue of
+    :meth:`~repro.workloads.arrivals.OnlineWorkload.bursty`."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        lam_on: float = 1.0,
+        lam_off: float = 0.05,
+        mean_on: int = 16,
+        mean_off: int = 48,
+        **kwargs,
+    ) -> None:
+        if lam_on < 0 or lam_off < 0:
+            raise WorkloadError("phase rates must be >= 0")
+        if lam_on == 0 and lam_off == 0:
+            # An all-zero stream would make the engine's lazy pump spin
+            # forever waiting for an arrival that never comes.
+            raise WorkloadError("at least one phase rate must be > 0")
+        if mean_on < 1 or mean_off < 1:
+            raise WorkloadError("phase lengths must be >= 1")
+        super().__init__(graph, **kwargs)
+        self.lam_on = float(lam_on)
+        self.lam_off = float(lam_off)
+        self.mean_on = int(mean_on)
+        self.mean_off = int(mean_off)
+
+    @property
+    def mean_rate(self) -> float:
+        on, off = self.mean_on, self.mean_off
+        return (self.lam_on * on + self.lam_off * off) / (on + off)
+
+    def rate_at(self, t: Time) -> float:  # pragma: no cover - documentational
+        return self.mean_rate
+
+    def arrival_stream(self) -> Iterator[TxnSpec]:
+        rng = np.random.default_rng([self.seed, _ARRIVAL_STREAM])
+        t = 0
+        in_burst = False
+        while True:
+            mean = self.mean_on if in_burst else self.mean_off
+            length = 1 + int(rng.geometric(1.0 / mean))
+            lam = self.lam_on if in_burst else self.lam_off
+            for step in range(t, t + length):
+                for _ in range(int(rng.poisson(lam))):
+                    yield self._spec(step, rng)
+            t += length
+            in_burst = not in_burst
+
+
+class DiurnalWorkload(OpenWorkload):
+    """Sinusoidally modulated arrivals: rate
+    ``lam * (1 + amplitude * sin(2*pi*t / period))`` — the day/night cycle
+    of a user-facing service.  Peak rate is ``lam * (1 + amplitude)``;
+    stability at the mean rate is not enough if peaks outrun the
+    scheduler for longer than the trough can drain."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        lam: float,
+        *,
+        amplitude: float = 0.5,
+        period: int = 200,
+        **kwargs,
+    ) -> None:
+        if lam <= 0:
+            raise WorkloadError(f"lam must be > 0, got {lam}")
+        if not 0.0 <= amplitude <= 1.0:
+            raise WorkloadError(f"amplitude must be in [0, 1], got {amplitude}")
+        if period < 2:
+            raise WorkloadError(f"period must be >= 2, got {period}")
+        super().__init__(graph, **kwargs)
+        self.lam = float(lam)
+        self.amplitude = float(amplitude)
+        self.period = int(period)
+
+    @property
+    def mean_rate(self) -> float:
+        return self.lam
+
+    def rate_at(self, t: Time) -> float:
+        return self.lam * (1.0 + self.amplitude * math.sin(2.0 * math.pi * t / self.period))
+
+
+class AdversarialOpenWorkload(OpenWorkload):
+    """Adversarial-rate arrivals per *Stable Scheduling in Transactional
+    Memory*: an adversary constrained to injection rate ``rate`` with
+    burstiness ``burst`` (in any window of ``w`` steps it may inject at
+    most ``rate * w + burst`` transactions) and playing the worst case —
+    saving up the full burst allowance and dumping it as ``burst``
+    simultaneous transactions that all conflict on a small hot object
+    set.  A scheduler stable against this adversary is stable against any
+    admissible rate-``rate`` process."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        rate: float,
+        *,
+        burst: int = 8,
+        hot_objects: int = 2,
+        **kwargs,
+    ) -> None:
+        if rate <= 0:
+            raise WorkloadError(f"rate must be > 0, got {rate}")
+        if burst < 1:
+            raise WorkloadError(f"burst must be >= 1, got {burst}")
+        super().__init__(graph, **kwargs)
+        if hot_objects < 1 or hot_objects > self.num_objects:
+            raise WorkloadError(
+                f"hot_objects must be in [1, num_objects={self.num_objects}], got {hot_objects}"
+            )
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self.hot_objects = int(hot_objects)
+        # All burst members draw their k objects from the hot prefix, so
+        # every pair conflicts and the burst must serialize.
+        self._hot_pool = max(self.k, self.hot_objects)
+
+    def rate_at(self, t: Time) -> float:
+        return self.rate
+
+    def arrival_stream(self) -> Iterator[TxnSpec]:
+        rng = np.random.default_rng([self.seed, _ARRIVAL_STREAM])
+        tokens = 0.0
+        t = 0
+        while True:
+            tokens = min(tokens + self.rate, float(self.burst))
+            n = int(tokens)
+            if n >= self.burst or (self.rate >= 1.0 and n >= 1):
+                tokens -= n
+                for _ in range(n):
+                    yield self._hot_spec(t, rng)
+            t += 1
+
+    def _hot_spec(self, t: Time, rng: np.random.Generator) -> TxnSpec:
+        home = int(rng.integers(0, self.graph.num_nodes))
+        picks = rng.choice(self._hot_pool, size=self.k, replace=False)
+        writes, reads = _split_reads(
+            [int(o) for o in picks], self.read_fraction, rng
+        )
+        return TxnSpec(t, home, writes, reads=reads)

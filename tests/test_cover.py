@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 from repro.cover import build_sparse_cover, greedy_ball_partition, padded_decomposition
 from repro.errors import CoverError
 from repro.network import topologies
+from repro.sim import SimConfig
 
 
 class TestPaddedDecomposition:
@@ -115,7 +116,7 @@ class TestGreedyBallPartition:
         cover = build_sparse_cover(g, seed=1, construction="greedy")
         wl = OnlineWorkload.bernoulli(g, num_objects=4, k=2, rate=0.06, horizon=25, seed=4)
         sched = DistributedBucketScheduler(ColoringBatchScheduler(), cover=cover)
-        res = run_experiment(g, sched, wl, object_speed_den=2)
+        res = run_experiment(g, sched, wl, config=SimConfig(object_speed_den=2))
         assert res.trace.num_txns == wl.num_txns
 
 

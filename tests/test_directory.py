@@ -11,6 +11,7 @@ from repro.errors import GraphError, SchedulingError
 from repro.network import topologies
 from repro.offline import ColoringBatchScheduler
 from repro.workloads import OnlineWorkload
+from repro.sim import SimConfig
 
 
 class TestSpanningTree:
@@ -125,7 +126,7 @@ class TestArrowDiscovery:
     def test_arrow_discovery_feasible(self, graph):
         wl = OnlineWorkload.bernoulli(graph, num_objects=4, k=2, rate=0.05, horizon=25, seed=6)
         sched = DistributedBucketScheduler(ColoringBatchScheduler(), seed=0, discovery="arrow")
-        res = run_experiment(graph, sched, wl, object_speed_den=2)
+        res = run_experiment(graph, sched, wl, config=SimConfig(object_speed_den=2))
         assert res.trace.num_txns == wl.num_txns
         assert sched.directory is not None
         assert sched.directory.find_messages + sched.directory.maintenance_messages > 0
@@ -134,12 +135,13 @@ class TestArrowDiscovery:
         g = topologies.line(16)
         mk = lambda: OnlineWorkload.bernoulli(g, num_objects=5, k=2, rate=0.05, horizon=40, seed=7)
         probe = run_experiment(
-            g, DistributedBucketScheduler(ColoringBatchScheduler(), seed=0), mk(), object_speed_den=2
+            g, DistributedBucketScheduler(ColoringBatchScheduler(), seed=0), mk(),
+            config=SimConfig(object_speed_den=2),
         )
         arrow = run_experiment(
             g,
             DistributedBucketScheduler(ColoringBatchScheduler(), seed=0, discovery="arrow"),
             mk(),
-            object_speed_den=2,
+            config=SimConfig(object_speed_den=2),
         )
         assert arrow.metrics.messages_sent >= probe.metrics.messages_sent

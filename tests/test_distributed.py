@@ -10,6 +10,7 @@ from repro.offline import ColoringBatchScheduler, LineBatchScheduler
 from repro.sim.engine import Simulator
 from repro.sim.transactions import TxnSpec
 from repro.workloads import BatchWorkload, ManualWorkload, OnlineWorkload
+from repro.sim import SimConfig
 
 
 def dist_sched(batch_cls=ColoringBatchScheduler, **kw):
@@ -29,7 +30,7 @@ class TestProtocol:
         g = topologies.line(8)
         wl = ManualWorkload({0: 0}, [TxnSpec(0, 5, (0,))])
         sched = dist_sched()
-        res = run_experiment(g, sched, wl, object_speed_den=2)
+        res = run_experiment(g, sched, wl, config=SimConfig(object_speed_den=2))
         assert res.trace.num_txns == 1
         # discovery probe + response + report, at minimum
         assert sched.message_counts["probe"] >= 1
@@ -46,21 +47,21 @@ class TestProtocol:
         specs = [TxnSpec(0, 12, (0,)), TxnSpec(40, 0, (0,))]
         wl = ManualWorkload({0: 0}, specs)
         sched = dist_sched(LineBatchScheduler)
-        res = run_experiment(g, sched, wl, object_speed_den=2)
+        res = run_experiment(g, sched, wl, config=SimConfig(object_speed_den=2))
         assert res.trace.num_txns == 2
         assert sched.message_counts["probe"] >= 3  # at least one chase hop
 
     def test_zero_object_txn(self):
         g = topologies.line(8)
         wl = ManualWorkload({}, [TxnSpec(0, 3, ())])
-        res = run_experiment(g, dist_sched(), wl, object_speed_den=2)
+        res = run_experiment(g, dist_sched(), wl, config=SimConfig(object_speed_den=2))
         assert res.trace.num_txns == 1
 
     def test_insert_log_has_heights(self):
         g = topologies.grid([3, 3])
         wl = OnlineWorkload.bernoulli(g, num_objects=4, k=2, rate=0.06, horizon=30, seed=2)
         sched = dist_sched()
-        run_experiment(g, sched, wl, object_speed_den=2)
+        run_experiment(g, sched, wl, config=SimConfig(object_speed_den=2))
         assert sched.insert_log
         for tid, level, height, t in sched.insert_log:
             assert 0 <= level <= sched.max_level
@@ -83,7 +84,7 @@ class TestFeasibilityAcrossTopologies:
         wl = OnlineWorkload.bernoulli(
             graph, num_objects=4, k=2, rate=0.05, horizon=25, seed=3
         )
-        res = run_experiment(graph, dist_sched(), wl, object_speed_den=2)
+        res = run_experiment(graph, dist_sched(), wl, config=SimConfig(object_speed_den=2))
         assert res.trace.num_txns == wl.num_txns  # certification is implicit
 
 
@@ -97,7 +98,7 @@ class TestLemma6:
         g = topologies.grid([4, 4])
         wl = OnlineWorkload.bernoulli(g, num_objects=5, k=2, rate=0.06, horizon=40, seed=seed)
         sched = dist_sched()
-        res = run_experiment(g, sched, wl, object_speed_den=2)
+        res = run_experiment(g, sched, wl, config=SimConfig(object_speed_den=2))
         recs = res.trace.txns
         rep = {tid: (c, t) for tid, c, t in sched.report_log}
         tids = sorted(rep)
@@ -128,10 +129,12 @@ class TestOverheadVsCentralized:
             g, num_objects=5, k=2, rate=0.04, horizon=40, seed=4
         )
         central = run_experiment(
-            g, BucketScheduler(LineBatchScheduler()), mk(), object_speed_den=2
+            g, BucketScheduler(LineBatchScheduler()), mk(),
+            config=SimConfig(object_speed_den=2),
         )
         distributed = run_experiment(
-            g, DistributedBucketScheduler(LineBatchScheduler(), seed=0), mk(), object_speed_den=2
+            g, DistributedBucketScheduler(LineBatchScheduler(), seed=0), mk(),
+            config=SimConfig(object_speed_den=2),
         )
         assert distributed.metrics.messages_sent > 0
         assert central.metrics.messages_sent == 0

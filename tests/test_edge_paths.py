@@ -15,6 +15,7 @@ from repro.offline import (
 )
 from repro.sim.transactions import Transaction, TxnSpec
 from repro.workloads import ManualWorkload, OnlineWorkload
+from repro.sim import SimConfig
 
 
 class TestOfflineFallbacks:
@@ -89,7 +90,7 @@ class TestDistributedEdges:
         cover = build_sparse_cover(g, seed=5)
         sched = DistributedBucketScheduler(ColoringBatchScheduler(), cover=cover)
         wl = ManualWorkload({0: 0}, [TxnSpec(0, 7, (0,))])
-        run_experiment(g, sched, wl, object_speed_den=2)
+        run_experiment(g, sched, wl, config=SimConfig(object_speed_den=2))
         assert sched.cover is cover
 
     def test_activation_skips_already_scheduled(self):
@@ -98,7 +99,7 @@ class TestDistributedEdges:
         g = topologies.line(8)
         sched = DistributedBucketScheduler(ColoringBatchScheduler(), seed=0)
         wl = ManualWorkload({0: 0}, [TxnSpec(0, 5, (0,))])
-        res = run_experiment(g, sched, wl, object_speed_den=2)
+        res = run_experiment(g, sched, wl, config=SimConfig(object_speed_den=2))
         assert res.trace.num_txns == 1
 
 

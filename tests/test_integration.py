@@ -13,6 +13,7 @@ from repro.offline import (
     StarBatchScheduler,
 )
 from repro.workloads import BatchWorkload, ClosedLoopWorkload, OnlineWorkload
+from repro.sim import SimConfig
 
 TOPOLOGIES = [
     lambda: topologies.clique(10),
@@ -49,7 +50,7 @@ class TestAllPairsBatch:
     def test_batch_certified(self, topo, name, factory, speed):
         g = topo()
         wl = BatchWorkload.uniform(g, num_objects=5, k=2, seed=13)
-        res = run_experiment(g, factory(), wl, object_speed_den=speed)
+        res = run_experiment(g, factory(), wl, config=SimConfig(object_speed_den=speed))
         assert res.trace.num_txns == g.num_nodes
         assert res.metrics.makespan >= 1
 
@@ -59,7 +60,7 @@ class TestAllPairsOnline:
     def test_online_grid_certified(self, name, factory, speed):
         g = topologies.grid([3, 4])
         wl = OnlineWorkload.bernoulli(g, num_objects=5, k=2, rate=0.06, horizon=30, seed=21)
-        res = run_experiment(g, factory(), wl, object_speed_den=speed)
+        res = run_experiment(g, factory(), wl, config=SimConfig(object_speed_den=speed))
         assert res.trace.num_txns == wl.num_txns
 
 
@@ -88,7 +89,7 @@ class TestClosedLoopAcrossSchedulers:
     def test_closed_loop(self, name, factory, speed):
         g = topologies.clique(6)
         wl = ClosedLoopWorkload(g, num_objects=4, k=2, rounds=3, seed=8)
-        res = run_experiment(g, factory(), wl, object_speed_den=speed)
+        res = run_experiment(g, factory(), wl, config=SimConfig(object_speed_den=speed))
         assert res.trace.num_txns == 18
 
 
@@ -107,7 +108,7 @@ class TestDeterminism:
 
         def one():
             wl = OnlineWorkload.bernoulli(g, num_objects=4, k=2, rate=0.08, horizon=20, seed=17)
-            return run_experiment(g, factory(), wl, object_speed_den=speed)
+            return run_experiment(g, factory(), wl, config=SimConfig(object_speed_den=speed))
 
         a, b = one(), one()
         assert {t: r.exec_time for t, r in a.trace.txns.items()} == {

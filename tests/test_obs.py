@@ -35,6 +35,7 @@ from repro.offline import ColoringBatchScheduler, LineBatchScheduler
 from repro.sim import Simulator, certify_trace
 from repro.sim.serialize import trace_to_dict
 from repro.workloads import ClosedLoopWorkload, OnlineWorkload
+from repro.sim import SimConfig
 
 DATA = os.path.join(os.path.dirname(__file__), "data")
 
@@ -86,7 +87,7 @@ def test_null_probe_is_disabled_and_uninvoked():
 def _clique_run(probe):
     g = topologies.clique(16)
     wl = ClosedLoopWorkload(g, num_objects=8, k=2, rounds=3, seed=0)
-    return run_experiment(g, GreedyScheduler(uniform_beta=1), wl, probe=probe)
+    return run_experiment(g, GreedyScheduler(uniform_beta=1), wl, config=SimConfig(probe=probe))
 
 
 def test_counters_match_trace_ground_truth_on_clique():
@@ -193,6 +194,6 @@ def test_base_probe_is_complete_no_op():
     assert p.enabled
     g = topologies.clique(4)
     wl = ClosedLoopWorkload(g, num_objects=2, k=1, rounds=1, seed=0)
-    res = run_experiment(g, GreedyScheduler(), wl, probe=p)  # exercises all hooks
+    res = run_experiment(g, GreedyScheduler(), wl, config=SimConfig(probe=p))  # exercises all hooks
     assert res.makespan >= 0
     assert res.obs is None  # base Probe has no summary()

@@ -19,6 +19,7 @@ from repro.network import topologies
 from repro.offline import ColoringBatchScheduler
 from repro.sim.transactions import TxnSpec
 from repro.workloads import ManualWorkload
+from repro.sim import SimConfig
 
 SETTINGS = settings(
     max_examples=25,
@@ -85,7 +86,7 @@ class TestFeasibilityInvariant:
             g,
             DistributedBucketScheduler(ColoringBatchScheduler(), seed=0),
             wl,
-            object_speed_den=2,
+            config=SimConfig(object_speed_den=2),
         )
         assert res.trace.num_txns == wl.num_txns
 

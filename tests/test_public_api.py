@@ -29,10 +29,18 @@ DOCUMENTED_API = {
     "repro.workloads": [
         "BatchWorkload", "OnlineWorkload", "ClosedLoopWorkload",
         "ManualWorkload", "TxnSpec",
-        "UniformChooser", "ZipfChooser", "LocalityChooser",
+        "WorkloadSpec", "WORKLOAD_KINDS",
+        "OpenWorkload", "PoissonOpenWorkload", "OnOffBurstyWorkload",
+        "DiurnalWorkload", "AdversarialOpenWorkload",
+        "ObjectChooser", "UniformChooser", "ZipfChooser", "LocalityChooser",
         "hotspot_workload", "chain_workload", "grid_crossing_workload",
         "bank_workload", "vacation_workload", "inventory_workload",
         "workload_from_trace", "place_objects_uniform",
+    ],
+    "repro.workloads.spec": ["WorkloadSpec", "WORKLOAD_KINDS", "allowed_knobs"],
+    "repro.workloads.streaming": [
+        "OpenWorkload", "PoissonOpenWorkload", "OnOffBurstyWorkload",
+        "DiurnalWorkload", "AdversarialOpenWorkload",
     ],
     "repro.core": [
         "OnlineScheduler", "GreedyScheduler", "BucketScheduler",
@@ -73,6 +81,18 @@ DOCUMENTED_API = {
         "render_gantt", "run_report", "comparison_report", "obs_section",
         "live_count_series", "transit_series", "node_utilization",
         "hottest_nodes", "waiting_time_breakdown", "peak_concurrency",
+        "run_stream", "StreamResult",
+        "slo_summary", "SloSummary", "stability_verdict", "StabilityVerdict",
+        "latency_percentiles", "backlog_series",
+        "stability_frontier", "FrontierResult", "SchedulerFrontier",
+    ],
+    "repro.analysis.slo": [
+        "SloSummary", "StabilityVerdict", "slo_summary", "stability_verdict",
+        "latency_percentiles", "backlog_series",
+    ],
+    "repro.analysis.frontier": [
+        "FrontierProbe", "FrontierResult", "SchedulerFrontier",
+        "stability_frontier", "rate_knob",
     ],
     "repro.obs": [
         "Probe", "NullProbe", "NULL_PROBE", "MultiProbe",

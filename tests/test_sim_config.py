@@ -174,10 +174,11 @@ def test_run_experiment_congested_config_end_to_end():
 
 def test_run_experiment_kwargs_still_win_over_config():
     g, wl = _setup()
-    res = run_experiment(
-        g, GreedyScheduler(), wl,
-        config=SimConfig(object_speed_den=3), object_speed_den=1,
-    )
+    with pytest.warns(DeprecationWarning, match="object_speed_den"):
+        res = run_experiment(
+            g, GreedyScheduler(), wl,
+            config=SimConfig(object_speed_den=3), object_speed_den=1,
+        )
     assert res.trace.object_speed_den == 1
 
 
