@@ -1,0 +1,91 @@
+"""Large-topology smoke: huge graphs must run without a distance matrix.
+
+Not a throughput bench — a memory/feasibility guard for the implicit
+distance oracles.  A full all-pairs cache for n = 10,000 nodes would cost
+~760 MiB (``estimate_matrix_bytes``) before the simulator even starts, so
+this script runs a short windowed-scheduler experiment on a 100x100 grid
+and a 10k-node torus, then touches 100k-node variants, under a hard
+peak-RSS ceiling and a wall-clock budget.  If anyone reintroduces an
+eager per-row Dijkstra on the oracle path, the RSS assert trips long
+before CI times out.
+
+Run directly (exit code is the verdict):
+
+    PYTHONPATH=src python benchmarks/smoke_large_topology.py
+"""
+
+import resource
+import sys
+import time
+
+from repro.core import WindowedBatchScheduler
+from repro.network import topologies
+from repro.network.oracles import estimate_matrix_bytes
+from repro.offline import ColoringBatchScheduler
+from repro.sim import Simulator
+from repro.workloads import OnlineWorkload
+
+#: peak-RSS ceiling, MiB.  The n=10k full matrix alone would be ~760 MiB;
+#: the whole smoke must fit comfortably below that.
+RSS_CEILING_MIB = 300
+#: wall-clock budget for the full script, seconds (CI adds its own timeout)
+WALL_BUDGET_S = 120
+
+
+def peak_rss_mib() -> float:
+    # ru_maxrss is KiB on Linux, bytes on macOS
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        rss //= 1024
+    return rss / 1024.0
+
+
+def run_windowed(g, horizon, rate, seed=0):
+    wl = OnlineWorkload.bernoulli(
+        g, num_objects=64, k=2, rate=rate, horizon=horizon, seed=seed
+    )
+    sched = WindowedBatchScheduler(ColoringBatchScheduler(), window=4)
+    trace = Simulator(g, sched, wl).run()
+    assert all(r.exec_time >= r.gen_time for r in trace.txns.values())
+    return trace
+
+
+def main() -> int:
+    t0 = time.perf_counter()
+
+    # -- short windowed runs at n = 10,000 --------------------------------
+    for g, rate in [
+        (topologies.grid([100, 100]), 0.002),
+        (topologies.torus([100, 100]), 0.002),
+    ]:
+        assert g.num_nodes == 10_000
+        assert g.oracle is not None, f"{g.name}: oracle missing"
+        trace = run_windowed(g, horizon=12, rate=rate)
+        assert trace.num_txns > 0, f"{g.name}: workload generated nothing"
+        assert not g._dist, f"{g.name}: Dijkstra rows materialised"
+        print(f"{g.name}: {trace.num_txns} txns, makespan {trace.makespan()}, "
+              f"peak RSS {peak_rss_mib():.1f} MiB")
+
+    # -- n = 100,000: construction + point queries stay implicit ----------
+    for g in (topologies.grid([1000, 100]), topologies.torus([100, 100, 10])):
+        assert g.num_nodes == 100_000
+        assert g.distance(0, g.num_nodes - 1) > 0
+        assert g.diameter() > 0
+        assert not g._dist, f"{g.name}: Dijkstra rows materialised"
+        print(f"{g.name}: diameter {g.diameter()}, matrix would be "
+              f"{estimate_matrix_bytes(g.num_nodes) / 2**30:.1f} GiB, "
+              f"peak RSS {peak_rss_mib():.1f} MiB")
+
+    wall = time.perf_counter() - t0
+    rss = peak_rss_mib()
+    print(f"total: {wall:.1f}s wall, {rss:.1f} MiB peak RSS")
+    assert rss < RSS_CEILING_MIB, (
+        f"peak RSS {rss:.1f} MiB over the {RSS_CEILING_MIB} MiB ceiling — "
+        "something is materialising per-row distances on huge graphs"
+    )
+    assert wall < WALL_BUDGET_S, f"wall clock {wall:.1f}s over budget"
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional
 
 from repro._types import NodeId, ObjectId, Time
 from repro.core.base import OnlineScheduler
+from repro.network.oracles import OracleRow
 from repro.sim.transactions import Transaction
 
 
@@ -29,10 +30,15 @@ class FifoSerialScheduler(OnlineScheduler):
     def on_step(self, t: Time, new_txns: List[Transaction]) -> None:
         assert self.sim is not None
         speed = self.sim.object_speed_den
+        graph = self.sim.graph
         for txn in sorted(new_txns, key=lambda x: x.tid):
             bound: Time = 1
-            # One cached Dijkstra row serves the whole object loop.
-            drow = self.sim.graph.distances_from(txn.home)
+            # One cached Dijkstra row serves the whole object loop; with
+            # an oracle the "row" answers point queries in O(1) instead.
+            if graph.oracle is not None:
+                drow = OracleRow(graph.oracle, txn.home)
+            else:
+                drow = graph.distances_from(txn.home)
             for oid in txn.all_objects:
                 pos = self._planned_pos.get(oid)
                 if pos is None:

@@ -18,6 +18,7 @@ from repro._types import ObjectId, Time
 from repro.core.base import OnlineScheduler
 from repro.core.coloring import min_valid_color
 from repro.core.dependency import constraints_for
+from repro.network.oracles import OracleRow
 from repro.sim.transactions import Transaction
 
 
@@ -26,9 +27,13 @@ def nearest_neighbor_order(graph, start, txns: Sequence[Transaction]) -> List[Tr
     ``start`` — the classical 2-approximation-flavoured TSP heuristic."""
     remaining = list(txns)
     order: List[Transaction] = []
+    oracle = graph.oracle
     pos = start
     while remaining:
-        drow = graph.distances_from(pos)
+        if oracle is not None:
+            drow = OracleRow(oracle, pos)
+        else:
+            drow = graph.distances_from(pos)
         nxt = min(remaining, key=lambda x: (drow[x.home], x.tid))
         order.append(nxt)
         remaining.remove(nxt)

@@ -659,6 +659,34 @@ def cmd_cover(args) -> int:
     return 0
 
 
+def cmd_topo(args) -> int:
+    """Topology inspector: ``repro topo info <spec>``.
+
+    Prints the graph's size, diameter, which distance oracle (if any)
+    answers its queries in O(1), and what a full Dijkstra distance-cache
+    would cost — the memory the oracle avoids materialising.
+    """
+    from repro.network.oracles import estimate_matrix_bytes
+
+    graph = parse_topology(args.topology)
+    n = graph.num_nodes
+    oracle = graph.oracle
+    cache = estimate_matrix_bytes(n)
+    if cache >= 1 << 30:
+        cache_h = f"{cache / (1 << 30):.1f} GiB"
+    elif cache >= 1 << 20:
+        cache_h = f"{cache / (1 << 20):.1f} MiB"
+    else:
+        cache_h = f"{cache / 1024:.1f} KiB"
+    print(f"topology : {graph.name}")
+    print(f"nodes    : {n}")
+    print(f"edges    : {graph.num_edges()}")
+    print(f"diameter : {graph.diameter()}")
+    print(f"oracle   : {oracle.kind if oracle is not None else 'none (cached Dijkstra)'}")
+    print(f"distance-cache estimate: {cache_h} ({'avoided by oracle' if oracle is not None else 'worst case if all rows touched'})")
+    return 0
+
+
 def cmd_chaos(args) -> int:
     """Chaos harness: ``repro chaos sweep`` / ``repro chaos replay``.
 
@@ -921,6 +949,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_cov.add_argument("--topology", required=True)
     p_cov.add_argument("--seed", type=int, default=0)
     p_cov.set_defaults(func=cmd_cover)
+
+    p_topo = sub.add_parser(
+        "topo", help="inspect a topology: size, diameter, distance oracle"
+    )
+    p_topo.add_argument("action", choices=["info"])
+    p_topo.add_argument("topology", help="topology spec, e.g. grid:100x100")
+    p_topo.set_defaults(func=cmd_topo)
 
     p_rep = sub.add_parser("replay", help="re-certify and replay an archived trace")
     p_rep.add_argument("--topology", required=True)

@@ -5,7 +5,7 @@ from repro.core.base import OnlineScheduler
 from repro.core.bucket import BucketScheduler
 from repro.core.coloring import min_valid_color
 from repro.core.coordinated import CoordinatedGreedyScheduler
-from repro.core.dependency import constraints_for
+from repro.core.dependency import DependencyTracker, constraints_for
 from repro.core.distributed import DistributedBucketScheduler
 from repro.core.greedy import GreedyScheduler
 from repro.core.replay import ReplayScheduler
@@ -22,5 +22,6 @@ __all__ = [
     "pick_batch_scheduler",
     "WindowedBatchScheduler",
     "constraints_for",
+    "DependencyTracker",
     "min_valid_color",
 ]

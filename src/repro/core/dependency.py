@@ -12,6 +12,18 @@ The scheduler hot path only needs, for one transaction, its constraint list
 (:class:`ExtendedDependencyGraph`) exists for analysis: experiment E1
 checks measured latencies against the Theorem 1 bound ``2*Gamma' - Delta'``
 node by node.
+
+Since the huge-topology refactor, ``H_t``'s conflict adjacency is
+**delta-maintained** by a :class:`DependencyTracker` the engine attaches at
+construction (``sim.deps``): edges are discovered once per transaction at
+generation time and dropped at commit, so :func:`constraints_for` costs
+O(degree) instead of re-scanning live accessor sets and materialising an
+O(n) distance row per call.  Holder (``Z_t``) constraints stay query-time —
+object positions change every step — but each is a single O(1) oracle
+distance lookup on structured topologies.  The original full-scan path is
+kept as :func:`_constraints_scan` and the full rebuild as
+:func:`build_extended_dependency_graph`; differential tests pin the tracker
+to both (see ``tests/test_dependency.py``).
 """
 
 from __future__ import annotations
@@ -56,7 +68,21 @@ def constraints_for(sim: Simulator, txn: Transaction, *, now: Time) -> List[Cons
     executed — or a temporary in-transit transaction — has color 0.  Edge
     weights are distances in ``G`` (travel-time bounds for holders, which
     also covers the half-speed object mode).
+
+    Dispatches to the engine-maintained :class:`DependencyTracker` when one
+    is attached (``sim.deps``, the default); state views and hand-rolled
+    simulators without one fall back to the full scan.  Both paths return
+    the same constraint multiset — :func:`repro.core.coloring.
+    min_valid_color` sorts internally, so list order is immaterial.
     """
+    deps = getattr(sim, "deps", None)
+    if deps is not None:
+        return deps.constraints_for(txn, now=now)
+    return _constraints_scan(sim, txn, now=now)
+
+
+def _constraints_scan(sim: Simulator, txn: Transaction, *, now: Time) -> List[Constraint]:
+    """Reference implementation: full scan of live accessor sets."""
     cons: List[Constraint] = []
     seen_txn: Set[TxnId] = set()
     seen_holder: Set[Tuple[str, int]] = set()
@@ -181,3 +207,137 @@ def build_extended_dependency_graph(sim: Simulator, *, now: Time) -> ExtendedDep
                 w = sim.object_time_to_reach(oid, a.home)
             h._add_edge(key, ("txn", a.tid), w)
     return h
+
+
+class DependencyTracker:
+    """Delta-maintained conflict adjacency of ``H_t`` (``sim.deps``).
+
+    The engine calls :meth:`on_generate` when a transaction enters the
+    system and :meth:`on_commit` when it leaves; between those two moments
+    the transaction's conflict neighbourhood is static (object sets never
+    change after generation, homes never move, reschedules only revise
+    execution times), so each edge is discovered exactly once.  ``adj``
+    stores *raw* graph distances between home nodes; the object-speed
+    scaling is applied at query time, matching the scan path.
+
+    Holder (``Z_t``) constraints are deliberately *not* cached: object
+    positions change every step, and recomputing them per query is O(#
+    objects of one transaction) with O(1) distance lookups on
+    oracle-backed topologies.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        #: tid -> {conflicting live tid -> unscaled home distance}
+        self.adj: Dict[TxnId, Dict[TxnId, Weight]] = {}
+
+    # -- engine lifecycle hooks ---------------------------------------
+    def on_generate(self, txn: Transaction) -> None:
+        """Discover ``txn``'s conflict edges against the live set."""
+        sim = self.sim
+        g = sim.graph
+        txns = sim.txns
+        home = txn.home
+        objects = sim.objects
+        writers = sim._live_writers_col
+        readers = sim._live_readers_col
+        mine: Dict[TxnId, Weight] = {}
+        # Write-write and write-read pairs conflict; read-read pairs share
+        # copies and do not (same rule as the scan path).
+        for oid in txn.objects:
+            idx = objects[oid].index
+            for tid in writers[idx]:
+                if tid != txn.tid and tid not in mine:
+                    mine[tid] = g.distance(home, txns[tid].home)
+            for tid in readers[idx]:
+                if tid != txn.tid and tid not in mine:
+                    mine[tid] = g.distance(home, txns[tid].home)
+        for oid in txn.reads:
+            for tid in writers[objects[oid].index]:
+                if tid != txn.tid and tid not in mine:
+                    mine[tid] = g.distance(home, txns[tid].home)
+        self.adj[txn.tid] = mine
+        adj = self.adj
+        for tid, d in mine.items():
+            adj[tid][txn.tid] = d
+
+    def on_commit(self, txn: Transaction) -> None:
+        """Drop ``txn`` and its incident edges from the adjacency."""
+        nbrs = self.adj.pop(txn.tid, None)
+        if nbrs:
+            adj = self.adj
+            for tid in nbrs:
+                other = adj.get(tid)
+                if other is not None:
+                    other.pop(txn.tid, None)
+
+    # -- queries ------------------------------------------------------
+    def constraints_for(self, txn: Transaction, *, now: Time) -> List[Constraint]:
+        """O(degree) constraint list; same multiset as the full scan."""
+        sim = self.sim
+        txns = sim.txns
+        g = sim.graph
+        speed = sim.object_speed_den
+        cons: List[Constraint] = []
+        nbrs = self.adj.get(txn.tid) or {}
+        for tid, d in nbrs.items():
+            other = txns[tid]
+            if other.exec_time is None:
+                continue  # pending txns are colored later (Lemma 1 is sequential)
+            cons.append((other.exec_time - now, speed * d))
+        seen_holder: Set[Tuple[str, int]] = set()
+        home = txn.home
+        for oid in txn.all_objects:
+            key = holder_key(sim, oid)
+            if key in seen_holder or key == ("txn", txn.tid):
+                continue
+            seen_holder.add(key)
+            if key[0] == "txn" and key[1] in nbrs:
+                continue  # live holder already constrained above
+            if key[0] == "txn" and key[1] in sim.live:
+                holder = txns[key[1]]
+                if holder.exec_time is not None:
+                    cons.append(
+                        (max(0, holder.exec_time - now), speed * g.distance(holder.home, home))
+                    )
+                    continue
+            cons.append((0, sim.object_time_to_reach(oid, home)))
+        return cons
+
+    def snapshot(self, *, now: Time) -> ExtendedDependencyGraph:
+        """Materialise ``H'_t`` from the maintained adjacency.
+
+        Equal (same nodes, same edge dict) to
+        :func:`build_extended_dependency_graph` on the same state — the
+        invariant the differential tests pin.
+        """
+        sim = self.sim
+        h = ExtendedDependencyGraph(now=now)
+        speed = sim.object_speed_den
+        for tid in sim.live:
+            h.nodes.add(("txn", tid))
+        for tid, nbrs in self.adj.items():
+            for other, d in nbrs.items():
+                if tid < other:
+                    h._add_edge(("txn", tid), ("txn", other), speed * d)
+        g = sim.graph
+        txns = sim.txns
+        obj_ids = sim._obj_ids
+        writers = sim._live_writers_col
+        readers = sim._live_readers_col
+        touched = {obj_ids[idx] for idx, tids in enumerate(writers) if tids}
+        touched.update(obj_ids[idx] for idx, tids in enumerate(readers) if tids)
+        for oid in touched:
+            key = holder_key(sim, oid)
+            idx = sim.objects[oid].index
+            accessors = set(writers[idx])
+            accessors.update(readers[idx])
+            for tid in accessors:
+                if key == ("txn", tid):
+                    continue
+                if key[0] == "txn" and key[1] in sim.live:
+                    w = speed * g.distance(txns[key[1]].home, txns[tid].home)
+                else:
+                    w = sim.object_time_to_reach(oid, txns[tid].home)
+                h._add_edge(key, ("txn", tid), w)
+        return h

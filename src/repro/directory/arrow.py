@@ -40,10 +40,9 @@ class SpanningTree:
     """
 
     def __init__(self, graph: Graph, root: NodeId = 0) -> None:
-        graph.distances_from(root)  # force SSSP, fills predecessors
         self.graph = graph
         self.root = root
-        self.parent: List[Optional[NodeId]] = list(graph._pred[root])
+        self.parent: List[Optional[NodeId]] = list(graph.predecessors(root))
         self.parent[root] = None
         self._depth: List[int] = [0] * graph.num_nodes
         order = sorted(graph.nodes(), key=lambda v: graph.distances_from(root)[v])

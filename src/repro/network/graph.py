@@ -6,6 +6,16 @@ cached single-source Dijkstra; repeated queries (the hot path of every
 scheduler) are dictionary lookups.  Following the HPC guides, we avoid
 recomputing anything inside scheduler loops: one Dijkstra per touched source,
 ever.
+
+Structured topologies go further: their constructors attach a
+:class:`repro.network.oracles.DistanceOracle` with closed-form O(1)
+distances, and :meth:`Graph.distance` / :meth:`distances_from` /
+:meth:`diameter` / :meth:`eccentricity` / :meth:`ball` dispatch to it —
+no Dijkstra row is ever built, which is what lets the kernel run at
+10^4-10^6 nodes.  Oracle answers are bit-identical to the fallback (see
+the exactness contract in :mod:`repro.network.oracles`), so traces do not
+change.  Cut-aware queries (partition windows) always take the explicit
+path: a cut invalidates any closed form.
 """
 
 from __future__ import annotations
@@ -45,6 +55,10 @@ class Graph:
         keep the minimum weight; self-loops are rejected.
     name:
         Optional human-readable label (topology constructors set this).
+    oracle:
+        Optional :class:`repro.network.oracles.DistanceOracle` answering
+        distance queries in closed form (attached by the structured
+        topology constructors; ``None`` for arbitrary graphs).
     """
 
     #: Max cached cut-aware Dijkstra results (per ``(cut, src)`` pair).
@@ -55,7 +69,17 @@ class Graph:
     #: recomputed identically on the next query.
     CUT_CACHE_MAX = 256
 
-    def __init__(self, num_nodes: int, edges: Iterable[_Edge], name: str = "") -> None:
+    #: Max cached oracle-built distance rows.  Unlike Dijkstra rows
+    #: (expensive to rebuild, hence unbounded) an oracle row is O(n)
+    #: arithmetic, so the cache is purely a hot-loop convenience and can
+    #: be evicted freely — at n = 10^5 an unbounded row cache would
+    #: quietly re-materialize the O(n^2) matrix the oracle exists to
+    #: avoid.
+    ORACLE_ROW_CACHE_MAX = 64
+
+    def __init__(
+        self, num_nodes: int, edges: Iterable[_Edge], name: str = "", oracle=None
+    ) -> None:
         if num_nodes <= 0:
             raise GraphError(f"graph needs at least one node, got {num_nodes}")
         self._n = int(num_nodes)
@@ -72,9 +96,12 @@ class Graph:
             if old is None or w < old:
                 self._adj[u][v] = w
                 self._adj[v][u] = w
+        #: closed-form distance oracle (None = Dijkstra fallback)
+        self.oracle = oracle
         # Lazy caches.
         self._dist: Dict[NodeId, List[Weight]] = {}
         self._pred: Dict[NodeId, List[Optional[NodeId]]] = {}
+        self._oracle_rows: "OrderedDict[NodeId, List[Weight]]" = OrderedDict()
         self._cut_sssp: "OrderedDict[Tuple[Cut, NodeId], Tuple[List[Weight], List[Optional[NodeId]]]]" = OrderedDict()
         self._diameter: Optional[Weight] = None
         if self._n > 1 and all(not a for a in self._adj):
@@ -150,7 +177,14 @@ class Graph:
 
     def distance(self, u: NodeId, v: NodeId) -> Weight:
         """Shortest-path distance ``d_G(u, v)``."""
-        # Hot path: one dict probe when the source row is already cached.
+        # Hot path 1: closed-form oracle — O(1), no row ever built.
+        orc = self.oracle
+        if orc is not None:
+            if 0 <= u < self._n and 0 <= v < self._n:
+                return orc.distance(u, v)
+            self._check_node(u)
+            self._check_node(v)
+        # Hot path 2: one dict probe when the source row is already cached.
         row = self._dist.get(u)
         if row is not None:
             if 0 <= v < self._n:
@@ -164,9 +198,41 @@ class Graph:
         return self._sssp(u)[v]
 
     def distances_from(self, src: NodeId) -> Sequence[Weight]:
-        """Distances from ``src`` to every node (cached; do not mutate)."""
+        """Distances from ``src`` to every node (cached; do not mutate).
+
+        With an oracle the row is filled by closed-form arithmetic (O(n),
+        no heap) and cached in a small LRU — cheap to rebuild, and an
+        unbounded cache would re-materialize the O(n^2) matrix at scale.
+        Dijkstra rows (arbitrary graphs) stay unbounded as before: there
+        are at most n of them and each is expensive to recompute.
+        """
         self._check_node(src)
+        orc = self.oracle
+        if orc is not None:
+            rows = self._oracle_rows
+            row = rows.get(src)
+            if row is None:
+                row = orc.row(src)
+                rows[src] = row
+                while len(rows) > self.ORACLE_ROW_CACHE_MAX:
+                    rows.popitem(last=False)
+            else:
+                rows.move_to_end(src)
+            return row
         return self._sssp(src)
+
+    def predecessors(self, src: NodeId) -> List[Optional[NodeId]]:
+        """Shortest-path-tree predecessor array rooted at ``src``.
+
+        Always runs (and caches) the explicit Dijkstra even when a
+        distance oracle is attached: callers such as the Arrow directory
+        need the tree *structure*, which the closed forms don't carry.
+        Do not mutate the returned list.
+        """
+        self._check_node(src)
+        if src not in self._pred:
+            self._sssp(src)
+        return self._pred[src]
 
     def shortest_path(self, u: NodeId, v: NodeId) -> List[NodeId]:
         """One shortest path from ``u`` to ``v`` as a node list (inclusive)."""
@@ -263,19 +329,34 @@ class Graph:
         return v in self._adj[u]
 
     def eccentricity(self, u: NodeId) -> Weight:
-        """Maximum distance from ``u`` to any node."""
+        """Maximum distance from ``u`` to any node (closed form with an
+        oracle; max over the cached Dijkstra row otherwise)."""
+        if self.oracle is not None:
+            self._check_node(u)
+            return self.oracle.eccentricity(u)
         return max(self.distances_from(u))
 
     def diameter(self) -> Weight:
-        """Graph diameter ``D`` (maximum pairwise shortest-path distance)."""
+        """Graph diameter ``D`` (maximum pairwise shortest-path distance).
+
+        O(1) with an oracle; the fallback materializes every Dijkstra row
+        (O(n^2)) exactly as before — one reason arbitrary graphs stay
+        small while structured topologies scale.
+        """
         if self._diameter is None:
-            self._diameter = max(self.eccentricity(u) for u in self.nodes())
+            if self.oracle is not None:
+                self._diameter = self.oracle.diameter()
+            else:
+                self._diameter = max(self.eccentricity(u) for u in self.nodes())
         return self._diameter
 
     def ball(self, u: NodeId, radius: Weight) -> List[NodeId]:
         """Nodes within distance ``radius`` of ``u`` (the *r-neighborhood*)."""
         d = self.distances_from(u)
         return [v for v in self.nodes() if d[v] <= radius]
+
+    #: Alias matching the paper's "r-neighborhood" vocabulary.
+    neighborhood = ball
 
     # ------------------------------------------------------------------
     # derived metrics used by lower bounds

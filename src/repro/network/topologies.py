@@ -20,18 +20,32 @@ import numpy as np
 from repro._types import NodeId, Weight
 from repro.errors import GraphError
 from repro.network.graph import Graph
+from repro.network.oracles import (
+    CliqueOracle,
+    ClusterOracle,
+    GridOracle,
+    HypercubeOracle,
+    LineOracle,
+    RingOracle,
+    StarOracle,
+    TorusOracle,
+    TreeOracle,
+    _is_exact_weight,
+)
 
 
 def clique(n: int, weight: Weight = 1) -> Graph:
     """Complete graph on ``n`` nodes, every edge of weight ``weight``."""
     edges = [(u, v, weight) for u in range(n) for v in range(u + 1, n)]
-    return Graph(n, edges, name=f"clique(n={n})")
+    oracle = CliqueOracle(n, weight) if _is_exact_weight(weight) else None
+    return Graph(n, edges, name=f"clique(n={n})", oracle=oracle)
 
 
 def line(n: int, weight: Weight = 1) -> Graph:
     """Path of ``n`` nodes ``0-1-...-(n-1)``, unit weights by default."""
     edges = [(i, i + 1, weight) for i in range(n - 1)]
-    return Graph(n, edges, name=f"line(n={n})")
+    oracle = LineOracle(n, weight) if _is_exact_weight(weight) else None
+    return Graph(n, edges, name=f"line(n={n})", oracle=oracle)
 
 
 def ring(n: int, weight: Weight = 1) -> Graph:
@@ -39,7 +53,8 @@ def ring(n: int, weight: Weight = 1) -> Graph:
     if n < 3:
         raise GraphError("ring needs at least 3 nodes")
     edges = [(i, (i + 1) % n, weight) for i in range(n)]
-    return Graph(n, edges, name=f"ring(n={n})")
+    oracle = RingOracle(n, weight) if _is_exact_weight(weight) else None
+    return Graph(n, edges, name=f"ring(n={n})", oracle=oracle)
 
 
 def grid(dims: Sequence[int], weight: Weight = 1) -> Graph:
@@ -65,7 +80,8 @@ def grid(dims: Sequence[int], weight: Weight = 1) -> Graph:
             if coord[axis] + 1 < d:
                 v = u + strides[axis]
                 edges.append((u, v, weight))
-    return Graph(n, edges, name=f"grid({'x'.join(map(str, dims))})")
+    oracle = GridOracle(dims, weight) if _is_exact_weight(weight) else None
+    return Graph(n, edges, name=f"grid({'x'.join(map(str, dims))})", oracle=oracle)
 
 
 def torus(dims: Sequence[int], weight: Weight = 1) -> Graph:
@@ -87,7 +103,8 @@ def torus(dims: Sequence[int], weight: Weight = 1) -> Graph:
             nxt[axis] = (coord[axis] + 1) % d
             v = sum(c * st for c, st in zip(nxt, strides))
             edges.append((min(u, v), max(u, v), weight))
-    return Graph(n, edges, name=f"torus({'x'.join(map(str, dims))})")
+    oracle = TorusOracle(dims, weight) if _is_exact_weight(weight) else None
+    return Graph(n, edges, name=f"torus({'x'.join(map(str, dims))})", oracle=oracle)
 
 
 def hypercube(dim: int, weight: Weight = 1) -> Graph:
@@ -99,7 +116,8 @@ def hypercube(dim: int, weight: Weight = 1) -> Graph:
         raise GraphError("hypercube dimension must be >= 1")
     n = 1 << dim
     edges = [(u, u ^ (1 << b), weight) for u in range(n) for b in range(dim) if u < u ^ (1 << b)]
-    return Graph(n, edges, name=f"hypercube(d={dim})")
+    oracle = HypercubeOracle(dim, weight) if _is_exact_weight(weight) else None
+    return Graph(n, edges, name=f"hypercube(d={dim})", oracle=oracle)
 
 
 def butterfly(dim: int, weight: Weight = 1) -> Graph:
@@ -161,7 +179,8 @@ def cluster_graph(alpha: int, beta: int, gamma: Weight) -> Graph:
         bridges.append(base)
         edges.extend((u, v, 1) for u in members for v in members if u < v)
     edges.extend((bridges[i], bridges[j], gamma) for i in range(alpha) for j in range(i + 1, alpha))
-    g = Graph(n, edges, name=f"cluster(alpha={alpha},beta={beta},gamma={gamma})")
+    oracle = ClusterOracle(alpha, beta, gamma) if _is_exact_weight(gamma) else None
+    g = Graph(n, edges, name=f"cluster(alpha={alpha},beta={beta},gamma={gamma})", oracle=oracle)
     g.layout = ClusterLayout(tuple(cliques), tuple(bridges), gamma)  # type: ignore[attr-defined]
     return g
 
@@ -201,7 +220,8 @@ def star_graph(alpha: int, beta: int, weight: Weight = 1) -> Graph:
         rays.append(members)
         edges.append((0, base, weight))
         edges.extend((members[i], members[i + 1], weight) for i in range(beta - 1))
-    g = Graph(n, edges, name=f"star(alpha={alpha},beta={beta})")
+    oracle = StarOracle(alpha, beta, weight) if _is_exact_weight(weight) else None
+    g = Graph(n, edges, name=f"star(alpha={alpha},beta={beta})", oracle=oracle)
     g.layout = StarLayout(0, tuple(rays))  # type: ignore[attr-defined]
     return g
 
@@ -224,7 +244,8 @@ def tree(branching: int, depth: int, weight: Weight = 1) -> Graph:
             v = u * branching + c
             if v < n:
                 edges.append((u, v, weight))
-    return Graph(n, edges, name=f"tree(b={branching},d={depth})")
+    oracle = TreeOracle(branching, depth, weight) if _is_exact_weight(weight) else None
+    return Graph(n, edges, name=f"tree(b={branching},d={depth})", oracle=oracle)
 
 
 def random_geometric(

@@ -24,6 +24,7 @@ from typing import Dict, List, Mapping, Optional, Protocol, Sequence, Tuple
 from repro._types import NodeId, ObjectId, Time, TxnId, Weight
 from repro.core.coloring import Constraint, min_valid_color
 from repro.network.graph import Graph
+from repro.network.oracles import OracleRow
 from repro.sim.transactions import Transaction
 
 
@@ -151,12 +152,19 @@ class BatchScheduler(abc.ABC):
                 writers_of.setdefault(oid, []).append(txn)
             for oid in txn.reads:
                 readers_of.setdefault(oid, []).append(txn)
+        graph = view.graph
+        oracle = graph.oracle
         for txn in self.order(view, txns):
             cons: List[Constraint] = []
             seen: set = set()
             # One cached distance row per transaction instead of millions
-            # of distance() calls (hot path; see docs/performance.md).
-            drow = view.graph.distances_from(txn.home)
+            # of distance() calls (hot path; see docs/performance.md) —
+            # unless an oracle answers point queries in O(1), in which
+            # case no O(n) row is ever materialised.
+            if oracle is not None:
+                drow = OracleRow(oracle, txn.home)
+            else:
+                drow = graph.distances_from(txn.home)
 
             def add_scheduled(pairs) -> None:
                 for rem, home in pairs:

@@ -1,0 +1,108 @@
+"""Columnar backing stores for the engine's hot per-txn/per-object state.
+
+The engine's inner loops touch three kinds of state on every step: the
+transaction table (``sim.txns``), the per-object live accessor sets, and
+per-transaction bookkeeping (schedule times).  All of them used to be
+hash maps keyed by ids.  Ids in this codebase are already integers —
+transaction ids are *dense* by construction (``itertools.count`` in
+arrival order) and object ids are interned to dense indexes at
+:meth:`~repro.sim.engine.Simulator.add_object` time — so every one of
+those maps is really a column: an index-keyed array.
+
+This module provides the columns; the dataclass views
+(:class:`~repro.sim.transactions.Transaction`,
+:class:`~repro.sim.objects.SharedObject`) stay the API boundary, and
+:class:`TxnTable` keeps the full ``Mapping`` surface so schedulers,
+invariant monitors, and the chaos layer read ``sim.txns`` exactly as
+before.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro._types import Time, TxnId
+from repro.sim.transactions import Transaction
+
+
+class TxnTable:
+    """List-backed ``Mapping[TxnId, Transaction]`` for dense txn ids.
+
+    Transaction ids are handed out by ``itertools.count`` in generation
+    order, so ``tid`` *is* the row index: lookups are one list probe, no
+    hashing.  Insertion is append-only and must arrive in id order — the
+    engine's ``_generate`` is the only writer.
+    """
+
+    __slots__ = ("_rows",)
+
+    def __init__(self) -> None:
+        self._rows: List[Transaction] = []
+
+    def __getitem__(self, tid: TxnId) -> Transaction:
+        if 0 <= tid < len(self._rows):
+            return self._rows[tid]
+        raise KeyError(tid)
+
+    def __setitem__(self, tid: TxnId, txn: Transaction) -> None:
+        if tid != len(self._rows):
+            raise ValueError(
+                f"TxnTable is append-only with dense ids: expected tid "
+                f"{len(self._rows)}, got {tid}"
+            )
+        self._rows.append(txn)
+
+    def get(self, tid: TxnId, default: Any = None) -> Optional[Transaction]:
+        if 0 <= tid < len(self._rows):
+            return self._rows[tid]
+        return default
+
+    def __contains__(self, tid: object) -> bool:
+        return isinstance(tid, int) and 0 <= tid < len(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[TxnId]:
+        return iter(range(len(self._rows)))
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    def keys(self) -> Iterator[TxnId]:
+        return iter(range(len(self._rows)))
+
+    def values(self) -> List[Transaction]:
+        return self._rows
+
+    def items(self) -> Iterator[Tuple[TxnId, Transaction]]:
+        return enumerate(self._rows)
+
+    def __repr__(self) -> str:
+        return f"TxnTable({len(self._rows)} txns)"
+
+
+class TimeColumn:
+    """Dense per-transaction time column with a ``dict.get``-style probe.
+
+    Backs ``Simulator._schedule_times``: one slot per transaction,
+    appended at generation, written at schedule time.  ``None`` marks
+    "never scheduled" (the engine substitutes the generation time when
+    recording the commit, as the mapping version did via ``.get``).
+    """
+
+    __slots__ = ("_col",)
+
+    def __init__(self) -> None:
+        self._col: List[Optional[Time]] = []
+
+    def append_slot(self) -> None:
+        self._col.append(None)
+
+    def __setitem__(self, tid: TxnId, t: Time) -> None:
+        self._col[tid] = t
+
+    def get(self, tid: TxnId, default: Optional[Time] = None) -> Optional[Time]:
+        if 0 <= tid < len(self._col) and self._col[tid] is not None:
+            return self._col[tid]
+        return default

@@ -34,6 +34,7 @@ from repro._types import DeparturePolicy, NodeId, ObjectId, Time, TxnId, TxnStat
 from repro.errors import InfeasibleScheduleError, ReproError, SchedulingError, WorkloadError
 from repro.network.graph import Graph
 from repro.obs.probe import NULL_PROBE
+from repro.sim.columnar import TimeColumn, TxnTable
 from repro.sim.config import SimConfig
 from repro.sim.events import EventKind, EventQueue
 from repro.sim.messages import MessageRouter
@@ -168,7 +169,9 @@ class Simulator:
 
         self.now: Time = 0
         self.objects: Dict[ObjectId, SharedObject] = {}
-        self.txns: Dict[TxnId, Transaction] = {}
+        #: dense txn column — tids are assigned in arrival order, so the
+        #: table is a list probe with the full Mapping surface on top
+        self.txns: TxnTable = TxnTable()
         self.live: Dict[TxnId, Transaction] = {}
         #: the event spine — single source of future engine events
         self.events = EventQueue()
@@ -211,10 +214,25 @@ class Simulator:
         #: observers called as fn(event, obj, t) for "register"/"arrive"
         #: events; used by distributed directories to track object motion
         self._object_observers: List = []
-        self._live_requesters: Dict[ObjectId, Set[TxnId]] = {}
-        self._live_readers_idx: Dict[ObjectId, Set[TxnId]] = {}
-        self._schedule_times: Dict[TxnId, Time] = {}
+        #: columnar per-object state, indexed by ``SharedObject.index``
+        #: (object ids are interned to dense ints in add_object):
+        #: live writers and live readers of each object
+        self._live_writers_col: List[Set[TxnId]] = []
+        self._live_readers_col: List[Set[TxnId]] = []
+        #: reverse intern table: dense index -> object id
+        self._obj_ids: List[ObjectId] = []
+        #: per-node live transaction counts (nodes are dense already);
+        #: makes the one_txn_per_node admission check O(1)
+        self._live_home_count: List[int] = [0] * graph.num_nodes
+        self._schedule_times = TimeColumn()
         self._last_wake: Optional[Time] = None
+        # Delta-maintained H_t conflict adjacency (repro.core.dependency);
+        # constraints_for dispatches to it instead of re-scanning live
+        # accessor sets.  Imported lazily: core.dependency imports this
+        # module for its type annotations.
+        from repro.core.dependency import DependencyTracker
+
+        self.deps = DependencyTracker(self)
 
         self.trace = ExecutionTrace(
             graph_name=graph.name,
@@ -246,8 +264,11 @@ class Simulator:
         """Place a new shared object at ``node`` (at rest, no holder)."""
         if oid in self.objects:
             raise WorkloadError(f"duplicate object id {oid}")
-        obj = SharedObject(oid, node, speed_den=self.object_speed_den)
+        obj = SharedObject(oid, node, speed_den=self.object_speed_den, index=len(self._obj_ids))
         self.objects[oid] = obj
+        self._obj_ids.append(oid)
+        self._live_writers_col.append(set())
+        self._live_readers_col.append(set())
         self.trace.initial_placement.setdefault(oid, node)
         for fn in self._object_observers:
             fn("register", obj, self.now)
@@ -344,11 +365,17 @@ class Simulator:
     # ------------------------------------------------------------------
     def live_requesters(self, oid: ObjectId) -> List[Transaction]:
         """Live transactions that *write* ``oid``."""
-        return [self.txns[tid] for tid in self._live_requesters.get(oid, ())]
+        obj = self.objects.get(oid)
+        if obj is None:
+            return []
+        return [self.txns[tid] for tid in self._live_writers_col[obj.index]]
 
     def live_readers(self, oid: ObjectId) -> List[Transaction]:
         """Live transactions that *read* ``oid`` (read/write extension)."""
-        return [self.txns[tid] for tid in self._live_readers_idx.get(oid, ())]
+        obj = self.objects.get(oid)
+        if obj is None:
+            return []
+        return [self.txns[tid] for tid in self._live_readers_col[obj.index]]
 
     def object_time_to_reach(self, oid: ObjectId, node: NodeId) -> Time:
         """Upper bound on when ``oid`` could be brought to ``node``."""
@@ -666,7 +693,11 @@ class Simulator:
                 raise WorkloadError(
                     f"transaction generated at t={t} requests unknown object {oid}"
                 )
-        if self.one_txn_per_node and any(x.home == spec.home for x in self.live.values()):
+        if (
+            self.one_txn_per_node
+            and 0 <= spec.home < len(self._live_home_count)
+            and self._live_home_count[spec.home]
+        ):
             raise WorkloadError(f"node {spec.home} already has a live transaction at t={t}")
         txn = Transaction(
             tid=next(self._tid_counter),
@@ -677,11 +708,16 @@ class Simulator:
             reads=frozenset(spec.reads),
         )
         self.txns[txn.tid] = txn
+        self._schedule_times.append_slot()
         self.live[txn.tid] = txn
+        if 0 <= txn.home < len(self._live_home_count):
+            self._live_home_count[txn.home] += 1
+        self.deps.on_generate(txn)
+        objects = self.objects
         for oid in txn.objects:
-            self._live_requesters.setdefault(oid, set()).add(txn.tid)
+            self._live_writers_col[objects[oid].index].add(txn.tid)
         for oid in txn.reads:
-            self._live_readers_idx.setdefault(oid, set()).add(txn.tid)
+            self._live_readers_col[objects[oid].index].add(txn.tid)
         if self._obs is not None:
             self._obs.on_generate(txn, t)
         return txn
@@ -797,11 +833,15 @@ class Simulator:
     def _commit(self, txn: Transaction, t: Time) -> None:
         txn.state = TxnState.EXECUTED
         del self.live[txn.tid]
+        if 0 <= txn.home < len(self._live_home_count):
+            self._live_home_count[txn.home] -= 1
+        self.deps.on_commit(txn)
         for oid in txn.objects:
-            self._live_requesters[oid].discard(txn.tid)
+            self._live_writers_col[self.objects[oid].index].discard(txn.tid)
         for oid in txn.reads:
-            self._live_readers_idx[oid].discard(txn.tid)
-            self.objects[oid].finish_read(txn.tid)
+            obj = self.objects[oid]
+            self._live_readers_col[obj.index].discard(txn.tid)
+            obj.finish_read(txn.tid)
         for oid in txn.objects:
             obj = self.objects[oid]
             obj.pop_head(txn.tid)
@@ -845,6 +885,8 @@ class Simulator:
         """
         if obj.in_transit or not obj.read_waiters:
             return
+        graph = self.graph
+        oracle = graph.oracle  # O(1) point lookups: no row materialised
         drow = None  # distances from the master's position, fetched lazily
         for entry in list(obj.read_waiters):
             if entry.tid in obj.reads_served or not obj.reader_serviceable(entry):
@@ -861,9 +903,13 @@ class Simulator:
                 if self._obs is not None:
                     self._obs.on_copy(obj.oid, entry.tid, t, t)
                 continue
-            if drow is None:
-                drow = self.graph.distances_from(obj.location)
-            travel = obj.travel_time(drow[reader_home])
+            if oracle is not None:
+                dist = oracle.distance(obj.location, reader_home)
+            else:
+                if drow is None:
+                    drow = graph.distances_from(obj.location)
+                dist = drow[reader_home]
+            travel = obj.travel_time(dist)
             arrive = t + travel
             self.trace.copy_legs.append(
                 CopyLeg(obj.oid, entry.tid, t, obj.location, reader_home, arrive, obj.version)

@@ -33,7 +33,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from enum import IntEnum
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 from repro._types import ObjectId, Time, TxnId
 
@@ -69,7 +69,9 @@ class EventQueue:
 
     def __init__(self) -> None:
         self._heap: List[Event] = []
-        self._due: Dict[int, List[Event]] = {int(kind): [] for kind in EventKind}
+        # Kind values are dense (0..7), so the per-kind due buckets are a
+        # plain list indexed by kind — no dict hashing on the hot path.
+        self._due: List[List[Event]] = [[] for _ in EventKind]
         self._due_count = 0
         self._due_min: Optional[Time] = None
         self._spec_seq = itertools.count()
@@ -156,15 +158,15 @@ class EventQueue:
             self._due_count += 1
             if self._due_min is None or entry[0] < self._due_min:
                 self._due_min = entry[0]
-        bucket = due[int(kind)]
+        bucket = due[kind]
         if not bucket:
             return bucket
-        due[int(kind)] = []
+        due[kind] = []
         self._due_count -= len(bucket)
         if self._due_count == 0:
             self._due_min = None
         else:
-            self._due_min = min(e[0] for b in due.values() for e in b)
+            self._due_min = min(e[0] for b in due for e in b)
         if kind is EventKind.ALARM:
             for entry in bucket:
                 self._alarm_times.discard(entry[0])

@@ -52,6 +52,9 @@ class SharedObject:
     read_epoch: Dict[TxnId, int] = field(default_factory=dict)
     #: number of committed writers (the current version of the data)
     version: int = 0
+    #: dense intern index assigned by the engine at registration; the
+    #: engine's columnar state (live accessor sets) is keyed by it
+    index: int = -1
 
     def travel_time(self, dist) -> Time:
         """Time steps needed to cover metric distance ``dist``."""

@@ -295,3 +295,43 @@ class TestCommands:
         ])
         assert rc == 0
         assert json.loads(capsys.readouterr().out)["txns"] == 12
+
+
+class TestTopoInfo:
+    def test_golden_stdout_oracle(self, capsys):
+        rc = main(["topo", "info", "grid:100x100"])
+        assert rc == 0
+        assert capsys.readouterr().out == (
+            "topology : grid(100x100)\n"
+            "nodes    : 10000\n"
+            "edges    : 19800\n"
+            "diameter : 198\n"
+            "oracle   : grid\n"
+            "distance-cache estimate: 763.5 MiB (avoided by oracle)\n"
+        )
+
+    def test_golden_stdout_fallback(self, capsys):
+        rc = main(["topo", "info", "butterfly:2"])
+        assert rc == 0
+        assert capsys.readouterr().out == (
+            "topology : butterfly(d=2)\n"
+            "nodes    : 12\n"
+            "edges    : 16\n"
+            "diameter : 4\n"
+            "oracle   : none (cached Dijkstra)\n"
+            "distance-cache estimate: 1.8 KiB (worst case if all rows touched)\n"
+        )
+
+    def test_every_oracle_kind_reported(self, capsys):
+        kinds = {
+            "clique:6": "clique", "line:6": "line", "ring:6": "ring",
+            "grid:3x3": "grid", "torus:3x3": "torus", "hypercube:3": "hypercube",
+            "cluster:2x3:4": "cluster", "star:2x3": "star", "tree:2x2": "tree",
+        }
+        for spec, kind in kinds.items():
+            assert main(["topo", "info", spec]) == 0
+            assert f"oracle   : {kind}\n" in capsys.readouterr().out
+
+    def test_bad_spec_exits(self):
+        with pytest.raises(SystemExit):
+            main(["topo", "info", "blorp:9"])

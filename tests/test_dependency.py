@@ -2,6 +2,7 @@
 
 from repro.core.base import OnlineScheduler
 from repro.core.dependency import (
+    _constraints_scan,
     build_extended_dependency_graph,
     constraints_for,
     holder_key,
@@ -9,7 +10,7 @@ from repro.core.dependency import (
 from repro.network import topologies
 from repro.sim.engine import Simulator
 from repro.sim.transactions import TxnSpec
-from repro.workloads import ManualWorkload
+from repro.workloads import ManualWorkload, hotspot_workload
 
 
 class Recorder(OnlineScheduler):
@@ -113,3 +114,72 @@ def test_extended_graph_structure():
     # Theorem 1 bound for txn 0: edges to txn1 (5) and holder (0) -> the
     # holder edge weight is 0 (object local), so Gamma=5, Delta counts both.
     assert h.theorem1_bound(("txn", 0)) >= h.weighted_degree(("txn", 0))
+
+
+class _DifferentialScheduler(OnlineScheduler):
+    """Greedy scheduler that, every step, checks the incremental tracker
+    against both reference paths: constraint multisets vs the full scan
+    (for every live transaction) and ``snapshot()`` vs the full H'_t
+    rebuild."""
+
+    def __init__(self):
+        super().__init__()
+        self.steps_checked = 0
+
+    def on_step(self, t, new_txns):
+        from repro.core.coloring import min_valid_color
+
+        sim = self.sim
+        for txn in sim.live.values():
+            fast = sorted(sim.deps.constraints_for(txn, now=t))
+            slow = sorted(_constraints_scan(sim, txn, now=t))
+            assert fast == slow, (t, txn.tid, fast, slow)
+        snap = sim.deps.snapshot(now=t)
+        full = build_extended_dependency_graph(sim, now=t)
+        assert snap.nodes == full.nodes, (t, snap.nodes ^ full.nodes)
+        assert snap.edges == full.edges, t
+        self.steps_checked += 1
+        for txn in new_txns:
+            sim.commit_schedule(txn, t + min_valid_color(constraints_for(sim, txn, now=t)))
+
+
+def _run_differential(graph, workload, **kw):
+    sched = _DifferentialScheduler()
+    trace = Simulator(graph, sched, workload, **kw).run()
+    assert sched.steps_checked > 0
+    return trace
+
+
+def test_tracker_matches_scan_line_mixed_reads():
+    specs = [
+        TxnSpec(0, 1, (0,), reads=(2,)),
+        TxnSpec(0, 6, (0, 1)),
+        TxnSpec(1, 3, (1,), reads=(0,)),
+        TxnSpec(2, 7, (2,), reads=(1,)),
+        TxnSpec(4, 0, (0, 2)),
+        TxnSpec(6, 5, (), reads=(0, 1, 2)),
+    ]
+    wl = ManualWorkload({0: 1, 1: 7, 2: 4}, specs)
+    _run_differential(topologies.line(8), wl)
+
+
+def test_tracker_matches_scan_hotspot_grid():
+    g = topologies.grid([4, 4])
+    wl = hotspot_workload(g, num_cold_objects=4, k_cold=1, seed=11)
+    trace = _run_differential(g, wl)
+    assert len(trace.txns) == g.num_nodes
+
+
+def test_tracker_matches_scan_half_speed_cluster():
+    g = topologies.cluster_graph(3, 3, 5)
+    wl = hotspot_workload(g, num_cold_objects=2, k_cold=1, seed=3)
+    _run_differential(g, wl, object_speed_den=2)
+
+
+def test_tracker_empty_after_quiescence():
+    g = topologies.ring(6)
+    wl = hotspot_workload(g, seed=0)
+    sched = _DifferentialScheduler()
+    sim = Simulator(g, sched, wl)
+    sim.run()
+    assert all(not nbrs for nbrs in sim.deps.adj.values())

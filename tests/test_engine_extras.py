@@ -93,9 +93,17 @@ class TestEngineExtras:
 class TestGraphExtras:
     def test_distance_cache_reuses_either_endpoint(self):
         g = topologies.line(12)
+        g.oracle = None  # force the Dijkstra fallback path
         g.distances_from(7)  # cache source 7
         assert g.distance(2, 7) == 5  # uses the cached row via swap
         assert len(g._dist) == 1  # no second Dijkstra
+
+    def test_oracle_graph_builds_no_dijkstra_rows(self):
+        g = topologies.line(12)
+        assert g.oracle is not None
+        g.distances_from(7)
+        assert g.distance(2, 7) == 5
+        assert len(g._dist) == 0  # closed form: no SSSP row materialised
 
     def test_shortest_path_same_node(self):
         g = topologies.grid([3, 3])

@@ -1,0 +1,126 @@
+"""Property tests: closed-form distance oracles vs the Dijkstra fallback.
+
+For every structured topology, at a sweep of sizes and dimension shapes,
+the attached oracle must return *exactly* the same distance as the cached
+Dijkstra path for every node pair — the byte-identity of golden traces
+rests on it.  ``diameter`` and ``eccentricity`` must agree too (the
+closed forms replaced a max-over-rows scan that was O(n^2) even on a
+clique).
+"""
+
+import pytest
+
+from repro.network import topologies
+from repro.network.graph import Graph
+from repro.network.oracles import OracleRow, estimate_matrix_bytes
+
+
+def strip_oracle(g: Graph) -> Graph:
+    """A same-structure graph forced onto the explicit Dijkstra path."""
+    bare = Graph(g.num_nodes, g.edges(), name=g.name)
+    assert bare.oracle is None
+    return bare
+
+
+def assert_oracle_exact(g: Graph) -> None:
+    assert g.oracle is not None, f"{g.name}: expected an oracle"
+    bare = strip_oracle(g)
+    n = g.num_nodes
+    for u in range(n):
+        row = bare.distances_from(u)
+        fast = g.distances_from(u)
+        for v in range(n):
+            assert g.distance(u, v) == row[v], (g.name, u, v)
+            assert fast[v] == row[v], (g.name, u, v)
+        assert g.eccentricity(u) == bare.eccentricity(u), (g.name, u)
+    assert g.diameter() == bare.diameter(), g.name
+
+
+CASES = [
+    *[topologies.clique(n, w) for n in (1, 2, 3, 7) for w in (1, 3)],
+    *[topologies.line(n, w) for n in (1, 2, 9) for w in (1, 2)],
+    *[topologies.ring(n, w) for n in (3, 4, 8, 9) for w in (1, 4)],
+    *[topologies.grid(dims, w) for dims in ([5], [1, 4], [3, 4], [2, 3, 2]) for w in (1, 2)],
+    *[topologies.torus(dims, w) for dims in ([3], [3, 5], [4, 4], [3, 3, 4]) for w in (1, 3)],
+    *[topologies.hypercube(d, w) for d in (1, 2, 4) for w in (1, 2)],
+    *[
+        topologies.cluster_graph(a, b, c)
+        for a, b, c in ((1, 5, 7), (2, 2, 9), (3, 4, 6), (4, 1, 2), (5, 3, 3))
+    ],
+    *[
+        topologies.star_graph(a, b, w)
+        for a, b, w in ((1, 5, 1), (3, 4, 2), (5, 1, 1), (2, 3, 3))
+    ],
+    *[
+        topologies.tree(b, d, w)
+        for b, d, w in ((1, 5, 1), (2, 0, 1), (2, 3, 2), (3, 2, 1), (4, 2, 3))
+    ],
+]
+
+
+@pytest.mark.parametrize("g", CASES, ids=lambda g: g.name)
+def test_oracle_matches_dijkstra_exactly(g):
+    assert_oracle_exact(g)
+
+
+def test_float_weights_get_no_oracle():
+    assert topologies.clique(5, 1.5).oracle is None
+    assert topologies.line(5, 0.25).oracle is None
+    assert topologies.grid([3, 3], 2.0).oracle is None
+    assert topologies.torus([3, 3], 0.5).oracle is None
+    assert topologies.hypercube(3, 1.5).oracle is None
+    assert topologies.star_graph(2, 2, 2.5).oracle is None
+    assert topologies.tree(2, 2, 1.5).oracle is None
+    assert topologies.cluster_graph(2, 2, 2.5).oracle is None
+
+
+def test_unstructured_topologies_get_no_oracle():
+    assert topologies.butterfly(2).oracle is None
+    assert topologies.random_geometric(12, 0.6, seed=1).oracle is None
+
+
+def test_bool_weight_is_not_exact():
+    # bools are ints in Python; weights of True would be legal but weird —
+    # the exactness gate deliberately excludes them.
+    assert topologies.clique(4, True).oracle is None
+
+
+def test_oracle_graph_never_runs_dijkstra():
+    g = topologies.torus([30, 30])
+    g.distance(0, 550)
+    g.distances_from(17)
+    g.eccentricity(3)
+    g.diameter()
+    assert not g._dist, "oracle graph materialised a Dijkstra row"
+
+
+def test_oracle_row_cache_is_bounded():
+    g = topologies.grid([20, 20])
+    for src in range(g.num_nodes):
+        g.distances_from(src)
+    assert len(g._oracle_rows) <= Graph.ORACLE_ROW_CACHE_MAX
+
+
+def test_oracle_row_view_matches_row():
+    g = topologies.cluster_graph(3, 4, 5)
+    view = OracleRow(g.oracle, 7)
+    row = g.distances_from(7)
+    assert [view[v] for v in range(g.num_nodes)] == list(row)
+
+
+def test_distance_avoiding_ignores_oracle():
+    # Cut-aware queries must keep the explicit path: cutting the direct
+    # ring edge (0,1) forces the long way round regardless of the oracle.
+    g = topologies.ring(6)
+    cut = frozenset({(0, 1)})
+    assert g.distance(0, 1) == 1
+    assert g.distance_avoiding(0, 1, cut) == 5
+
+
+def test_neighborhood_alias():
+    g = topologies.line(9)
+    assert g.neighborhood(4, 2) == g.ball(4, 2)
+
+
+def test_estimate_matrix_bytes_monotone():
+    assert estimate_matrix_bytes(10_000) > estimate_matrix_bytes(1_000) > 0
