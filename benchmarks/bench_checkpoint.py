@@ -1,0 +1,176 @@
+"""E-CKPT — checkpoint/restore cost (`repro.durability`) on a long run.
+
+Not a paper experiment: a guard-rail for the durability layer.  A
+checkpoint serializes the whole engine, and that payload grows with run
+history — late in a long run one synchronous snapshot costs hundreds of
+milliseconds, so a tight cadence would dominate the run.  Async mode
+(``SimConfig(checkpoint_sync=False)``) forks at the step boundary and
+lets a detached child serialize the copy-on-write image instead: the
+step loop pays only the fork, a cost set by the process's page tables,
+not by how much history the run has accumulated.
+
+The bench reports both writers' **stall** — wall-clock the step loop
+loses per snapshot, measured around explicit ``checkpoint()`` calls at
+a long-run cadence — and guards the async stall at < 5% of the run's
+compute (``STALL_BUDGET_PCT``).  The stall is the machine-independent
+quantity: a wall-clock A/B of whole runs would also charge the child's
+serialization CPU to the run on single-core hosts, which is exactly the
+sharing async mode is allowed to do.  End-to-end wall-clock overheads
+for both modes are reported alongside for the record, unguarded.
+
+Correctness rides along: the async-checkpointed run's trace must be
+byte-identical to the baseline's, and a mid-run async snapshot must
+restore and resume to that same trace.
+"""
+
+import json
+import os
+import shutil
+import tempfile
+import time
+
+import pytest
+
+from _util import emit, once
+from repro.core import GreedyScheduler
+from repro.network import topologies
+from repro.sim import SimConfig, Simulator
+from repro.sim.serialize import trace_to_dict
+from repro.workloads import OnlineWorkload
+
+#: dense clique run: ~5000 active steps, payload in the MB range by the end
+N, HORIZON = 32, 5000
+#: long-run cadence: snapshot every this many active steps
+EVERY = 1000
+#: async stall budget as a percentage of the baseline run's wall-clock
+STALL_BUDGET_PCT = 5.0
+TITLE = "E-CKPT  checkpoint stall + overhead — clique:32, 5k-step run"
+
+
+def _build(ck=None, every=None, sync=True):
+    g = topologies.clique(N)
+    wl = OnlineWorkload.bernoulli(
+        g, num_objects=16, k=2, rate=0.2, horizon=HORIZON, seed=0
+    )
+    cfg = SimConfig(
+        checkpoint_path=ck, checkpoint_every=every, checkpoint_sync=sync
+    )
+    return Simulator(g, GreedyScheduler(uniform_beta=1), wl, config=cfg)
+
+
+def _canon(trace) -> str:
+    return json.dumps(trace_to_dict(trace), sort_keys=True)
+
+
+def _timed_run(repeats=2, **kw):
+    """(best wall seconds, canonical trace) of a full run."""
+    best, canon = float("inf"), None
+    for _ in range(repeats):
+        sim = _build(**kw)
+        t0 = time.perf_counter()
+        trace = sim.run()
+        best = min(best, time.perf_counter() - t0)
+        canon = _canon(trace)
+    return best, canon
+
+
+def _stalls(workdir, sync, repeats=2):
+    """Per-snapshot step-loop stall at the ``EVERY`` cadence (seconds).
+
+    Drives the run in ``EVERY``-step windows and times the explicit
+    ``checkpoint()`` call between them — the exact work the periodic
+    path inserts into the step loop.  The runs are deterministic, so the
+    elementwise best over ``repeats`` passes is the real cost with
+    scheduler/page-cache noise removed.
+    """
+    tag = "sync" if sync else "async"
+    best = [float("inf")] * (HORIZON // EVERY)
+    for r in range(repeats):
+        sim = _build()
+        for i, t in enumerate(range(EVERY, HORIZON + 1, EVERY)):
+            sim.run_until(t)
+            path = os.path.join(workdir, f"stall-{tag}-{r}-{{step}}.bin")
+            t0 = time.perf_counter()
+            sim.checkpoint(path, sync=sync)
+            best[i] = min(best[i], time.perf_counter() - t0)
+        sim.run()
+    if not sync:
+        from repro.durability import reap_async_writers
+
+        reap_async_writers(block=True)  # don't contaminate later timings
+    return best
+
+
+def _await_files(paths):
+    from repro.durability import reap_async_writers
+
+    reap_async_writers(block=True)
+    missing = [p for p in paths if not os.path.exists(p)]
+    assert not missing, f"async snapshots never landed: {missing}"
+
+
+@pytest.mark.benchmark(group="E-CKPT")
+def test_checkpoint_stall_and_overhead(benchmark):
+    workdir = tempfile.mkdtemp(prefix="bench-ckpt-")
+    try:
+        base_s, base_canon = _timed_run()
+        sync_stalls = _stalls(workdir, sync=True)
+        async_stalls = _stalls(workdir, sync=False)
+
+        # End-to-end A/B for the record (child CPU included on 1-core hosts).
+        ck_sync = os.path.join(workdir, "auto-sync-{step}.bin")
+        sync_s, sync_canon = _timed_run(ck=ck_sync, every=EVERY)
+        ck_async = os.path.join(workdir, "auto-async-{step}.bin")
+        async_s, async_canon = _timed_run(
+            repeats=1, ck=ck_async, every=EVERY, sync=False
+        )
+
+        assert sync_canon == base_canon, "sync-checkpointed run diverged"
+        assert async_canon == base_canon, "async-checkpointed run diverged"
+        snaps = [
+            ck_async.format(step=s) for s in range(EVERY, HORIZON + 1, EVERY)
+        ]
+        _await_files(snaps)
+        resumed = Simulator.restore(snaps[len(snaps) // 2])
+        assert _canon(resumed.run()) == base_canon, (
+            "resume from an async snapshot diverged"
+        )
+        payload_mb = max(os.path.getsize(p) for p in snaps) / 1e6
+
+        once(benchmark, lambda: _build().run())
+
+        def pct(stalls):
+            return 100.0 * sum(stalls) / base_s
+
+        rows = [
+            ["baseline (no checkpoints)", round(base_s * 1e3, 1), "-", "-"],
+            ["sync,  every=1000", round(sync_s * 1e3, 1),
+             round(max(sync_stalls) * 1e3, 1), round(pct(sync_stalls), 1)],
+            ["async, every=1000", round(async_s * 1e3, 1),
+             round(max(async_stalls) * 1e3, 1), round(pct(async_stalls), 1)],
+        ]
+        emit(
+            TITLE,
+            ["mode", "run_ms", "max_stall_ms", "stall_pct"],
+            rows,
+            extra={
+                "every": EVERY,
+                "horizon": HORIZON,
+                "payload_mb": round(payload_mb, 2),
+                "stall_pct": {
+                    "sync": round(pct(sync_stalls), 2),
+                    "async": round(pct(async_stalls), 2),
+                },
+                "overhead_pct": {
+                    "sync": round(100.0 * (sync_s - base_s) / base_s, 1),
+                    "async": round(100.0 * (async_s - base_s) / base_s, 1),
+                },
+                "stall_budget_pct": STALL_BUDGET_PCT,
+            },
+        )
+        assert pct(async_stalls) < STALL_BUDGET_PCT, (
+            f"async checkpoint stall {pct(async_stalls):.2f}% of run "
+            f"wall-clock exceeds the {STALL_BUDGET_PCT}% budget"
+        )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)

@@ -185,6 +185,7 @@ def stability_frontier(
     until: Time = 600,
     warmup: Time = 150,
     jobs: int = 1,
+    resume_path: Optional[str] = None,
 ) -> FrontierResult:
     """Bisect λ in ``[lam_min, lam_max]`` for every scheduler.
 
@@ -194,7 +195,16 @@ def stability_frontier(
     done immediately — then ``lam_min``) are followed by ``rounds``
     bisection rounds, every round one :func:`~repro.parallel.pmap` batch
     across the still-searching schedulers.
+
+    ``resume_path`` makes the search crash-resumable: every finished
+    probe row is appended to the JSONL log keyed by ``(scheduler, λ)``
+    as it completes, and a restarted search replays logged probes
+    instead of re-running them.  Bisection is a deterministic function
+    of the index-ordered verdicts, so a resumed frontier is identical
+    to an uninterrupted one.
     """
+    import json
+
     from repro.parallel import pmap
 
     if not schedulers:
@@ -209,6 +219,24 @@ def stability_frontier(
         )
     knob = rate_knob(workload.kind)
 
+    cache: Dict[Tuple[str, float], Dict[str, Any]] = {}
+    log_fh = None
+    if resume_path is not None:
+        try:
+            with open(resume_path) as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        rec = json.loads(line)
+                    except ValueError:
+                        continue  # torn final line from an interrupted run
+                    cache[(rec["scheduler"], rec["lam"])] = rec["row"]
+        except FileNotFoundError:
+            pass
+        log_fh = open(resume_path, "a")
+
     def probe_at(name: str, lam: float) -> FrontierProbe:
         return FrontierProbe(
             topology=topology,
@@ -220,14 +248,31 @@ def stability_frontier(
         )
 
     def run_batch(batch: List[Tuple[_Search, float]]) -> None:
-        rows = pmap(
-            run_probe,
-            [probe_at(s.name, lam) for s, lam in batch],
-            jobs=jobs,
-            initializer=_cached_topology,
-            initargs=(topology,),
+        todo = [(s, lam) for s, lam in batch if (s.name, lam) not in cache]
+        fresh = iter(
+            pmap(
+                run_probe,
+                [probe_at(s.name, lam) for s, lam in todo],
+                jobs=jobs,
+                initializer=_cached_topology,
+                initargs=(topology,),
+            )
+            if todo
+            else []
         )
-        for (search, lam), row in zip(batch, rows):
+        for search, lam in batch:
+            row = cache.get((search.name, lam))
+            if row is None:
+                row = next(fresh)
+                cache[(search.name, lam)] = row
+                if log_fh is not None:
+                    log_fh.write(
+                        json.dumps(
+                            {"scheduler": search.name, "lam": lam, "row": row}
+                        )
+                        + "\n"
+                    )
+                    log_fh.flush()
             search.probes.append(row)
             if row["stable"]:
                 if lam > search.lo:
@@ -237,21 +282,25 @@ def stability_frontier(
 
     states = [_Search(name=n, lo=0.0, hi=float("inf")) for n in schedulers]
 
-    # Bracketing: the whole range first.
-    run_batch([(s, lam_max) for s in states])
-    for s in states:
-        s.done = s.lo >= lam_max  # stable at the top: λ* is the range edge
-    remaining = [s for s in states if not s.done]
-    if remaining:
-        run_batch([(s, lam_min) for s in remaining])
-        for s in remaining:
-            s.done = s.hi <= lam_min  # unstable even at the bottom
-    # Bisection rounds, lockstep across schedulers.
-    for _ in range(rounds):
-        active = [s for s in states if not s.done]
-        if not active:
-            break
-        run_batch([(s, (max(s.lo, lam_min) + s.hi) / 2.0) for s in active])
+    try:
+        # Bracketing: the whole range first.
+        run_batch([(s, lam_max) for s in states])
+        for s in states:
+            s.done = s.lo >= lam_max  # stable at the top: λ* is the range edge
+        remaining = [s for s in states if not s.done]
+        if remaining:
+            run_batch([(s, lam_min) for s in remaining])
+            for s in remaining:
+                s.done = s.hi <= lam_min  # unstable even at the bottom
+        # Bisection rounds, lockstep across schedulers.
+        for _ in range(rounds):
+            active = [s for s in states if not s.done]
+            if not active:
+                break
+            run_batch([(s, (max(s.lo, lam_min) + s.hi) / 2.0) for s in active])
+    finally:
+        if log_fh is not None:
+            log_fh.close()
 
     return FrontierResult(
         topology=topology,

@@ -20,7 +20,10 @@ Checked invariants
     Objects are conserved across legs and crashes: every registered
     object is either at rest on a real node of ``G`` or in transit to a
     real node with an arrival no earlier than now — never both, never
-    neither, never duplicated.
+    neither, never duplicated.  Under elastic membership
+    (:class:`repro.faults.MembershipPlan`) an object may never *rest* on
+    a departed node: the engine must have a recovery leg in flight by
+    the end of the step the leave fired.
 ``commit-presence``
     A transaction commits only with *all* its written objects at rest at
     its home node (checked independently of the engine's own
@@ -181,6 +184,7 @@ class InvariantMonitor(Probe):
     # -- individual checks ----------------------------------------------
     def _check_objects(self, sim, t: Time) -> None:
         n = sim.graph.num_nodes
+        departed = getattr(sim, "_departed", ())
         for oid, obj in sim.objects.items():
             if obj.oid != oid:
                 raise InvariantViolation(
@@ -211,6 +215,16 @@ class InvariantMonitor(Probe):
                     f"object {oid} at rest at non-node {obj.location}",
                     step=t,
                     oid=oid,
+                )
+            elif obj.location in departed:
+                # In-transit *to* a departed node is legal (the arrival
+                # handler re-homes the leg); resting there is not.
+                raise InvariantViolation(
+                    "conservation",
+                    f"object {oid} at rest on departed node {obj.location}",
+                    step=t,
+                    oid=oid,
+                    node=obj.location,
                 )
             holder = obj.holder_txn
             if holder is not None:

@@ -18,6 +18,7 @@ shrinker (:mod:`repro.chaos.shrink`) and replay artifacts
 
 from __future__ import annotations
 
+import json
 import random
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -163,6 +164,20 @@ class EpisodeResult:
             "violation": self.violation,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "EpisodeResult":
+        return cls(
+            spec=EpisodeSpec.from_dict(data["spec"]),
+            committed=data.get("committed", 0),
+            generated=data.get("generated", 0),
+            makespan=data.get("makespan", 0),
+            end_time=data.get("end_time", 0),
+            fault_counts=dict(data.get("fault_counts", {})),
+            reschedules=data.get("reschedules", 0),
+            checks_run=data.get("checks_run", 0),
+            violation=data.get("violation"),
+        )
+
 
 def make_workload(graph, params):
     """Build the episode workload from its description.
@@ -221,6 +236,12 @@ def run_episode(spec: EpisodeSpec) -> EpisodeResult:
     from repro.sim.validate import certify_trace
 
     graph = _cached_topology(spec.topology)
+    if spec.plan.membership is not None and spec.plan.membership.joins:
+        # Joins mutate the engine's graph (Graph.add_node); give such
+        # episodes a private copy so the shared per-process cache stays
+        # pristine.  The copy shares the cached oracle until the first
+        # join detaches it.
+        graph = graph.copy()
     scheduler, speed = make_scheduler(spec.scheduler, graph)
     workload = make_workload(graph, spec.workload)
     probe = (
@@ -303,14 +324,18 @@ def episode_spec(
     crash_len: int = 6,
     partitions: int = 1,
     partition_len: int = 8,
+    joins: int = 0,
+    leaves: int = 0,
     stall_k: int = 512,
     monitor: bool = True,
     planted: Optional[Dict[str, object]] = None,
 ) -> EpisodeSpec:
     """The ``index``-th episode of a sweep: scheduler rotates round-robin,
     fault plan and workload are drawn from a per-episode seed derived by
-    the same string-keyed RNG the injector uses.  ``planted`` forwards
-    the monitor's test-only violation hook to every generated spec."""
+    the same string-keyed RNG the injector uses.  ``joins`` / ``leaves``
+    add elastic-membership churn to every drawn plan.  ``planted``
+    forwards the monitor's test-only violation hook to every generated
+    spec."""
     ep_seed = random.Random(f"{seed}|chaos-episode|{index}").randrange(2**31)
     graph = _cached_topology(topology)
     plan = FaultPlan.random(
@@ -324,6 +349,8 @@ def episode_spec(
         crash_len=crash_len,
         partition_count=partitions,
         partition_len=partition_len,
+        join_count=joins,
+        leave_count=leaves,
         edges=[(u, v) for u, v, _ in graph.edges()],
     )
     workload: Dict[str, object] = {
@@ -377,6 +404,31 @@ class SweepResult:
         }
 
 
+def _load_sweep_log(path: str) -> Dict[int, Dict[str, object]]:
+    """Completed-episode records from a resumable sweep log.
+
+    One JSON object per line, keyed by episode index.  A torn final line
+    (the writer was killed mid-append) is silently dropped — that episode
+    simply re-runs.
+    """
+    done: Dict[int, Dict[str, object]] = {}
+    try:
+        fh = open(path)
+    except FileNotFoundError:
+        return done
+    with fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except ValueError:
+                continue  # torn final line from an interrupted run
+            done[int(rec["index"])] = rec
+    return done
+
+
 def run_sweep(
     episodes: int,
     *,
@@ -386,6 +438,7 @@ def run_sweep(
     progress: Optional[Callable[[EpisodeResult], None]] = None,
     jobs: int = 1,
     specs: Optional[Sequence[EpisodeSpec]] = None,
+    resume_path: Optional[str] = None,
     **episode_kwargs,
 ) -> SweepResult:
     """Run ``episodes`` seeded chaos episodes; optionally minimize and
@@ -407,6 +460,13 @@ def run_sweep(
     :class:`EpisodeSpec` to run (``episodes``/``episode_kwargs`` are then
     ignored); artifacts and progress behave exactly as for generated
     specs.
+
+    ``resume_path`` makes the sweep crash-resumable: each finished
+    episode (post-shrink) is appended to the JSONL log as it completes,
+    and a restarted sweep with the same path replays logged episodes
+    from the log instead of re-running them.  Episodes are pure
+    functions of their spec, so the merged result is identical to an
+    uninterrupted sweep.
     """
     from repro.chaos.artifact import save_artifact
     from repro.chaos.shrink import shrink_spec
@@ -417,30 +477,59 @@ def run_sweep(
         specs = list(specs)
     topology = specs[0].topology if specs else "ring:12"
 
+    done: Dict[int, Dict[str, object]] = {}
+    log_fh = None
+    if resume_path is not None:
+        done = _load_sweep_log(resume_path)
+        log_fh = open(resume_path, "a")
+
     out = SweepResult()
-    with WorkerPool(
-        run_episode, jobs=jobs, initializer=_warm_worker, initargs=(topology,)
-    ) as pool:
-        # Serial runs stream episode-by-episode (progress fires as each
-        # completes); parallel runs map everything first and then
-        # post-process in episode order, which yields the same results.
-        results = pool.map(specs) if pool.jobs > 1 else [None] * len(specs)
-        for i, (spec, result) in enumerate(zip(specs, results)):
-            if result is None:
-                result = run_episode(spec)
-            if result.violation is not None and shrink:
-                small = shrink_spec(spec, result.violation["invariant"], pool=pool)
-                result = run_episode(small)
-                if result.violation is None:  # shrink must preserve failure
-                    result = run_episode(spec)
-            if result.violation is not None and artifact_dir is not None:
-                path = save_artifact(
-                    result, artifact_dir, name=f"chaos-{seed}-{i:04d}.json"
-                )
-                out.artifacts.append(path)
-            out.episodes.append(result)
-            if progress is not None:
-                progress(result)
+    try:
+        with WorkerPool(
+            run_episode, jobs=jobs, initializer=_warm_worker, initargs=(topology,)
+        ) as pool:
+            # Serial runs stream episode-by-episode (progress fires as
+            # each completes); parallel runs map everything first and
+            # then post-process in episode order, which yields the same
+            # results.  Already-logged episodes are never re-mapped.
+            todo = [s for i, s in enumerate(specs) if i not in done]
+            mapped = iter(pool.map(todo) if pool.jobs > 1 else [])
+            for i, spec in enumerate(specs):
+                if i in done:
+                    rec = done[i]
+                    result = EpisodeResult.from_dict(rec["result"])
+                    if rec.get("artifact"):
+                        out.artifacts.append(rec["artifact"])
+                    out.episodes.append(result)
+                    if progress is not None:
+                        progress(result)
+                    continue
+                result = next(mapped) if pool.jobs > 1 else run_episode(spec)
+                if result.violation is not None and shrink:
+                    small = shrink_spec(
+                        spec, result.violation["invariant"], pool=pool
+                    )
+                    result = run_episode(small)
+                    if result.violation is None:  # shrink must preserve failure
+                        result = run_episode(spec)
+                artifact_path = None
+                if result.violation is not None and artifact_dir is not None:
+                    artifact_path = save_artifact(
+                        result, artifact_dir, name=f"chaos-{seed}-{i:04d}.json"
+                    )
+                    out.artifacts.append(artifact_path)
+                if log_fh is not None:
+                    rec = {"index": i, "result": result.to_dict()}
+                    if artifact_path is not None:
+                        rec["artifact"] = artifact_path
+                    log_fh.write(json.dumps(rec) + "\n")
+                    log_fh.flush()
+                out.episodes.append(result)
+                if progress is not None:
+                    progress(result)
+    finally:
+        if log_fh is not None:
+            log_fh.close()
     return out
 
 

@@ -262,6 +262,7 @@ def make_config(args, speed: int, probe=None, faults=None) -> SimConfig:
         if getattr(args, "hop_motion", False):
             raise SystemExit("--transport direct conflicts with --hop-motion")
     congested = bool(link_capacity or node_capacity)
+    checkpoint = getattr(args, "checkpoint", None)
     return SimConfig(
         departure_policy=DeparturePolicy.LAZY if getattr(args, "lazy", False)
         else DeparturePolicy.EAGER,
@@ -274,10 +275,25 @@ def make_config(args, speed: int, probe=None, faults=None) -> SimConfig:
         probe=probe,
         transport=transport,
         faults=faults,
+        checkpoint_path=checkpoint,
+        checkpoint_every=(
+            getattr(args, "checkpoint_every", None) if checkpoint else None
+        ),
     )
 
 
+def _resume_sim(path: str):
+    """Restore a checkpointed engine for ``--resume`` (run/stream)."""
+    from repro.sim.engine import Simulator
+
+    return Simulator.restore(path)
+
+
 def cmd_run(args) -> int:
+    if getattr(args, "resume", None):
+        return _cmd_run_resumed(args)
+    if not args.topology:
+        raise SystemExit("--topology is required (unless resuming with --resume)")
     graph = parse_topology(args.topology)
     scheduler, speed = make_scheduler(args.scheduler, graph)
     workload = make_workload(args, graph)
@@ -315,6 +331,48 @@ def cmd_run(args) -> int:
         if obs:
             rows.extend([[f"obs.{k}", v] for k, v in obs.items()])
         print(render_table(["metric", "value"], rows, title=f"{graph.name} / {args.scheduler}"))
+    return 0
+
+
+def _cmd_run_resumed(args) -> int:
+    """``repro run --resume <checkpoint>``: continue a killed closed run.
+
+    Topology, scheduler, workload, faults, and checkpoint settings all
+    live inside the snapshot; the resumed run keeps checkpointing to the
+    path it was started with and produces the same trace the
+    uninterrupted run would have.
+    """
+    from repro.sim.validate import certify_trace
+
+    sim = _resume_sim(args.resume)
+    trace = sim.run()
+    _close_probe(sim.config.probe)
+    if sim.config.strict:
+        certify_trace(sim.graph, trace)
+    out = {
+        "scheduler": type(sim.scheduler).__name__,
+        "topology": sim.graph.name,
+        "resumed_from": args.resume,
+        "txns": trace.num_txns,
+        "makespan": trace.makespan(),
+        "max_latency": trace.max_latency(),
+        "mean_latency": round(trace.mean_latency(), 2),
+        "object_travel": trace.total_object_travel(),
+        "messages": trace.messages_sent,
+        "deadline_misses": len(trace.violations),
+    }
+    if trace.faults or trace.reschedules:
+        out["faults"] = trace.fault_counts()
+        out["reschedules"] = len(trace.reschedules)
+    if getattr(args, "trace", None):
+        save_trace(trace, args.trace)
+        out["trace_file"] = args.trace
+    if args.json:
+        print(json.dumps(out, indent=2))
+    else:
+        rows = [[k, v] for k, v in out.items()]
+        print(render_table(["metric", "value"], rows,
+                           title=f"resumed {out['topology']} / {out['scheduler']}"))
     return 0
 
 
@@ -364,13 +422,47 @@ def cmd_stream(args) -> int:
     """Run one scheduler against an open workload; print the SLO fold."""
     from repro.analysis import run_stream
 
+    warmup = args.warmup if args.warmup is not None else args.until // 4
+    if getattr(args, "resume", None):
+        # Continue a killed stream run: the snapshot carries the graph,
+        # scheduler, arrival stream cursor, and checkpoint settings; only
+        # the horizon/warmup are re-supplied (pass the same --until as
+        # the original run for a byte-identical trace).
+        from repro.analysis.slo import slo_summary
+
+        sim = _resume_sim(args.resume)
+        trace = sim.run(until=args.until, warmup=warmup)
+        _close_probe(sim.config.probe)
+        out = {
+            "topology": sim.graph.name,
+            "scheduler": type(sim.scheduler).__name__,
+            "resumed_from": args.resume,
+            **slo_summary(trace, warmup=warmup).to_dict(),
+        }
+        spec = getattr(sim.workload, "spec", None)
+        if spec is not None:
+            out["workload"] = spec.to_dict()
+        if args.json:
+            print(json.dumps(out, indent=2))
+        else:
+            print(render_table(
+                ["metric", "value"], _slo_rows(out),
+                title=f"resumed {out['topology']} / {out['scheduler']}",
+            ))
+        return 0
+    if not args.topology:
+        raise SystemExit("--topology is required (unless resuming with --resume)")
     graph = parse_topology(args.topology)
     scheduler, speed = make_scheduler(args.scheduler, graph)
     spec = make_stream_spec(args)
     probe = make_probe(args)
-    warmup = args.warmup if args.warmup is not None else args.until // 4
     cfg = SimConfig(
-        object_speed_den=max(speed, args.object_speed), probe=probe
+        object_speed_den=max(speed, args.object_speed), probe=probe,
+        checkpoint_path=getattr(args, "checkpoint", None),
+        checkpoint_every=(
+            getattr(args, "checkpoint_every", None)
+            if getattr(args, "checkpoint", None) else None
+        ),
     )
     res = run_stream(
         graph, scheduler, spec, until=args.until, warmup=warmup, config=cfg
@@ -407,6 +499,8 @@ def cmd_frontier(args) -> int:
     """Bisect λ per scheduler; print the stability frontier."""
     from repro.analysis import stability_frontier
 
+    if not args.topology:
+        raise SystemExit("--topology is required")
     names = args.schedulers.split(",") if args.schedulers else ["greedy", "bucket", "fifo"]
     spec = make_stream_spec(args)
     warmup = args.warmup if args.warmup is not None else args.until // 4
@@ -420,6 +514,7 @@ def cmd_frontier(args) -> int:
         until=args.until,
         warmup=warmup,
         jobs=args.jobs,
+        resume_path=getattr(args, "resume", None),
     )
     rows = []
     for s in res.schedulers:
@@ -484,6 +579,8 @@ def _compare_one(payload) -> dict:
 
 
 def cmd_compare(args) -> int:
+    if not args.topology:
+        raise SystemExit("--topology is required")
     graph = parse_topology(args.topology)
     names = args.schedulers.split(",") if args.schedulers else [
         "greedy", "bucket", "fifo", "tsp"
@@ -748,7 +845,10 @@ def cmd_chaos(args) -> int:
         crash_len=args.crash_len,
         partitions=args.partitions,
         partition_len=args.partition_len,
+        joins=args.joins,
+        leaves=args.leaves,
         stall_k=args.stall_k,
+        resume_path=args.resume,
     )
     summary = res.summary()
     if args.json:
@@ -765,6 +865,27 @@ def cmd_chaos(args) -> int:
         for r in res.violations:
             print(f"FAIL {r.spec.scheduler}: {r.violation['message']}")
     return 0 if res.ok else 1
+
+
+def cmd_checkpoint(args) -> int:
+    """``repro checkpoint inspect <path>``: triage a snapshot header.
+
+    Reads only the JSON header line — no unpickling, so no code from the
+    snapshot runs.  Prints the schema, progress cursors, and RNG digests
+    that identify the exact decision point the run was frozen at.
+    """
+    from repro.durability import inspect_checkpoint
+
+    header = inspect_checkpoint(args.path)
+    if args.json:
+        print(json.dumps(header, indent=2))
+        return 0
+    rng = header.pop("rng_cursors", {})
+    rows = [[k, v] for k, v in header.items()]
+    rows.extend([f"rng.{k}", v] for k, v in sorted(rng.items()))
+    print(render_table(["field", "value"], rows,
+                       title=f"checkpoint {args.path}"))
+    return 0
 
 
 def cmd_profile(args) -> int:
@@ -833,7 +954,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def common(p):
-        p.add_argument("--topology", required=True, help="e.g. clique:16, grid:4x4, cluster:3x4:6")
+        p.add_argument("--topology", help="e.g. clique:16, grid:4x4, cluster:3x4:6")
         p.add_argument("--workload", default="bernoulli",
                        choices=["batch", "bernoulli", "poisson", "closed-loop", "hotspot", "chain"])
         p.add_argument("--objects", type=int, default=8)
@@ -878,6 +999,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--stall-k", type=int, default=512,
                        help="liveness watchdog: flag a stall after this many "
                             "active steps without a commit (with --monitor)")
+    p_run.add_argument("--checkpoint", metavar="PATH", default=None,
+                       help="write durability checkpoints here (a {step} "
+                            "placeholder keeps every snapshot); SIGTERM/SIGINT "
+                            "also write one before exiting")
+    p_run.add_argument("--checkpoint-every", type=int, default=50,
+                       help="active steps between periodic checkpoints "
+                            "(with --checkpoint; default 50)")
+    p_run.add_argument("--resume", metavar="PATH", default=None,
+                       help="restore a checkpoint and continue the run "
+                            "(other workload/topology flags are ignored)")
     p_run.set_defaults(func=cmd_run)
 
     p_cmp = sub.add_parser("compare", help="run several schedulers on one workload")
@@ -886,7 +1017,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.set_defaults(func=cmd_compare)
 
     def stream_common(p):
-        p.add_argument("--topology", required=True,
+        p.add_argument("--topology",
                        help="e.g. clique:16, grid:4x4, cluster:3x4:6")
         p.add_argument("--workload", default="poisson-open",
                        choices=OPEN_WORKLOAD_KINDS)
@@ -924,6 +1055,15 @@ def build_parser() -> argparse.ArgumentParser:
                           help="attach a CountersProbe; print/emit its summary")
     p_stream.add_argument("--obs-jsonl", metavar="FILE", default=None,
                           help="stream probe events to FILE as JSONL")
+    p_stream.add_argument("--checkpoint", metavar="PATH", default=None,
+                          help="write durability checkpoints here ({step} "
+                               "placeholder keeps every snapshot)")
+    p_stream.add_argument("--checkpoint-every", type=int, default=50,
+                          help="active steps between periodic checkpoints "
+                               "(with --checkpoint; default 50)")
+    p_stream.add_argument("--resume", metavar="PATH", default=None,
+                          help="restore a checkpoint and continue to --until "
+                               "(pass the original horizon)")
     p_stream.set_defaults(func=cmd_stream)
 
     p_front = sub.add_parser(
@@ -940,6 +1080,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_front.add_argument("--lam-max", type=float, default=4.0)
     p_front.add_argument("--rounds", type=int, default=6,
                          help="bisection rounds after the two bracketing probes")
+    p_front.add_argument("--resume", metavar="PATH", default=None,
+                         help="probe log for crash-resumable searches: probes "
+                              "are appended as they finish and replayed on "
+                              "restart")
     p_front.add_argument("--jobs", type=int, default=1,
                          help="worker processes per bisection round "
                               "(0 = cpu count); results identical to --jobs 1")
@@ -1007,7 +1151,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--crash-len", type=int, default=6)
     p_chaos.add_argument("--partitions", type=int, default=1)
     p_chaos.add_argument("--partition-len", type=int, default=8)
+    p_chaos.add_argument("--joins", type=int, default=0,
+                         help="elastic-membership joins per episode plan")
+    p_chaos.add_argument("--leaves", type=int, default=0,
+                         help="elastic-membership leaves per episode plan "
+                              "(drawn connectivity-safe)")
     p_chaos.add_argument("--stall-k", type=int, default=512)
+    p_chaos.add_argument("--resume", metavar="PATH", default=None,
+                         help="episode log for crash-resumable sweeps: "
+                              "finished episodes are appended and replayed "
+                              "on restart")
     p_chaos.add_argument("--shrink", action="store_true",
                          help="delta-debug failing plans to minimal reproducers")
     p_chaos.add_argument("--artifact-dir", default=None,
@@ -1018,13 +1171,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--json", action="store_true")
     p_chaos.add_argument("--quiet", action="store_true")
     p_chaos.set_defaults(func=cmd_chaos)
+
+    p_ckpt = sub.add_parser(
+        "checkpoint", help="inspect durability checkpoints (repro.durability)"
+    )
+    p_ckpt.add_argument("action", choices=["inspect"])
+    p_ckpt.add_argument("path", help="checkpoint file written by --checkpoint")
+    p_ckpt.add_argument("--json", action="store_true")
+    p_ckpt.set_defaults(func=cmd_checkpoint)
     return parser
 
 
 def main(argv: Optional[list] = None) -> int:
+    from repro.errors import RunInterrupted
+
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except RunInterrupted as exc:
+        # SIGTERM/SIGINT mid-run with --checkpoint: the engine wrote a
+        # final snapshot and fsynced every probe before raising.
+        print(
+            f"interrupted: checkpoint written to {exc.path} "
+            f"(continue with --resume {exc.path})",
+            file=sys.stderr,
+        )
+        return 3
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

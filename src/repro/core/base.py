@@ -74,6 +74,17 @@ class OnlineScheduler(abc.ABC):
         self.emit("reschedule", t, tid=txn.tid, color=color, exec=exec_time)
         self.sim.commit_schedule(txn, exec_time)
 
+    def on_membership(self, kind: str, node: int, t: Time) -> None:
+        """Elastic-membership hook (:class:`repro.faults.MembershipPlan`):
+        ``node`` joined (``kind="join"``) or left (``kind="leave"``) the
+        graph at ``t``.  The engine has already mutated the graph /
+        re-homed live transactions when this fires, so schedulers that
+        cache per-node state may refresh it here.  The default is a no-op:
+        the built-in schedulers consult the engine's live state every
+        step, and joined nodes never home transactions, so nothing needs
+        invalidating.
+        """
+
     def next_wake_after(self, t: Time) -> Optional[Time]:
         """Earliest future step at which this scheduler must run even if no
         other event occurs (e.g. a bucket activation), or ``None``."""

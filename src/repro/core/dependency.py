@@ -261,6 +261,25 @@ class DependencyTracker:
         for tid, d in mine.items():
             adj[tid][txn.tid] = d
 
+    def refresh_home(self, txn: Transaction) -> None:
+        """Recompute ``txn``'s edge weights after its home moved.
+
+        Elastic membership is the one event that relocates a live
+        transaction's home (an abrupt leave re-homes its transactions to
+        the nearest member); the cached adjacency stores home distances,
+        so both directions of every incident edge are re-measured."""
+        nbrs = self.adj.get(txn.tid)
+        if not nbrs:
+            return
+        g = self.sim.graph
+        txns = self.sim.txns
+        home = txn.home
+        adj = self.adj
+        for tid in nbrs:
+            d = g.distance(home, txns[tid].home)
+            nbrs[tid] = d
+            adj[tid][txn.tid] = d
+
     def on_commit(self, txn: Transaction) -> None:
         """Drop ``txn`` and its incident edges from the adjacency."""
         nbrs = self.adj.pop(txn.tid, None)

@@ -49,5 +49,22 @@ class WorkloadError(ReproError):
     """Invalid workload specification (k larger than object pool, ...)."""
 
 
+class CheckpointError(ReproError):
+    """A durability checkpoint could not be written, read, or applied."""
+
+
+class RunInterrupted(ReproError):
+    """A run was stopped by SIGTERM/SIGINT after writing a checkpoint.
+
+    Carries the checkpoint path so drivers (the CLI, sweep harnesses) can
+    tell the user exactly how to resume.
+    """
+
+    def __init__(self, message, *, path=None, signum=None):
+        self.path = path
+        self.signum = signum
+        super().__init__(message)
+
+
 class CoverError(ReproError):
     """Sparse cover construction failed to satisfy a required property."""

@@ -105,6 +105,131 @@ class PartitionWindow:
         return frozenset(self.cut)
 
 
+@dataclass(frozen=True)
+class JoinEvent:
+    """One node joining the graph at runtime.
+
+    ``node`` must be the next unused id at join time (graph nodes stay
+    dense); ``edges`` are ``(anchor, weight)`` pairs attaching it to
+    existing members.  Multi-anchor joins must satisfy the **no-shortcut
+    condition** — ``w_i + w_j >= d(a_i, a_j)`` for every anchor pair — so
+    a join never shortens any distance between pre-existing nodes.  That
+    invariant is what keeps already-planned legs, bucket levels, and the
+    final-graph certification valid across churn; it is checked by
+    :meth:`FaultPlan.validate_against`.
+    """
+
+    node: NodeId
+    time: Time
+    edges: Tuple[Tuple[NodeId, Time], ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "edges", tuple(sorted((int(a), int(w)) for a, w in self.edges))
+        )
+        if self.time < 1:
+            raise WorkloadError(f"join of node {self.node} must be at t >= 1, got {self.time}")
+        if not self.edges:
+            raise WorkloadError(f"join of node {self.node} has no anchor edges")
+        for a, w in self.edges:
+            if w < 1:
+                raise WorkloadError(
+                    f"join of node {self.node} has non-positive weight {w} to anchor {a}"
+                )
+
+
+@dataclass(frozen=True)
+class LeaveEvent:
+    """One node leaving the graph at runtime.
+
+    ``graceful`` leaves drain first: the node stops accepting new
+    transaction homes, existing work finishes, resting home objects are
+    migrated, and only then does the node depart.  Abrupt leaves are a
+    permanent crash: live transactions homed there are re-homed to the
+    nearest member and resting objects are recovered from the node (their
+    last confirmed position) immediately.
+    """
+
+    node: NodeId
+    time: Time
+    graceful: bool = False
+
+    def __post_init__(self) -> None:
+        if self.time < 1:
+            raise WorkloadError(
+                f"leave of node {self.node} must be at t >= 1, got {self.time}"
+            )
+
+
+@dataclass(frozen=True)
+class MembershipPlan:
+    """Elastic-membership schedule: nodes joining and leaving at runtime.
+
+    Leaves are *data-plane* removals: the :class:`~repro.network.graph.
+    Graph` object is not mutated (distances from/through the departed
+    node stay defined for recovery legs), but the
+    :class:`FaultInjector`'s *routing cut* permanently severs the node's
+    incident edges for object motion, and the engine re-homes its work.
+    Joins *do* mutate the graph (new node, cache flush, oracle
+    invalidation) under the no-shortcut condition (:class:`JoinEvent`).
+    """
+
+    joins: Tuple[JoinEvent, ...] = ()
+    leaves: Tuple[LeaveEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "joins", tuple(sorted(self.joins, key=lambda j: (j.time, j.node)))
+        )
+        object.__setattr__(
+            self, "leaves", tuple(sorted(self.leaves, key=lambda l: (l.time, l.node)))
+        )
+
+    @property
+    def active(self) -> bool:
+        return bool(self.joins or self.leaves)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "joins": [[j.node, j.time, [list(e) for e in j.edges]] for j in self.joins],
+            "leaves": [[l.node, l.time, l.graceful] for l in self.leaves],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "MembershipPlan":
+        return cls(
+            joins=tuple(
+                JoinEvent(n, t, tuple(tuple(e) for e in edges))
+                for n, t, edges in data.get("joins", [])
+            ),
+            leaves=tuple(
+                LeaveEvent(n, t, bool(g)) for n, t, g in data.get("leaves", [])
+            ),
+        )
+
+
+def _connected_excluding(num_nodes, neighbors_of, removed) -> bool:
+    """Do the nodes ``0..num_nodes-1`` minus ``removed`` form one
+    connected component?  ``neighbors_of(u)`` yields u's neighbour ids;
+    ids >= ``num_nodes`` (runtime-joined nodes) are ignored."""
+    survivors = [v for v in range(num_nodes) if v not in removed]
+    if not survivors:
+        return False
+    seen = {survivors[0]}
+    stack = [survivors[0]]
+    while stack:
+        u = stack.pop()
+        for v in neighbors_of(u):
+            if v < num_nodes and v not in removed and v not in seen:
+                seen.add(v)
+                stack.append(v)
+    return len(seen) == len(survivors)
+
+
+def _survivors_connected(graph, removed) -> bool:
+    return _connected_excluding(graph.num_nodes, graph.neighbors, removed)
+
+
 #: Hard cap on the exponential-backoff shift: the floor grows at most to
 #: ``base * 2**BACKOFF_SHIFT_CAP`` (= base * 1024) no matter how many
 #: reschedules a pathological run accumulates, so the next attempt can
@@ -145,6 +270,10 @@ class FaultPlan:
         Per-transaction reschedule budget; ``None`` (default) means
         recovery never gives up.  When exceeded the engine raises
         :class:`~repro.errors.InfeasibleScheduleError`.
+    membership:
+        Optional :class:`MembershipPlan` of runtime joins and leaves
+        (elastic membership).  ``None`` keeps the node set fixed and
+        every pre-membership trace byte-identical.
     """
 
     seed: int = 0
@@ -156,6 +285,7 @@ class FaultPlan:
     backoff_base: Time = 1
     backoff_cap: Time = 64
     max_reschedules: Optional[int] = None
+    membership: Optional[MembershipPlan] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "crashes", tuple(self.crashes))
@@ -176,12 +306,21 @@ class FaultPlan:
             raise WorkloadError("backoff_cap must be >= backoff_base")
         if self.max_reschedules is not None and self.max_reschedules < 1:
             raise WorkloadError("max_reschedules must be >= 1 (or None for unlimited)")
+        if self.membership is not None and not isinstance(self.membership, MembershipPlan):
+            raise WorkloadError(
+                "membership must be a MembershipPlan or None, "
+                f"got {type(self.membership).__name__}"
+            )
 
     @property
     def active(self) -> bool:
         """True when the plan can actually inject something."""
         return bool(
-            self.drop_prob or self.delay_prob or self.crashes or self.partitions
+            self.drop_prob
+            or self.delay_prob
+            or self.crashes
+            or self.partitions
+            or (self.membership is not None and self.membership.active)
         )
 
     def validate_against(self, graph) -> None:
@@ -211,6 +350,86 @@ class FaultPlan:
                         f"fault plan partition [{p.start}, {p.end}) cuts "
                         f"({u}, {v}), which is not an edge of {graph.name!r}"
                     )
+        if self.membership is not None and self.membership.active:
+            self._validate_membership(graph)
+
+    def _validate_membership(self, graph) -> None:
+        """Membership-vs-graph checks: node ranges, dense join ids, anchor
+        validity, survivor connectivity after every leave prefix, and the
+        no-shortcut condition for multi-anchor joins — each error names
+        the offending node so a typo'd plan fails at bind, not mid-run."""
+        m = self.membership
+        n = graph.num_nodes
+        seen: set = set()
+        for l in m.leaves:
+            if not 0 <= l.node < n:
+                raise WorkloadError(
+                    f"membership plan leave at t={l.time} names node {l.node}, "
+                    f"outside the graph's 0..{n - 1} (joined nodes cannot leave)"
+                )
+            if l.node in seen:
+                raise WorkloadError(
+                    f"membership plan has duplicate leave of node {l.node}"
+                )
+            seen.add(l.node)
+        if len(seen) >= n:
+            raise WorkloadError(
+                f"membership plan removes all {n} nodes of {graph.name!r}; "
+                "at least one member must remain"
+            )
+        leave_time = {l.node: l.time for l in m.leaves}
+        for i, j in enumerate(m.joins):
+            expect = n + i
+            if j.node != expect:
+                raise WorkloadError(
+                    f"membership plan join #{i} (t={j.time}) must use the next "
+                    f"dense node id {expect}, got {j.node}"
+                )
+            for a, _w in j.edges:
+                if not 0 <= a < expect:
+                    raise WorkloadError(
+                        f"membership plan join of node {j.node} anchors on node "
+                        f"{a}, which does not exist at t={j.time} "
+                        f"(ids 0..{expect - 1})"
+                    )
+                at = leave_time.get(a)
+                if at is not None and at <= j.time:
+                    raise WorkloadError(
+                        f"membership plan join of node {j.node} at t={j.time} "
+                        f"anchors on node {a}, which left at t={at}"
+                    )
+        # Survivor connectivity after every leave prefix (time order):
+        # object routing avoids departed nodes' edges, so removing a
+        # member must never disconnect the remaining original members.
+        # (Joined nodes only ever add paths; ignoring them here is
+        # conservative.)
+        removed: set = set()
+        for l in m.leaves:
+            removed.add(l.node)
+            if not _survivors_connected(graph, removed):
+                raise WorkloadError(
+                    f"membership plan leave of node {l.node} at t={l.time} "
+                    f"disconnects the surviving members of {graph.name!r}"
+                )
+        # No-shortcut condition: a join must not shorten any distance
+        # between pre-existing nodes (single-anchor joins are trivially
+        # safe — the new node is a dead end for through-traffic).
+        if any(len(j.edges) > 1 for j in m.joins):
+            scratch = graph.copy(oracle=False)
+            for j in m.joins:
+                for i1 in range(len(j.edges)):
+                    a1, w1 = j.edges[i1]
+                    for i2 in range(i1 + 1, len(j.edges)):
+                        a2, w2 = j.edges[i2]
+                        d = scratch.distance(a1, a2)
+                        if w1 + w2 < d:
+                            raise WorkloadError(
+                                f"membership plan join of node {j.node} violates "
+                                f"the no-shortcut condition: anchors {a1} and "
+                                f"{a2} with weights {w1}+{w2} < "
+                                f"d({a1},{a2})={d} would shorten existing paths"
+                            )
+                scratch.add_node(j.edges)
 
     # ------------------------------------------------------------------
     # constructors
@@ -229,6 +448,8 @@ class FaultPlan:
         crash_len: Time = 8,
         partition_count: int = 0,
         partition_len: Time = 8,
+        join_count: int = 0,
+        leave_count: int = 0,
         edges=None,
         **kwargs,
     ) -> "FaultPlan":
@@ -245,11 +466,22 @@ class FaultPlan:
         ``[(u, v) for u, v, _ in graph.edges()]``) because a cut must
         name real edges.  Placement uses the same string-keyed RNG as
         runtime decisions, so the whole plan is one function of ``seed``.
+
+        ``join_count`` / ``leave_count`` draw elastic-membership churn: each
+        join attaches a new node to one uniformly random anchor with a
+        weight-1 edge (single-anchor joins satisfy the no-shortcut
+        condition trivially); leaves pick random members, coin-flip
+        graceful vs. abrupt, and re-draw any choice whose removal would
+        disconnect the surviving members (requires ``edges``).  When no
+        safe leave remains the plan carries fewer leaves than asked —
+        liveness beats quota.
         """
         if crash_count < 0 or crash_len < 1:
             raise WorkloadError("crash_count must be >= 0 and crash_len >= 1")
         if partition_count < 0 or partition_len < 1:
             raise WorkloadError("partition_count must be >= 0 and partition_len >= 1")
+        if join_count < 0 or leave_count < 0:
+            raise WorkloadError("join_count and leave_count must be >= 0")
         if num_nodes < 1 or horizon < 1:
             raise WorkloadError("num_nodes and horizon must be >= 1")
         rng = random.Random(f"{seed}|crash-windows")
@@ -278,6 +510,51 @@ class FaultPlan:
                 else:
                     cut = (edge_list[prng.randrange(len(edge_list))],)
                 cuts.append(PartitionWindow(cut, start, start + partition_len))
+        membership = None
+        if join_count or leave_count:
+            mrng = random.Random(f"{seed}|membership")
+            leaves: List[LeaveEvent] = []
+            if leave_count:
+                if not edges:
+                    raise WorkloadError(
+                        "leave_count > 0 requires edges= (the graph's (u, v) "
+                        "pairs) so drawn leaves keep the survivors connected"
+                    )
+                adj: Dict[NodeId, List[NodeId]] = {}
+                for u, v in normalize_cut(edges):
+                    adj.setdefault(u, []).append(v)
+                    adj.setdefault(v, []).append(u)
+                removed: set = set()
+                times = sorted(mrng.randint(1, horizon) for _ in range(leave_count))
+                for t in times:
+                    candidates = [v for v in range(num_nodes) if v not in removed]
+                    mrng.shuffle(candidates)
+                    chosen = None
+                    for v in candidates:
+                        trial = removed | {v}
+                        if len(trial) < num_nodes and _connected_excluding(
+                            num_nodes, lambda u: adj.get(u, ()), trial
+                        ):
+                            chosen = v
+                            break
+                    if chosen is None:
+                        break  # no safe leave remains; carry fewer leaves
+                    removed.add(chosen)
+                    leaves.append(
+                        LeaveEvent(chosen, t, graceful=mrng.random() < 0.5)
+                    )
+            leave_time = {l.node: l.time for l in leaves}
+            joins: List[JoinEvent] = []
+            # Times first, sorted: join ids must be dense in time order.
+            jtimes = sorted(mrng.randint(1, horizon) for _ in range(join_count))
+            for i, t in enumerate(jtimes):
+                present = [
+                    v for v in range(num_nodes)
+                    if leave_time.get(v, horizon + t + 1) > t
+                ]
+                anchor = present[mrng.randrange(len(present))]
+                joins.append(JoinEvent(num_nodes + i, t, ((anchor, 1),)))
+            membership = MembershipPlan(joins=tuple(joins), leaves=tuple(leaves))
         return cls(
             seed=seed,
             drop_prob=drop_prob,
@@ -285,6 +562,7 @@ class FaultPlan:
             max_delay=max_delay,
             crashes=tuple(windows),
             partitions=tuple(cuts),
+            membership=membership,
             **kwargs,
         )
 
@@ -294,7 +572,9 @@ class FaultPlan:
         ``seed=S,drop=P,delay=P,max-delay=N,crash=K,crash-len=L,partition=K,partition-len=L``.
 
         ``crash=K`` / ``partition=K`` draw K random crash / partition
-        windows (see :meth:`random`; ``partition`` requires ``edges``).
+        windows; ``join=K`` / ``leave=K`` draw K membership joins /
+        leaves (see :meth:`random`; ``partition`` and ``leave`` require
+        ``edges``).
         Unknown keys and *duplicate* keys raise
         :class:`~repro.errors.WorkloadError` naming the offending key —
         a silently ignored or last-write-wins entry would make a typo'd
@@ -303,7 +583,7 @@ class FaultPlan:
         known = {
             "seed": 0, "drop": 0.0, "delay": 0.0, "max-delay": 0,
             "crash": 0, "crash-len": 8, "partition": 0, "partition-len": 8,
-            "backoff-cap": 64,
+            "join": 0, "leave": 0, "backoff-cap": 64,
         }
         values = dict(known)
         seen = set()
@@ -333,6 +613,8 @@ class FaultPlan:
             crash_len=int(values["crash-len"]),
             partition_count=int(values["partition"]),
             partition_len=int(values["partition-len"]),
+            join_count=int(values["join"]),
+            leave_count=int(values["leave"]),
             edges=edges,
             backoff_cap=int(values["backoff-cap"]),
         )
@@ -341,8 +623,11 @@ class FaultPlan:
     # serialization (chaos artifacts; repro.chaos.artifact)
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
-        """Plain-JSON representation; inverse of :meth:`from_dict`."""
-        return {
+        """Plain-JSON representation; inverse of :meth:`from_dict`.
+
+        The ``membership`` key is only present when the plan has churn,
+        so pre-membership artifacts stay byte-identical."""
+        data = {
             "seed": self.seed,
             "drop_prob": self.drop_prob,
             "delay_prob": self.delay_prob,
@@ -355,6 +640,9 @@ class FaultPlan:
             "backoff_cap": self.backoff_cap,
             "max_reschedules": self.max_reschedules,
         }
+        if self.membership is not None and self.membership.active:
+            data["membership"] = self.membership.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "FaultPlan":
@@ -374,6 +662,11 @@ class FaultPlan:
             backoff_base=data.get("backoff_base", 1),
             backoff_cap=data.get("backoff_cap", 64),
             max_reschedules=data.get("max_reschedules"),
+            membership=(
+                MembershipPlan.from_dict(data["membership"])
+                if "membership" in data
+                else None
+            ),
         )
 
 
@@ -406,6 +699,11 @@ class FaultInjector:
         self.lost: Dict[ObjectId, NodeId] = {}
         #: per-transaction reschedule counts (drives exponential backoff)
         self.reschedule_counts: Dict[TxnId, int] = {}
+        #: node -> leave step for members that departed permanently
+        #: (elastic membership; filled by the engine via mark_departed)
+        self.departed: Dict[NodeId, Time] = {}
+        #: permanent routing cut: every departed member's incident edges
+        self._member_cut: frozenset = frozenset()
 
     # ------------------------------------------------------------------
     # seeded decisions
@@ -480,6 +778,29 @@ class FaultInjector:
         re-checks: the remaining cut may still separate it."""
         ends = [p.end for p in self._partitions if p.start <= t < p.end]
         return min(ends) if ends else None
+
+    # ------------------------------------------------------------------
+    # elastic membership (engine-driven; see repro.faults.MembershipPlan)
+    # ------------------------------------------------------------------
+    def mark_departed(self, node: NodeId, edges, t: Time) -> None:
+        """Record that ``node`` left at ``t``: its incident ``edges`` join
+        the permanent routing cut applied to object legs.  Control
+        messages are untouched — the message layer is membership-blind by
+        design, so every scheduler protocol stays live across churn."""
+        self.departed[node] = t
+        self._member_cut = self._member_cut | normalize_cut(edges)
+
+    def node_departed(self, node: NodeId) -> bool:
+        """Has ``node`` permanently left the membership?"""
+        return node in self.departed
+
+    def routing_cut(self, t: Time) -> frozenset:
+        """Edges an object leg must avoid at ``t``: the partition cut
+        active at ``t`` plus every departed member's incident edges."""
+        member = self._member_cut
+        if not member:
+            return self.active_cut(t)
+        return self.active_cut(t) | member
 
     def partition_separates(self, graph, src: NodeId, dst: NodeId, t: Time) -> bool:
         """Does the cut active at ``t`` disconnect ``src`` from ``dst``?"""

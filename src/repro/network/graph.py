@@ -142,6 +142,59 @@ class Graph:
         """Number of neighbours of ``u``."""
         return len(self.neighbors(u))
 
+    # ------------------------------------------------------------------
+    # elastic membership (repro.faults joins)
+    # ------------------------------------------------------------------
+    def add_node(self, edges: Iterable[Tuple[NodeId, Weight]]) -> NodeId:
+        """Attach one new node with anchor ``(node, weight)`` edges; returns
+        the new node's id (always the next dense id ``n``).
+
+        This is the single sanctioned mutation of an otherwise immutable
+        graph, used by elastic membership joins.  All distance caches are
+        flushed and any closed-form oracle is detached — a mutated
+        structured topology no longer matches its closed forms, so queries
+        fall back to (re-)cached Dijkstra.  Callers enforce the no-shortcut
+        condition (new edges never shorten existing pairwise distances) so
+        previously returned distances stay valid even though the caches
+        are rebuilt.
+        """
+        anchors = list(edges)
+        if not anchors:
+            raise GraphError("add_node needs at least one anchor edge")
+        new = self._n
+        for a, w in anchors:
+            self._check_node(a)
+            if w <= 0:
+                raise GraphError(f"edge ({a},{new}) has non-positive weight {w}")
+        self._n = new + 1
+        self._adj.append({})
+        for a, w in anchors:
+            old = self._adj[new].get(a)
+            if old is None or w < old:
+                self._adj[new][a] = w
+                self._adj[a][new] = w
+        self.oracle = None
+        self._dist.clear()
+        self._pred.clear()
+        self._oracle_rows.clear()
+        self._cut_sssp.clear()
+        self._diameter = None
+        return new
+
+    def copy(self, *, oracle: bool = True) -> "Graph":
+        """Fresh :class:`Graph` with the same nodes/edges (caches empty).
+
+        ``oracle=False`` drops the closed-form oracle so the copy can be
+        mutated (membership validation dry-runs joins on such a scratch
+        copy without touching the caller's graph).
+        """
+        return Graph(
+            self._n,
+            self.edges(),
+            name=self.name,
+            oracle=self.oracle if oracle else None,
+        )
+
     def _check_node(self, u: NodeId) -> None:
         if not 0 <= u < self._n:
             raise GraphError(f"node {u} outside 0..{self._n - 1}")

@@ -36,8 +36,10 @@ skipped, not rejected — the version only bumps on incompatible changes.
 from __future__ import annotations
 
 import json
+import os
 from typing import IO, Iterator, List, Optional, Union
 
+from repro.errors import ReproError
 from repro.obs.probe import Probe
 
 SCHEMA_VERSION = "repro.obs/1"
@@ -88,10 +90,53 @@ class JsonlProbe(Probe):
         self._fh.flush()
 
     def close(self) -> None:
-        """Flush and close an owned file (idempotent).  Each ``on_run_end``
-        already flushes, so forgetting this only leaks a descriptor."""
+        """Flush, fsync, and close an owned file (idempotent).
+
+        The fsync matters on the signal path (:mod:`repro.durability`
+        closes probes before a SIGTERM/SIGINT exit): a killed run must
+        leave a durable, parseable JSONL prefix on disk, not lines
+        stranded in OS buffers.  Each ``on_run_end`` already flushes, so
+        forgetting this only leaks a descriptor."""
         if self._owns and not self._fh.closed:
+            self._fh.flush()
+            try:
+                os.fsync(self._fh.fileno())
+            except OSError:  # pragma: no cover - exotic filesystems
+                pass
             self._fh.close()
+
+    # -- checkpoint support (repro.durability) -------------------------
+    def __getstate__(self) -> dict:
+        if not self._owns:
+            raise ReproError(
+                "JsonlProbe wrapping an open stream cannot be checkpointed; "
+                "construct it with a file path instead"
+            )
+        self._fh.flush()
+        state = self.__dict__.copy()
+        state["_fh"] = None
+        state["_offset"] = 0 if self._fh.closed else self._fh.tell()
+        state["_closed"] = self._fh.closed
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        offset = state.pop("_offset")
+        closed = state.pop("_closed", False)
+        self.__dict__.update(state)
+        # Reopen at the checkpointed offset.  The killed run usually wrote
+        # past it before dying; truncating back restores the exact prefix,
+        # so the resumed run reproduces the uninterrupted file byte for
+        # byte.  A missing file (checkpoint moved to a fresh directory)
+        # degrades to a restart of the stream from the offset's events.
+        if os.path.exists(self.path):
+            fh = open(self.path, "r+")
+            fh.truncate(offset)
+            fh.seek(offset)
+        else:
+            fh = open(self.path, "w")
+        self._fh = fh
+        if closed:
+            fh.close()
 
     # -- events --------------------------------------------------------
     def on_step_begin(self, t) -> None:
@@ -167,19 +212,31 @@ def iter_events(path: Union[str, IO[str]], *, require_schema: bool = True) -> It
     fh = open(path) if owns else path
     try:
         header: Optional[dict] = None
-        for i, line in enumerate(fh):
-            line = line.strip()
-            if not line:
-                continue
-            rec = json.loads(line)
-            if i == 0 and rec.get("kind") == "header":
-                header = rec
-                if require_schema and rec.get("schema") != SCHEMA_VERSION:
-                    raise ValueError(f"unknown obs schema {rec.get('schema')!r}")
-                continue
-            if i == 0 and require_schema:
-                raise ValueError("obs stream has no header record")
-            yield rec
+        it = enumerate(fh)
+        cur = next(it, None)
+        while cur is not None:
+            nxt = next(it, None)
+            i, raw = cur
+            line = raw.strip()
+            if line:
+                try:
+                    rec = json.loads(line)
+                except ValueError:
+                    if nxt is None:
+                        # A torn final line is the signature of a killed
+                        # writer (SIGKILL mid-write): the prefix before it
+                        # is still a valid stream, so stop, don't reject.
+                        break
+                    raise
+                if i == 0 and rec.get("kind") == "header":
+                    header = rec
+                    if require_schema and rec.get("schema") != SCHEMA_VERSION:
+                        raise ValueError(f"unknown obs schema {rec.get('schema')!r}")
+                elif i == 0 and require_schema:
+                    raise ValueError("obs stream has no header record")
+                else:
+                    yield rec
+            cur = nxt
         if header is None and require_schema:
             raise ValueError("obs stream is empty")
     finally:

@@ -73,6 +73,23 @@ class SimConfig:
         network.  ``None`` guarantees byte-identical traces with
         pre-fault-layer builds; a plan enables the recovery machinery
         (timeout-driven rescheduling with exponential backoff).
+    checkpoint_every:
+        Write a durability checkpoint (:mod:`repro.durability`) every
+        this many *active* steps (None = never).  Requires
+        ``checkpoint_path``.
+    checkpoint_path:
+        Where periodic / signal-triggered checkpoints are written.  May
+        contain a ``{step}`` placeholder to keep one snapshot per
+        checkpointed step instead of overwriting.
+    checkpoint_sync:
+        ``True`` (default): periodic checkpoints block the step loop
+        until the snapshot is on disk.  ``False``: periodic snapshots
+        are serialized by a forked child while the run continues
+        (:func:`repro.durability.save_checkpoint_async`; same bytes,
+        near-zero stall — prefer a ``{step}`` path template so
+        concurrent writers target distinct files).  The final
+        SIGTERM/SIGINT snapshot is always synchronous: the process is
+        about to exit, so the write must be durable first.
     """
 
     departure_policy: DeparturePolicy = DeparturePolicy.EAGER
@@ -86,6 +103,9 @@ class SimConfig:
     probe: Optional[Probe] = None
     transport: Optional[object] = None
     faults: Optional[object] = None
+    checkpoint_every: Optional[int] = None
+    checkpoint_path: Optional[str] = None
+    checkpoint_sync: bool = True
 
     def __post_init__(self) -> None:
         self.validate()
@@ -125,6 +145,12 @@ class SimConfig:
             )
         if self.max_time is not None and self.max_time < 0:
             raise WorkloadError(f"max_time must be >= 0, got {self.max_time}")
+        if self.checkpoint_every is not None and self.checkpoint_every <= 0:
+            raise WorkloadError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
+        if self.checkpoint_every is not None and not self.checkpoint_path:
+            raise WorkloadError("checkpoint_every requires checkpoint_path")
         if self.faults is not None:
             from repro.faults import FaultPlan
 

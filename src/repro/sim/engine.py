@@ -31,7 +31,14 @@ import itertools
 from typing import Dict, List, Optional, Set
 
 from repro._types import DeparturePolicy, NodeId, ObjectId, Time, TxnId, TxnState
-from repro.errors import InfeasibleScheduleError, ReproError, SchedulingError, WorkloadError
+from repro.errors import (
+    CheckpointError,
+    InfeasibleScheduleError,
+    ReproError,
+    RunInterrupted,
+    SchedulingError,
+    WorkloadError,
+)
 from repro.network.graph import Graph
 from repro.obs.probe import NULL_PROBE
 from repro.sim.columnar import TimeColumn, TxnTable
@@ -43,6 +50,7 @@ from repro.sim.trace import (
     CopyLeg,
     ExecutionTrace,
     FaultRecord,
+    MembershipRecord,
     ObjectLeg,
     PartitionRecord,
     RescheduleRecord,
@@ -182,6 +190,13 @@ class Simulator:
         self.faults = None
         self._pending_fault_events = 0
         self._resched_floor: Dict[TxnId, Time] = {}
+        #: elastic-membership state (repro.faults.MembershipPlan): the
+        #: original member count (joined nodes get ids >= this and never
+        #: home transactions), members that left permanently, and
+        #: gracefully-draining members with their drain-start step
+        self._initial_nodes: int = graph.num_nodes
+        self._departed: Set[NodeId] = set()
+        self._draining: Dict[NodeId, Time] = {}
         if cfg.faults is not None:
             from repro.faults import FaultInjector
 
@@ -204,6 +219,18 @@ class Simulator:
                 self.events.push_fault(p.start, (1, idx, 0), ("partition", idx, p.duration))
                 self.events.push_fault(p.end, (1, idx, 1), ("heal", idx, 0))
                 self._pending_fault_events += 2
+            # Membership transitions are fault class 2: joins (phase 0)
+            # before drains (phase 2) before abrupt leaves (phase 3) at
+            # the same step, all after crash/partition transitions.
+            if cfg.faults.membership is not None:
+                for j_idx, j in enumerate(cfg.faults.membership.joins):
+                    self.events.push_fault(j.time, (2, j.node, 0), ("join", j_idx, 0))
+                    self._pending_fault_events += 1
+                for l in cfg.faults.membership.leaves:
+                    phase = 2 if l.graceful else 3
+                    kind = "drain" if l.graceful else "leave"
+                    self.events.push_fault(l.time, (2, l.node, phase), (kind, l.node, 0))
+                    self._pending_fault_events += 1
         #: the motion strategy (repro.sim.transport)
         self.transport = build_transport(cfg)
         self.transport.bind(self)
@@ -246,16 +273,83 @@ class Simulator:
         self._arrival_next = None
         self._arrival_buffered: Optional[Time] = None
         self._open_warmup: Optional[Time] = None
+        #: how many specs have been pulled from the open arrival stream —
+        #: the stream's resume cursor: checkpoint restore rebuilds the
+        #: seeded generator and discards exactly this many items
+        self._arrival_pulled = 0
+        #: lifetime active-step counter (never reset across run() calls);
+        #: drives the periodic-checkpoint cadence and names {step} files
+        self._active_steps = 0
+        self._interrupt_signum: Optional[int] = None
         if workload is not None:
             for oid, node in workload.initial_objects().items():
                 self.add_object(oid, node)
             if getattr(workload, "open_system", False):
                 self._arrival_iter = workload.arrival_stream()
                 self._arrival_next = next(self._arrival_iter, None)
+                self._arrival_pulled += 1
             else:
                 for spec in workload.arrivals():
                     self.submit(spec)
         scheduler.bind(self)
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore (repro.durability)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        # The open-system arrival generator cannot pickle; restore
+        # rebuilds it from the workload seed and fast-forwards it by the
+        # _arrival_pulled cursor, which mirrors every next() call made.
+        state["_arrival_iter"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        if self.workload is not None and getattr(self.workload, "open_system", False):
+            it = self.workload.arrival_stream()
+            for _ in range(self._arrival_pulled):
+                next(it, None)
+            self._arrival_iter = it
+
+    def checkpoint(self, path: Optional[str] = None, *, sync: bool = True) -> str:
+        """Snapshot the full engine state to ``path`` (atomic write).
+
+        Defaults to ``SimConfig.checkpoint_path``; a ``{step}``
+        placeholder in the path keeps one file per checkpointed step.
+        With ``sync=False`` the snapshot is serialized by a forked child
+        while this process continues (identical bytes, near-zero stall;
+        the returned path may not exist yet).  Returns the resolved
+        path.  See :mod:`repro.durability`.
+        """
+        from repro.durability import save_checkpoint, save_checkpoint_async
+
+        target = path or self.config.checkpoint_path
+        if not target:
+            raise CheckpointError(
+                "no checkpoint path: pass checkpoint(path=...) or set "
+                "SimConfig.checkpoint_path"
+            )
+        writer = save_checkpoint if sync else save_checkpoint_async
+        return writer(self, target)
+
+    @classmethod
+    def restore(cls, path: str) -> "Simulator":
+        """Rebuild a simulator from a checkpoint file.
+
+        The restored engine continues exactly where the snapshot was
+        taken: calling :meth:`run` (with the original horizon, for open
+        runs) produces a trace byte-identical to the uninterrupted run.
+        """
+        from repro.durability import load_checkpoint
+
+        sim = load_checkpoint(path)
+        if not isinstance(sim, cls):
+            raise CheckpointError(
+                f"{path} does not contain a Simulator "
+                f"(got {type(sim).__name__})"
+            )
+        return sim
 
     # ------------------------------------------------------------------
     # public driving / scheduler API
@@ -454,7 +548,51 @@ class Simulator:
         return self._run_loop(max_steps=max_steps, until=until)
 
     def _run_loop(self, *, max_steps: Optional[int], until: Optional[Time]) -> ExecutionTrace:
+        if self.config.checkpoint_path is None:
+            return self._drive(max_steps=max_steps, until=until)
+        # A checkpointed run catches SIGTERM/SIGINT: the handler only sets
+        # a flag, and the step loop turns it into one final checkpoint +
+        # probe fsync + RunInterrupted, so a kill -TERM mid-campaign
+        # always leaves a resumable snapshot and a parseable JSONL prefix.
+        import signal
+
+        restore_handlers = []
+        try:
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    prev = signal.signal(sig, self._on_interrupt_signal)
+                except ValueError:  # not the main thread: run unguarded
+                    break
+                restore_handlers.append((sig, prev))
+            return self._drive(max_steps=max_steps, until=until)
+        finally:
+            for sig, prev in restore_handlers:
+                signal.signal(sig, prev)
+
+    def _on_interrupt_signal(self, signum, frame) -> None:
+        self._interrupt_signum = signum
+
+    def _interrupt_exit(self) -> None:
+        """Turn a caught SIGTERM/SIGINT into a checkpoint + clean raise."""
+        import signal
+
+        from repro.durability import close_probes
+
+        signum = self._interrupt_signum
+        self._interrupt_signum = None
+        written = self.checkpoint()
+        close_probes(self.probe)
+        name = signal.Signals(signum).name
+        raise RunInterrupted(
+            f"run interrupted by {name} at t={self.now}; checkpoint written "
+            f"to {written} (resume with --resume {written})",
+            path=written,
+            signum=signum,
+        )
+
+    def _drive(self, *, max_steps: Optional[int], until: Optional[Time]) -> ExecutionTrace:
         steps = 0
+        ckpt_every = self.config.checkpoint_every
         obs = self._obs
         if obs is not None:
             obs.on_run_begin(self)
@@ -493,6 +631,11 @@ class Simulator:
                 obs.on_sched("wake", self.now)
             self._step(self.now)
             steps += 1
+            self._active_steps += 1
+            if ckpt_every is not None and self._active_steps % ckpt_every == 0:
+                self.checkpoint(sync=self.config.checkpoint_sync)
+            if self._interrupt_signum is not None:
+                self._interrupt_exit()
         if until is not None and self.now < until:
             self.now = until  # quiescent early: the clock still advances
         self.trace.end_time = self.now
@@ -545,10 +688,12 @@ class Simulator:
         while nxt is not None and nxt.gen_time <= t:
             self.events.push_spec(t, nxt)
             nxt = next(it, None)
+            self._arrival_pulled += 1
         if nxt is not None and self._arrival_buffered is None:
             self.events.push_spec(nxt.gen_time, nxt)
             self._arrival_buffered = nxt.gen_time
             nxt = next(it, None)
+            self._arrival_pulled += 1
         self._arrival_next = nxt
 
     def _step(self, t: Time) -> None:
@@ -572,6 +717,13 @@ class Simulator:
                     self.record_fault(kind, t, extra=extra)
                 elif kind == "heal":
                     self.record_fault(kind, t)
+                elif kind == "join":
+                    # ``node`` slot carries the join index.
+                    self._apply_join(node, t)
+                elif kind == "drain":
+                    self._begin_drain(node, t)
+                elif kind == "leave":
+                    self._apply_leave(node, t)
                 else:
                     self.record_fault(kind, t, node=node, extra=extra)
         if obs is not None:
@@ -590,6 +742,14 @@ class Simulator:
                     obj.arrive_time = restart
                     events.push_arrival(restart, oid)
                     self._extend_leg_arrival(oid, restart)
+                    continue
+                if obj.dest in self._departed:
+                    # The destination left the membership while the leg
+                    # was in flight: the object bounces to the nearest
+                    # surviving member (no settle — observers and read
+                    # servicing wait for a member arrival).
+                    obj.complete_leg()
+                    self.relocate_object(obj, t)
                     continue
             obj.complete_leg()
             self._needs_departure_check.add(oid)
@@ -647,6 +807,10 @@ class Simulator:
         self._process_departures(t)
         if obs is not None:
             obs.on_phase_end("depart", t)
+        # Finalize graceful drains whose last home transaction finished
+        # this step (after departures so freed objects leave normally).
+        if self._draining:
+            self._check_drains(t)
         # Clear stale scheduler alarms.
         popped = len(events.pop_kind(EventKind.ALARM, t))
         if obs is not None:
@@ -687,21 +851,140 @@ class Simulator:
                 legs[i] = ObjectLeg(leg.oid, leg.depart_time, leg.src, leg.dst, new_arrive)
                 return
 
+    # ------------------------------------------------------------------
+    # elastic membership (repro.faults.MembershipPlan)
+    # ------------------------------------------------------------------
+    def _membership_hook(self, kind: str, node: NodeId, t: Time) -> None:
+        hook = getattr(self.scheduler, "on_membership", None)
+        if hook is not None:
+            hook(kind, node, t)
+
+    def _nearest_member(self, node: NodeId) -> NodeId:
+        """Closest surviving *original* member to ``node`` (lowest id wins
+        ties).  Joined nodes (ids >= the original count) are routing-only
+        — they never home transactions or host objects, so distributed
+        schedulers' per-node state and the one-txn-per-node ledger keep
+        their bind-time shape."""
+        d = self.graph.distances_from(node)
+        best: Optional[NodeId] = None
+        best_d = None
+        for v in range(self._initial_nodes):
+            if v == node or v in self._departed or v in self._draining:
+                continue
+            if best_d is None or d[v] < best_d:
+                best, best_d = v, d[v]
+        if best is None:
+            raise SchedulingError(
+                f"no surviving member left to take over from node {node}"
+            )
+        return best
+
+    def _apply_join(self, idx: int, t: Time) -> None:
+        j = self.config.faults.membership.joins[idx]
+        new = self.graph.add_node(j.edges)
+        assert new == j.node  # id density was validated at bind
+        self._live_home_count.append(0)
+        self.trace.membership.append(MembershipRecord("join", j.node, t, j.edges))
+        self.record_fault("join", t, node=j.node)
+        self._membership_hook("join", j.node, t)
+
+    def _begin_drain(self, node: NodeId, t: Time) -> None:
+        """Start a graceful leave: ``node`` stops taking new transaction
+        homes now; it departs once its live transactions finish and its
+        resting objects have migrated (see :meth:`_check_drains`)."""
+        self._draining[node] = t
+        self.trace.membership.append(MembershipRecord("drain", node, t))
+        self.record_fault("drain", t, node=node)
+
+    def _check_drains(self, t: Time) -> None:
+        for node in sorted(self._draining):
+            if self._live_home_count[node] == 0:
+                self._apply_leave(node, t)
+
+    def _apply_leave(self, node: NodeId, t: Time) -> None:
+        """``node`` departs permanently: sever its edges for object
+        routing, re-home its live transactions (abrupt leaves only —
+        drained nodes have none), and forward its resting objects to
+        surviving members."""
+        drained = self._draining.pop(node, None)
+        self._departed.add(node)
+        incident = [(node, v) for v in self.graph.neighbors(node)]
+        self.faults.mark_departed(node, incident, t)
+        self.trace.membership.append(MembershipRecord("leave", node, t))
+        self.record_fault(
+            "leave", t, node=node, extra=(t - drained) if drained is not None else 0
+        )
+        for tid in sorted(self.live):
+            txn = self.live[tid]
+            if txn.home == node:
+                self._rehome_txn(txn, t)
+        for oid in sorted(self.objects):
+            obj = self.objects[oid]
+            if not obj.in_transit and obj.location == node:
+                self.relocate_object(obj, t)
+        self._membership_hook("leave", node, t)
+
+    def _rehome_txn(self, txn: Transaction, t: Time) -> None:
+        """Move a live transaction stranded by an abrupt leave to the
+        nearest surviving member.  Its committed execution time stands;
+        if its objects cannot reach the new home in time, the ordinary
+        recovery path (:meth:`_recover`) reschedules it."""
+        old = txn.home
+        new = self._nearest_member(old)
+        if 0 <= old < len(self._live_home_count):
+            self._live_home_count[old] -= 1
+        self._live_home_count[new] += 1
+        txn.home = new
+        self.deps.refresh_home(txn)
+        self.record_fault("rehome", t, node=new, extra=txn.tid)
+        # Copies already cut for the old home are useless there: re-cut
+        # for the new one (in-flight stale copies are epoch-dropped).
+        for oid in sorted(txn.reads):
+            obj = self.objects[oid]
+            if txn.tid in obj.reads_served:
+                obj.reads_served.discard(txn.tid)
+                obj.reads_delivered.discard(txn.tid)
+                obj.read_epoch[txn.tid] = obj.read_epoch.get(txn.tid, 0) + 1
+                self._service_reads(obj, t)
+        for oid in txn.objects:
+            self._needs_departure_check.add(oid)
+
+    def relocate_object(self, obj: SharedObject, t: Time) -> None:
+        """Forward ``obj`` from a departed (or membership-isolated)
+        position to the nearest surviving member with exact physics —
+        the recovery transfer out of a leave.  Also called by
+        :class:`~repro.sim.transport.FaultyTransport` when the permanent
+        routing cut leaves a planned leg no healable path."""
+        target = self._nearest_member(obj.location)
+        arrive = t + obj.travel_time(self.graph.distance(obj.location, target))
+        self.record_fault("leave-recover", t, node=target, oid=obj.oid)
+        self.trace.legs.append(ObjectLeg(obj.oid, t, obj.location, target, arrive))
+        if self._obs is not None:
+            self._obs.on_depart(obj.oid, t, obj.location, target, arrive)
+        obj.begin_leg(target, arrive)
+        self.events.push_arrival(arrive, obj.oid)
+
     def _generate(self, spec: TxnSpec, t: Time) -> Transaction:
         for oid in (*spec.objects, *spec.reads):
             if oid not in self.objects:
                 raise WorkloadError(
                     f"transaction generated at t={t} requests unknown object {oid}"
                 )
+        home = spec.home
+        if home in self._departed or home in self._draining:
+            # The spec's home left (or is draining out of) the membership
+            # before generation: the transaction is born at the nearest
+            # surviving member instead.
+            home = self._nearest_member(home)
         if (
             self.one_txn_per_node
-            and 0 <= spec.home < len(self._live_home_count)
-            and self._live_home_count[spec.home]
+            and 0 <= home < len(self._live_home_count)
+            and self._live_home_count[home]
         ):
-            raise WorkloadError(f"node {spec.home} already has a live transaction at t={t}")
+            raise WorkloadError(f"node {home} already has a live transaction at t={t}")
         txn = Transaction(
             tid=next(self._tid_counter),
-            home=spec.home,
+            home=home,
             objects=frozenset(spec.objects),
             gen_time=t,
             creates=tuple(spec.creates),

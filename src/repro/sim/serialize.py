@@ -13,6 +13,7 @@ from repro.sim.trace import (
     CopyLeg,
     ExecutionTrace,
     FaultRecord,
+    MembershipRecord,
     ObjectLeg,
     PartitionRecord,
     RescheduleRecord,
@@ -70,6 +71,11 @@ def trace_to_dict(trace: ExecutionTrace) -> Dict[str, Any]:
         out["partitions"] = [
             [[list(e) for e in p.cut], p.start, p.end] for p in trace.partitions
         ]
+    if trace.membership:
+        out["membership"] = [
+            [m.kind, m.node, m.time, [list(e) for e in m.edges]]
+            for m in trace.membership
+        ]
     return out
 
 
@@ -108,6 +114,10 @@ def trace_from_dict(data: Dict[str, Any]) -> ExecutionTrace:
     for p in data.get("partitions", []):
         trace.partitions.append(
             PartitionRecord(tuple(tuple(e) for e in p[0]), p[1], p[2])
+        )
+    for m in data.get("membership", []):
+        trace.membership.append(
+            MembershipRecord(m[0], m[1], m[2], tuple(tuple(e) for e in m[3]))
         )
     trace.meta.update(data.get("meta", {}))
     return trace

@@ -102,7 +102,16 @@ class FaultRecord:
       shortest path;
     * ``"partition-msg"`` — a control message into ``node`` was deferred
       ``extra`` steps to the heal time of the partition separating it
-      from its sender.
+      from its sender;
+    * ``"join"`` / ``"leave"`` — elastic membership: ``node`` joined /
+      permanently left the graph at ``time``;
+    * ``"drain"`` — a graceful leave of ``node`` began at ``time``; its
+      ``"leave"`` record fires once its live transactions finished and
+      its resting objects migrated;
+    * ``"leave-recover"`` — an object stranded by a leave was forwarded
+      to surviving member ``node`` (``oid`` names the object);
+    * ``"rehome"`` — a live transaction (tid in ``extra``) homed at a
+      departing node was re-homed to member ``node``.
     """
 
     kind: str
@@ -142,6 +151,27 @@ class RescheduleRecord:
 
 
 @slotted_dataclass(frozen=True)
+class MembershipRecord:
+    """One elastic-membership transition as it actually took effect
+    (:class:`repro.faults.MembershipPlan`).
+
+    ``kind`` is ``"join"`` (``edges`` carries the anchor ``(node,
+    weight)`` pairs), ``"drain"`` (a graceful leave began), or
+    ``"leave"`` (the node departed permanently).  The certifier rebuilds
+    the final graph from the join records and accepts leave-induced
+    detours against the leave records."""
+
+    kind: str
+    node: NodeId
+    time: Time
+    edges: Tuple[Tuple[NodeId, Time], ...] = ()
+
+    def __str__(self) -> str:
+        extra = f", edges {list(self.edges)}" if self.edges else ""
+        return f"{self.kind}(node={self.node}, t={self.time}{extra})"
+
+
+@slotted_dataclass(frozen=True)
 class PartitionRecord:
     """One network-partition window as it actually took effect
     (:mod:`repro.faults`): the edges of ``cut`` were severed for
@@ -175,6 +205,7 @@ class ExecutionTrace:
     faults: List[FaultRecord] = field(default_factory=list)
     reschedules: List[RescheduleRecord] = field(default_factory=list)
     partitions: List[PartitionRecord] = field(default_factory=list)
+    membership: List[MembershipRecord] = field(default_factory=list)
     messages_sent: int = 0
     message_hops: float = 0.0
     end_time: Time = 0

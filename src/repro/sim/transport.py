@@ -288,12 +288,23 @@ class FaultyTransport(TransportDecorator):
         inj = self.injector
         graph = self.sim.graph
         src = obj.location
-        cut = inj.active_cut(t)
+        # The routing cut = active partition cut + every departed
+        # member's incident edges (elastic membership): object legs must
+        # avoid both, while control messages stay partition-only.
+        cut = inj.routing_cut(t)
         if cut and src != target:
             d_cut = graph.distance_avoiding(src, target, cut)
             if d_cut == float("inf"):
                 heal = inj.heal_time(t)
-                assert heal is not None  # a cut is active, so a window covers t
+                if heal is None:
+                    # Membership-only separation: no heal is coming.
+                    # Validated plans keep the surviving members
+                    # connected, so this only happens to an object
+                    # transiently parked on a joined node whose anchors
+                    # departed — recover it to the nearest member
+                    # instead of blocking forever.
+                    self.sim.relocate_object(obj, t)
+                    return None
                 self.sim.events.push_depart(heal, obj.oid)
                 self.sim.record_fault(
                     "partition-block", t, node=src, oid=obj.oid, extra=heal - t

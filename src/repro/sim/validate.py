@@ -28,8 +28,17 @@ step of per-object slack must be accounted for by a matching ``delay`` /
 every recovery reschedule must be consistent with the final execution
 times, and every partition-dependent record (``reroute``,
 ``partition-block``, ``partition-msg``) must fall inside a
-:class:`~repro.sim.trace.PartitionRecord` window.  A fault-free trace
-gets the exact-equality checks, unchanged.
+:class:`~repro.sim.trace.PartitionRecord` window *or* after an elastic
+membership leave (departed edges cut the routing graph exactly like a
+partition that never heals).  A fault-free trace gets the
+exact-equality checks, unchanged.
+
+Traces with elastic membership (:class:`~repro.sim.trace.
+MembershipRecord`) are certified against the *final* graph: join records
+are replayed onto a scratch copy via :meth:`~repro.network.graph.Graph.
+add_node`.  The no-shortcut admission condition guarantees pre-existing
+distances never change, so one rebuilt graph certifies every leg of the
+run — including legs that predate the joins.
 """
 
 from __future__ import annotations
@@ -94,10 +103,49 @@ def certify_trace(
     issues: List[CertificationIssue] = []
     speed = trace.object_speed_den
 
+    # Elastic membership: replay join records onto a scratch graph so
+    # legs touching joined nodes certify with real distances.  The
+    # caller's graph is never mutated; no-shortcut admission means the
+    # rebuilt graph is distance-correct for the whole run.
+    joins = [m for m in trace.membership if m.kind == "join"]
+    if joins:
+        if max(m.node for m in joins) < graph.num_nodes:
+            # The graph already contains the joined nodes — the caller
+            # passed the engine-mutated graph of a live run.  Verify the
+            # anchor edges match the records instead of rebuilding.
+            for m in joins:
+                for a, _w in m.edges:
+                    if not graph.has_edge(m.node, a):
+                        issues.append(
+                            CertificationIssue(
+                                "membership",
+                                f"join record for node {m.node} names anchor "
+                                f"{a} but the graph has no such edge",
+                            )
+                        )
+        else:
+            rebuilt = graph.copy(oracle=False)
+            for m in sorted(joins, key=lambda m: m.node):
+                new = rebuilt.add_node(tuple(m.edges))
+                if new != m.node:
+                    issues.append(
+                        CertificationIssue(
+                            "membership",
+                            f"join record names node {m.node} but the next "
+                            f"dense id is {new}",
+                        )
+                    )
+            graph = rebuilt
+    leave_times = sorted(
+        m.time for m in trace.membership if m.kind == "leave"
+    )
+
     # Fault accounting (repro.faults): per-object slack budget from
     # delay / crash-delay / reroute records.  Empty for fault-free
     # traces, which then get the exact-equality leg check below.
-    has_faults = bool(trace.faults) or bool(trace.partitions)
+    has_faults = (
+        bool(trace.faults) or bool(trace.partitions) or bool(trace.membership)
+    )
     fault_slack: Dict[ObjectId, Time] = {}
     for f in trace.faults:
         if f.kind in ("delay", "crash-delay", "reroute") and f.oid is not None:
@@ -343,12 +391,16 @@ def certify_trace(
                 )
     for f in trace.faults:
         if f.kind in ("reroute", "partition-block", "partition-msg"):
-            if not any(p.covers(f.time) for p in trace.partitions):
+            covered = any(p.covers(f.time) for p in trace.partitions)
+            # A membership leave severs its incident edges permanently:
+            # detours after the first departure are legitimate even with
+            # no partition window (the cut never heals).
+            if not covered and not (leave_times and leave_times[0] <= f.time):
                 issues.append(
                     CertificationIssue(
                         "partition",
                         f"{f.kind} record at t={f.time} has no covering "
-                        "partition window",
+                        "partition window or prior membership leave",
                     )
                 )
 

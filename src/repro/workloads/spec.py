@@ -326,8 +326,18 @@ class WorkloadSpec:
 
     # -- the point of the class ----------------------------------------
     def build(self, graph: Graph):
-        """Construct the described workload on ``graph``."""
-        return _BUILDERS[self.kind](graph, self.seed, dict(self.knobs))
+        """Construct the described workload on ``graph``.
+
+        The built workload carries its spec (``wl.spec``) when the class
+        allows the attribute, so a checkpointed run can report what it
+        was running after a restore.
+        """
+        wl = _BUILDERS[self.kind](graph, self.seed, dict(self.knobs))
+        try:
+            wl.spec = self
+        except AttributeError:
+            pass  # slotted workload class: resumed runs just omit the spec
+        return wl
 
     # -- serialization --------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:

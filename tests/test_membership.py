@@ -1,0 +1,255 @@
+"""Elastic membership (``repro.faults.MembershipPlan``): churn beyond
+partitions.
+
+Joins mutate the graph under the no-shortcut admission condition (so no
+pre-existing distance ever changes); leaves are data-plane events — the
+departed node's incident edges are cut for object routing, live
+transactions are re-homed, resting objects are recovered to the nearest
+member.  The tests here pin the validation story, the engine semantics,
+liveness across every bundled scheduler, and the certifier/invariant
+extensions.
+"""
+
+import json
+
+import pytest
+
+from repro.chaos import InvariantMonitor, run_sweep
+from repro.cli import SCHEDULER_NAMES, make_scheduler
+from repro.errors import GraphError, WorkloadError
+from repro.faults import (
+    FaultPlan,
+    JoinEvent,
+    LeaveEvent,
+    MembershipPlan,
+)
+from repro.network.topologies import grid, ring
+from repro.sim.config import SimConfig
+from repro.sim.engine import Simulator
+from repro.sim.serialize import trace_from_dict, trace_to_dict
+from repro.sim.validate import certify_trace
+from repro.workloads import OnlineWorkload
+
+CHURN = MembershipPlan(
+    joins=(JoinEvent(9, 8, ((4, 1),)),),
+    leaves=(LeaveEvent(1, 10, graceful=False), LeaveEvent(7, 14, graceful=True)),
+)
+
+
+def _run(scheduler_name, plan, *, seed=9, horizon=40, probe=None):
+    g = grid([3, 3])
+    sched, speed = make_scheduler(scheduler_name, g)
+    wl = OnlineWorkload.bernoulli(g, 6, 2, rate=0.4, horizon=horizon, seed=seed)
+    sim = Simulator(
+        g, sched, wl,
+        config=SimConfig(object_speed_den=speed, faults=plan, probe=probe),
+    )
+    return sim, sim.run()
+
+
+class TestGraphJoin:
+    def test_add_node_dense_id_and_distances(self):
+        g = ring(6)
+        new = g.add_node(((0, 2), (3, 2)))
+        assert new == 6
+        assert g.num_nodes == 7
+        assert g.distance(6, 0) == 2 and g.distance(6, 3) == 2
+        # no-shortcut weights: pre-existing distances unchanged
+        assert g.distance(0, 3) == 3
+
+    def test_add_node_rejects_bad_edges(self):
+        g = ring(4)
+        with pytest.raises(GraphError):
+            g.add_node(())
+        with pytest.raises(GraphError):
+            g.add_node(((0, 0),))
+
+
+class TestPlanValidation:
+    def test_leave_names_offending_node(self):
+        plan = FaultPlan(
+            seed=1,
+            membership=MembershipPlan(leaves=(LeaveEvent(99, 5),)),
+        )
+        with pytest.raises(WorkloadError, match="99"):
+            plan.validate_against(grid([3, 3]))
+
+    def test_joined_nodes_cannot_leave(self):
+        plan = FaultPlan(
+            seed=1,
+            membership=MembershipPlan(
+                joins=(JoinEvent(9, 3, ((4, 1),)),),
+                leaves=(LeaveEvent(9, 8),),
+            ),
+        )
+        with pytest.raises(WorkloadError, match="joined nodes cannot leave"):
+            plan.validate_against(grid([3, 3]))
+
+    def test_disconnecting_leave_rejected(self):
+        # grid(3x3) corner 0 has neighbours {1, 3}: removing both strands it
+        plan = FaultPlan(
+            seed=1,
+            membership=MembershipPlan(
+                leaves=(LeaveEvent(1, 5), LeaveEvent(3, 7)),
+            ),
+        )
+        with pytest.raises(WorkloadError, match="disconnects"):
+            plan.validate_against(grid([3, 3]))
+
+    def test_join_id_must_be_dense(self):
+        plan = FaultPlan(
+            seed=1,
+            membership=MembershipPlan(joins=(JoinEvent(12, 3, ((4, 1),)),)),
+        )
+        with pytest.raises(WorkloadError, match="dense"):
+            plan.validate_against(grid([3, 3]))
+
+    def test_no_shortcut_condition_enforced(self):
+        # ring(6): d(0, 3) = 3; anchor weights 1+1 = 2 < 3 would shortcut
+        bad = FaultPlan(
+            seed=1,
+            membership=MembershipPlan(joins=(JoinEvent(6, 3, ((0, 1), (3, 1))),)),
+        )
+        with pytest.raises(WorkloadError, match="shortcut"):
+            bad.validate_against(ring(6))
+        ok = FaultPlan(
+            seed=1,
+            membership=MembershipPlan(joins=(JoinEvent(6, 3, ((0, 2), (3, 2))),)),
+        )
+        ok.validate_against(ring(6))  # weights 2+2 >= 3: admitted
+
+    def test_dict_roundtrip_and_parse(self):
+        plan = FaultPlan(seed=3, drop_prob=0.1, membership=CHURN)
+        again = FaultPlan.from_dict(plan.to_dict())
+        assert again == plan
+        assert "membership" not in FaultPlan(seed=3, drop_prob=0.1).to_dict()
+        g = grid([3, 3])
+        parsed = FaultPlan.parse(
+            "seed=5,join=1,leave=1",
+            num_nodes=g.num_nodes,
+            horizon=30,
+            edges=[(u, v) for u, v, _ in g.edges()],
+        )
+        assert parsed.membership is not None
+        assert len(parsed.membership.joins) == 1
+        assert len(parsed.membership.leaves) == 1
+
+    def test_random_plans_are_deterministic(self):
+        g = grid([3, 3])
+        kw = dict(
+            num_nodes=9, horizon=30, join_count=2, leave_count=2,
+            edges=[(u, v) for u, v, _ in g.edges()],
+        )
+        a = FaultPlan.random(7, **kw)
+        b = FaultPlan.random(7, **kw)
+        assert a == b
+        a.validate_against(g)
+
+
+class TestEngineChurn:
+    def test_mid_run_churn_semantics(self):
+        plan = FaultPlan(seed=5, drop_prob=0.05, membership=CHURN)
+        sim, trace = _run("greedy", plan)
+        assert len(trace.txns) == len(sim.txns), "churn lost transactions"
+        kinds = trace.fault_counts()
+        assert kinds.get("join") == 1
+        assert kinds.get("leave") == 2
+        assert kinds.get("drain") == 1
+        # membership records mirror the fault records, with join edges
+        mk = [(m.kind, m.node) for m in trace.membership]
+        assert ("join", 9) in mk and ("leave", 1) in mk and ("drain", 7) in mk
+        join = next(m for m in trace.membership if m.kind == "join")
+        assert join.edges == ((4, 1),)
+        # nothing commits at a departed home after its leave
+        leave_t = {m.node: m.time for m in trace.membership if m.kind == "leave"}
+        for rec in trace.txns.values():
+            if rec.home in leave_t:
+                assert rec.exec_time <= leave_t[rec.home]
+
+    def test_joined_nodes_never_home_transactions(self):
+        plan = FaultPlan(seed=5, membership=CHURN)
+        sim, trace = _run("greedy", plan)
+        assert all(rec.home < 9 for rec in trace.txns.values())
+
+    def test_certifier_accepts_churn_live_and_archival(self):
+        plan = FaultPlan(seed=5, drop_prob=0.05, membership=CHURN)
+        sim, trace = _run("bucket", plan)
+        assert certify_trace(sim.graph, trace, raise_on_failure=False) == []
+        archived = trace_from_dict(json.loads(json.dumps(trace_to_dict(trace))))
+        pristine = grid([3, 3])
+        assert certify_trace(pristine, archived, raise_on_failure=False) == []
+        assert pristine.num_nodes == 9, "certifier mutated the caller's graph"
+
+    def test_serialized_membership_roundtrip(self):
+        plan = FaultPlan(seed=5, membership=CHURN)
+        _, trace = _run("greedy", plan)
+        again = trace_from_dict(trace_to_dict(trace))
+        assert [str(m) for m in again.membership] == [
+            str(m) for m in trace.membership
+        ]
+
+    def test_churn_is_deterministic(self):
+        plan = FaultPlan(seed=5, drop_prob=0.05, membership=CHURN)
+        _, a = _run("greedy", plan)
+        _, b = _run("greedy", plan)
+        assert json.dumps(trace_to_dict(a), sort_keys=True) == json.dumps(
+            trace_to_dict(b), sort_keys=True
+        )
+
+    def test_monitor_clean_under_churn(self):
+        probe = InvariantMonitor(stall_k=512)
+        plan = FaultPlan(seed=5, drop_prob=0.05, membership=CHURN)
+        sim, trace = _run("adaptive", plan, probe=probe)
+        assert probe.checks_run > 0
+        assert len(trace.txns) == len(sim.txns)
+
+
+class TestChurnLiveness:
+    @pytest.mark.parametrize("scheduler", SCHEDULER_NAMES)
+    def test_every_scheduler_commits_everything(self, scheduler):
+        g = grid([3, 3])
+        plan = FaultPlan.random(
+            11,
+            num_nodes=9,
+            horizon=40,
+            drop_prob=0.08,
+            join_count=2,
+            leave_count=2,
+            edges=[(u, v) for u, v, _ in g.edges()],
+        )
+        sim, trace = _run(scheduler, plan, seed=11)
+        assert len(trace.txns) == len(sim.txns), (
+            f"{scheduler} stranded {len(sim.txns) - len(trace.txns)} txns"
+        )
+
+
+class TestChaosChurn:
+    def test_sweep_with_churn_no_violations(self, tmp_path):
+        res = run_sweep(
+            6,
+            seed=42,
+            topology="grid:3x3",
+            joins=1,
+            leaves=1,
+            drop=0.05,
+            horizon=30,
+        )
+        assert res.ok, [r.violation for r in res.violations]
+        totals = res.summary()["fault_counts"]
+        assert totals.get("join", 0) > 0 and totals.get("leave", 0) > 0
+
+    def test_sweep_resume_identical(self, tmp_path):
+        kw = dict(
+            seed=42, topology="grid:3x3", joins=1, leaves=1,
+            drop=0.05, horizon=30,
+        )
+        full_log = tmp_path / "full.jsonl"
+        full = run_sweep(5, resume_path=str(full_log), **kw)
+        # keep only the first 2 episode records plus a torn tail
+        lines = full_log.read_text().splitlines(keepends=True)
+        part_log = tmp_path / "part.jsonl"
+        part_log.write_text("".join(lines[:2]) + '{"index": 2, "resu')
+        resumed = run_sweep(5, resume_path=str(part_log), **kw)
+        assert [r.to_dict() for r in resumed.episodes] == [
+            r.to_dict() for r in full.episodes
+        ]
