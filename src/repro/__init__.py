@@ -30,6 +30,7 @@ from repro.core import (
 )
 from repro.network import Graph, topologies
 from repro.parallel import WorkerPool, pmap, resolve_jobs
+from repro.service import ServiceConfig
 from repro.sim import (
     DirectTransport,
     ExecutionTrace,
@@ -58,6 +59,7 @@ __all__ = [
     "Transport",
     "DirectTransport",
     "HopTransport",
+    "ServiceConfig",
     "FaultPlan",
     "CrashWindow",
     "PartitionWindow",

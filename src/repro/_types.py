@@ -38,11 +38,16 @@ class TxnState(enum.Enum):
                    objects to be assembled.
     ``EXECUTED``   committed; per the model this happens instantly at the
                    scheduled step once all objects are local.
+    ``CANCELLED``  terminally cancelled before committing (deadline
+                   expiry under the ingestion service, repro.service);
+                   its object-queue slots were released and it never
+                   appears in ``trace.txns``.
     """
 
     PENDING = "pending"
     SCHEDULED = "scheduled"
     EXECUTED = "executed"
+    CANCELLED = "cancelled"
 
 
 class DeparturePolicy(enum.Enum):

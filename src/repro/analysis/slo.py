@@ -95,6 +95,11 @@ def backlog_series(trace: ExecutionTrace) -> List[Tuple[Time, int]]:
         deltas[min(r.exec_time, horizon) + 1] -= 1
     for g in meta["uncommitted_gen_times"]:  # type: ignore[union-attr]
         deltas[min(int(g), horizon)] += 1
+    # Service mode: a deadline-expired transaction occupied the system
+    # from admission until its cancellation step (empty when disabled).
+    for e in trace.expiries:
+        deltas[min(e.gen_time, horizon)] += 1
+        deltas[min(e.time, horizon) + 1] -= 1
     series = np.cumsum(deltas[: horizon + 1])
     return [(t, int(series[t])) for t in range(horizon + 1)]
 
@@ -143,17 +148,34 @@ def stability_verdict(
     series = backlog_series(trace)
     window = [b for t, b in series if t >= warmup]
     half = len(window) // 2
-    first = float(np.mean(window[:half])) if half else 0.0
-    second = float(np.mean(window[half:])) if window[half:] else 0.0
+    if half:
+        first = float(np.mean(window[:half]))
+        second = float(np.mean(window[half:]))
+    else:
+        # Boundary case: a 0/1-point window (the run ends exactly at the
+        # horizon with the warmup right against it) carries no growth
+        # evidence.  Forcing first=0.0 here used to make any standing
+        # backlog > 2 read as "growing" and flip the verdict to unstable
+        # on the boundary; treat both halves as the lone sample instead.
+        first = second = float(window[-1]) if window else 0.0
     span = max(horizon - warmup, 1)
     committed = sum(1 for r in trace.txns.values() if r.exec_time > warmup)
-    arrived = sum(1 for r in trace.txns.values() if r.gen_time > warmup) + sum(
-        1 for g in meta["uncommitted_gen_times"] if g > warmup  # type: ignore[union-attr]
+    expired = sum(1 for e in trace.expiries if e.gen_time > warmup)
+    arrived = (
+        sum(1 for r in trace.txns.values() if r.gen_time > warmup)
+        + sum(
+            1 for g in meta["uncommitted_gen_times"] if g > warmup  # type: ignore[union-attr]
+        )
+        + expired
     )
     commit_rate = committed / span
     arrival_rate = arrived / span
     backlog_grows = second > first * (1.0 + slack) + 2.0
-    falls_behind = commit_rate < arrival_rate * (1.0 - slack)
+    # Deadline-expired transactions were *resolved*, not left behind: a
+    # service run sheds its way back to balance, and only unresolved
+    # work counts against the rate signal.  expired == 0 without the
+    # service, so the comparison is unchanged for plain open runs.
+    falls_behind = (committed + expired) / span < arrival_rate * (1.0 - slack)
     return StabilityVerdict(
         stable=not (backlog_grows or falls_behind),
         backlog_first_half=first,
@@ -181,9 +203,21 @@ class SloSummary:
     stable: bool
     backlog_first_half: float
     backlog_second_half: float
+    #: service-mode extensions (repro.service), ``None`` when the run
+    #: had no ingestion front-end so pre-service JSON stays identical:
+    #: post-warmup commits per step of *admitted* traffic
+    goodput: Optional[float] = None
+    #: sheds / submissions over the whole run
+    shed_rate: Optional[float] = None
+    #: deadline commits / (deadline commits + expiries); 1.0 when no
+    #: transaction carried a deadline
+    deadline_hit_rate: Optional[float] = None
+    #: p99 commit latency of admitted transactions, measured from
+    #: *submission* (queue wait included)
+    p99_admitted: Optional[float] = None
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "horizon": self.horizon,
             "warmup": self.warmup,
             "generated": self.generated,
@@ -199,6 +233,12 @@ class SloSummary:
             "backlog_first_half": self.backlog_first_half,
             "backlog_second_half": self.backlog_second_half,
         }
+        if self.goodput is not None:
+            out["goodput"] = self.goodput
+            out["shed_rate"] = self.shed_rate
+            out["deadline_hit_rate"] = self.deadline_hit_rate
+            out["p99_admitted"] = self.p99_admitted
+        return out
 
 
 def slo_summary(trace: ExecutionTrace, *, warmup: Optional[Time] = None) -> SloSummary:
@@ -218,6 +258,14 @@ def slo_summary(trace: ExecutionTrace, *, warmup: Optional[Time] = None) -> SloS
         if horizon > warmup
         else 0.0
     )
+    svc = trace.meta.get("service")
+    goodput = shed_rate = hit_rate = p99_admitted = None
+    if svc is not None:
+        goodput = verdict.commit_rate
+        shed_rate = svc["shed"] / max(1, svc["submitted"])
+        decided = svc["deadline_commits"] + svc["expired"]
+        hit_rate = svc["deadline_commits"] / decided if decided else 1.0
+        p99_admitted = pcts["p99"]
     return SloSummary(
         horizon=horizon,
         warmup=int(warmup),
@@ -233,4 +281,8 @@ def slo_summary(trace: ExecutionTrace, *, warmup: Optional[Time] = None) -> SloS
         stable=verdict.stable,
         backlog_first_half=verdict.backlog_first_half,
         backlog_second_half=verdict.backlog_second_half,
+        goodput=goodput,
+        shed_rate=shed_rate,
+        deadline_hit_rate=hit_rate,
+        p99_admitted=p99_admitted,
     )

@@ -36,7 +36,9 @@ Checked invariants
 ``stall``
     Liveness watchdog: with live transactions present, some transaction
     must commit at least every ``stall_k`` *active steps*; ``stall_k``
-    active steps without a commit flag a global stall.
+    active steps without a commit flag a global stall.  A deadline
+    cancellation (:mod:`repro.service`) counts as progress — the system
+    resolved a transaction, just not by committing it.
 ``planted``
     Test-only hook (see :meth:`InvariantMonitor.__init__`): fires when a
     chosen node is crashed while a chosen edge is cut in the same step.
@@ -180,6 +182,11 @@ class InvariantMonitor(Probe):
                     oid=oid,
                     node=txn.home,
                 )
+
+    def on_expire(self, tid, t: Time, deadline: Time) -> None:
+        # A deadline cancellation resolves a transaction without a
+        # commit; the stall watchdog must not count the step as idle.
+        self._committed_this_step = True
 
     # -- individual checks ----------------------------------------------
     def _check_objects(self, sim, t: Time) -> None:

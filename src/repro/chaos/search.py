@@ -78,6 +78,13 @@ class EpisodeSpec:
     WorkloadSpec` or the legacy parameter dict ``{"kind", "objects",
     "k", "seed", ...}`` understood by :func:`make_workload`.  ``planted``
     is the test-only violation hook passed through to the monitor.
+
+    ``lambda_mult`` scales the workload's arrival rate (2.0 = twice the
+    drawn traffic — the overload regime); ``deadline_frac`` > 0 enables
+    the ingestion front-end (:mod:`repro.service`) and stamps that
+    fraction of submissions with a commit deadline, so sweeps exercise
+    the shed/expire paths under faults.  Both default to the historical
+    behavior (no scaling, no service).
     """
 
     topology: str
@@ -87,6 +94,8 @@ class EpisodeSpec:
     stall_k: int = 512
     monitor: bool = True
     planted: Optional[Dict[str, object]] = None
+    lambda_mult: float = 1.0
+    deadline_frac: float = 0.0
 
     def to_dict(self) -> Dict[str, object]:
         workload = (
@@ -107,6 +116,12 @@ class EpisodeSpec:
             if "edge" in planted:
                 planted["edge"] = list(planted["edge"])
             out["planted"] = planted
+        # Emitted only when non-default so pre-service artifacts and
+        # sweep logs round-trip byte-identically.
+        if self.lambda_mult != 1.0:
+            out["lambda_mult"] = self.lambda_mult
+        if self.deadline_frac > 0.0:
+            out["deadline_frac"] = self.deadline_frac
         return out
 
     @classmethod
@@ -128,6 +143,8 @@ class EpisodeSpec:
             stall_k=data.get("stall_k", 512),
             monitor=data.get("monitor", True),
             planted=planted,
+            lambda_mult=float(data.get("lambda_mult", 1.0)),
+            deadline_frac=float(data.get("deadline_frac", 0.0)),
         )
 
 
@@ -143,6 +160,10 @@ class EpisodeResult:
     fault_counts: Dict[str, int] = field(default_factory=dict)
     reschedules: int = 0
     checks_run: int = 0
+    #: service-mode outcomes (0 unless the episode enabled the
+    #: ingestion front-end via ``deadline_frac``)
+    expired: int = 0
+    shed: int = 0
     #: structured failure, or None for a clean episode:
     #: {"invariant", "detail", "message", "step", "tid", "oid", "node"}
     violation: Optional[Dict[str, object]] = None
@@ -152,7 +173,7 @@ class EpisodeResult:
         return self.violation is None
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        out = {
             "spec": self.spec.to_dict(),
             "committed": self.committed,
             "generated": self.generated,
@@ -163,6 +184,11 @@ class EpisodeResult:
             "checks_run": self.checks_run,
             "violation": self.violation,
         }
+        if self.expired:
+            out["expired"] = self.expired
+        if self.shed:
+            out["shed"] = self.shed
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "EpisodeResult":
@@ -175,6 +201,8 @@ class EpisodeResult:
             fault_counts=dict(data.get("fault_counts", {})),
             reschedules=data.get("reschedules", 0),
             checks_run=data.get("checks_run", 0),
+            expired=data.get("expired", 0),
+            shed=data.get("shed", 0),
             violation=data.get("violation"),
         )
 
@@ -204,6 +232,34 @@ def make_workload(graph, params):
             graph, objects, k, rate=rate, horizon=horizon, seed=seed
         )
     raise ReproError(f"unknown chaos workload kind {params.get('kind')!r}")
+
+
+#: base value of each arrival-rate knob when the spec leaves it default
+_RATE_DEFAULTS = {"lam": 0.5, "lam_on": 1.0, "rate": 0.5}
+
+
+def _scale_rate(workload, mult: float, graph):
+    """The episode workload with its arrival rate scaled by ``mult``."""
+    if isinstance(workload, WorkloadSpec):
+        if workload.kind == "bernoulli":
+            knob, default = "rate", 0.05
+        else:
+            from repro.analysis.frontier import rate_knob
+
+            knob = rate_knob(workload.kind)
+            default = _RATE_DEFAULTS[knob]
+        return workload.with_knobs(
+            **{knob: float(workload.knob(knob, default)) * mult}
+        )
+    params = dict(workload)
+    if params.get("kind", "batch") != "bernoulli":
+        raise ReproError(
+            "lambda_mult needs an arrival-rate workload "
+            f"(got legacy kind {params.get('kind', 'batch')!r})"
+        )
+    base = float(params.get("rate", 1.0 / graph.num_nodes))
+    params["rate"] = base * mult
+    return params
 
 
 def _violation_dict(exc: InvariantViolation) -> Dict[str, object]:
@@ -243,13 +299,34 @@ def run_episode(spec: EpisodeSpec) -> EpisodeResult:
         # join detaches it.
         graph = graph.copy()
     scheduler, speed = make_scheduler(spec.scheduler, graph)
-    workload = make_workload(graph, spec.workload)
+    workload_params = spec.workload
+    if spec.lambda_mult != 1.0:
+        workload_params = _scale_rate(workload_params, spec.lambda_mult, graph)
+    workload = make_workload(graph, workload_params)
     probe = (
         InvariantMonitor(stall_k=spec.stall_k, planted=spec.planted)
         if spec.monitor
         else None
     )
-    config = SimConfig(faults=spec.plan, probe=probe, object_speed_den=speed)
+    service = None
+    if spec.deadline_frac > 0.0:
+        from repro.service import ServiceConfig
+
+        if isinstance(workload_params, WorkloadSpec):
+            wl_seed = workload_params.seed
+            horizon = int(workload_params.knob("horizon", 64))
+        else:
+            wl_seed = int(workload_params.get("seed", 0))
+            horizon = int(workload_params.get("horizon", 64))
+        service = ServiceConfig(
+            policy="fifo",
+            deadline=max(4, horizon // 4),
+            deadline_frac=spec.deadline_frac,
+            seed=wl_seed,
+        )
+    config = SimConfig(
+        faults=spec.plan, probe=probe, object_speed_den=speed, service=service
+    )
     result = EpisodeResult(spec=spec)
     try:
         sim = Simulator(graph, scheduler, workload, config=config)
@@ -273,15 +350,23 @@ def run_episode(spec: EpisodeSpec) -> EpisodeResult:
         result.end_time = trace.end_time
         result.fault_counts = trace.fault_counts()
         result.reschedules = len(trace.reschedules)
-        if result.committed < result.generated:
+        result.expired = len(trace.expiries)
+        result.shed = len(trace.sheds)
+        # Liveness counts *resolved* transactions: a deadline expiry
+        # cancelled its transaction deliberately (service mode), so only
+        # work that neither committed nor expired is left behind.
+        if result.committed + result.expired < result.generated:
+            expired_tids = {e.tid for e in trace.expiries}
             missing = sorted(
-                tid for tid in sim.txns if tid not in trace.txns
+                tid
+                for tid in sim.txns
+                if tid not in trace.txns and tid not in expired_tids
             )[:8]
             result.violation = {
                 "invariant": "liveness",
                 "detail": (
-                    f"{result.generated - result.committed} of "
-                    f"{result.generated} transactions never committed "
+                    f"{result.generated - result.committed - result.expired} "
+                    f"of {result.generated} transactions never resolved "
                     f"(e.g. {missing})"
                 ),
                 "message": "uncommitted transactions at quiescence",
@@ -329,13 +414,16 @@ def episode_spec(
     stall_k: int = 512,
     monitor: bool = True,
     planted: Optional[Dict[str, object]] = None,
+    lambda_mult: float = 1.0,
+    deadline_frac: float = 0.0,
 ) -> EpisodeSpec:
     """The ``index``-th episode of a sweep: scheduler rotates round-robin,
     fault plan and workload are drawn from a per-episode seed derived by
     the same string-keyed RNG the injector uses.  ``joins`` / ``leaves``
     add elastic-membership churn to every drawn plan.  ``planted``
     forwards the monitor's test-only violation hook to every generated
-    spec."""
+    spec.  ``lambda_mult`` / ``deadline_frac`` forward the overload and
+    deadline knobs (see :class:`EpisodeSpec`)."""
     ep_seed = random.Random(f"{seed}|chaos-episode|{index}").randrange(2**31)
     graph = _cached_topology(topology)
     plan = FaultPlan.random(
@@ -369,6 +457,8 @@ def episode_spec(
         stall_k=stall_k,
         monitor=monitor,
         planted=planted,
+        lambda_mult=lambda_mult,
+        deadline_frac=deadline_frac,
     )
 
 
@@ -392,7 +482,7 @@ class SweepResult:
         for r in self.episodes:
             for kind, count in r.fault_counts.items():
                 fault_totals[kind] = fault_totals.get(kind, 0) + count
-        return {
+        out = {
             "episodes": len(self.episodes),
             "violations": len(self.violations),
             "committed": sum(r.committed for r in self.episodes),
@@ -402,6 +492,12 @@ class SweepResult:
             "schedulers": sorted({r.spec.scheduler for r in self.episodes}),
             "artifacts": list(self.artifacts),
         }
+        expired = sum(r.expired for r in self.episodes)
+        shed = sum(r.shed for r in self.episodes)
+        if expired or shed:
+            out["expired"] = expired
+            out["shed"] = shed
+        return out
 
 
 def _load_sweep_log(path: str) -> Dict[int, Dict[str, object]]:

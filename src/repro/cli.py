@@ -398,11 +398,31 @@ def make_stream_spec(args) -> "WorkloadSpec":
         knobs["period"] = args.period
     if kind == "adversarial-open":
         knobs["burst"] = args.burst
+    if getattr(args, "priority_classes", 1) > 1:
+        knobs["priority_classes"] = args.priority_classes
     return WorkloadSpec.make(kind, seed=args.seed, **knobs)
 
 
+def make_service_config(args):
+    """Build the :class:`~repro.service.ServiceConfig` requested by
+    --admission/--queue-cap/--deadline/--deadline-frac (None when the
+    ingestion front-end was not asked for)."""
+    policy = getattr(args, "admission", None)
+    if policy is None:
+        return None
+    from repro.service import ServiceConfig
+
+    return ServiceConfig(
+        policy=policy,
+        queue_cap=args.queue_cap,
+        deadline=args.deadline,
+        deadline_frac=args.deadline_frac,
+        seed=args.seed,
+    )
+
+
 def _slo_rows(slo: dict) -> list:
-    return [
+    rows = [
         ["stable", slo["stable"]],
         ["arrival rate", round(slo["arrival_rate"], 4)],
         ["throughput", round(slo["throughput"], 4)],
@@ -416,6 +436,14 @@ def _slo_rows(slo: dict) -> list:
         ["backlog first/second half",
          f"{slo['backlog_first_half']:.1f} / {slo['backlog_second_half']:.1f}"],
     ]
+    if slo.get("goodput") is not None:
+        rows += [
+            ["goodput", round(slo["goodput"], 4)],
+            ["shed rate", round(slo["shed_rate"], 4)],
+            ["deadline hit rate", round(slo["deadline_hit_rate"], 4)],
+            ["p99 of admitted", slo["p99_admitted"]],
+        ]
+    return rows
 
 
 def cmd_stream(args) -> int:
@@ -456,8 +484,19 @@ def cmd_stream(args) -> int:
     scheduler, speed = make_scheduler(args.scheduler, graph)
     spec = make_stream_spec(args)
     probe = make_probe(args)
+    service = make_service_config(args)
+    latency = getattr(args, "latency_dist", None)
+    faults = None
+    if latency:
+        # Long-tail delivery rides on the recovery machinery; an empty
+        # plan (no injected faults) enables it without adding any.
+        from repro.faults import FaultPlan
+
+        faults = FaultPlan(seed=args.seed)
     cfg = SimConfig(
         object_speed_den=max(speed, args.object_speed), probe=probe,
+        service=service, latency_dist=latency,
+        latency_seed=args.seed if latency else 0, faults=faults,
         checkpoint_path=getattr(args, "checkpoint", None),
         checkpoint_every=(
             getattr(args, "checkpoint_every", None)
@@ -474,9 +513,13 @@ def cmd_stream(args) -> int:
         "workload": spec.to_dict(),
         **res.slo.to_dict(),
     }
+    if service is not None:
+        out["admission"] = service.policy
     if res.obs is not None:
         out["obs"] = res.obs
     title = f"{graph.name} / {args.scheduler} @ λ={args.lam} ({spec.kind})"
+    if service is not None:
+        title += f" [{service.policy}]"
     if args.report:
         with open(args.report, "w") as fh:
             fh.write(f"# Open-system run — {title}\n\n")
@@ -493,6 +536,15 @@ def cmd_stream(args) -> int:
                 ["counter", "value"], [[k, v] for k, v in obs.items()], title="obs"
             ))
     return 0
+
+
+def cmd_serve(args) -> int:
+    """``repro serve``: an open-system run with the ingestion front-end
+    always on — ``stream`` plus admission control, deadlines, and the
+    graceful-degradation controller (:mod:`repro.service`)."""
+    if args.admission is None:
+        args.admission = "fifo"
+    return cmd_stream(args)
 
 
 def cmd_frontier(args) -> int:
@@ -847,6 +899,8 @@ def cmd_chaos(args) -> int:
         partition_len=args.partition_len,
         joins=args.joins,
         leaves=args.leaves,
+        lambda_mult=args.lambda_mult,
+        deadline_frac=args.deadline_frac,
         stall_k=args.stall_k,
         resume_path=args.resume,
     )
@@ -1044,27 +1098,71 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--json", action="store_true")
         p.add_argument("--report", help="write a markdown report to this file")
 
+    def service_common(p, *, default_policy=None):
+        from repro.service import POLICY_NAMES
+
+        p.add_argument("--admission", default=default_policy,
+                       choices=list(POLICY_NAMES),
+                       help="admission-queue policy; enables the ingestion "
+                            "front-end (repro.service)" +
+                            ("" if default_policy is None
+                             else f" (default {default_policy})"))
+        p.add_argument("--queue-cap", type=int, default=64,
+                       help="bound on the admission queue depth (default 64)")
+        p.add_argument("--deadline", type=int, default=None,
+                       help="relative commit deadline in steps stamped onto "
+                            "admitted transactions; expired ones are "
+                            "cancelled mid-flight")
+        p.add_argument("--deadline-frac", type=float, default=1.0,
+                       help="fraction of submissions that receive --deadline "
+                            "(seeded coin; default 1.0)")
+        p.add_argument("--priority-classes", type=int, default=1,
+                       help="draw each transaction's priority class from "
+                            "[0, N) in the workload (default 1 = all equal)")
+        p.add_argument("--latency-dist", metavar="SPEC", default=None,
+                       help="long-tail per-leg network delays: "
+                            "lognormal:MU:SIGMA[:CAP] or empirical:V1,V2,...")
+
+    def stream_obs_ckpt(p):
+        p.add_argument("--scheduler", default="greedy", choices=SCHEDULER_NAMES)
+        p.add_argument("--lam", type=float, default=0.5,
+                       help="arrival rate λ (the open kind's rate knob)")
+        p.add_argument("--obs-counters", action="store_true",
+                       help="attach a CountersProbe; print/emit its summary")
+        p.add_argument("--obs-jsonl", metavar="FILE", default=None,
+                       help="stream probe events to FILE as JSONL")
+        p.add_argument("--checkpoint", metavar="PATH", default=None,
+                       help="write durability checkpoints here ({step} "
+                            "placeholder keeps every snapshot)")
+        p.add_argument("--checkpoint-every", type=int, default=50,
+                       help="active steps between periodic checkpoints "
+                            "(with --checkpoint; default 50)")
+        p.add_argument("--resume", metavar="PATH", default=None,
+                       help="restore a checkpoint and continue to --until "
+                            "(pass the original horizon)")
+        p.add_argument("--monitor", action="store_true",
+                       help="attach the InvariantMonitor (safety invariants "
+                            "re-checked every step)")
+        p.add_argument("--stall-k", type=int, default=512,
+                       help="stall-watchdog threshold for --monitor")
+
     p_stream = sub.add_parser(
         "stream", help="open-system run: SLO percentiles + stability verdict"
     )
     stream_common(p_stream)
-    p_stream.add_argument("--scheduler", default="greedy", choices=SCHEDULER_NAMES)
-    p_stream.add_argument("--lam", type=float, default=0.5,
-                          help="arrival rate λ (the open kind's rate knob)")
-    p_stream.add_argument("--obs-counters", action="store_true",
-                          help="attach a CountersProbe; print/emit its summary")
-    p_stream.add_argument("--obs-jsonl", metavar="FILE", default=None,
-                          help="stream probe events to FILE as JSONL")
-    p_stream.add_argument("--checkpoint", metavar="PATH", default=None,
-                          help="write durability checkpoints here ({step} "
-                               "placeholder keeps every snapshot)")
-    p_stream.add_argument("--checkpoint-every", type=int, default=50,
-                          help="active steps between periodic checkpoints "
-                               "(with --checkpoint; default 50)")
-    p_stream.add_argument("--resume", metavar="PATH", default=None,
-                          help="restore a checkpoint and continue to --until "
-                               "(pass the original horizon)")
+    stream_obs_ckpt(p_stream)
+    service_common(p_stream)
     p_stream.set_defaults(func=cmd_stream)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="open-system run with the ingestion front-end on: admission "
+             "control, deadlines, graceful degradation (repro.service)",
+    )
+    stream_common(p_serve)
+    stream_obs_ckpt(p_serve)
+    service_common(p_serve, default_policy="fifo")
+    p_serve.set_defaults(func=cmd_serve)
 
     p_front = sub.add_parser(
         "frontier",
@@ -1156,6 +1254,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--leaves", type=int, default=0,
                          help="elastic-membership leaves per episode plan "
                               "(drawn connectivity-safe)")
+    p_chaos.add_argument("--lambda-mult", type=float, default=1.0,
+                         help="scale each episode's arrival rate (2.0 = "
+                              "sustained 2x overload; exercises shedding)")
+    p_chaos.add_argument("--deadline-frac", type=float, default=0.0,
+                         help="fraction of episode transactions given a "
+                              "commit deadline via the ingestion front-end "
+                              "(0 = service disabled)")
     p_chaos.add_argument("--stall-k", type=int, default=512)
     p_chaos.add_argument("--resume", metavar="PATH", default=None,
                          help="episode log for crash-resumable sweeps: "

@@ -49,6 +49,23 @@ class WorkloadError(ReproError):
     """Invalid workload specification (k larger than object pool, ...)."""
 
 
+class WarmupError(WorkloadError):
+    """The measurement warmup does not fit inside the run horizon.
+
+    ``warmup >= horizon`` leaves an empty SLO window: every percentile
+    would be NaN and the stability verdict meaningless.  Raised by
+    :meth:`repro.sim.config.SimConfig.validate` (``warmup`` vs
+    ``max_time``) and :meth:`repro.sim.engine.Simulator.run` (``warmup``
+    vs ``until``) instead of silently reporting empty windows.
+    Subclasses :class:`WorkloadError` so pre-existing handlers keep
+    working.
+    """
+
+
+class ServiceError(ReproError):
+    """Invalid ingestion-service configuration (repro.service)."""
+
+
 class CheckpointError(ReproError):
     """A durability checkpoint could not be written, read, or applied."""
 

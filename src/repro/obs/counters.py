@@ -29,7 +29,10 @@ class CountersProbe(Probe):
         scheduler decision kind; open (streaming) runs additionally get
         ``stream.generated`` / ``stream.committed`` / ``stream.backlog``
         / ``stream.horizon`` / ``stream.warmup`` from the engine's
-        open-run bookkeeping.
+        open-run bookkeeping.  Service-mode runs (:mod:`repro.service`)
+        additionally get live ``service.shed`` / ``service.shed.<reason>``
+        / ``service.expired`` bumps plus authoritative end-of-run
+        ``service.*`` totals from ``trace.meta["service"]``.
     phase_seconds:
         Wall-clock seconds spent inside each engine phase.
     """
@@ -61,6 +64,17 @@ class CountersProbe(Probe):
             self.counters["stream.backlog"] = int(open_meta["backlog"])
             self.counters["stream.horizon"] = int(open_meta["horizon"])
             self.counters["stream.warmup"] = int(open_meta["warmup"])
+        svc = trace.meta.get("service")
+        if svc is not None:
+            # Service-mode bookkeeping (repro.service): the authoritative
+            # end-of-run totals, overwriting any incremental counts.
+            self.counters["service.submitted"] = int(svc["submitted"])
+            self.counters["service.admitted"] = int(svc["admitted"])
+            self.counters["service.shed"] = int(svc["shed"])
+            self.counters["service.expired"] = int(svc["expired"])
+            self.counters["service.deadline_commits"] = int(svc["deadline_commits"])
+            self.counters["service.queue_peak"] = int(svc["queue_peak"])
+            self.counters["service.backpressure_steps"] = int(svc["backpressure_steps"])
 
     def on_step_begin(self, t: Time) -> None:
         self._bump("steps")
@@ -132,6 +146,14 @@ class CountersProbe(Probe):
         prev = self.counters.get("recovery.backoff_max", 0)
         if backoff > prev:
             self.counters["recovery.backoff_max"] = backoff
+
+    # -- ingestion front-end (repro.service) ---------------------------
+    def on_shed(self, t, home, reason, priority) -> None:
+        self._bump("service.shed")
+        self._bump(f"service.shed.{reason}")
+
+    def on_expire(self, tid, t, deadline) -> None:
+        self._bump("service.expired")
 
     # -- reporting -----------------------------------------------------
     def summary(self) -> dict:

@@ -133,6 +133,17 @@ class Probe:
         committed execution time; ``new_exec`` is -1 when the scheduler
         deferred the new commitment (e.g. to a bucket activation)."""
 
+    # -- ingestion front-end (repro.service) ---------------------------
+    def on_shed(self, t: Time, home: NodeId, reason: str, priority: int) -> None:
+        """The admission queue shed a submission at ``t`` ("queue-full",
+        "displaced", or "expired-in-queue").  Never called when
+        ``SimConfig.service`` is None."""
+
+    def on_expire(self, tid: TxnId, t: Time, deadline: Time) -> None:
+        """An admitted transaction was cancelled mid-flight at ``t``
+        because its commit deadline passed.  Never called when
+        ``SimConfig.service`` is None."""
+
     # -- scheduler decisions -------------------------------------------
     def on_sched(self, event: str, t: Time, **fields) -> None:
         """Generic scheduler decision (see the module table for names)."""
@@ -218,6 +229,14 @@ class MultiProbe(Probe):
     def on_reschedule(self, tid, t, backoff, new_exec, missing):
         for p in self.probes:
             p.on_reschedule(tid, t, backoff, new_exec, missing)
+
+    def on_shed(self, t, home, reason, priority):
+        for p in self.probes:
+            p.on_shed(t, home, reason, priority)
+
+    def on_expire(self, tid, t, deadline):
+        for p in self.probes:
+            p.on_expire(tid, t, deadline)
 
     def on_sched(self, event, t, **fields):
         for p in self.probes:

@@ -1,0 +1,35 @@
+"""Ingestion service: an admission front door for the engine.
+
+Open-system workloads (PR 6) revealed the stability frontier lambda*;
+past it the scheduler falls behind and backlog grows without bound.
+This package puts a deterministic, seedable front-end between arriving
+transaction specs and the engine:
+
+* :class:`~repro.service.config.ServiceConfig` — one frozen value
+  object for every service knob (admission policy, queue bound,
+  deadlines, controller gains).
+* :class:`~repro.service.admission.AdmissionQueue` — the bounded queue
+  with pluggable policies (``fifo``, ``lifo-shed``, ``deadline-edf``,
+  ``priority-class``).
+* :class:`~repro.service.frontend.ServiceFrontEnd` — the runtime: it
+  offers arriving specs to the queue, meters admissions with a token
+  bucket tracking an EWMA of the observed commit rate, raises
+  backpressure with hysteresis, and cancels admitted transactions whose
+  deadlines expire mid-flight.
+
+Enable it by passing ``SimConfig(service=ServiceConfig(...))``; with
+``service=None`` (the default) the engine takes a zero-overhead path and
+traces stay byte-identical with pre-service builds.
+"""
+
+from repro.service.admission import POLICIES, AdmissionQueue
+from repro.service.config import POLICY_NAMES, ServiceConfig
+from repro.service.frontend import ServiceFrontEnd
+
+__all__ = [
+    "POLICIES",
+    "POLICY_NAMES",
+    "AdmissionQueue",
+    "ServiceConfig",
+    "ServiceFrontEnd",
+]

@@ -1,0 +1,123 @@
+"""ServiceConfig: one frozen value object for every ingestion knob."""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional
+
+from repro._types import Time
+from repro.errors import ServiceError
+
+#: Admission policies understood by :class:`repro.service.admission.AdmissionQueue`.
+POLICY_NAMES = ("fifo", "lifo-shed", "deadline-edf", "priority-class")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Configuration of the ingestion front-end (:mod:`repro.service`).
+
+    Attributes
+    ----------
+    policy:
+        Admission-queue discipline: ``"fifo"`` (reject newcomers when
+        full), ``"lifo-shed"`` (admit newest first, displace the oldest
+        when full), ``"deadline-edf"`` (earliest absolute deadline
+        first, displace the latest-deadline entry for a tighter one),
+        or ``"priority-class"`` (highest :attr:`TxnSpec.priority`
+        first, displace the lowest-priority entry for a better one).
+    queue_cap:
+        Bound on the admission queue depth.  The queue never exceeds
+        it; overflow is resolved by shedding per ``policy``.
+    deadline:
+        Relative deadline (steps after submission) stamped onto
+        admitted specs that do not already carry an absolute one, or
+        ``None`` to leave workload deadlines alone.
+    deadline_frac:
+        Fraction of deadline-less specs that receive the stamped
+        ``deadline`` (seeded coin per submission, drawn in arrival
+        order).  ``1.0`` stamps every spec without drawing.
+    controller:
+        Enable the graceful-degradation controller: admissions are
+        metered by a token bucket whose rate tracks ``headroom`` times
+        a seeded EWMA of the observed commit rate.  ``False`` admits
+        up to ``queue_cap`` specs per step (queue-bound only).
+    ewma_alpha:
+        Smoothing factor of the commit-rate EWMA in ``(0, 1]``; larger
+        reacts faster, smaller resists tail-latency noise.
+    headroom:
+        Multiplier applied to the EWMA estimate to obtain the admission
+        rate.  Slightly above 1 keeps the scheduler probing for spare
+        capacity instead of locking in a transient low estimate.
+    backpressure_high / backpressure_low:
+        Queue-depth hysteresis thresholds as fractions of ``queue_cap``:
+        backpressure engages at depth >= ``high * cap`` and releases at
+        depth <= ``low * cap`` (the gap prevents flapping).  A second,
+        backlog-growth trigger engages when the engine's live backlog
+        grows materially over a sampling window and releases when it
+        stops growing.
+    backpressure_slowdown:
+        Multiplier in ``(0, 1]`` applied to the admission rate while
+        backpressure is engaged.  Under *sustained* overload the depth
+        trigger stays engaged (the bounded queue is always full), so
+        steady-state goodput approaches ``headroom * slowdown`` times
+        the sustainable commit rate — the default ``1.1 * 0.75 =
+        0.825`` keeps degraded goodput above 80% of capacity.
+    seed:
+        Seed of the service's private RNG (the deadline-stamping coin).
+        The controller itself is deterministic given the commit stream.
+    """
+
+    policy: str = "fifo"
+    queue_cap: int = 64
+    deadline: Optional[Time] = None
+    deadline_frac: float = 1.0
+    controller: bool = True
+    ewma_alpha: float = 0.2
+    headroom: float = 1.1
+    backpressure_high: float = 0.75
+    backpressure_low: float = 0.5
+    backpressure_slowdown: float = 0.75
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Reject nonsensical knob combinations with a clear
+        :class:`~repro.errors.ServiceError` before they can surface as
+        deep engine failures."""
+        if self.policy not in POLICY_NAMES:
+            raise ServiceError(
+                f"unknown admission policy {self.policy!r} "
+                f"(choose one of {', '.join(POLICY_NAMES)})"
+            )
+        if self.queue_cap < 1:
+            raise ServiceError(f"queue_cap must be >= 1, got {self.queue_cap}")
+        if self.deadline is not None and self.deadline < 1:
+            raise ServiceError(f"deadline must be >= 1 step, got {self.deadline}")
+        if not (0.0 <= self.deadline_frac <= 1.0):
+            raise ServiceError(
+                f"deadline_frac must be in [0, 1], got {self.deadline_frac}"
+            )
+        if not (0.0 < self.ewma_alpha <= 1.0):
+            raise ServiceError(
+                f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}"
+            )
+        if self.headroom <= 0.0:
+            raise ServiceError(f"headroom must be > 0, got {self.headroom}")
+        if not (0.0 <= self.backpressure_low <= self.backpressure_high <= 1.0):
+            raise ServiceError(
+                "backpressure thresholds must satisfy "
+                "0 <= low <= high <= 1, got "
+                f"low={self.backpressure_low}, high={self.backpressure_high}"
+            )
+        if not (0.0 < self.backpressure_slowdown <= 1.0):
+            raise ServiceError(
+                f"backpressure_slowdown must be in (0, 1], got "
+                f"{self.backpressure_slowdown}"
+            )
+
+    def replace(self, **changes) -> "ServiceConfig":
+        """A copy with ``changes`` applied (``dataclasses.replace``)."""
+        return dataclasses.replace(self, **changes)

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro._types import DeparturePolicy, Time
-from repro.errors import WorkloadError
+from repro.errors import WarmupError, WorkloadError
 from repro.obs.probe import Probe
 
 
@@ -90,6 +90,28 @@ class SimConfig:
         concurrent writers target distinct files).  The final
         SIGTERM/SIGINT snapshot is always synchronous: the process is
         about to exit, so the write must be durable first.
+    warmup:
+        Default measurement cutoff (absolute steps) for open-system
+        runs; ``run(warmup=...)`` overrides it.  Must be smaller than
+        ``max_time`` when both are set (:class:`~repro.errors.
+        WarmupError` otherwise — an empty SLO window is never useful).
+    service:
+        A frozen :class:`repro.service.ServiceConfig` enabling the
+        ingestion front-end (bounded admission queue, deadlines,
+        degradation controller), or ``None`` (the default) to feed
+        arrivals straight to the scheduler.  ``None`` guarantees
+        byte-identical traces with pre-service builds.
+    latency_dist:
+        Network latency-distribution spec for
+        :class:`~repro.sim.transport.LatencyDistTransport`:
+        ``"lognormal:MU:SIGMA[:CAP]"`` or ``"empirical:V1,V2,..."``
+        draw seeded per-leg extra delivery steps (long-tail realism).
+        Requires ``faults`` (a plan, possibly empty): late objects are
+        handled by the recovery machinery, and the certifier accounts
+        for the extra steps via ``"net-delay"`` fault records.
+    latency_seed:
+        Seed of the latency-distribution draws (independent of the
+        fault plan's seed so the two can be varied separately).
     """
 
     departure_policy: DeparturePolicy = DeparturePolicy.EAGER
@@ -106,6 +128,10 @@ class SimConfig:
     checkpoint_every: Optional[int] = None
     checkpoint_path: Optional[str] = None
     checkpoint_sync: bool = True
+    warmup: Optional[Time] = None
+    service: Optional[object] = None
+    latency_dist: Optional[str] = None
+    latency_seed: int = 0
 
     def __post_init__(self) -> None:
         self.validate()
@@ -158,6 +184,32 @@ class SimConfig:
                 raise WorkloadError(
                     "faults must be a repro.faults.FaultPlan or None, "
                     f"got {type(self.faults).__name__}"
+                )
+        if self.warmup is not None:
+            if self.warmup < 0:
+                raise WarmupError(f"warmup must be >= 0, got {self.warmup}")
+            if self.max_time is not None and self.warmup >= self.max_time:
+                raise WarmupError(
+                    f"warmup must be < max_time={self.max_time}, got "
+                    f"{self.warmup}: the measurement window would be empty"
+                )
+        if self.service is not None:
+            from repro.service.config import ServiceConfig
+
+            if not isinstance(self.service, ServiceConfig):
+                raise WorkloadError(
+                    "service must be a repro.service.ServiceConfig or None, "
+                    f"got {type(self.service).__name__}"
+                )
+        if self.latency_dist is not None:
+            from repro.sim.transport import parse_latency_dist
+
+            parse_latency_dist(self.latency_dist)  # raises on a bad spec
+            if self.faults is None:
+                raise WorkloadError(
+                    "latency_dist requires faults (a FaultPlan, possibly "
+                    "empty): late deliveries are absorbed by the recovery "
+                    "machinery"
                 )
 
     @property

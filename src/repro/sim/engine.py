@@ -37,6 +37,7 @@ from repro.errors import (
     ReproError,
     RunInterrupted,
     SchedulingError,
+    WarmupError,
     WorkloadError,
 )
 from repro.network.graph import Graph
@@ -49,6 +50,7 @@ from repro.sim.objects import QueueEntry, SharedObject
 from repro.sim.trace import (
     CopyLeg,
     ExecutionTrace,
+    ExpiredRecord,
     FaultRecord,
     MembershipRecord,
     ObjectLeg,
@@ -234,6 +236,15 @@ class Simulator:
         #: the motion strategy (repro.sim.transport)
         self.transport = build_transport(cfg)
         self.transport.bind(self)
+        #: ingestion front-end (repro.service): None when disabled, so
+        #: every service call site costs one predictable branch and the
+        #: disabled hot path is untouched
+        self.service = None
+        if cfg.service is not None:
+            from repro.service.frontend import ServiceFrontEnd
+
+            self.service = ServiceFrontEnd(cfg.service)
+            self.service.bind(self)
 
         self._tid_counter = itertools.count()
         self._started = False
@@ -382,6 +393,11 @@ class Simulator:
 
     def commit_schedule(self, txn: Transaction, exec_time: Time) -> None:
         """Scheduler callback: fix ``txn``'s execution time, once, forever."""
+        if txn.state is TxnState.CANCELLED:
+            # Service mode: the transaction's deadline expired while it
+            # sat in a scheduler's pending machinery (bucket schedulers
+            # defer scheduling); the late assignment is a no-op.
+            return
         if txn.exec_time is not None:
             raise SchedulingError(f"transaction {txn.tid} already scheduled at {txn.exec_time}")
         if exec_time < self.now:
@@ -427,8 +443,10 @@ class Simulator:
         """Record one injected fault on the trace and notify the probe.
 
         Called by the engine itself, :class:`~repro.sim.transport.
-        FaultyTransport`, and the message router; never called when
-        ``SimConfig.faults`` is None, so fault-free traces stay empty.
+        FaultyTransport`, :class:`~repro.sim.transport.
+        LatencyDistTransport` (which requires a fault plan), and the
+        message router; never called when ``SimConfig.faults`` is None,
+        so fault-free traces stay empty.
         """
         self.trace.faults.append(FaultRecord(kind, t, node, oid, extra))
         if self._obs is not None:
@@ -526,11 +544,16 @@ class Simulator:
             )
         if until is not None and until < self.now:
             raise SchedulingError(f"run(until={until}) is in the past (now={self.now})")
+        if warmup is None:
+            warmup = self.config.warmup
         if warmup is not None:
             horizon = until if until is not None else self.max_time
-            if warmup < 0 or (horizon is not None and warmup >= horizon):
-                raise WorkloadError(
-                    f"warmup must be in [0, horizon={horizon}), got {warmup}"
+            if warmup < 0:
+                raise WarmupError(f"warmup must be >= 0, got {warmup}")
+            if horizon is not None and warmup >= horizon:
+                raise WarmupError(
+                    f"warmup must be < horizon={horizon}, got {warmup}: "
+                    "the measurement window would be empty"
                 )
         self._open_warmup = warmup
         return self._run_loop(max_steps=max_steps, until=until)
@@ -602,7 +625,11 @@ class Simulator:
             self._step(self.now)
         while True:
             nxt = self._next_active_time()
-            if not self.live and not self._scheduler_pending():
+            if (
+                not self.live
+                and not self._scheduler_pending()
+                and (self.service is None or self.service.idle())
+            ):
                 if nxt is None:
                     break
                 # Crash/partition-window bookkeeping events alone cannot
@@ -649,16 +676,24 @@ class Simulator:
             # before on_run_end so probes (stream counters) can read it.
             generated = len(self.txns)
             committed = len(self.trace.txns)
+            # Cancelled (deadline-expired) transactions are not backlog:
+            # the service resolved them.  len(expiries) is 0 with the
+            # service disabled, so pre-service meta stays byte-identical.
+            expired = len(self.trace.expiries)
             self.trace.meta["open"] = {
                 "horizon": self.now,
                 "warmup": self._open_warmup or 0,
                 "generated": generated,
                 "committed": committed,
-                "backlog": generated - committed,
+                "backlog": generated - committed - expired,
                 "uncommitted_gen_times": sorted(
                     txn.gen_time for txn in self.live.values()
                 ),
             }
+        if self.service is not None:
+            # Recorded before on_run_end so probes (service counters)
+            # can read it; absent entirely when the service is disabled.
+            self.trace.meta["service"] = self.service.summary()
         if obs is not None:
             obs.on_run_end(self, self.trace)
         return self.trace
@@ -775,6 +810,7 @@ class Simulator:
         # Phase 2: generate new transactions.
         self._pump_arrivals(t)
         new_txns: List[Transaction] = []
+        service = self.service
         for _, _, _, spec in events.pop_kind(EventKind.SPEC, t):
             if self.faults is not None:
                 # A crashed node generates nothing; its spec waits for the
@@ -783,7 +819,25 @@ class Simulator:
                 if restart is not None:
                     self.events.push_spec(restart, spec)
                     continue
-            new_txns.append(self._generate(spec, t))
+            if service is not None:
+                service.offer(spec, t)
+            else:
+                new_txns.append(self._generate(spec, t))
+        if service is not None and (
+                service._direct or service.queue._entries
+                or service._bp_engaged or t >= service._next_check):
+            # Admission keeps the original gen_time (submission step) so
+            # queue wait counts toward commit latency; p99-of-admitted
+            # falls out of the ordinary latency percentiles.  The call
+            # is skipped only while nothing is pending AND no controller
+            # tick is due: the backlog-growth trigger samples the live
+            # backlog on a fixed window (service._next_check), so
+            # overload detection never depends on queue occupancy.
+            for spec in service.admit(t):
+                txn = self._generate(spec, t, gen_time=spec.gen_time)
+                new_txns.append(txn)
+                if txn.deadline is not None:
+                    service.track(txn)
         if obs is not None:
             obs.on_phase_end("generate", t)
             obs.on_phase_begin("schedule", t)
@@ -964,7 +1018,9 @@ class Simulator:
         obj.begin_leg(target, arrive)
         self.events.push_arrival(arrive, obj.oid)
 
-    def _generate(self, spec: TxnSpec, t: Time) -> Transaction:
+    def _generate(
+        self, spec: TxnSpec, t: Time, *, gen_time: Optional[Time] = None
+    ) -> Transaction:
         for oid in (*spec.objects, *spec.reads):
             if oid not in self.objects:
                 raise WorkloadError(
@@ -986,9 +1042,11 @@ class Simulator:
             tid=next(self._tid_counter),
             home=home,
             objects=frozenset(spec.objects),
-            gen_time=t,
+            gen_time=t if gen_time is None else gen_time,
             creates=tuple(spec.creates),
             reads=frozenset(spec.reads),
+            deadline=spec.deadline,
+            priority=spec.priority,
         )
         self.txns[txn.tid] = txn
         self._schedule_times.append_slot()
@@ -1006,16 +1064,35 @@ class Simulator:
         return txn
 
     def _execute_due(self, t: Time) -> None:
+        if self.service is not None and self.service._deadline_heap:
+            # Expire deadline-passed transactions before EXEC events pop:
+            # cancellation wins the race against both execution and any
+            # fault-driven reschedule.  A transaction scheduled exactly
+            # at its deadline keeps its commit attempt this step (see
+            # ServiceFrontEnd.expire_due); if it misses, the miss path
+            # below expires it instead of recovering.
+            for txn in self.service.expire_due(t):
+                self._expire(txn, t)
         due = self.events.pop_kind(EventKind.EXEC, t)
         for _, _, tid, _ in sorted(due):
             txn = self.txns[tid]
-            if txn.state is TxnState.EXECUTED:
+            if txn.state is TxnState.EXECUTED or txn.state is TxnState.CANCELLED:
                 continue
             if txn.exec_time is None or txn.exec_time > t:
                 continue  # stale event: recovery moved this execution
             missing = self._missing_objects(txn)
             home_down = self.faults is not None and self.faults.node_down(txn.home, t)
             if missing or home_down:
+                if (
+                    self.service is not None
+                    and txn.deadline is not None
+                    and txn.deadline <= t
+                ):
+                    # Last-chance attempt failed at the deadline step:
+                    # cancel rather than recover — exactly one of the
+                    # two paths may claim a transaction.
+                    self._expire(txn, t)
+                    continue
                 if self.faults is not None:
                     self._recover(txn, t, missing)
                     continue
@@ -1095,6 +1172,52 @@ class Simulator:
         if self._obs is not None:
             self._obs.on_reschedule(txn.tid, t, backoff, new_exec, tuple(sorted(missing)))
 
+    def _expire(self, txn: Transaction, t: Time) -> None:
+        """Cancel an admitted transaction whose deadline passed (service
+        mode, :mod:`repro.service`).
+
+        Un-commits exactly like :meth:`_recover` step (2) — releases the
+        transaction's object-queue slots and re-cuts any served readers
+        whose copy version assumed its old queue position — then retires
+        it from the live set the way :meth:`_commit` does, except the
+        outcome is an :class:`ExpiredRecord`: the tid never reaches
+        ``trace.txns``, and the certifier checks object conservation
+        through the cancellation.
+        """
+        for oid in txn.objects:
+            obj = self.objects[oid]
+            obj.remove_writer(txn.tid)
+            for entry in obj.read_waiters:
+                if entry.tid in obj.reads_served:
+                    obj.reads_served.discard(entry.tid)
+                    obj.reads_delivered.discard(entry.tid)
+                    obj.read_epoch[entry.tid] = obj.read_epoch.get(entry.tid, 0) + 1
+            self._needs_departure_check.add(oid)
+            self._service_reads(obj, t)
+        for oid in txn.reads:
+            self.objects[oid].finish_read(txn.tid)
+        deadline = txn.deadline if txn.deadline is not None else t
+        txn.exec_time = None
+        txn.state = TxnState.CANCELLED
+        del self.live[txn.tid]
+        if 0 <= txn.home < len(self._live_home_count):
+            self._live_home_count[txn.home] -= 1
+        self.deps.on_commit(txn)
+        for oid in txn.objects:
+            self._live_writers_col[self.objects[oid].index].discard(txn.tid)
+        for oid in txn.reads:
+            self._live_readers_col[self.objects[oid].index].discard(txn.tid)
+        self._resched_floor.pop(txn.tid, None)
+        self.trace.expiries.append(
+            ExpiredRecord(tid=txn.tid, time=t, deadline=deadline, gen_time=txn.gen_time)
+        )
+        if self._obs is not None:
+            self._obs.on_expire(txn.tid, t, deadline)
+        hook = getattr(self.scheduler, "on_cancel", None)
+        if hook is not None:
+            hook(txn, t)
+        self.service.note_expired(txn, t)
+
     def _missing_objects(self, txn: Transaction) -> List[ObjectId]:
         missing = []
         for oid in txn.objects:
@@ -1148,6 +1271,14 @@ class Simulator:
         )
         if self._obs is not None:
             self._obs.on_commit(txn, t)
+        service = self.service
+        if service is not None:
+            # Inlined ServiceFrontEnd.note_commit — a per-commit hot
+            # path where the method-call overhead is measurable.
+            service._commits_since += 1
+            service._seen_commit = True
+            if txn.deadline is not None:
+                service.deadline_commits += 1
         hook = getattr(self.scheduler, "on_commit", None)
         if hook is not None:
             hook(txn, t)
@@ -1214,7 +1345,7 @@ class Simulator:
         if obj.in_transit or not obj.queue:
             return
         holder = obj.holder_txn
-        if holder is not None and self.txns[holder].state is not TxnState.EXECUTED:
+        if holder is not None and self.txns[holder].is_live:
             return  # current holder still needs the object
         nxt = obj.queue[0]
         target = self.txns[nxt.tid].home

@@ -12,11 +12,13 @@ from typing import Any, Dict
 from repro.sim.trace import (
     CopyLeg,
     ExecutionTrace,
+    ExpiredRecord,
     FaultRecord,
     MembershipRecord,
     ObjectLeg,
     PartitionRecord,
     RescheduleRecord,
+    ShedRecord,
     TxnRecord,
     Violation,
 )
@@ -76,6 +78,14 @@ def trace_to_dict(trace: ExecutionTrace) -> Dict[str, Any]:
             [m.kind, m.node, m.time, [list(e) for e in m.edges]]
             for m in trace.membership
         ]
+    if trace.sheds:
+        out["sheds"] = [
+            [s.time, s.home, s.gen_time, s.reason, s.priority] for s in trace.sheds
+        ]
+    if trace.expiries:
+        out["expiries"] = [
+            [e.tid, e.time, e.deadline, e.gen_time] for e in trace.expiries
+        ]
     return out
 
 
@@ -119,6 +129,10 @@ def trace_from_dict(data: Dict[str, Any]) -> ExecutionTrace:
         trace.membership.append(
             MembershipRecord(m[0], m[1], m[2], tuple(tuple(e) for e in m[3]))
         )
+    for s in data.get("sheds", []):
+        trace.sheds.append(ShedRecord(s[0], s[1], s[2], s[3], s[4]))
+    for e in data.get("expiries", []):
+        trace.expiries.append(ExpiredRecord(e[0], e[1], e[2], e[3]))
     trace.meta.update(data.get("meta", {}))
     return trace
 

@@ -103,6 +103,9 @@ class FaultRecord:
     * ``"partition-msg"`` — a control message into ``node`` was deferred
       ``extra`` steps to the heal time of the partition separating it
       from its sender;
+    * ``"net-delay"`` — the leg of ``oid`` departing at ``time`` drew
+      ``extra`` additional steps from the configured network latency
+      distribution (:class:`repro.sim.transport.LatencyDistTransport`);
     * ``"join"`` / ``"leave"`` — elastic membership: ``node`` joined /
       permanently left the graph at ``time``;
     * ``"drain"`` — a graceful leave of ``node`` began at ``time``; its
@@ -147,6 +150,49 @@ class RescheduleRecord:
         return (
             f"txn {self.tid} missed t={self.old_exec}, rescheduled at t={self.time} "
             f"to t={self.new_exec} (backoff {self.backoff}, missing {list(self.missing)})"
+        )
+
+
+@slotted_dataclass(frozen=True)
+class ShedRecord:
+    """One transaction spec rejected at the admission front door
+    (:mod:`repro.service`) — it never received a transaction id.
+
+    ``reason`` is ``"queue-full"`` (bounded queue overflowed and the
+    policy rejected the newcomer), ``"displaced"`` (the policy evicted a
+    previously queued entry in favour of a better one), or
+    ``"expired-in-queue"`` (the entry's deadline passed before it was
+    admitted)."""
+
+    time: Time
+    home: NodeId
+    gen_time: Time
+    reason: str
+    priority: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"shed(t={self.time}, home={self.home}, gen={self.gen_time}, "
+            f"{self.reason}, prio={self.priority})"
+        )
+
+
+@slotted_dataclass(frozen=True)
+class ExpiredRecord:
+    """One admitted transaction cancelled mid-flight because its deadline
+    passed before it executed (:mod:`repro.service`).  The engine
+    released its object-queue slots on cancellation; the tid never
+    appears in ``trace.txns``."""
+
+    tid: TxnId
+    time: Time
+    deadline: Time
+    gen_time: Time
+
+    def __str__(self) -> str:
+        return (
+            f"expired(txn {self.tid} at t={self.time}, deadline={self.deadline}, "
+            f"gen={self.gen_time})"
         )
 
 
@@ -206,6 +252,8 @@ class ExecutionTrace:
     reschedules: List[RescheduleRecord] = field(default_factory=list)
     partitions: List[PartitionRecord] = field(default_factory=list)
     membership: List[MembershipRecord] = field(default_factory=list)
+    sheds: List[ShedRecord] = field(default_factory=list)
+    expiries: List[ExpiredRecord] = field(default_factory=list)
     messages_sent: int = 0
     message_hops: float = 0.0
     end_time: Time = 0

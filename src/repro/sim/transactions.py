@@ -29,6 +29,13 @@ class TxnSpec:
     objects: Tuple[ObjectId, ...]
     creates: Tuple[ObjectId, ...] = ()
     reads: Tuple[ObjectId, ...] = ()
+    #: absolute commit deadline (service mode, repro.service): the
+    #: transaction must execute at or before this step or be cancelled;
+    #: None (default) = best effort, never expires
+    deadline: Optional[Time] = None
+    #: admission priority class (larger = more important); only the
+    #: ``priority-class`` admission policy reads it
+    priority: int = 0
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "objects", tuple(self.objects))
@@ -36,6 +43,10 @@ class TxnSpec:
         object.__setattr__(self, "reads", tuple(self.reads))
         if set(self.objects) & set(self.reads):
             raise ValueError("an object cannot be both read and written by one transaction")
+        if self.deadline is not None and self.deadline < self.gen_time:
+            raise ValueError(
+                f"deadline {self.deadline} precedes gen_time {self.gen_time}"
+            )
 
 
 @slotted_dataclass()
@@ -59,6 +70,10 @@ class Transaction:
     exec_time: Optional[Time] = None
     state: TxnState = TxnState.PENDING
     reads: FrozenSet[ObjectId] = frozenset()
+    #: absolute commit deadline (service mode); None = never expires
+    deadline: Optional[Time] = None
+    #: admission priority class (larger = more important)
+    priority: int = 0
 
     def __post_init__(self) -> None:
         self.objects = frozenset(self.objects)
@@ -71,8 +86,8 @@ class Transaction:
 
     @property
     def is_live(self) -> bool:
-        """Live = generated but not yet executed (paper Section II)."""
-        return self.state is not TxnState.EXECUTED
+        """Live = generated but neither executed nor cancelled."""
+        return self.state is TxnState.PENDING or self.state is TxnState.SCHEDULED
 
     @property
     def is_scheduled(self) -> bool:

@@ -36,6 +36,7 @@ check order: an egress slot is consumed even when the link then blocks.
 from __future__ import annotations
 
 import heapq
+import random
 from typing import Dict, List, Optional, Tuple
 
 from repro._types import NodeId, Time
@@ -332,6 +333,104 @@ class FaultyTransport(TransportDecorator):
         return None if leg is None else (leg, None)
 
 
+class LatencyModel:
+    """A seeded per-leg extra-delay distribution (long-tail realism).
+
+    Built by :func:`parse_latency_dist` from a spec string:
+
+    * ``"lognormal:MU:SIGMA[:CAP]"`` — ``int(lognormvariate(MU, SIGMA))``
+      extra steps, capped at ``CAP`` (default 16) so a single draw cannot
+      stall a run;
+    * ``"empirical:V1,V2,..."`` — a uniform draw from the listed integer
+      delays (put 0 in the list multiple times to model a mostly-fast
+      network with occasional spikes).
+
+    Draws are keyed by ``(seed, oid, depart_time)``, not by call order,
+    so traces are byte-identical for a fixed seed regardless of worker
+    count or departure interleaving.
+    """
+
+    __slots__ = ("spec", "kind", "mu", "sigma", "cap", "values")
+
+    def __init__(self, spec, kind, mu=0.0, sigma=0.0, cap=16, values=()):
+        self.spec = spec
+        self.kind = kind
+        self.mu = mu
+        self.sigma = sigma
+        self.cap = cap
+        self.values = tuple(values)
+
+    def draw(self, seed: int, oid, t: Time) -> Time:
+        rng = random.Random(f"{seed}|net|{oid}|{t}")
+        if self.kind == "lognormal":
+            return min(self.cap, int(rng.lognormvariate(self.mu, self.sigma)))
+        return rng.choice(self.values)
+
+
+def parse_latency_dist(spec: str) -> LatencyModel:
+    """Parse a latency-distribution spec string (see :class:`LatencyModel`).
+
+    Raises :class:`~repro.errors.WorkloadError` on a malformed spec so
+    ``SimConfig.validate`` fails loudly at construction.
+    """
+    parts = str(spec).split(":")
+    try:
+        if parts[0] == "lognormal" and len(parts) in (3, 4):
+            mu = float(parts[1])
+            sigma = float(parts[2])
+            cap = int(parts[3]) if len(parts) == 4 else 16
+            if sigma < 0:
+                raise ValueError(f"sigma must be >= 0, got {sigma}")
+            if cap < 0:
+                raise ValueError(f"cap must be >= 0, got {cap}")
+            return LatencyModel(spec, "lognormal", mu=mu, sigma=sigma, cap=cap)
+        if parts[0] == "empirical" and len(parts) == 2:
+            values = tuple(int(v) for v in parts[1].split(","))
+            if not values:
+                raise ValueError("empirical distribution needs >= 1 value")
+            if any(v < 0 for v in values):
+                raise ValueError("empirical delays must be >= 0")
+            return LatencyModel(spec, "empirical", values=values)
+    except WorkloadError:
+        raise
+    except ValueError as exc:
+        raise WorkloadError(f"bad latency_dist {spec!r}: {exc}") from None
+    raise WorkloadError(
+        f"bad latency_dist {spec!r}: expected 'lognormal:MU:SIGMA[:CAP]' "
+        "or 'empirical:V1,V2,...'"
+    )
+
+
+class LatencyDistTransport(TransportDecorator):
+    """Add seeded per-leg delivery jitter drawn from a
+    :class:`LatencyModel` (the ROADMAP real-network stretch goal).
+
+    Outermost decorator — outside even :class:`FaultyTransport` — so a
+    leg the fault layer dropped or blocked (inner ``None``) draws no
+    jitter and records nothing.  Every surviving leg's extra steps are
+    recorded as a ``"net-delay"`` fault so the certifier can reconcile
+    the stretched arrival against exact physics; that is why
+    ``SimConfig`` requires a fault plan (possibly empty) alongside
+    ``latency_dist`` — late objects are absorbed by the ordinary
+    recovery machinery.
+    """
+
+    def __init__(self, inner: Transport, model: LatencyModel, seed: int = 0) -> None:
+        super().__init__(inner)
+        self.model = model
+        self.seed = seed
+
+    def plan_leg(self, obj: SharedObject, target: NodeId, t: Time) -> Optional[Leg]:
+        leg = self.inner.plan_leg(obj, target, t)
+        if leg is None:
+            return None
+        extra = self.model.draw(self.seed, obj.oid, t)
+        if extra:
+            self.sim.record_fault("net-delay", t, oid=obj.oid, extra=extra)
+            return leg[0], leg[1] + extra
+        return leg
+
+
 def build_transport(config) -> Transport:
     """Materialize ``config.transport`` (+ capacity knobs) as one strategy.
 
@@ -350,4 +449,10 @@ def build_transport(config) -> Transport:
         base = EgressCapacity(base, config.node_egress_capacity)
     if getattr(config, "faults", None) is not None:
         base = FaultyTransport(base)
+    if getattr(config, "latency_dist", None) is not None:
+        base = LatencyDistTransport(
+            base,
+            parse_latency_dist(config.latency_dist),
+            getattr(config, "latency_seed", 0),
+        )
     return base

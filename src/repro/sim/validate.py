@@ -148,7 +148,7 @@ def certify_trace(
     )
     fault_slack: Dict[ObjectId, Time] = {}
     for f in trace.faults:
-        if f.kind in ("delay", "crash-delay", "reroute") and f.oid is not None:
+        if f.kind in ("delay", "crash-delay", "reroute", "net-delay") and f.oid is not None:
             fault_slack[f.oid] = fault_slack.get(f.oid, 0) + f.extra
 
     legs_by_obj: Dict[ObjectId, list] = {oid: [] for oid in trace.initial_placement}
@@ -403,6 +403,39 @@ def certify_trace(
                         "partition window or prior membership leave",
                     )
                 )
+
+    # 8: service-mode cancellations (repro.service).  A deadline-expired
+    # transaction was cancelled before committing: its tid must never
+    # carry a TxnRecord, it may expire only once, and the cancellation
+    # cannot predate the deadline it enforces.  Object conservation
+    # through the cancellation is implied by checks 1-4: the released
+    # queue slots leave no trace legs, so any physics inconsistency the
+    # un-commit introduced would already have surfaced above.
+    seen_expired = set()
+    for e in trace.expiries:
+        if e.tid in trace.txns:
+            issues.append(
+                CertificationIssue(
+                    "expired-commit",
+                    f"txn {e.tid} both committed (t="
+                    f"{trace.txns[e.tid].exec_time}) and expired (t={e.time})",
+                )
+            )
+        if e.tid in seen_expired:
+            issues.append(
+                CertificationIssue(
+                    "expired-twice", f"txn {e.tid} expired more than once"
+                )
+            )
+        seen_expired.add(e.tid)
+        if e.time < e.deadline:
+            issues.append(
+                CertificationIssue(
+                    "early-expiry",
+                    f"txn {e.tid} cancelled at t={e.time}, before its "
+                    f"deadline {e.deadline}",
+                )
+            )
 
     # Engine-recorded violations are certification failures too.
     for v in trace.violations:

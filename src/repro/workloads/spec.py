@@ -56,6 +56,10 @@ _KIND_KNOBS: Dict[str, Tuple[frozenset, bool]] = {
 #: kinds whose knob set excludes the common object-pool knobs
 _NO_POOL_KINDS = frozenset({"hotspot", "chain"})
 
+#: service-mode knobs every *open* kind additionally understands
+#: (:mod:`repro.workloads.streaming`): per-spec deadlines + priorities
+_OPEN_KNOBS = frozenset({"deadline", "deadline_frac", "priority_classes"})
+
 
 def _chooser(knobs: Mapping[str, Any]):
     zipf = float(knobs.get("zipf", 0.0))
@@ -71,6 +75,18 @@ def _pool_kwargs(knobs: Mapping[str, Any]) -> Dict[str, Any]:
         "chooser": _chooser(knobs),
         "read_fraction": float(knobs.get("read_fraction", 0.0)),
     }
+
+
+def _open_kwargs(knobs: Mapping[str, Any]) -> Dict[str, Any]:
+    """Pool kwargs + the service-mode knobs of the open kinds."""
+    out = _pool_kwargs(knobs)
+    if "deadline" in knobs:
+        out["deadline"] = int(knobs["deadline"])
+    if "deadline_frac" in knobs:
+        out["deadline_frac"] = float(knobs["deadline_frac"])
+    if "priority_classes" in knobs:
+        out["priority_classes"] = int(knobs["priority_classes"])
+    return out
 
 
 def _build_batch(graph: Graph, seed: int, knobs: Mapping[str, Any]):
@@ -175,7 +191,7 @@ def _build_poisson_open(graph: Graph, seed: int, knobs: Mapping[str, Any]):
         num_objects=int(knobs.get("objects", 8)),
         k=int(knobs.get("k", 2)),
         seed=seed,
-        **_pool_kwargs(knobs),
+        **_open_kwargs(knobs),
     )
 
 
@@ -196,7 +212,7 @@ def _build_onoff_open(graph: Graph, seed: int, knobs: Mapping[str, Any]):
         k=int(knobs.get("k", 2)),
         seed=seed,
         **extra,
-        **_pool_kwargs(knobs),
+        **_open_kwargs(knobs),
     )
 
 
@@ -215,7 +231,7 @@ def _build_diurnal_open(graph: Graph, seed: int, knobs: Mapping[str, Any]):
         k=int(knobs.get("k", 2)),
         seed=seed,
         **extra,
-        **_pool_kwargs(knobs),
+        **_open_kwargs(knobs),
     )
 
 
@@ -234,7 +250,7 @@ def _build_adversarial_open(graph: Graph, seed: int, knobs: Mapping[str, Any]):
         k=int(knobs.get("k", 2)),
         seed=seed,
         **extra,
-        **_pool_kwargs(knobs),
+        **_open_kwargs(knobs),
     )
 
 
@@ -257,10 +273,11 @@ WORKLOAD_KINDS: Tuple[str, ...] = tuple(sorted(_BUILDERS))
 
 def allowed_knobs(kind: str) -> frozenset:
     """The knob names ``kind`` accepts (for error messages and docs)."""
-    extra, _open = _KIND_KNOBS[kind]
-    if kind in _NO_POOL_KINDS:
-        return extra
-    return _COMMON_KNOBS | extra
+    extra, open_system = _KIND_KNOBS[kind]
+    allowed = extra if kind in _NO_POOL_KINDS else _COMMON_KNOBS | extra
+    if open_system:
+        allowed = allowed | _OPEN_KNOBS
+    return allowed
 
 
 @dataclass(frozen=True)

@@ -28,6 +28,13 @@ uniformly at random, and object sets via any
 :class:`~repro.workloads.generators.ObjectChooser` (``ZipfChooser`` is
 the hotspot/popularity knob); ``read_fraction`` splits accesses into
 reads per the read/write extension.
+
+Service-mode extensions (:mod:`repro.service`): ``deadline`` stamps an
+absolute commit deadline of ``gen_time + deadline`` onto a
+``deadline_frac`` fraction of specs, and ``priority_classes`` draws a
+uniform priority class per spec.  All three default off and then make
+**zero** extra RNG draws, so pre-service arrival streams are
+bit-identical.
 """
 
 from __future__ import annotations
@@ -70,6 +77,9 @@ class OpenWorkload:
         seed: int = 0,
         chooser: Optional[ObjectChooser] = None,
         read_fraction: float = 0.0,
+        deadline: Optional[Time] = None,
+        deadline_frac: float = 1.0,
+        priority_classes: int = 1,
     ) -> None:
         if num_objects < 1:
             raise WorkloadError(f"num_objects must be >= 1, got {num_objects}")
@@ -77,12 +87,21 @@ class OpenWorkload:
             raise WorkloadError(f"k must be in [1, num_objects={num_objects}], got {k}")
         if not 0.0 <= read_fraction <= 1.0:
             raise WorkloadError(f"read_fraction must be a probability, got {read_fraction}")
+        if deadline is not None and deadline < 1:
+            raise WorkloadError(f"deadline must be >= 1 step, got {deadline}")
+        if not 0.0 <= deadline_frac <= 1.0:
+            raise WorkloadError(f"deadline_frac must be a probability, got {deadline_frac}")
+        if priority_classes < 1:
+            raise WorkloadError(f"priority_classes must be >= 1, got {priority_classes}")
         self.graph = graph
         self.num_objects = int(num_objects)
         self.k = int(k)
         self.seed = int(seed)
         self.chooser = chooser or UniformChooser(num_objects)
         self.read_fraction = float(read_fraction)
+        self.deadline = None if deadline is None else int(deadline)
+        self.deadline_frac = float(deadline_frac)
+        self.priority_classes = int(priority_classes)
         self._placement = place_objects_uniform(
             graph, num_objects, np.random.default_rng([self.seed, _PLACEMENT_STREAM])
         )
@@ -111,12 +130,31 @@ class OpenWorkload:
             t += 1
 
     # -- helpers for subclasses ----------------------------------------
+    def _spec_extras(self, t: Time, rng: np.random.Generator):
+        """``(deadline, priority)`` for one spec at step ``t``.
+
+        Draw order is fixed (priority class, then the deadline coin) and
+        every draw is skipped when its knob is at the default — so a
+        workload with these knobs off produces the exact pre-service
+        byte stream.
+        """
+        priority = 0
+        if self.priority_classes > 1:
+            priority = int(rng.integers(0, self.priority_classes))
+        deadline = None
+        if self.deadline is not None:
+            frac = self.deadline_frac
+            if frac >= 1.0 or (frac > 0.0 and rng.random() < frac):
+                deadline = t + self.deadline
+        return deadline, priority
+
     def _spec(self, t: Time, rng: np.random.Generator) -> TxnSpec:
         home = int(rng.integers(0, self.graph.num_nodes))
         writes, reads = _split_reads(
             self.chooser.choose(home, self.k, rng), self.read_fraction, rng
         )
-        return TxnSpec(t, home, writes, reads=reads)
+        deadline, priority = self._spec_extras(t, rng)
+        return TxnSpec(t, home, writes, reads=reads, deadline=deadline, priority=priority)
 
 
 class PoissonOpenWorkload(OpenWorkload):
@@ -279,4 +317,5 @@ class AdversarialOpenWorkload(OpenWorkload):
         writes, reads = _split_reads(
             [int(o) for o in picks], self.read_fraction, rng
         )
-        return TxnSpec(t, home, writes, reads=reads)
+        deadline, priority = self._spec_extras(t, rng)
+        return TxnSpec(t, home, writes, reads=reads, deadline=deadline, priority=priority)

@@ -335,3 +335,55 @@ class TestTopoInfo:
     def test_bad_spec_exits(self):
         with pytest.raises(SystemExit):
             main(["topo", "info", "blorp:9"])
+
+
+class TestServeCli:
+    def test_serve_json_reports_service_fields(self, capsys):
+        rc = main([
+            "serve", "--topology", "grid:4x4", "--until", "200",
+            "--lam", "2.0", "--deadline", "40", "--queue-cap", "32",
+            "--json",
+        ])
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["admission"] == "fifo"  # serve defaults the policy on
+        assert out["goodput"] > 0
+        assert 0 <= out["shed_rate"] <= 1
+
+    def test_stream_without_admission_emits_no_service_fields(self, capsys):
+        rc = main([
+            "stream", "--topology", "grid:4x4", "--until", "120",
+            "--lam", "0.3", "--json",
+        ])
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert "goodput" not in out and "admission" not in out
+
+    def test_stream_admission_flag_enables_service(self, capsys):
+        rc = main([
+            "stream", "--topology", "grid:4x4", "--until", "200",
+            "--lam", "2.0", "--admission", "deadline-edf",
+            "--deadline", "30", "--json",
+        ])
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["admission"] == "deadline-edf"
+        assert out["deadline_hit_rate"] <= 1
+
+    def test_stream_latency_dist(self, capsys):
+        rc = main([
+            "stream", "--topology", "ring:8", "--until", "120",
+            "--lam", "0.2", "--latency-dist", "empirical:0,1,2", "--json",
+        ])
+        assert rc == 0
+        json.loads(capsys.readouterr().out)
+
+    def test_chaos_sweep_overload_flags(self, capsys):
+        rc = main([
+            "chaos", "sweep", "--episodes", "4", "--lambda-mult", "2.0",
+            "--deadline-frac", "0.5", "--json",
+        ])
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["violations"] == 0
+        assert out["shed"] + out["expired"] > 0
