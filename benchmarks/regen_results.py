@@ -1,0 +1,38 @@
+"""Regenerate ``results.txt`` from the committed ``BENCH_*.json`` snapshots.
+
+``results.txt`` is a per-session log: the benchmark conftest truncates it
+at session start, so after running a single bench module it holds only
+that module's tables.  The committed copy should instead reflect *every*
+current snapshot — this script renders each table of each
+``BENCH_*.json`` (alphabetical by file, snapshot order within) into one
+fresh ``results.txt``:
+
+    PYTHONPATH=src python benchmarks/regen_results.py
+"""
+
+import glob
+import json
+import os
+
+from repro.analysis import render_table
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+RESULTS = os.path.join(HERE, "results.txt")
+
+
+def main() -> None:
+    blocks = []
+    for path in sorted(glob.glob(os.path.join(HERE, "BENCH_*.json"))):
+        with open(path) as fh:
+            doc = json.load(fh)
+        for table in doc.get("tables", []):
+            blocks.append(
+                render_table(table["headers"], table["rows"], title=table["title"])
+            )
+    with open(RESULTS, "w") as fh:
+        fh.write("\n\n".join(blocks) + "\n")
+    print(f"wrote {len(blocks)} tables to {RESULTS}")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,12 +20,19 @@ from repro.sim.transactions import Transaction
 class FifoSerialScheduler(OnlineScheduler):
     """Serializes all transactions in (arrival time, tid) order."""
 
+    #: Incremental protocol: arrival-driven only.
+    wants_deltas = True
+
     def __init__(self) -> None:
         super().__init__()
         self._horizon: Time = 0
         #: where each already-planned object will sit once the schedule
         #: drains (home of its last planned requester)
         self._planned_pos: Dict[ObjectId, NodeId] = {}
+
+    def on_deltas(self, t: Time, deltas) -> None:
+        if deltas.arrived:
+            self.on_step(t, deltas.arrived)
 
     def on_step(self, t: Time, new_txns: List[Transaction]) -> None:
         assert self.sim is not None

@@ -976,7 +976,8 @@ def cmd_profile(args) -> int:
         "calls": stats.total_calls,
     }
     # (cc, nc, tt, ct) per function, hottest by the chosen sort key.
-    sort_index = {"cumulative": 3, "tottime": 2}[args.sort]
+    # pstats accepts both spellings; the index table must agree.
+    sort_index = {"cumulative": 3, "cumtime": 3, "tottime": 2}[args.sort]
     entries = sorted(
         stats.stats.items(), key=lambda kv: kv[1][sort_index], reverse=True
     )[: args.top]
@@ -1222,8 +1223,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--scheduler", default="greedy", choices=SCHEDULER_NAMES)
     p_prof.add_argument("--top", type=int, default=20,
                         help="number of functions to show")
-    p_prof.add_argument("--sort", choices=["cumulative", "tottime"],
-                        default="cumulative")
+    p_prof.add_argument("--sort", choices=["cumulative", "cumtime", "tottime"],
+                        default="cumulative",
+                        help="'cumtime' is the pstats spelling of 'cumulative'")
     p_prof.set_defaults(func=cmd_profile)
 
     p_chaos = sub.add_parser(

@@ -54,6 +54,14 @@ class CoordinatedGreedyScheduler(OnlineScheduler):
             g = sim.graph
             self.coordinator = min(g.nodes(), key=lambda u: (g.eccentricity(u), u))
 
+    #: Incremental protocol: requests fire on arrival only; the O(live)
+    #: has_pending scan becomes an O(1) pending-index read.
+    wants_deltas = True
+
+    def on_deltas(self, t: Time, deltas) -> None:
+        if deltas.arrived:
+            self.on_step(t, deltas.arrived)
+
     def on_step(self, t: Time, new_txns: List[Transaction]) -> None:
         assert self.sim is not None
         for txn in new_txns:
@@ -78,7 +86,13 @@ class CoordinatedGreedyScheduler(OnlineScheduler):
 
     def has_pending(self) -> bool:
         # In-flight requests keep the engine alive via the router already;
-        # report pending while any live transaction is unscheduled.
-        if self.sim is None:
+        # report pending while any live transaction is unscheduled.  The
+        # pending index maintains exactly that set, O(1) per run-loop
+        # iteration instead of scanning the live table.
+        sim = self.sim
+        if sim is None:
             return False
-        return any(x.exec_time is None for x in self.sim.live.values())
+        index = getattr(sim, "pending", None)
+        if index is not None:
+            return index.has_unscheduled
+        return any(x.exec_time is None for x in sim.live.values())

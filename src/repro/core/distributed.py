@@ -156,6 +156,16 @@ class DistributedBucketScheduler(OnlineScheduler):
     # ------------------------------------------------------------------
     # step handling
     # ------------------------------------------------------------------
+    #: Incremental protocol: discovery starts on arrival, activations on
+    #: due periods; everything else travels by message callback.
+    wants_deltas = True
+
+    def on_deltas(self, t: Time, deltas) -> None:
+        assert self.sim is not None
+        for txn in deltas.arrived:
+            self._start_discovery(txn, t)
+        self._activate_due(t)
+
     def on_step(self, t: Time, new_txns: List[Transaction]) -> None:
         assert self.sim is not None
         for txn in new_txns:
@@ -166,6 +176,8 @@ class DistributedBucketScheduler(OnlineScheduler):
         return [i for i in range(self.max_level + 1) if t % (1 << i) == 0]
 
     def _activate_due(self, t: Time) -> None:
+        if not self.partial:
+            return
         due = set(self._due_levels(t))
         if not due:
             return

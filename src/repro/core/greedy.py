@@ -69,15 +69,44 @@ class GreedyScheduler(OnlineScheduler):
         #: analysis hook: (tid, color, theorem_bound) per scheduled txn
         self.color_log: List[tuple] = []
 
+    #: Greedy only reacts to arrivals, so the incremental protocol costs
+    #: nothing extra; it buys the shared constraint memo below.
+    wants_deltas = True
+
+    def on_deltas(self, t: Time, deltas) -> None:
+        if deltas.arrived:
+            self._color_batch(t, deltas.arrived)
+
     def on_step(self, t: Time, new_txns: List[Transaction]) -> None:
         assert self.sim is not None, "scheduler not bound to a simulator"
         if not new_txns:
             return
+        self._color_batch(t, new_txns)
+
+    def _color_batch(self, t: Time, new_txns: List[Transaction]) -> None:
+        sim = self.sim
+        index = getattr(sim, "pending", None)
+        if index is not None:
+            # Each constraint set is computed once into the shared
+            # within-step memo; the degree ordering's sort key fills it
+            # and the coloring loop below reuses it.  The memo
+            # re-derives an entry only when a same-step scheduling
+            # decision touched one of the transaction's conflict
+            # neighbours — any live holder of a shared object is such a
+            # neighbour, so the recomputed set equals what a fresh
+            # full evaluation would return.
+            fetch = index.constraints
+        else:
+            # State views / hand-rolled simulators without the index:
+            # plain per-call evaluation (the original behaviour).
+            def fetch(txn, *, now):
+                return constraints_for(sim, txn, now=now)
+
         txns = list(new_txns)
         if self.order == "degree":
-            txns.sort(key=lambda x: (len(constraints_for(self.sim, x, now=t)), x.tid))
+            txns.sort(key=lambda x: (len(fetch(x, now=t)), x.tid))
         for txn in txns:
-            cons = constraints_for(self.sim, txn, now=t)
+            cons = fetch(txn, now=t)
             if self.weight_slack:
                 cons = [(c, w + self.weight_slack if w > 0 else w) for c, w in cons]
             if self.uniform_beta is not None:
@@ -86,7 +115,7 @@ class GreedyScheduler(OnlineScheduler):
                 color = min_valid_color(cons)
             self.color_log.append((txn.tid, color, self._bound(cons)))
             self.emit("color", t, tid=txn.tid, color=color, constraints=len(cons))
-            self.sim.commit_schedule(txn, t + color)
+            sim.commit_schedule(txn, t + color)
 
     def _uniform_color(self, cons, t: Time) -> Weight:
         """Lemma 2 online: execution at *absolute* multiples of beta.

@@ -38,17 +38,31 @@ class WindowedBatchScheduler(OnlineScheduler):
         #: (close_time, batch_size) log for analysis
         self.window_log: List[tuple] = []
 
+    #: Incremental protocol: arrivals accumulate, the plan fires at
+    #: window closes — identical decisions, no per-step rescan.
+    wants_deltas = True
+
+    def on_deltas(self, t: Time, deltas) -> None:
+        assert self.sim is not None
+        if deltas.arrived:
+            self.pending.extend(deltas.arrived)
+        if t % self.window == 0 and self.pending:
+            self._close_window(t)
+
     def on_step(self, t: Time, new_txns: List[Transaction]) -> None:
         assert self.sim is not None
         self.pending.extend(new_txns)
         if t % self.window == 0 and self.pending:
-            view = SimStateView(self.sim, t)
-            plan = self.batch.plan(view, self.pending)
-            for txn in self.pending:
-                self.sim.commit_schedule(txn, t + plan[txn.tid])
-            self.window_log.append((t, len(self.pending)))
-            self.emit("window-close", t, size=len(self.pending))
-            self.pending = []
+            self._close_window(t)
+
+    def _close_window(self, t: Time) -> None:
+        view = SimStateView(self.sim, t)
+        plan = self.batch.plan(view, self.pending)
+        for txn in self.pending:
+            self.sim.commit_schedule(txn, t + plan[txn.tid])
+        self.window_log.append((t, len(self.pending)))
+        self.emit("window-close", t, size=len(self.pending))
+        self.pending = []
 
     def next_wake_after(self, t: Time) -> Optional[Time]:
         if not self.pending:

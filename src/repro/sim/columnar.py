@@ -19,7 +19,7 @@ before.
 
 from __future__ import annotations
 
-from typing import Any, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro._types import Time, TxnId
 from repro.sim.transactions import Transaction
@@ -106,3 +106,151 @@ class TimeColumn:
         if 0 <= tid < len(self._col) and self._col[tid] is not None:
             return self._col[tid]
         return default
+
+
+class RecordColumn:
+    """Lazy list of frozen trace records (``trace.legs``/``copy_legs``).
+
+    The engine's hot path appends plain argument tuples
+    (:meth:`append_row` — one tuple literal, no dataclass ``__init__``
+    with its per-field ``object.__setattr__`` calls); rows materialise
+    into real records on first access and stay cached, so the
+    post-run consumers (certifier, serializer, analysis) see ordinary
+    record objects and pay the construction cost once, outside the
+    steady-state step loop.  The full list surface the tests and
+    analysis layers use — indexing (negative too), slicing, item
+    assignment, ``extend``, equality against plain lists — is kept.
+    """
+
+    __slots__ = ("_factory", "_rows")
+
+    def __init__(self, factory, rows: Optional[List[Any]] = None) -> None:
+        self._factory = factory
+        self._rows: List[Any] = list(rows) if rows is not None else []
+
+    # -- hot path ------------------------------------------------------
+    def append_row(self, *args: Any) -> None:
+        """Append one record as its raw argument tuple (engine only)."""
+        self._rows.append(args)
+
+    # -- list surface --------------------------------------------------
+    def append(self, record: Any) -> None:
+        self._rows.append(record)
+
+    def extend(self, records) -> None:
+        self._rows.extend(records)
+
+    def _mat(self, i: int) -> Any:
+        row = self._rows[i]
+        if type(row) is tuple:
+            row = self._factory(*row)
+            self._rows[i] = row
+        return row
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return [self._mat(j) for j in range(*i.indices(len(self._rows)))]
+        return self._mat(i)
+
+    def __setitem__(self, i: int, record: Any) -> None:
+        self._rows[i] = record
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    def __iter__(self) -> Iterator[Any]:
+        for i in range(len(self._rows)):
+            yield self._mat(i)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, RecordColumn):
+            return list(self) == list(other)
+        if isinstance(other, list):
+            return list(self) == other
+        return NotImplemented
+
+    def __reduce__(self):
+        # Checkpoints and deep copies materialise: the pickled form is
+        # identical to a column that was never lazy.
+        return (RecordColumn, (self._factory, list(self)))
+
+    def __repr__(self) -> str:
+        return f"RecordColumn({self._factory.__name__}, {len(self._rows)} rows)"
+
+
+class TxnRecordStore:
+    """Lazy ``Mapping[TxnId, TxnRecord]`` backing ``trace.txns``.
+
+    Same deal as :class:`RecordColumn` for the per-commit record: the
+    engine appends one argument tuple per commit (:meth:`add_row`), and
+    rows materialise on access.  Iteration order is insertion (commit)
+    order, like the dict it replaces.
+    """
+
+    __slots__ = ("_rows",)
+
+    def __init__(self, rows=None) -> None:
+        self._rows: Dict[TxnId, Any] = dict(rows) if rows is not None else {}
+
+    # -- hot path ------------------------------------------------------
+    def add_row(self, tid: TxnId, *rest: Any) -> None:
+        """Record one commit as raw ``TxnRecord`` args (engine only)."""
+        self._rows[tid] = (tid,) + rest
+
+    # -- mapping surface -----------------------------------------------
+    def _mat(self, tid: TxnId) -> Any:
+        row = self._rows[tid]
+        if type(row) is tuple:
+            from repro.sim.trace import TxnRecord
+
+            row = TxnRecord(*row)
+            self._rows[tid] = row
+        return row
+
+    def __getitem__(self, tid: TxnId) -> Any:
+        return self._mat(tid)
+
+    def __setitem__(self, tid: TxnId, record: Any) -> None:
+        self._rows[tid] = record
+
+    def get(self, tid: TxnId, default: Any = None) -> Any:
+        if tid in self._rows:
+            return self._mat(tid)
+        return default
+
+    def __contains__(self, tid: object) -> bool:
+        return tid in self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    def __iter__(self) -> Iterator[TxnId]:
+        return iter(self._rows)
+
+    def keys(self):
+        return self._rows.keys()
+
+    def values(self) -> List[Any]:
+        return [self._mat(tid) for tid in self._rows]
+
+    def items(self) -> List[Tuple[TxnId, Any]]:
+        return [(tid, self._mat(tid)) for tid in self._rows]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, TxnRecordStore):
+            return dict(self.items()) == dict(other.items())
+        if isinstance(other, dict):
+            return dict(self.items()) == other
+        return NotImplemented
+
+    def __reduce__(self):
+        return (TxnRecordStore, (dict(self.items()),))
+
+    def __repr__(self) -> str:
+        return f"TxnRecordStore({len(self._rows)} txns)"

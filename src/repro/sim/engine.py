@@ -42,7 +42,7 @@ from repro.errors import (
 )
 from repro.network.graph import Graph
 from repro.obs.probe import NULL_PROBE
-from repro.sim.columnar import TimeColumn, TxnTable
+from repro.sim.columnar import RecordColumn, TimeColumn, TxnRecordStore, TxnTable
 from repro.sim.config import SimConfig
 from repro.sim.events import EventKind, EventQueue
 from repro.sim.messages import MessageRouter
@@ -269,14 +269,28 @@ class Simulator:
         # accessor sets.  Imported lazily: core.dependency imports this
         # module for its type annotations.
         from repro.core.dependency import DependencyTracker
+        from repro.core.pending import PendingIndex
 
         self.deps = DependencyTracker(self)
+        #: shared pending-transaction index (repro.core.pending): the
+        #: unscheduled set, per-object scheduled-waiter columns, and the
+        #: within-step constraint memo.  Fed from the same lifecycle
+        #: sites as the tracker, for every scheduler.
+        self.pending = PendingIndex(self)
 
         self.trace = ExecutionTrace(
             graph_name=graph.name,
             initial_placement={},
             object_speed_den=self.object_speed_den,
         )
+        # Lazy columnar record stores (repro.sim.columnar): the per-step
+        # hot paths append raw argument tuples; records materialise on
+        # first post-run access.  Engine-produced traces only — traces
+        # built elsewhere (deserialisation, baselines) keep plain
+        # dict/list fields with the identical surface.
+        self.trace.txns = TxnRecordStore()
+        self.trace.legs = RecordColumn(ObjectLeg)
+        self.trace.copy_legs = RecordColumn(CopyLeg)
         #: open-system streaming state (repro.workloads.streaming): a lazy
         #: unbounded spec iterator plus its one-spec lookahead.  None for
         #: closed workloads, whose finite spec list is materialized below.
@@ -303,6 +317,17 @@ class Simulator:
                 for spec in workload.arrivals():
                     self.submit(spec)
         scheduler.bind(self)
+        #: incremental-protocol dispatch flag, resolved once after bind
+        #: (adaptive schedulers pick their delegate at bind time); also
+        #: gates the tracker's delta buffering so legacy schedulers never
+        #: accumulate a feed nobody drains
+        self._sched_wants_deltas = bool(getattr(scheduler, "wants_deltas", False))
+        self.deps.collect = self._sched_wants_deltas
+        #: bound-method caches for the run loop and per-commit hot paths
+        #: (getattr-per-iteration showed up in profiles)
+        self._sched_has_pending = getattr(scheduler, "has_pending", None)
+        self._sched_on_commit = getattr(scheduler, "on_commit", None)
+        self._wl_on_commit = getattr(workload, "on_commit", None) if workload is not None else None
 
     # ------------------------------------------------------------------
     # checkpoint / restore (repro.durability)
@@ -374,6 +399,7 @@ class Simulator:
         self._obj_ids.append(oid)
         self._live_writers_col.append(set())
         self._live_readers_col.append(set())
+        self.pending.add_object_slot()
         self.trace.initial_placement.setdefault(oid, node)
         for fn in self._object_observers:
             fn("register", obj, self.now)
@@ -407,6 +433,7 @@ class Simulator:
         txn.exec_time = exec_time
         txn.state = TxnState.SCHEDULED
         self._schedule_times[txn.tid] = self.now
+        self.pending.note_scheduled(txn)
         if self._obs is not None:
             self._obs.on_schedule(txn, exec_time, self.now)
         self.events.push_exec(exec_time, txn.tid)
@@ -699,7 +726,7 @@ class Simulator:
         return self.trace
 
     def _scheduler_pending(self) -> bool:
-        has = getattr(self.scheduler, "has_pending", None)
+        has = self._sched_has_pending
         return bool(has()) if has is not None else False
 
     def _pump_arrivals(self, t: Time) -> None:
@@ -750,8 +777,10 @@ class Simulator:
                         PartitionRecord(p.cut, p.start, p.end)
                     )
                     self.record_fault(kind, t, extra=extra)
+                    self.deps.note_topology_change()
                 elif kind == "heal":
                     self.record_fault(kind, t)
+                    self.deps.note_topology_change()
                 elif kind == "join":
                     # ``node`` slot carries the join index.
                     self._apply_join(node, t)
@@ -841,9 +870,14 @@ class Simulator:
         if obs is not None:
             obs.on_phase_end("generate", t)
             obs.on_phase_begin("schedule", t)
-        # Phase 3: let the scheduler act (schedule new txns / activate buckets).
+        # Phase 3: let the scheduler act (schedule new txns / activate
+        # buckets).  Incremental schedulers receive the per-step delta
+        # feed instead of rescanning (docs/performance.md).
         try:
-            self.scheduler.on_step(t, new_txns)
+            if self._sched_wants_deltas:
+                self.scheduler.on_deltas(t, self.deps.drain_deltas(t, new_txns))
+            else:
+                self.scheduler.on_step(t, new_txns)
         except ReproError as exc:
             self._add_step_context(exc, t, new_txns)
             raise
@@ -940,6 +974,7 @@ class Simulator:
         self._live_home_count.append(0)
         self.trace.membership.append(MembershipRecord("join", j.node, t, j.edges))
         self.record_fault("join", t, node=j.node)
+        self.deps.note_topology_change()
         self._membership_hook("join", j.node, t)
 
     def _begin_drain(self, node: NodeId, t: Time) -> None:
@@ -968,6 +1003,7 @@ class Simulator:
         self.record_fault(
             "leave", t, node=node, extra=(t - drained) if drained is not None else 0
         )
+        self.deps.note_topology_change()
         for tid in sorted(self.live):
             txn = self.live[tid]
             if txn.home == node:
@@ -1012,7 +1048,7 @@ class Simulator:
         target = self._nearest_member(obj.location)
         arrive = t + obj.travel_time(self.graph.distance(obj.location, target))
         self.record_fault("leave-recover", t, node=target, oid=obj.oid)
-        self.trace.legs.append(ObjectLeg(obj.oid, t, obj.location, target, arrive))
+        self.trace.legs.append_row(obj.oid, t, obj.location, target, arrive)
         if self._obs is not None:
             self._obs.on_depart(obj.oid, t, obj.location, target, arrive)
         obj.begin_leg(target, arrive)
@@ -1054,6 +1090,7 @@ class Simulator:
         if 0 <= txn.home < len(self._live_home_count):
             self._live_home_count[txn.home] += 1
         self.deps.on_generate(txn)
+        self.pending.on_generate(txn)
         objects = self.objects
         for oid in txn.objects:
             self._live_writers_col[objects[oid].index].add(txn.tid)
@@ -1074,7 +1111,11 @@ class Simulator:
             for txn in self.service.expire_due(t):
                 self._expire(txn, t)
         due = self.events.pop_kind(EventKind.EXEC, t)
-        for _, _, tid, _ in sorted(due):
+        if not due:
+            return
+        if len(due) > 1:
+            due = sorted(due)
+        for _, _, tid, _ in due:
             txn = self.txns[tid]
             if txn.state is TxnState.EXECUTED or txn.state is TxnState.CANCELLED:
                 continue
@@ -1151,6 +1192,7 @@ class Simulator:
             self.objects[oid].finish_read(txn.tid)
         txn.exec_time = None
         txn.state = TxnState.PENDING
+        self.pending.on_unschedule(txn)
         floor = t + backoff
         # The backoff floor never pushes the next attempt past the run
         # horizon: a pathological reschedule count would otherwise park
@@ -1203,6 +1245,7 @@ class Simulator:
         if 0 <= txn.home < len(self._live_home_count):
             self._live_home_count[txn.home] -= 1
         self.deps.on_commit(txn)
+        self.pending.on_retire(txn)
         for oid in txn.objects:
             self._live_writers_col[self.objects[oid].index].discard(txn.tid)
         for oid in txn.reads:
@@ -1242,6 +1285,7 @@ class Simulator:
         if 0 <= txn.home < len(self._live_home_count):
             self._live_home_count[txn.home] -= 1
         self.deps.on_commit(txn)
+        self.pending.on_retire(txn)
         for oid in txn.objects:
             self._live_writers_col[self.objects[oid].index].discard(txn.tid)
         for oid in txn.reads:
@@ -1260,14 +1304,15 @@ class Simulator:
         for oid in txn.creates:
             obj = self.add_object(oid, txn.home)
             obj.holder_txn = txn.tid
-        self.trace.txns[txn.tid] = TxnRecord(
-            tid=txn.tid,
-            home=txn.home,
-            objects=tuple(sorted(txn.objects)),
-            gen_time=txn.gen_time,
-            schedule_time=self._schedule_times.get(txn.tid, txn.gen_time),
-            exec_time=t,
-            reads=tuple(sorted(txn.reads)),
+        # Field order matches TxnRecord (the store materialises lazily).
+        self.trace.txns.add_row(
+            txn.tid,
+            txn.home,
+            tuple(sorted(txn.objects)),
+            txn.gen_time,
+            self._schedule_times.get(txn.tid, txn.gen_time),
+            t,
+            tuple(sorted(txn.reads)),
         )
         if self._obs is not None:
             self._obs.on_commit(txn, t)
@@ -1279,14 +1324,13 @@ class Simulator:
             service._seen_commit = True
             if txn.deadline is not None:
                 service.deadline_commits += 1
-        hook = getattr(self.scheduler, "on_commit", None)
+        hook = self._sched_on_commit
         if hook is not None:
             hook(txn, t)
-        if self.workload is not None:
-            wl_hook = getattr(self.workload, "on_commit", None)
-            if wl_hook is not None:
-                for spec in wl_hook(txn, t):
-                    self.submit(spec)
+        wl_hook = self._wl_on_commit
+        if wl_hook is not None:
+            for spec in wl_hook(txn, t):
+                self.submit(spec)
 
     def _service_reads(self, obj: SharedObject, t: Time) -> None:
         """Dispatch copies to serviceable readers (read/write extension).
@@ -1311,8 +1355,8 @@ class Simulator:
                 # Co-located: a zero-length copy, recorded so the certifier
                 # can verify where and at which version it was cut.
                 obj.reads_delivered.add(entry.tid)
-                self.trace.copy_legs.append(
-                    CopyLeg(obj.oid, entry.tid, t, obj.location, reader_home, t, obj.version)
+                self.trace.copy_legs.append_row(
+                    obj.oid, entry.tid, t, obj.location, reader_home, t, obj.version
                 )
                 if self._obs is not None:
                     self._obs.on_copy(obj.oid, entry.tid, t, t)
@@ -1325,8 +1369,8 @@ class Simulator:
                 dist = drow[reader_home]
             travel = obj.travel_time(dist)
             arrive = t + travel
-            self.trace.copy_legs.append(
-                CopyLeg(obj.oid, entry.tid, t, obj.location, reader_home, arrive, obj.version)
+            self.trace.copy_legs.append_row(
+                obj.oid, entry.tid, t, obj.location, reader_home, arrive, obj.version
             )
             if self._obs is not None:
                 self._obs.on_copy(obj.oid, entry.tid, t, arrive)
@@ -1335,10 +1379,14 @@ class Simulator:
     def _process_departures(self, t: Time) -> None:
         for _, _, oid, _ in self.events.pop_kind(EventKind.DEPART, t):
             self._needs_departure_check.add(oid)
-        pending = self._needs_departure_check
-        self._needs_departure_check = set()
         self.transport.begin_step(t)
-        for oid in sorted(pending):  # deterministic under capacity limits
+        pending = self._needs_departure_check
+        if not pending:
+            return
+        self._needs_departure_check = set()
+        if len(pending) > 1:  # deterministic under capacity limits
+            pending = sorted(pending)
+        for oid in pending:
             self._maybe_depart(self.objects[oid], t)
 
     def _maybe_depart(self, obj: SharedObject, t: Time) -> None:
@@ -1361,7 +1409,7 @@ class Simulator:
         if leg is None:
             return  # blocked: the transport has scheduled a retry
         dst, arrive = leg
-        self.trace.legs.append(ObjectLeg(obj.oid, t, obj.location, dst, arrive))
+        self.trace.legs.append_row(obj.oid, t, obj.location, dst, arrive)
         if self._obs is not None:
             self._obs.on_depart(obj.oid, t, obj.location, dst, arrive)
         obj.begin_leg(dst, arrive)

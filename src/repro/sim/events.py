@@ -42,6 +42,10 @@ from repro._types import ObjectId, Time, TxnId
 #: unique per kind wherever payloads differ).
 Event = Tuple[Time, int, Any, Any]
 
+#: Shared empty result for pop_kind's no-pending fast path; callers
+#: iterate the returned list, they never mutate it.
+_EMPTY: List[Event] = []
+
 
 class EventKind(IntEnum):
     """Event types, ordered by the engine phase that consumes them."""
@@ -65,7 +69,15 @@ class EventQueue:
     multi-heap next-active-time scan.
     """
 
-    __slots__ = ("_heap", "_due", "_due_count", "_due_min", "_spec_seq", "_alarm_times")
+    __slots__ = (
+        "_heap",
+        "_due",
+        "_due_count",
+        "_kind_counts",
+        "_spec_seq",
+        "_alarm_times",
+        "_msg_times",
+    )
 
     def __init__(self) -> None:
         self._heap: List[Event] = []
@@ -73,15 +85,21 @@ class EventQueue:
         # plain list indexed by kind — no dict hashing on the hot path.
         self._due: List[List[Event]] = [[] for _ in EventKind]
         self._due_count = 0
-        self._due_min: Optional[Time] = None
+        # Per-kind pending totals (heap + due bucket): pop_kind for a
+        # kind with zero pending entries — the common case for most of
+        # the engine's eight phases on any given step — is a counter
+        # read, no heap scoop.
+        self._kind_counts: List[int] = [0] * len(EventKind)
         self._spec_seq = itertools.count()
         self._alarm_times: set = set()
+        self._msg_times: set = set()
 
     # ------------------------------------------------------------------
     # producers
     # ------------------------------------------------------------------
     def push(self, time: Time, kind: EventKind, key: Any = 0, payload: Any = None) -> None:
         """Push one typed event (the ``push_*`` helpers wrap this)."""
+        self._kind_counts[kind] += 1
         heapq.heappush(self._heap, (time, int(kind), key, payload))
 
     def push_arrival(self, time: Time, oid: ObjectId) -> None:
@@ -101,7 +119,15 @@ class EventQueue:
         self.push(time, EventKind.COPY, (oid, tid, epoch))
 
     def push_message(self, time: Time) -> None:
-        """Marker: the router will have a delivery due at ``time``."""
+        """Marker: the router will have a delivery due at ``time``.
+
+        Markers only exist to make :meth:`peek_time` see the delivery
+        step, so duplicates for the same time are dropped (a batch of
+        same-step sends — bucket probe rounds — queues one marker).
+        """
+        if time in self._msg_times:
+            return
+        self._msg_times.add(time)
         self.push(time, EventKind.MESSAGE)
 
     def push_spec(self, time: Time, spec: Any) -> None:
@@ -134,13 +160,16 @@ class EventQueue:
     def peek_time(self) -> Optional[Time]:
         """Earliest pending event time, or None when the queue is empty.
 
-        O(1): one heap top (plus the minimum over any already-scooped
-        due entries awaiting their phase, tracked incrementally).
+        O(1) on the common path: one heap top.  Entries parked in a due
+        bucket across a step boundary (an event pushed for the current
+        step *after* its phase already ran) are rare, so their minimum is
+        computed here on demand instead of being maintained on every pop.
         """
         if self._due_count:
-            if self._heap and self._heap[0][0] < self._due_min:  # pragma: no cover
+            m = min(e[0] for b in self._due for e in b)
+            if self._heap and self._heap[0][0] < m:
                 return self._heap[0][0]
-            return self._due_min
+            return m
         return self._heap[0][0] if self._heap else None
 
     def pop_kind(self, kind: EventKind, t: Time) -> List[Event]:
@@ -148,28 +177,33 @@ class EventQueue:
 
         Due events of *other* kinds encountered on the heap are parked in
         their bucket for their own phase; within a kind, entries come out
-        ordered by ``(time, key)`` — the legacy per-heap order.
+        ordered by ``(time, key)`` — the legacy per-heap order.  When no
+        event of ``kind`` is pending anywhere (the per-kind counter is
+        zero) the call returns immediately without touching the heap —
+        due events of other kinds are scooped by their own phase's pop.
         """
+        counts = self._kind_counts
+        if not counts[kind]:
+            return _EMPTY
         heap = self._heap
         due = self._due
         while heap and heap[0][0] <= t:
             entry = heapq.heappop(heap)
             due[entry[1]].append(entry)
             self._due_count += 1
-            if self._due_min is None or entry[0] < self._due_min:
-                self._due_min = entry[0]
         bucket = due[kind]
         if not bucket:
             return bucket
         due[kind] = []
-        self._due_count -= len(bucket)
-        if self._due_count == 0:
-            self._due_min = None
-        else:
-            self._due_min = min(e[0] for b in due for e in b)
+        n = len(bucket)
+        self._due_count -= n
+        counts[kind] -= n
         if kind is EventKind.ALARM:
             for entry in bucket:
                 self._alarm_times.discard(entry[0])
+        elif kind is EventKind.MESSAGE:
+            for entry in bucket:
+                self._msg_times.discard(entry[0])
         return bucket
 
     # ------------------------------------------------------------------

@@ -15,18 +15,21 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Tuple
 
+from repro._compat import slotted_dataclass
 from repro._types import NodeId, Time
 from repro.network.graph import Graph
 
 DeliveryCallback = Callable[[Time, "Message"], None]
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class Message:
-    """An in-flight control message."""
+    """An in-flight control message.
+
+    Slotted: distributed-bucket runs create one per probe/report leg, so
+    the per-instance ``__dict__`` was measurable allocation volume."""
 
     src: NodeId
     dst: NodeId

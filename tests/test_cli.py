@@ -387,3 +387,52 @@ class TestServeCli:
         out = json.loads(capsys.readouterr().out)
         assert out["violations"] == 0
         assert out["shed"] + out["expired"] > 0
+
+
+class TestProfile:
+    """Golden-stdout checks for ``repro profile``: the deterministic
+    skeleton (field names, table titles, row shape) is pinned; timing
+    values themselves are machine-dependent and only sanity-checked."""
+
+    ARGS = [
+        "profile", "--topology", "clique:6", "--scheduler", "greedy",
+        "--workload", "batch", "--objects", "4", "--k", "2", "--seed", "0",
+    ]
+
+    def test_json_skeleton(self, capsys):
+        rc = main(self.ARGS + ["--top", "3", "--json"])
+        assert rc == 0
+        out = json.loads(capsys.readouterr().out)
+        assert list(out) == [
+            "topology", "scheduler", "txns", "makespan", "seconds", "calls", "top",
+        ]
+        assert out["topology"] == "clique(n=6)"
+        assert out["scheduler"] == "greedy"
+        assert out["txns"] == 6
+        assert len(out["top"]) == 3
+        for entry in out["top"]:
+            assert list(entry) == ["function", "ncalls", "tottime", "cumtime"]
+            assert entry["ncalls"] >= 1
+
+    def test_top_limits_rows(self, capsys):
+        rc = main(self.ARGS + ["--top", "1", "--json"])
+        assert rc == 0
+        assert len(json.loads(capsys.readouterr().out)["top"]) == 1
+
+    def test_cumtime_alias_matches_cumulative(self, capsys):
+        rc = main(self.ARGS + ["--top", "5", "--sort", "cumulative", "--json"])
+        assert rc == 0
+        cumulative = [t["function"] for t in json.loads(capsys.readouterr().out)["top"]]
+        rc = main(self.ARGS + ["--top", "5", "--sort", "cumtime", "--json"])
+        assert rc == 0
+        cumtime = [t["function"] for t in json.loads(capsys.readouterr().out)["top"]]
+        assert cumtime == cumulative
+
+    def test_table_skeleton(self, capsys):
+        rc = main(self.ARGS + ["--top", "2", "--sort", "tottime"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "profile: clique(n=6) / greedy" in out
+        assert "top 2 by tottime" in out
+        for header in ("ncalls", "tottime", "cumtime", "function"):
+            assert header in out
